@@ -1,0 +1,97 @@
+// Ablation: design choices in the synthesis loop (not a paper figure).
+//
+//  (a) candidate-blocking strategy — the paper's exact blocking vs subset
+//      blocking vs counterexample-guided (hitting-set) blocking;
+//  (b) the Eq. (30) adjacency pruning on/off;
+//  (c) SMT synthesis vs the classical greedy basic-measurement defence
+//      (Bobba et al. [6]) — the greedy baseline cannot exploit a limited
+//      adversary and over-secures.
+#include "bench_util.h"
+#include "core/baseline_defense.h"
+
+using namespace psse;
+
+namespace {
+
+core::SynthesisResult run(core::UfdiAttackModel& model, int budget,
+                          bool cegis, bool subset, bool pruning,
+                          double limitSec) {
+  core::SynthesisOptions opt;
+  opt.max_secured_buses = budget;
+  opt.must_secure = {0};
+  opt.counterexample_blocking = cegis;
+  opt.subset_blocking = subset;
+  opt.adjacency_pruning = pruning;
+  opt.time_limit_seconds = limitSec;
+  core::SecurityArchitectureSynthesizer syn(model, opt);
+  return syn.synthesize();
+}
+
+void print(const char* label, const core::SynthesisResult& r) {
+  const char* status =
+      r.status == core::SynthesisResult::Status::Found
+          ? "found"
+          : r.status == core::SynthesisResult::Status::NoArchitecture
+                ? "no-arch"
+                : "timeout";
+  std::printf("%-34s %8s %10d %10.2f %6zu\n", label, status,
+              r.candidates_tried, r.seconds, r.secured_buses.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablation: synthesis design choices ==\n\n");
+  for (const char* name : {"ieee14", "ieee30"}) {
+    grid::Grid g = grid::cases::by_name(name);
+    grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+    core::AttackSpec spec;  // unlimited adversary
+    core::UfdiAttackModel model(g, plan, spec);
+    int budget = name == std::string("ieee14") ? 6 : 14;
+    std::printf("%s, budget %d\n", name, budget);
+    std::printf("%-34s %8s %10s %10s %6s\n", "strategy", "status",
+                "candidates", "time(s)", "size");
+    print("counterexample-guided (default)",
+          run(model, budget, true, true, true, 120));
+    print("subset blocking only", run(model, budget, false, true, true, 120));
+    print("exact blocking (paper Alg. 1)",
+          run(model, budget, false, false, true, 120));
+    print("CEGIS, no Eq.(30) pruning",
+          run(model, budget, true, true, false, 120));
+    std::printf("\n");
+  }
+
+  std::printf("== SMT synthesis vs greedy basic-measurement defence ==\n");
+  std::printf("(limited adversary: admittances of every other line "
+              "unknown)\n");
+  std::printf("%-10s %24s %16s %10s\n", "system", "greedy baseline (buses)",
+              "SMT (buses)", "status");
+  for (const char* name : {"ieee14", "ieee30", "ieee57"}) {
+    grid::Grid g = grid::cases::by_name(name);
+    grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+    core::GreedyDefenseResult greedy =
+        core::greedy_basic_measurement_defense(g, plan, {0});
+    core::AttackSpec weak;
+    for (grid::LineId i = 0; i < g.num_lines(); i += 2) {
+      weak.set_unknown(i, g.num_lines());
+    }
+    core::UfdiAttackModel model(g, plan, weak);
+    core::SynthesisOptions opt;
+    opt.must_secure = {0};
+    opt.time_limit_seconds = 600;
+    core::SecurityArchitectureSynthesizer syn(model, opt);
+    core::SynthesisResult smtR = syn.synthesize_minimal(g.num_buses());
+    const char* status = smtR.found() ? "found"
+                         : smtR.status ==
+                                 core::SynthesisResult::Status::Timeout
+                             ? "timeout"
+                             : "no-arch";
+    std::printf("%-10s %24zu %16zu %10s\n", name, greedy.secured_buses.size(),
+                smtR.secured_buses.size(), status);
+    std::fflush(stdout);
+  }
+  std::printf("\n(the greedy defence is attack-agnostic: it must pin every "
+              "state, while the\nSMT synthesis secures only what the "
+              "declared adversary can actually exploit)\n");
+  return 0;
+}

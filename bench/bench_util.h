@@ -1,0 +1,79 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (Section V) and prints the series as aligned columns plus the
+// paper's qualitative expectation, so paper-vs-measured comparison is a
+// side-by-side read (EXPERIMENTS.md records one such run).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "core/attack_spec.h"
+#include "core/synthesis.h"
+#include "estimation/observability.h"
+#include "grid/ieee_cases.h"
+#include "grid/measurement.h"
+
+namespace psse::bench {
+
+/// The attacker's target states for the Fig. 4(a) "three experiments":
+/// deterministic spread-out choices (#1 near the far end, #2 mid-grid,
+/// #3 a pair of adjacent states).
+inline std::vector<core::AttackSpec> standard_targets(const grid::Grid& g) {
+  const int b = g.num_buses();
+  core::AttackSpec far;
+  far.target_states = {b - 1};
+  core::AttackSpec mid;
+  mid.target_states = {b / 2};
+  core::AttackSpec pair;
+  pair.target_states = {b / 3, b / 3 + 1};
+  return {far, mid, pair};
+}
+
+/// A measurement plan with `fraction` of the potential measurements taken,
+/// re-seeded until the configuration stays observable (the paper sweeps
+/// 70%-100%, where a blind draw is occasionally unobservable).
+inline grid::MeasurementPlan observable_fraction_plan(const grid::Grid& g,
+                                                      double fraction,
+                                                      std::uint64_t seed) {
+  for (std::uint64_t attempt = 0; attempt < 50; ++attempt) {
+    grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+    plan.keep_fraction(fraction, seed + attempt * 1000003);
+    if (est::check_observability(g, plan).observable) return plan;
+  }
+  throw grid::GridError("observable_fraction_plan: no observable draw");
+}
+
+/// Milliseconds of a verification run (the model is rebuilt each time, as
+/// the paper's per-run measurements do).
+inline double verify_ms(const grid::Grid& g, const grid::MeasurementPlan& p,
+                        const core::AttackSpec& spec,
+                        double timeLimitSeconds = 600) {
+  core::UfdiAttackModel model(g, p, spec);
+  smt::Budget budget;
+  budget.max_time = std::chrono::milliseconds(
+      static_cast<long>(timeLimitSeconds * 1000));
+  return model.verify(budget).seconds * 1000.0;
+}
+
+inline double mean(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+inline void header(const char* figure, const char* claim) {
+  std::printf("== %s ==\npaper's expectation: %s\n\n", figure, claim);
+}
+
+}  // namespace psse::bench

@@ -1,0 +1,27 @@
+// Fig. 4(a): UFDI verification time vs bus-system size.
+//
+// Three experiments per IEEE system (different attacked states) plus the
+// average — the series the paper plots as bars + line.
+#include "bench_util.h"
+
+using namespace psse;
+
+int main() {
+  bench::header("Fig. 4(a) - verification time vs problem size",
+                "growth between linear and quadratic in the bus count; "
+                "different target choices give different times");
+  std::printf("%-10s %10s %10s %10s %10s\n", "system", "exp1(ms)", "exp2(ms)",
+              "exp3(ms)", "avg(ms)");
+  for (const std::string& name : grid::cases::standard_names()) {
+    grid::Grid g = grid::cases::by_name(name);
+    grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+    std::vector<double> times;
+    for (const core::AttackSpec& spec : bench::standard_targets(g)) {
+      times.push_back(bench::verify_ms(g, plan, spec));
+    }
+    std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
+                times[0], times[1], times[2], bench::mean(times));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmarks for the power-system substrate (google-benchmark):
+// Jacobian assembly, DC power flow, WLS estimation, BDD statistics.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "estimation/bad_data.h"
+#include "estimation/chi2.h"
+#include "estimation/observability.h"
+#include "estimation/wls.h"
+#include "grid/dc_powerflow.h"
+#include "grid/ieee_cases.h"
+#include "grid/jacobian.h"
+
+using namespace psse;
+
+namespace {
+
+grid::Grid case_for(int64_t idx) {
+  switch (idx) {
+    case 0:
+      return grid::cases::ieee14();
+    case 1:
+      return grid::cases::ieee30();
+    case 2:
+      return grid::cases::ieee57();
+    case 3:
+      return grid::cases::ieee118_like();
+    default:
+      return grid::cases::ieee300_like();
+  }
+}
+
+void BM_JacobianBuild(benchmark::State& state) {
+  grid::Grid g = case_for(state.range(0));
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid::build_jacobian(g, plan));
+  }
+}
+BENCHMARK(BM_JacobianBuild)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_DcPowerFlow(benchmark::State& state) {
+  grid::Grid g = case_for(state.range(0));
+  grid::DcPowerFlow pf(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pf.solve());
+  }
+}
+BENCHMARK(BM_DcPowerFlow)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_WlsEstimate(benchmark::State& state) {
+  grid::Grid g = case_for(state.range(0));
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  grid::DcPowerFlow pf(g, 0);
+  grid::DcPowerFlowResult op = pf.solve();
+  grid::JacobianModel model = grid::build_jacobian(g, plan);
+  est::WlsEstimator estimator(model, 0.01);
+  std::mt19937_64 rng(1);
+  grid::Telemetry z =
+      grid::generate_telemetry(g, op.theta, plan, 0.01, rng);
+  grid::Vector zr = grid::restrict_to_rows(model, z.values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(zr));
+  }
+}
+BENCHMARK(BM_WlsEstimate)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_Chi2Quantile(benchmark::State& state) {
+  double k = 30.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est::chi2_quantile(0.99, k));
+    k += 1.0;
+    if (k > 1000.0) k = 30.0;
+  }
+}
+BENCHMARK(BM_Chi2Quantile);
+
+void BM_LnrTest(benchmark::State& state) {
+  grid::Grid g = grid::cases::ieee30();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  grid::DcPowerFlow pf(g, 0);
+  grid::DcPowerFlowResult op = pf.solve();
+  grid::JacobianModel model = grid::build_jacobian(g, plan);
+  est::WlsEstimator estimator(model, 0.01);
+  est::BadDataDetector detector(estimator, 0.01);
+  std::mt19937_64 rng(2);
+  grid::Telemetry z =
+      grid::generate_telemetry(g, op.theta, plan, 0.01, rng);
+  est::WlsResult r = estimator.estimate(grid::restrict_to_rows(model, z.values));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.lnr_test(r));
+  }
+}
+BENCHMARK(BM_LnrTest);
+
+void BM_Observability(benchmark::State& state) {
+  grid::Grid g = case_for(state.range(0));
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  plan.keep_fraction(0.8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est::check_observability(g, plan));
+  }
+}
+BENCHMARK(BM_Observability)->Arg(0)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

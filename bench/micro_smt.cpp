@@ -1,0 +1,144 @@
+// Microbenchmarks for the SMT substrate (google-benchmark): exact
+// arithmetic, CDCL search, simplex pivoting, end-to-end small solves.
+// Not a paper figure — these support the ablation notes in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/attack_model.h"
+#include "grid/ieee_cases.h"
+#include "smt/solver.h"
+
+using namespace psse;
+
+namespace {
+
+void BM_BigIntMul(benchmark::State& state) {
+  smt::BigInt a = smt::BigInt::from_string(
+      "123456789123456789123456789123456789");
+  smt::BigInt b = smt::BigInt::from_string("987654321987654321987654321");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  smt::BigInt n = smt::BigInt::from_string(
+      "340282366920938463463374607431768211457340282366920938463");
+  smt::BigInt d = smt::BigInt::from_string("18446744073709551629");
+  smt::BigInt q, r;
+  for (auto _ : state) {
+    smt::BigInt::div_mod(n, d, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod);
+
+void BM_RationalArith(benchmark::State& state) {
+  smt::Rational a(123457, 1000);
+  smt::Rational b(-987651, 777);
+  for (auto _ : state) {
+    smt::Rational c = a * b + a / b - a;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RationalArith);
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::mt19937_64 rng(42);
+    smt::SatSolver s;
+    for (int i = 0; i < n; ++i) s.new_var();
+    for (int c = 0; c < static_cast<int>(4.0 * n); ++c) {
+      std::vector<smt::Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        cl.push_back(smt::Lit(static_cast<smt::Var>(rng() % n),
+                              (rng() & 1) != 0));
+      }
+      s.add_clause(cl);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SimplexChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::Simplex s;
+    std::vector<smt::TVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    state.ResumeTiming();
+    // Chain x_{i+1} - x_i == 1 via slacks, then bound both ends.
+    int tag = 0;
+    for (int i = 0; i + 1 < n; ++i) {
+      smt::LinExpr e;
+      e.add_term(vars[static_cast<std::size_t>(i + 1)], smt::Rational(1));
+      e.add_term(vars[static_cast<std::size_t>(i)], smt::Rational(-1));
+      smt::TVar sl = s.slack_for(e);
+      s.assert_lower(sl, smt::DeltaRational(smt::Rational(1)),
+                     smt::Lit::pos(tag++));
+      s.assert_upper(sl, smt::DeltaRational(smt::Rational(1)),
+                     smt::Lit::pos(tag++));
+    }
+    s.assert_lower(vars[0], smt::DeltaRational(smt::Rational(0)),
+                   smt::Lit::pos(tag++));
+    bool ok = s.check();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SimplexChain)->Arg(50)->Arg(200);
+
+void BM_SmtGuardedIntervals(benchmark::State& state) {
+  for (auto _ : state) {
+    smt::Solver s;
+    auto& t = s.terms();
+    smt::TVar x = s.mk_real("x");
+    std::vector<smt::TermRef> sel;
+    for (int i = 0; i < 12; ++i) {
+      smt::TermRef b = s.mk_bool();
+      sel.push_back(b);
+      s.assert_term(t.mk_implies(
+          b, t.mk_ge(smt::LinExpr::var(x), smt::Rational(i))));
+      s.assert_term(t.mk_implies(
+          b, t.mk_le(smt::LinExpr::var(x), smt::Rational(i + 2))));
+    }
+    s.add_at_least(sel, 3);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SmtGuardedIntervals);
+
+void BM_AttackModelBuild(benchmark::State& state) {
+  grid::Grid g = grid::cases::ieee30();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  core::AttackSpec spec;
+  spec.target_states = {15};
+  for (auto _ : state) {
+    core::UfdiAttackModel model(g, plan, spec);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_AttackModelBuild);
+
+void BM_AttackVerify14(benchmark::State& state) {
+  grid::Grid g = grid::cases::ieee14();
+  grid::MeasurementPlan plan = grid::cases::paper_plan14(g);
+  core::AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  for (auto _ : state) {
+    core::UfdiAttackModel model(g, plan, spec);
+    benchmark::DoNotOptimize(model.verify().result);
+  }
+}
+BENCHMARK(BM_AttackVerify14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

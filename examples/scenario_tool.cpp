@@ -1,0 +1,83 @@
+// scenario_tool: the paper's "input file" interface as a CLI.
+//
+//   scenario_tool verify <file.scn>      run the UFDI verification model
+//   scenario_tool synthesize <file.scn>  run countermeasure synthesis
+//   scenario_tool print <file.scn>       parse and echo the scenario
+//
+// Scenario files live in data/ (see data/README for the format).
+#include <cstdio>
+#include <cstring>
+
+#include "core/attack_model.h"
+#include "core/scenario.h"
+#include "core/synthesis.h"
+
+using namespace psse;
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s verify|synthesize|print <scenario-file>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  core::Scenario sc;
+  try {
+    sc = core::Scenario::load(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (mode == "print") {
+    std::printf("%s", sc.to_string().c_str());
+    return 0;
+  }
+
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  if (mode == "verify") {
+    core::VerificationResult r = model.verify();
+    switch (r.result) {
+      case smt::SolveResult::Sat:
+        std::printf("SAT: an undetected attack exists (%.3fs)\n%s",
+                    r.seconds, r.attack->summary().c_str());
+        return 0;
+      case smt::SolveResult::Unsat:
+        std::printf("UNSAT: no attack satisfies the scenario (%.3fs)\n",
+                    r.seconds);
+        return 0;
+      default:
+        std::printf("UNKNOWN: budget exhausted\n");
+        return 3;
+    }
+  }
+  if (mode == "synthesize") {
+    core::SynthesisOptions opt = sc.synthesis;
+    if (opt.max_secured_buses == 0) {
+      opt.max_secured_buses = sc.grid.num_buses();
+    }
+    core::SecurityArchitectureSynthesizer syn(model, opt);
+    core::SynthesisResult r = syn.synthesize();
+    switch (r.status) {
+      case core::SynthesisResult::Status::Found: {
+        std::printf("architecture found in %.2fs after %d candidates:\n"
+                    "secure buses:",
+                    r.seconds, r.candidates_tried);
+        for (grid::BusId b : r.secured_buses) std::printf(" %d", b + 1);
+        std::printf("\n");
+        return 0;
+      }
+      case core::SynthesisResult::Status::NoArchitecture:
+        std::printf("no architecture within budget %d (%.2fs, %d "
+                    "candidates)\n",
+                    opt.max_secured_buses, r.seconds, r.candidates_tried);
+        return 0;
+      default:
+        std::printf("timeout\n");
+        return 3;
+    }
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

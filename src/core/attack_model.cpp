@@ -1,0 +1,450 @@
+#include "core/attack_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smt/common.h"
+
+namespace psse::core {
+
+using grid::BusId;
+using grid::LineId;
+using grid::MeasId;
+using smt::LinExpr;
+using smt::Rational;
+using smt::TermRef;
+
+namespace {
+
+/// Exact rational for a double admittance, rounded at 1e-6 — the grid data
+/// is decimal to begin with (Table II has two decimals), so this is exact
+/// in practice and keeps simplex coefficients small.
+Rational to_rational(double v) {
+  return Rational(static_cast<std::int64_t>(std::llround(v * 1e6)), 1000000);
+}
+
+}  // namespace
+
+UfdiAttackModel::UfdiAttackModel(const grid::Grid& grid,
+                                 const grid::MeasurementPlan& plan,
+                                 AttackSpec spec)
+    : grid_(grid), plan_(plan), spec_(std::move(spec)) {
+  PSSE_CHECK(plan_.num_lines() == grid_.num_lines() &&
+                 plan_.num_buses() == grid_.num_buses(),
+             "UfdiAttackModel: plan does not match grid");
+  PSSE_CHECK(spec_.reference_bus >= 0 &&
+                 spec_.reference_bus < grid_.num_buses(),
+             "UfdiAttackModel: reference bus out of range");
+  PSSE_CHECK(spec_.admittance_known.empty() ||
+                 static_cast<int>(spec_.admittance_known.size()) ==
+                     grid_.num_lines(),
+             "UfdiAttackModel: admittance_known size mismatch");
+  for (BusId t : spec_.target_states) {
+    PSSE_CHECK(t >= 0 && t < grid_.num_buses(),
+               "UfdiAttackModel: target state out of range");
+    PSSE_CHECK(t != spec_.reference_bus,
+               "UfdiAttackModel: the reference state cannot be attacked");
+  }
+  encode();
+}
+
+void UfdiAttackModel::encode() {
+  auto& t = solver_.terms();
+  const int b = grid_.num_buses();
+  const int l = grid_.num_lines();
+
+  // --- State variables and cx_j <-> (delta theta_j != 0)  (Eq. (5)) ---
+  cx_.resize(static_cast<std::size_t>(b));
+  cb_.resize(static_cast<std::size_t>(b));
+  sb_.resize(static_cast<std::size_t>(b));
+  dtheta_.resize(static_cast<std::size_t>(b));
+  for (BusId j = 0; j < b; ++j) {
+    dtheta_[static_cast<std::size_t>(j)] =
+        solver_.mk_real("dth" + std::to_string(j + 1));
+    cx_[static_cast<std::size_t>(j)] =
+        solver_.mk_bool("cx" + std::to_string(j + 1));
+    cb_[static_cast<std::size_t>(j)] =
+        solver_.mk_bool("cb" + std::to_string(j + 1));
+    sb_[static_cast<std::size_t>(j)] =
+        solver_.mk_bool("sb" + std::to_string(j + 1));
+    LinExpr dth = LinExpr::var(dtheta_[static_cast<std::size_t>(j)]);
+    solver_.assert_term(t.mk_implies(cx_[static_cast<std::size_t>(j)],
+                                     t.mk_ne(dth, Rational(0))));
+    solver_.assert_term(t.mk_implies(~cx_[static_cast<std::size_t>(j)],
+                                     t.mk_eq(dth, Rational(0))));
+  }
+  // Reference gauge: a uniform shift is unobservable, so pin it.
+  {
+    LinExpr ref =
+        LinExpr::var(dtheta_[static_cast<std::size_t>(spec_.reference_bus)]);
+    solver_.assert_term(t.mk_eq(ref, Rational(0)));
+    solver_.assert_term(~cx_[static_cast<std::size_t>(spec_.reference_bus)]);
+  }
+
+  // --- Per-line flow deltas and topology-attack structure ---
+  el_.resize(static_cast<std::size_t>(l));
+  il_.resize(static_cast<std::size_t>(l));
+  te_.assign(static_cast<std::size_t>(l), smt::kNoTVar);
+  tot_.resize(static_cast<std::size_t>(l));
+  tot_is_var_.assign(static_cast<std::size_t>(l), false);
+  std::vector<TermRef> topologyVars;
+  for (LineId i = 0; i < l; ++i) {
+    const grid::Line& line = grid_.line(i);
+    Rational y = to_rational(line.admittance);
+    LinExpr stateExpr;
+    stateExpr.add_term(dtheta_[static_cast<std::size_t>(line.from)], y);
+    stateExpr.add_term(dtheta_[static_cast<std::size_t>(line.to)], -y);
+
+    const bool excludable = spec_.allow_topology_attacks && line.in_service &&
+                            !line.fixed && !line.status_secured;
+    const bool includable = spec_.allow_topology_attacks &&
+                            !line.in_service && !line.status_secured;
+    if (line.in_service && !excludable) {
+      tot_[static_cast<std::size_t>(i)] = stateExpr;
+      continue;
+    }
+    if (!line.in_service && !includable) {
+      tot_[static_cast<std::size_t>(i)] = LinExpr();  // constant zero
+      continue;
+    }
+    // Attackable line: total delta becomes a guarded variable (Eqs.
+    // (7)-(13) as reconstructed in DESIGN.md §4).
+    smt::TVar tot = solver_.mk_real("tot" + std::to_string(i + 1));
+    smt::TVar te = solver_.mk_real("te" + std::to_string(i + 1));
+    te_[static_cast<std::size_t>(i)] = te;
+    tot_[static_cast<std::size_t>(i)] = LinExpr::var(tot);
+    tot_is_var_[static_cast<std::size_t>(i)] = true;
+    LinExpr totE = LinExpr::var(tot);
+    LinExpr teE = LinExpr::var(te);
+    TermRef attackVar;
+    if (excludable) {
+      attackVar = solver_.mk_bool("el" + std::to_string(i + 1));
+      el_[static_cast<std::size_t>(i)] = attackVar;
+      // ~el: the line behaves normally.
+      solver_.assert_term(
+          t.mk_implies(~attackVar, t.mk_eq(totE - stateExpr, Rational(0))));
+    } else {
+      attackVar = solver_.mk_bool("il" + std::to_string(i + 1));
+      il_[static_cast<std::size_t>(i)] = attackVar;
+      // ~il: an open, unmapped line contributes nothing.
+      solver_.assert_term(
+          t.mk_implies(~attackVar, t.mk_eq(totE, Rational(0))));
+    }
+    topologyVars.push_back(attackVar);
+    // Under attack, the delta is the free topology term, forced nonzero
+    // (exclusion must hide a real flow; inclusion must fake one).
+    solver_.assert_term(
+        t.mk_implies(attackVar, t.mk_eq(totE - teE, Rational(0))));
+    solver_.assert_term(t.mk_implies(attackVar, t.mk_ne(teE, Rational(0))));
+    solver_.assert_term(t.mk_implies(~attackVar, t.mk_eq(teE, Rational(0))));
+  }
+  if (spec_.max_topology_changes > 0 && !topologyVars.empty()) {
+    solver_.add_at_most(
+        topologyVars,
+        static_cast<std::uint32_t>(spec_.max_topology_changes));
+  }
+
+  // --- Injection deltas (Eq. (14)) ---
+  dpb_.resize(static_cast<std::size_t>(b));
+  for (BusId j = 0; j < b; ++j) {
+    LinExpr sum;
+    for (LineId i : grid_.lines_at(j)) {
+      const grid::Line& line = grid_.line(i);
+      if (line.to == j) {
+        sum += tot_[static_cast<std::size_t>(i)];
+      } else {
+        sum -= tot_[static_cast<std::size_t>(i)];
+      }
+    }
+    dpb_[static_cast<std::size_t>(j)] = sum;
+  }
+
+  // --- Measurement alteration: cz_m <-> (its delta != 0)  (Eqs. (15),(16))
+  cz_.resize(static_cast<std::size_t>(plan_.num_potential()));
+  auto bind_cz = [&](MeasId m, const LinExpr& delta, TermRef discardIf) {
+    if (!plan_.taken(m)) return;  // nobody reads it; it constrains nothing
+    TermRef cz = solver_.mk_bool("cz" + std::to_string(m + 1));
+    cz_[static_cast<std::size_t>(m)] = cz;
+    if (delta.is_constant()) {
+      // Structurally zero delta: the measurement can never need altering.
+      solver_.assert_term(~cz);
+      return;
+    }
+    if (discardIf.valid()) {
+      // Discard semantics: under the exclusion attack the estimator drops
+      // this meter, so it needs no altering and imposes no constraint.
+      solver_.assert_term(t.mk_implies(discardIf, ~cz));
+      solver_.assert_term(t.mk_implies(cz, t.mk_ne(delta, Rational(0))));
+      solver_.assert_term(t.mk_implies(t.mk_and({~discardIf, ~cz}),
+                                       t.mk_eq(delta, Rational(0))));
+      return;
+    }
+    solver_.assert_term(t.mk_implies(cz, t.mk_ne(delta, Rational(0))));
+    solver_.assert_term(t.mk_implies(~cz, t.mk_eq(delta, Rational(0))));
+  };
+  for (LineId i = 0; i < l; ++i) {
+    TermRef discardIf;  // invalid = zeroing semantics
+    if (!spec_.excluded_meters_must_read_zero &&
+        el_[static_cast<std::size_t>(i)].valid()) {
+      discardIf = el_[static_cast<std::size_t>(i)];
+    }
+    bind_cz(plan_.forward_flow(i), tot_[static_cast<std::size_t>(i)],
+            discardIf);
+    // The backward meter's delta is the negation; != 0 is the same
+    // condition, so bind it to the same expression.
+    bind_cz(plan_.backward_flow(i), tot_[static_cast<std::size_t>(i)],
+            discardIf);
+  }
+  for (BusId j = 0; j < b; ++j) {
+    bind_cz(plan_.injection(j), dpb_[static_cast<std::size_t>(j)], TermRef());
+  }
+
+  // --- Accessibility / static security (Eqs. (19)-(21)) and the dynamic
+  //     secured-bus / secured-measurement closures (Eq. (28)) ---
+  std::vector<TermRef> czVars;
+  szv_.resize(static_cast<std::size_t>(plan_.num_potential()));
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    TermRef cz = cz_[static_cast<std::size_t>(m)];
+    if (!cz.valid()) continue;
+    czVars.push_back(cz);
+    if (!plan_.accessible(m) || plan_.secured(m)) {
+      solver_.assert_term(~cz);
+      continue;
+    }
+    BusId res = plan_.residence_bus(m, grid_);
+    solver_.assert_term(
+        t.mk_or({~sb_[static_cast<std::size_t>(res)], ~cz}));
+    TermRef szv = solver_.mk_bool("szv" + std::to_string(m + 1));
+    szv_[static_cast<std::size_t>(m)] = szv;
+    solver_.assert_term(t.mk_or({~szv, ~cz}));
+  }
+
+  // --- Knowledge (Eq. (17)) ---
+  for (LineId i = 0; i < l; ++i) {
+    if (spec_.knows(i)) continue;
+    for (MeasId m : {plan_.forward_flow(i), plan_.backward_flow(i)}) {
+      TermRef cz = cz_[static_cast<std::size_t>(m)];
+      if (!cz.valid()) continue;
+      if (spec_.knowledge_gates_topology_lines) {
+        solver_.assert_term(~cz);
+      } else {
+        // Alteration is allowed only as part of a topology attack.
+        std::vector<TermRef> lits{~cz};
+        if (el_[static_cast<std::size_t>(i)].valid()) {
+          lits.push_back(el_[static_cast<std::size_t>(i)]);
+        }
+        if (il_[static_cast<std::size_t>(i)].valid()) {
+          lits.push_back(il_[static_cast<std::size_t>(i)]);
+        }
+        solver_.assert_term(t.mk_or(std::move(lits)));
+      }
+    }
+  }
+
+  // --- Resource limits (Eqs. (22)-(24)) ---
+  if (spec_.max_altered_measurements > 0 && !czVars.empty()) {
+    solver_.add_at_most(
+        czVars, static_cast<std::uint32_t>(spec_.max_altered_measurements));
+  }
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    TermRef cz = cz_[static_cast<std::size_t>(m)];
+    if (!cz.valid()) continue;
+    BusId res = plan_.residence_bus(m, grid_);
+    solver_.assert_term(t.mk_or({~cz, cb_[static_cast<std::size_t>(res)]}));
+  }
+  if (spec_.max_compromised_buses > 0) {
+    solver_.add_at_most(
+        cb_, static_cast<std::uint32_t>(spec_.max_compromised_buses));
+  }
+
+  // --- Attack goal (Eqs. (25),(26)) ---
+  for (BusId target : spec_.target_states) {
+    solver_.assert_term(cx_[static_cast<std::size_t>(target)]);
+  }
+  if (spec_.attack_only_targets) {
+    for (BusId j = 0; j < b; ++j) {
+      if (std::find(spec_.target_states.begin(), spec_.target_states.end(),
+                    j) == spec_.target_states.end()) {
+        solver_.assert_term(~cx_[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  for (auto [a, bb] : spec_.distinct_changes) {
+    LinExpr diff = LinExpr::var(dtheta_[static_cast<std::size_t>(a)]) -
+                   LinExpr::var(dtheta_[static_cast<std::size_t>(bb)]);
+    solver_.assert_term(t.mk_ne(diff, Rational(0)));
+  }
+  if (spec_.target_states.empty() && spec_.require_any_state_attack) {
+    solver_.add_at_least(cx_, 1);
+  }
+
+  // --- Magnitude constraints (extension; see attack_spec.h) ---
+  if (spec_.min_target_shift > 0.0) {
+    Rational eps = to_rational(spec_.min_target_shift);
+    for (BusId target : spec_.target_states) {
+      LinExpr dth = LinExpr::var(dtheta_[static_cast<std::size_t>(target)]);
+      solver_.assert_term(
+          t.mk_or({t.mk_ge(dth, eps), t.mk_le(dth, -eps)}));
+    }
+  }
+  if (spec_.max_measurement_delta > 0.0) {
+    Rational cap = to_rational(spec_.max_measurement_delta);
+    auto bound_delta = [&](MeasId m, const LinExpr& delta) {
+      if (!plan_.taken(m) || delta.is_constant()) return;
+      solver_.assert_term(t.mk_le(delta, cap));
+      solver_.assert_term(t.mk_ge(delta, -cap));
+    };
+    for (LineId i = 0; i < l; ++i) {
+      bound_delta(plan_.forward_flow(i), tot_[static_cast<std::size_t>(i)]);
+      bound_delta(plan_.backward_flow(i), tot_[static_cast<std::size_t>(i)]);
+    }
+    for (BusId j = 0; j < b; ++j) {
+      bound_delta(plan_.injection(j), dpb_[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+VerificationResult UfdiAttackModel::run(
+    const std::vector<TermRef>& assumptions, const smt::Budget& budget) {
+  VerificationResult out;
+  auto start = std::chrono::steady_clock::now();
+  out.result = solver_.solve(assumptions, budget);
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  out.stats = solver_.stats();
+  if (out.result == smt::SolveResult::Sat) out.attack = extract_model();
+  return out;
+}
+
+VerificationResult UfdiAttackModel::verify(const smt::Budget& budget) {
+  // No candidate countermeasures: all sb_j / szv_m assumed off.
+  std::vector<TermRef> assumptions;
+  assumptions.reserve(sb_.size() + szv_.size());
+  for (TermRef s : sb_) assumptions.push_back(~s);
+  for (TermRef s : szv_) {
+    if (s.valid()) assumptions.push_back(~s);
+  }
+  return run(assumptions, budget);
+}
+
+VerificationResult UfdiAttackModel::verify_with_secured_measurements(
+    const std::vector<MeasId>& securedMeasurements,
+    const smt::Budget& budget) {
+  std::vector<bool> on(static_cast<std::size_t>(plan_.num_potential()),
+                       false);
+  for (MeasId m : securedMeasurements) {
+    PSSE_CHECK(m >= 0 && m < plan_.num_potential(),
+               "verify_with_secured_measurements: id out of range");
+    PSSE_CHECK(szv_[static_cast<std::size_t>(m)].valid(),
+               "verify_with_secured_measurements: measurement is untaken, "
+               "inaccessible, or already statically secured");
+    on[static_cast<std::size_t>(m)] = true;
+  }
+  std::vector<TermRef> assumptions;
+  assumptions.reserve(sb_.size() + szv_.size());
+  for (TermRef s : sb_) assumptions.push_back(~s);
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    TermRef s = szv_[static_cast<std::size_t>(m)];
+    if (!s.valid()) continue;
+    assumptions.push_back(on[static_cast<std::size_t>(m)] ? s : ~s);
+  }
+  return run(assumptions, budget);
+}
+
+std::vector<grid::MeasId> UfdiAttackModel::attackable_measurements() const {
+  std::vector<MeasId> out;
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    if (szv_[static_cast<std::size_t>(m)].valid()) out.push_back(m);
+  }
+  return out;
+}
+
+VerificationResult UfdiAttackModel::verify_with_secured_buses(
+    const std::vector<BusId>& securedBuses, const smt::Budget& budget) {
+  std::vector<bool> on(static_cast<std::size_t>(grid_.num_buses()), false);
+  for (BusId j : securedBuses) {
+    PSSE_CHECK(j >= 0 && j < grid_.num_buses(),
+               "verify_with_secured_buses: bus out of range");
+    on[static_cast<std::size_t>(j)] = true;
+  }
+  std::vector<TermRef> assumptions;
+  assumptions.reserve(sb_.size() + szv_.size());
+  for (BusId j = 0; j < grid_.num_buses(); ++j) {
+    assumptions.push_back(on[static_cast<std::size_t>(j)]
+                              ? sb_[static_cast<std::size_t>(j)]
+                              : ~sb_[static_cast<std::size_t>(j)]);
+  }
+  for (TermRef s : szv_) {
+    if (s.valid()) assumptions.push_back(~s);
+  }
+  return run(assumptions, budget);
+}
+
+Rational UfdiAttackModel::line_total_delta(LineId i) const {
+  const LinExpr& e = tot_[static_cast<std::size_t>(i)];
+  Rational v = e.constant();
+  for (const auto& [var, coeff] : e.terms()) {
+    v += solver_.real_value(var) * coeff;
+  }
+  return v;
+}
+
+AttackVector UfdiAttackModel::extract_model() const {
+  AttackVector out;
+  const int b = grid_.num_buses();
+  const int l = grid_.num_lines();
+  out.delta_theta.resize(static_cast<std::size_t>(b));
+  for (BusId j = 0; j < b; ++j) {
+    out.delta_theta[static_cast<std::size_t>(j)] =
+        solver_.real_value(dtheta_[static_cast<std::size_t>(j)]);
+  }
+  out.delta_z.assign(static_cast<std::size_t>(plan_.num_potential()),
+                     Rational(0));
+  std::vector<bool> busTouched(static_cast<std::size_t>(b), false);
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    TermRef cz = cz_[static_cast<std::size_t>(m)];
+    if (!cz.valid() || !solver_.bool_value(cz)) continue;
+    out.altered_measurements.push_back(m);
+    busTouched[static_cast<std::size_t>(plan_.residence_bus(m, grid_))] =
+        true;
+    grid::MeasInfo info = plan_.decode(m);
+    switch (info.type) {
+      case grid::MeasType::ForwardFlow:
+        out.delta_z[static_cast<std::size_t>(m)] =
+            line_total_delta(info.line);
+        break;
+      case grid::MeasType::BackwardFlow:
+        out.delta_z[static_cast<std::size_t>(m)] =
+            -line_total_delta(info.line);
+        break;
+      case grid::MeasType::Injection: {
+        const LinExpr& e = dpb_[static_cast<std::size_t>(info.bus)];
+        Rational v = e.constant();
+        for (const auto& [var, coeff] : e.terms()) {
+          v += solver_.real_value(var) * coeff;
+        }
+        out.delta_z[static_cast<std::size_t>(m)] = v;
+        break;
+      }
+    }
+  }
+  for (BusId j = 0; j < b; ++j) {
+    if (busTouched[static_cast<std::size_t>(j)]) {
+      out.compromised_buses.push_back(j);
+    }
+  }
+  for (LineId i = 0; i < l; ++i) {
+    if (el_[static_cast<std::size_t>(i)].valid() &&
+        solver_.bool_value(el_[static_cast<std::size_t>(i)])) {
+      out.excluded_lines.push_back(i);
+    }
+    if (il_[static_cast<std::size_t>(i)].valid() &&
+        solver_.bool_value(il_[static_cast<std::size_t>(i)])) {
+      out.included_lines.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace psse::core

@@ -1,0 +1,117 @@
+// The UFDI attack verification model (paper Section III).
+//
+// Encodes the feasibility of an undetected false-data-injection attack —
+// including topology poisoning — as an SMT problem over booleans (which
+// measurements/buses/lines are touched) and exact reals (state and
+// measurement deltas). Solving answers the operator's question: *can an
+// adversary with these attributes corrupt these states stealthily?* SAT
+// yields the attack vector; UNSAT certifies immunity.
+//
+// Variable glossary (paper Table I -> here):
+//   cx_j  state j corrupted          <-> delta theta_j != 0
+//   cz_i  measurement i altered      <-> its delta != 0 (taken meas only)
+//   cb_j  substation j compromised   (residence closure of cz)
+//   el_i / il_i  exclusion/inclusion topology attack on line i
+//   sb_j  bus j secured — *assumption* variables so the synthesis loop can
+//         evaluate candidate architectures without re-encoding (Eq. (28))
+//
+// Encoding of the reconstructed flow semantics (DESIGN.md §4):
+//   in-service, not excludable:  tot_i = ld_i (dth_from - dth_to)
+//   in-service, excludable:      el_i  -> tot_i = te_i, te_i != 0
+//                                ~el_i -> tot_i = ld_i (dth_from - dth_to)
+//   open, includable:            il_i  -> tot_i = te_i, te_i != 0
+//                                ~il_i -> tot_i = 0
+//   injection delta at bus j:    dPB_j = sum(in) tot_i - sum(out) tot_i
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/attack_spec.h"
+#include "core/attack_vector.h"
+#include "grid/grid.h"
+#include "grid/measurement.h"
+#include "smt/solver.h"
+
+namespace psse::core {
+
+struct VerificationResult {
+  smt::SolveResult result = smt::SolveResult::Unknown;
+  std::optional<AttackVector> attack;  // present iff Sat
+  double seconds = 0.0;
+  smt::SolverStats stats;
+
+  [[nodiscard]] bool feasible() const {
+    return result == smt::SolveResult::Sat;
+  }
+};
+
+class UfdiAttackModel {
+ public:
+  /// Builds the full constraint system once; verify calls are incremental.
+  UfdiAttackModel(const grid::Grid& grid, const grid::MeasurementPlan& plan,
+                  AttackSpec spec);
+  UfdiAttackModel(const UfdiAttackModel&) = delete;
+  UfdiAttackModel& operator=(const UfdiAttackModel&) = delete;
+
+  /// Is the specified attack feasible with no extra countermeasures?
+  [[nodiscard]] VerificationResult verify(const smt::Budget& budget = {});
+
+  /// Is it feasible when additionally the given buses are secured (all
+  /// their resident measurements integrity-protected, Eq. (28))? This is
+  /// the inner query of Algorithm 1, answered via solver assumptions.
+  [[nodiscard]] VerificationResult verify_with_secured_buses(
+      const std::vector<grid::BusId>& securedBuses,
+      const smt::Budget& budget = {});
+
+  /// Measurement-granular variant (Section IV-A: "similar mechanism can be
+  /// used for synthesizing security architecture with respect to
+  /// measurements only"): is the attack feasible when the given individual
+  /// measurements are additionally secured?
+  [[nodiscard]] VerificationResult verify_with_secured_measurements(
+      const std::vector<grid::MeasId>& securedMeasurements,
+      const smt::Budget& budget = {});
+
+  /// Measurements an adversary could conceivably need to alter (taken,
+  /// accessible, not statically secured) — the candidate universe for
+  /// measurement-level synthesis.
+  [[nodiscard]] std::vector<grid::MeasId> attackable_measurements() const;
+
+  [[nodiscard]] const grid::Grid& grid() const { return grid_; }
+  [[nodiscard]] const grid::MeasurementPlan& plan() const { return plan_; }
+  [[nodiscard]] const AttackSpec& spec() const { return spec_; }
+  /// Statistics of the underlying SMT solver (Table IV accounting).
+  [[nodiscard]] smt::SolverStats solver_stats() const {
+    return solver_.stats();
+  }
+
+ private:
+  void encode();
+  [[nodiscard]] VerificationResult run(
+      const std::vector<smt::TermRef>& assumptions, const smt::Budget& budget);
+  [[nodiscard]] AttackVector extract_model() const;
+  [[nodiscard]] smt::Rational line_total_delta(grid::LineId i) const;
+
+  const grid::Grid& grid_;
+  grid::MeasurementPlan plan_;
+  AttackSpec spec_;
+  smt::Solver solver_;
+
+  // Variable maps (invalid/unused entries are default-invalid).
+  std::vector<smt::TermRef> cx_;                 // per bus
+  std::vector<smt::TermRef> cz_;                 // per potential measurement
+  std::vector<smt::TermRef> cb_;                 // per bus
+  std::vector<smt::TermRef> sb_;                 // per bus (assumptions)
+  std::vector<smt::TermRef> szv_;                // per meas (assumptions)
+  std::vector<smt::TermRef> el_;                 // per line
+  std::vector<smt::TermRef> il_;                 // per line
+  std::vector<smt::TVar> dtheta_;                // per bus
+  std::vector<smt::TVar> te_;                    // per line (kNoTVar if n/a)
+  std::vector<smt::LinExpr> tot_;                // per line: total flow delta
+  std::vector<smt::LinExpr> dpb_;                // per bus: injection delta
+  std::vector<bool> tot_is_var_;                 // per line
+};
+
+}  // namespace psse::core

@@ -1,0 +1,87 @@
+// Attack attributes (paper Section II-C / III-G): the adversary's
+// knowledge, resources, goals, and topology-tampering capability.
+//
+// Accessibility (az) and existing measurement security (sz) live on the
+// grid::MeasurementPlan; everything else about the adversary is here.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace psse::core {
+
+struct AttackSpec {
+  /// bd_i — does the adversary know the admittance of line i? Empty means
+  /// "knows everything" (Eq. (18) with all positives).
+  std::vector<bool> admittance_known;
+
+  /// T_CZ (Eq. (22)): max measurements altered simultaneously; 0 = unlimited.
+  int max_altered_measurements = 0;
+  /// T_CB (Eq. (24)): max substations compromised; 0 = unlimited.
+  int max_compromised_buses = 0;
+
+  /// Target states (Eq. (25)): buses whose angle estimate must be corrupted.
+  std::vector<grid::BusId> target_states;
+  /// If true, *only* the targets may be affected (Section III-I objective
+  /// 2: "attack state 12 only"); otherwise untargeted states are free.
+  bool attack_only_targets = false;
+  /// Pairs whose state changes must differ (Eq. (26)): attacks through a
+  /// grid cut shift whole islands uniformly, which this rules out.
+  std::vector<std::pair<grid::BusId, grid::BusId>> distinct_changes;
+  /// With no explicit targets, still demand a nontrivial attack
+  /// (sum cx >= 1) — the mode countermeasure synthesis verifies against.
+  bool require_any_state_attack = true;
+
+  /// Can the adversary poison breaker-status telemetry at all?
+  bool allow_topology_attacks = false;
+  /// Max lines excluded+included per attack; 0 = unlimited (when allowed).
+  int max_topology_changes = 0;
+  /// Apply Eq. (17) to the letter: altering a line's flow meters requires
+  /// knowing its admittance even when the altering is part of a topology
+  /// attack (driving an excluded line's meter to zero). Disable to model
+  /// an adversary who can zero a meter without electrical knowledge.
+  bool knowledge_gates_topology_lines = true;
+
+  /// Exclusion-attack semantics for the excluded line's own flow meters.
+  /// true (default): the meters stay in the estimator's scope, so the
+  /// adversary must drive them to read zero — altering them, which fails
+  /// if they are secured (this reproduces Section III-I objective 2, whose
+  /// solution alters measurements 13 and 33). false: the EMS discards
+  /// measurements of unmapped lines, so no alteration is needed and even
+  /// secured meters cannot veto the exclusion (this reproduces Section
+  /// IV-E scenario 3, where no 5-bus architecture survives topology
+  /// attacks). The paper's two case studies are only consistent with
+  /// different choices here — see DESIGN.md §4.
+  bool excluded_meters_must_read_zero = true;
+
+  /// The estimator's angle reference; its state change is pinned to zero
+  /// (a uniform shift is invisible to any measurement and meaningless).
+  grid::BusId reference_bus = 0;
+
+  /// Extension beyond the paper: magnitude constraints. The paper's model
+  /// is homogeneous (any solution scales), so feasibility never depends on
+  /// magnitudes. Real meters have plausibility ranges, though: capping
+  /// each injected delta at `max_measurement_delta` (p.u.; 0 = off) while
+  /// demanding at least `min_target_shift` radians of corruption on every
+  /// target state makes impact-vs-visibility a genuine trade-off.
+  double min_target_shift = 0.0;
+  double max_measurement_delta = 0.0;
+
+  /// Does the adversary know line i's admittance?
+  [[nodiscard]] bool knows(grid::LineId i) const {
+    return admittance_known.empty() ||
+           admittance_known[static_cast<std::size_t>(i)];
+  }
+
+  /// Marks line i's admittance unknown (resizing to `numLines` on first use).
+  void set_unknown(grid::LineId i, int numLines) {
+    if (admittance_known.empty()) {
+      admittance_known.assign(static_cast<std::size_t>(numLines), true);
+    }
+    admittance_known[static_cast<std::size_t>(i)] = false;
+  }
+};
+
+}  // namespace psse::core

@@ -1,0 +1,211 @@
+#include "core/attack_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "estimation/bad_data.h"
+#include "estimation/wls.h"
+#include "grid/dc_powerflow.h"
+#include "grid/jacobian.h"
+#include "grid/topology_processor.h"
+
+namespace psse::core {
+
+using grid::BusId;
+using grid::LineId;
+using grid::MeasId;
+using grid::Vector;
+
+std::string AttackVector::summary() const {
+  auto join = [](const auto& ids) {
+    std::string out;
+    for (auto id : ids) {
+      if (!out.empty()) out += ", ";
+      out += std::to_string(id + 1);  // 1-based like the paper
+    }
+    return out.empty() ? std::string("none") : out;
+  };
+  std::string out;
+  out += "altered measurements: " + join(altered_measurements) + "\n";
+  out += "compromised buses:    " + join(compromised_buses) + "\n";
+  if (!excluded_lines.empty()) {
+    out += "excluded lines:       " + join(excluded_lines) + "\n";
+  }
+  if (!included_lines.empty()) {
+    out += "included lines:       " + join(included_lines) + "\n";
+  }
+  out += "state changes:        ";
+  bool first = true;
+  for (std::size_t j = 0; j < delta_theta.size(); ++j) {
+    if (delta_theta[j].is_zero()) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "bus" + std::to_string(j + 1) + ": " + delta_theta[j].to_string();
+  }
+  if (first) out += "none";
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+/// Model-predicted value of every potential measurement for angle vector
+/// `theta` under mapped topology `topo` (rows of H applied to theta,
+/// extended to the full potential-measurement space).
+Vector predict_full(const grid::Grid& grid, const grid::MeasurementPlan& plan,
+                    const grid::MappedTopology& topo, const Vector& theta) {
+  Vector out(static_cast<std::size_t>(plan.num_potential()));
+  for (LineId i = 0; i < grid.num_lines(); ++i) {
+    if (!topo.includes(i)) continue;
+    const grid::Line& l = grid.line(i);
+    double flow = l.admittance * (theta[static_cast<std::size_t>(l.from)] -
+                                  theta[static_cast<std::size_t>(l.to)]);
+    out[static_cast<std::size_t>(plan.forward_flow(i))] = flow;
+    out[static_cast<std::size_t>(plan.backward_flow(i))] = -flow;
+  }
+  for (BusId j = 0; j < grid.num_buses(); ++j) {
+    double sum = 0.0;
+    for (LineId i : grid.lines_at(j)) {
+      if (!topo.includes(i)) continue;
+      const grid::Line& l = grid.line(i);
+      double flow = l.admittance * (theta[static_cast<std::size_t>(l.from)] -
+                                    theta[static_cast<std::size_t>(l.to)]);
+      sum += l.to == j ? flow : -flow;
+    }
+    out[static_cast<std::size_t>(plan.injection(j))] = sum;
+  }
+  return out;
+}
+
+}  // namespace
+
+AttackImpact attack_impact(const grid::Grid& grid,
+                           const AttackVector& attack, double lambda) {
+  AttackImpact out;
+  Vector dtheta(static_cast<std::size_t>(grid.num_buses()));
+  for (std::size_t j = 0; j < dtheta.size(); ++j) {
+    dtheta[j] = lambda * attack.delta_theta[j].to_double();
+  }
+  Vector injection(static_cast<std::size_t>(grid.num_buses()));
+  for (LineId i = 0; i < grid.num_lines(); ++i) {
+    const grid::Line& l = grid.line(i);
+    if (!l.in_service) continue;
+    double df = l.admittance * (dtheta[static_cast<std::size_t>(l.from)] -
+                                dtheta[static_cast<std::size_t>(l.to)]);
+    if (std::fabs(df) > out.max_flow_distortion) {
+      out.max_flow_distortion = std::fabs(df);
+      out.worst_line = i;
+    }
+    injection[static_cast<std::size_t>(l.to)] += df;
+    injection[static_cast<std::size_t>(l.from)] -= df;
+  }
+  for (BusId j = 0; j < grid.num_buses(); ++j) {
+    if (std::fabs(injection[static_cast<std::size_t>(j)]) >
+        out.max_injection_distortion) {
+      out.max_injection_distortion =
+          std::fabs(injection[static_cast<std::size_t>(j)]);
+      out.worst_bus = j;
+    }
+  }
+  return out;
+}
+
+AttackReplay replay_attack(const grid::Grid& grid,
+                           const grid::MeasurementPlan& plan,
+                           const AttackVector& attack, double sigma,
+                           double alpha, double magnitude,
+                           std::uint64_t seed) {
+  // 1. Concrete operating point + noisy telemetry.
+  grid::DcPowerFlow pf(grid, 0);
+  grid::DcPowerFlowResult op = pf.solve();
+  std::mt19937_64 rng(seed);
+  grid::Telemetry telem =
+      grid::generate_telemetry(grid, op.theta, plan, sigma, rng);
+
+  // 2. Baseline estimate under the honest topology.
+  grid::MappedTopology topoTrue = grid::TopologyProcessor::map(
+      grid, grid::BreakerTelemetry::truthful(grid));
+  grid::JacobianModel modelTrue = grid::build_jacobian(grid, plan, topoTrue);
+  est::WlsEstimator estTrue(modelTrue, sigma > 0 ? sigma : 1e-4);
+  est::WlsResult base =
+      estTrue.estimate(grid::restrict_to_rows(modelTrue, telem.values));
+
+  // 3. Poison breaker telemetry and rebuild the estimator's model.
+  grid::BreakerTelemetry breakers = grid::BreakerTelemetry::truthful(grid);
+  for (LineId i : attack.excluded_lines) {
+    grid::apply_exclusion_attack(grid, breakers, i);
+  }
+  for (LineId i : attack.included_lines) {
+    grid::apply_inclusion_attack(grid, breakers, i);
+  }
+  grid::MappedTopology topoAtk = grid::TopologyProcessor::map(grid, breakers);
+  grid::JacobianModel modelAtk = grid::build_jacobian(grid, plan, topoAtk);
+
+  // 4. Direction of the state shift (the homogeneous SMT solution) and the
+  // alteration each measurement would need: a_m(lambda) = alpha_m +
+  // lambda*beta_m with alpha the pure-topology mismatch and beta the
+  // state-shift response under the poisoned model.
+  Vector dtheta(static_cast<std::size_t>(grid.num_buses()));
+  for (std::size_t j = 0; j < dtheta.size(); ++j) {
+    dtheta[j] = attack.delta_theta[j].to_double();
+  }
+  Vector predTrue = predict_full(grid, plan, topoTrue, op.theta);
+  Vector predAtk0 = predict_full(grid, plan, topoAtk, op.theta);
+  Vector beta = predict_full(grid, plan, topoAtk, dtheta);
+  Vector alphaVec = predAtk0 - predTrue;
+
+  // 5. Pick lambda: unaltered rows must have a_m(lambda) == 0; a row with
+  // beta != 0 pins it (topology attacks), otherwise any scale works and we
+  // use `magnitude` normalised to the largest state shift.
+  std::vector<bool> altered(static_cast<std::size_t>(plan.num_potential()),
+                            false);
+  for (MeasId m : attack.altered_measurements) {
+    altered[static_cast<std::size_t>(m)] = true;
+  }
+  AttackReplay out;
+  bool pinned = false;
+  for (MeasId m = 0; m < plan.num_potential() && !pinned; ++m) {
+    if (!plan.taken(m) || altered[static_cast<std::size_t>(m)]) continue;
+    double b = beta[static_cast<std::size_t>(m)];
+    double a = alphaVec[static_cast<std::size_t>(m)];
+    if (std::fabs(b) > 1e-9 && std::fabs(a) > 1e-12) {
+      out.lambda = -a / b;
+      pinned = true;
+    }
+  }
+  if (!pinned) {
+    double maxShift = dtheta.max_abs();
+    out.lambda = maxShift > 0 ? magnitude / maxShift : 0.0;
+  }
+
+  // 6. Apply the false data and measure how consistent the untouched
+  // meters remain (the model's stealth promise).
+  Vector poisoned = telem.values;
+  for (MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (!plan.taken(m)) continue;
+    double am = alphaVec[static_cast<std::size_t>(m)] +
+                out.lambda * beta[static_cast<std::size_t>(m)];
+    if (altered[static_cast<std::size_t>(m)]) {
+      poisoned[static_cast<std::size_t>(m)] += am;
+    } else {
+      out.stealth_gap = std::max(out.stealth_gap, std::fabs(am));
+    }
+  }
+
+  // 7. Run the operator's pipeline on the poisoned inputs.
+  est::WlsEstimator estAtk(modelAtk, sigma > 0 ? sigma : 1e-4);
+  est::WlsResult atk =
+      estAtk.estimate(grid::restrict_to_rows(modelAtk, poisoned));
+  est::BadDataDetector detector(estAtk, alpha);
+  est::Chi2TestResult test = detector.chi2_test(atk);
+
+  out.baseline_objective = base.objective;
+  out.attacked_objective = atk.objective;
+  out.detection_threshold = test.threshold;
+  out.detected = test.bad_data;
+  out.achieved_shift = atk.theta - base.theta;
+  return out;
+}
+
+}  // namespace psse::core

@@ -1,0 +1,107 @@
+#include "core/baseline_defense.h"
+
+#include <numeric>
+
+namespace psse::core {
+
+namespace {
+
+// Union-find over buses.
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(int n) : parent(static_cast<std::size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+};
+
+// The taken flow measurements that securing `bus` pins: the near-end meter
+// of each incident in-service line.
+std::vector<grid::LineId> pinned_lines(const grid::Grid& grid,
+                                       const grid::MeasurementPlan& plan,
+                                       grid::BusId bus) {
+  std::vector<grid::LineId> out;
+  for (grid::LineId i : grid.lines_at(bus)) {
+    const grid::Line& l = grid.line(i);
+    if (!l.in_service) continue;
+    grid::MeasId near =
+        l.from == bus ? plan.forward_flow(i) : plan.backward_flow(i);
+    if (plan.taken(near)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+GreedyDefenseResult greedy_basic_measurement_defense(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const std::vector<grid::BusId>& mustSecure) {
+  GreedyDefenseResult out;
+  Dsu dsu(grid.num_buses());
+  int components = grid.num_buses();
+  std::vector<bool> chosen(static_cast<std::size_t>(grid.num_buses()), false);
+
+  // Already-secured measurements pin their edges for free.
+  for (grid::LineId i = 0; i < grid.num_lines(); ++i) {
+    const grid::Line& l = grid.line(i);
+    if (!l.in_service) continue;
+    bool pinned = (plan.taken(plan.forward_flow(i)) &&
+                   plan.secured(plan.forward_flow(i))) ||
+                  (plan.taken(plan.backward_flow(i)) &&
+                   plan.secured(plan.backward_flow(i)));
+    if (pinned && dsu.unite(l.from, l.to)) --components;
+  }
+
+  auto secure = [&](grid::BusId bus) {
+    if (chosen[static_cast<std::size_t>(bus)]) return;
+    chosen[static_cast<std::size_t>(bus)] = true;
+    out.secured_buses.push_back(bus);
+    for (grid::LineId i : pinned_lines(grid, plan, bus)) {
+      const grid::Line& l = grid.line(i);
+      if (dsu.unite(l.from, l.to)) --components;
+    }
+  };
+
+  for (grid::BusId b : mustSecure) secure(b);
+
+  while (components > 1) {
+    // Pick the bus joining the most components.
+    grid::BusId best = -1;
+    int bestGain = 0;
+    for (grid::BusId b = 0; b < grid.num_buses(); ++b) {
+      if (chosen[static_cast<std::size_t>(b)]) continue;
+      // Count distinct component merges this bus would cause.
+      Dsu trial = dsu;
+      int gain = 0;
+      for (grid::LineId i : pinned_lines(grid, plan, b)) {
+        const grid::Line& l = grid.line(i);
+        if (trial.unite(l.from, l.to)) ++gain;
+      }
+      if (gain > bestGain) {
+        bestGain = gain;
+        best = b;
+      }
+    }
+    if (best < 0) break;  // flow coverage exhausted; cannot complete
+    secure(best);
+  }
+  out.complete = components == 1;
+  return out;
+}
+
+}  // namespace psse::core

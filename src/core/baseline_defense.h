@@ -1,0 +1,40 @@
+// Baseline countermeasure: basic-measurement protection (Bobba et al. [6],
+// greedy variant in the spirit of Kim & Poor [7]).
+//
+// The classical result: UFDI attacks are impossible iff a set of *basic*
+// measurements — enough to make the system observable on its own — is
+// integrity-protected. This module implements the bus-granular greedy
+// version the paper compares against conceptually: repeatedly secure the
+// bus whose resident taken flow-measurements join the most still-separate
+// components of the "pinned state" graph (a secured flow meter on line
+// (a,b) pins the angle difference of a and b), until the pinned graph
+// spans the grid.
+//
+// It is fast and attack-model-agnostic, but — unlike the SMT synthesis —
+// cannot exploit a limited adversary (partial knowledge, bounded
+// resources), so it generally over-secures; the ablation bench quantifies
+// that gap.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/measurement.h"
+
+namespace psse::core {
+
+struct GreedyDefenseResult {
+  /// Buses chosen, in selection order (must_secure first).
+  std::vector<grid::BusId> secured_buses;
+  /// True iff the pinned-state graph spans the grid (defence complete).
+  bool complete = false;
+};
+
+/// Greedily secures buses until every bus angle is pinned (relative to the
+/// reference) by secured taken flow measurements. `mustSecure` buses are
+/// selected first.
+[[nodiscard]] GreedyDefenseResult greedy_basic_measurement_defense(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const std::vector<grid::BusId>& mustSecure = {});
+
+}  // namespace psse::core

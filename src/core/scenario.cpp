@@ -1,0 +1,315 @@
+#include "core/scenario.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "grid/ieee_cases.h"
+
+namespace psse::core {
+
+namespace {
+
+struct Parser {
+  std::string what;
+  int lineNo = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ScenarioError(what + ":" + std::to_string(lineNo) + ": " + msg);
+  }
+
+  int parse_int(const std::string& tok) const {
+    try {
+      std::size_t pos = 0;
+      int v = std::stoi(tok, &pos);
+      if (pos != tok.size()) fail("bad integer '" + tok + "'");
+      return v;
+    } catch (const std::exception&) {
+      fail("bad integer '" + tok + "'");
+    }
+  }
+
+  double parse_double(const std::string& tok) const {
+    try {
+      std::size_t pos = 0;
+      double v = std::stod(tok, &pos);
+      if (pos != tok.size()) fail("bad number '" + tok + "'");
+      return v;
+    } catch (const std::exception&) {
+      fail("bad number '" + tok + "'");
+    }
+  }
+
+  bool parse_onoff(const std::string& tok) const {
+    if (tok == "on" || tok == "true" || tok == "1") return true;
+    if (tok == "off" || tok == "false" || tok == "0") return false;
+    fail("expected on/off, got '" + tok + "'");
+  }
+};
+
+struct PendingLine {
+  int from, to;
+  double admittance;
+  bool open = false;
+  bool switchable = false;
+  bool statusSecured = false;
+};
+
+}  // namespace
+
+Scenario Scenario::parse(std::istream& in, const std::string& what) {
+  Parser p{what};
+  Scenario sc;
+  bool haveGrid = false;
+  int declaredBuses = 0;
+  std::vector<PendingLine> pendingLines;
+
+  // Directives that need the grid/plan are deferred until the grid is
+  // complete (custom grids list their lines over multiple directives).
+  struct Deferred {
+    std::string directive;
+    std::vector<std::string> args;
+    int lineNo;
+  };
+  std::vector<Deferred> deferred;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++p.lineNo;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    std::vector<std::string> args;
+    for (std::string tok; ls >> tok;) args.push_back(tok);
+
+    if (directive == "case") {
+      if (args.size() != 1) p.fail("case takes one name");
+      sc.case_name = args[0];
+      sc.grid = grid::cases::by_name(args[0]);
+      haveGrid = true;
+    } else if (directive == "buses") {
+      if (args.size() != 1) p.fail("buses takes a count");
+      declaredBuses = p.parse_int(args[0]);
+      if (declaredBuses < 2) p.fail("need at least 2 buses");
+    } else if (directive == "line") {
+      if (args.size() < 3) p.fail("line takes: from to admittance [flags]");
+      PendingLine pl{p.parse_int(args[0]), p.parse_int(args[1]),
+                     p.parse_double(args[2])};
+      for (std::size_t k = 3; k < args.size(); ++k) {
+        if (args[k] == "open") {
+          pl.open = true;
+        } else if (args[k] == "switchable") {
+          pl.switchable = true;
+        } else if (args[k] == "status-secured") {
+          pl.statusSecured = true;
+        } else {
+          p.fail("unknown line flag '" + args[k] + "'");
+        }
+      }
+      pendingLines.push_back(pl);
+    } else {
+      deferred.push_back({directive, args, p.lineNo});
+    }
+  }
+
+  if (!haveGrid) {
+    if (declaredBuses == 0) {
+      p.lineNo = 0;
+      p.fail("scenario needs 'case <name>' or 'buses N' + 'line ...'");
+    }
+    sc.grid = grid::Grid(declaredBuses);
+    for (const PendingLine& pl : pendingLines) {
+      grid::Line l;
+      l.from = pl.from - 1;
+      l.to = pl.to - 1;
+      l.admittance = pl.admittance;
+      l.in_service = !pl.open;
+      l.fixed = !pl.switchable && !pl.open;
+      l.status_secured = pl.statusSecured;
+      sc.grid.add_line(l);
+    }
+  } else if (!pendingLines.empty()) {
+    p.lineNo = 0;
+    p.fail("'line' directives cannot be combined with 'case'");
+  }
+
+  sc.plan = grid::MeasurementPlan(sc.grid.num_lines(), sc.grid.num_buses());
+  if (sc.case_name == "ieee14") {
+    // Start from Table III when the paper's case is requested; directives
+    // below can still override.
+  }
+
+  auto check_meas = [&](int id1, const Parser& pp) {
+    if (id1 < 1 || id1 > sc.plan.num_potential()) {
+      pp.fail("measurement id out of range: " + std::to_string(id1));
+    }
+    return id1 - 1;
+  };
+  auto check_bus = [&](int id1, const Parser& pp) {
+    if (id1 < 1 || id1 > sc.grid.num_buses()) {
+      pp.fail("bus id out of range: " + std::to_string(id1));
+    }
+    return id1 - 1;
+  };
+  auto check_line = [&](int id1, const Parser& pp) {
+    if (id1 < 1 || id1 > sc.grid.num_lines()) {
+      pp.fail("line id out of range: " + std::to_string(id1));
+    }
+    return id1 - 1;
+  };
+
+  for (const auto& d : deferred) {
+    Parser pp{what, d.lineNo};
+    const auto& a = d.args;
+    if (d.directive == "untaken") {
+      for (const auto& t : a) sc.plan.set_taken(check_meas(pp.parse_int(t), pp), false);
+    } else if (d.directive == "taken-fraction") {
+      if (a.size() != 2) pp.fail("taken-fraction takes: fraction seed");
+      sc.plan.keep_fraction(pp.parse_double(a[0]),
+                            static_cast<std::uint64_t>(pp.parse_int(a[1])));
+    } else if (d.directive == "secured-measurements") {
+      for (const auto& t : a) sc.plan.set_secured(check_meas(pp.parse_int(t), pp), true);
+    } else if (d.directive == "inaccessible") {
+      for (const auto& t : a) {
+        sc.plan.set_accessible(check_meas(pp.parse_int(t), pp), false);
+      }
+    } else if (d.directive == "secured-buses") {
+      for (const auto& t : a) {
+        sc.plan.secure_bus(check_bus(pp.parse_int(t), pp), sc.grid);
+      }
+    } else if (d.directive == "unknown-lines") {
+      for (const auto& t : a) {
+        sc.spec.set_unknown(check_line(pp.parse_int(t), pp),
+                            sc.grid.num_lines());
+      }
+    } else if (d.directive == "target") {
+      for (const auto& t : a) {
+        sc.spec.target_states.push_back(check_bus(pp.parse_int(t), pp));
+      }
+    } else if (d.directive == "target-only") {
+      for (const auto& t : a) {
+        sc.spec.target_states.push_back(check_bus(pp.parse_int(t), pp));
+      }
+      sc.spec.attack_only_targets = true;
+    } else if (d.directive == "distinct") {
+      if (a.size() != 2) pp.fail("distinct takes two bus ids");
+      sc.spec.distinct_changes.emplace_back(check_bus(pp.parse_int(a[0]), pp),
+                                            check_bus(pp.parse_int(a[1]), pp));
+    } else if (d.directive == "max-measurements") {
+      if (a.size() != 1) pp.fail("max-measurements takes a count");
+      sc.spec.max_altered_measurements = pp.parse_int(a[0]);
+    } else if (d.directive == "max-buses") {
+      if (a.size() != 1) pp.fail("max-buses takes a count");
+      sc.spec.max_compromised_buses = pp.parse_int(a[0]);
+    } else if (d.directive == "topology-attacks") {
+      if (a.size() != 1) pp.fail("topology-attacks takes on/off");
+      sc.spec.allow_topology_attacks = pp.parse_onoff(a[0]);
+    } else if (d.directive == "max-topology-changes") {
+      if (a.size() != 1) pp.fail("max-topology-changes takes a count");
+      sc.spec.max_topology_changes = pp.parse_int(a[0]);
+    } else if (d.directive == "min-target-shift") {
+      if (a.size() != 1) pp.fail("min-target-shift takes a value (rad)");
+      sc.spec.min_target_shift = pp.parse_double(a[0]);
+    } else if (d.directive == "max-measurement-delta") {
+      if (a.size() != 1) pp.fail("max-measurement-delta takes a value (p.u.)");
+      sc.spec.max_measurement_delta = pp.parse_double(a[0]);
+    } else if (d.directive == "reference-bus") {
+      if (a.size() != 1) pp.fail("reference-bus takes a bus id");
+      sc.spec.reference_bus = check_bus(pp.parse_int(a[0]), pp);
+    } else if (d.directive == "max-secured-buses") {
+      if (a.size() != 1) pp.fail("max-secured-buses takes a count");
+      sc.synthesis.max_secured_buses = pp.parse_int(a[0]);
+    } else if (d.directive == "cannot-secure") {
+      for (const auto& t : a) {
+        sc.synthesis.cannot_secure.push_back(check_bus(pp.parse_int(t), pp));
+      }
+    } else if (d.directive == "must-secure") {
+      for (const auto& t : a) {
+        sc.synthesis.must_secure.push_back(check_bus(pp.parse_int(t), pp));
+      }
+    } else if (d.directive == "adjacency-pruning") {
+      if (a.size() != 1) pp.fail("adjacency-pruning takes on/off");
+      sc.synthesis.adjacency_pruning = pp.parse_onoff(a[0]);
+    } else {
+      pp.fail("unknown directive '" + d.directive + "'");
+    }
+  }
+  sc.grid.validate();
+  return sc;
+}
+
+Scenario Scenario::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario file: " + path);
+  return parse(in, path);
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream out;
+  if (!case_name.empty()) {
+    out << "case " << case_name << "\n";
+  } else {
+    out << "buses " << grid.num_buses() << "\n";
+    for (grid::LineId i = 0; i < grid.num_lines(); ++i) {
+      const grid::Line& l = grid.line(i);
+      out << "line " << l.from + 1 << " " << l.to + 1 << " " << l.admittance;
+      if (!l.in_service) out << " open";
+      if (!l.fixed && l.in_service) out << " switchable";
+      if (l.status_secured) out << " status-secured";
+      out << "\n";
+    }
+  }
+  auto list = [&](const char* name, const std::vector<int>& ids) {
+    if (ids.empty()) return;
+    out << name;
+    for (int id : ids) out << " " << id + 1;
+    out << "\n";
+  };
+  std::vector<int> untaken, securedM, inaccessible;
+  for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (!plan.taken(m)) untaken.push_back(m);
+    if (plan.secured(m)) securedM.push_back(m);
+    if (!plan.accessible(m)) inaccessible.push_back(m);
+  }
+  list("untaken", untaken);
+  list("secured-measurements", securedM);
+  list("inaccessible", inaccessible);
+  std::vector<int> unknown;
+  for (grid::LineId i = 0; i < grid.num_lines(); ++i) {
+    if (!spec.knows(i)) unknown.push_back(i);
+  }
+  list("unknown-lines", unknown);
+  list(spec.attack_only_targets ? "target-only" : "target",
+       spec.target_states);
+  for (auto [a, b] : spec.distinct_changes) {
+    out << "distinct " << a + 1 << " " << b + 1 << "\n";
+  }
+  if (spec.max_altered_measurements > 0) {
+    out << "max-measurements " << spec.max_altered_measurements << "\n";
+  }
+  if (spec.max_compromised_buses > 0) {
+    out << "max-buses " << spec.max_compromised_buses << "\n";
+  }
+  if (spec.allow_topology_attacks) out << "topology-attacks on\n";
+  if (spec.max_topology_changes > 0) {
+    out << "max-topology-changes " << spec.max_topology_changes << "\n";
+  }
+  if (spec.min_target_shift > 0) {
+    out << "min-target-shift " << spec.min_target_shift << "\n";
+  }
+  if (spec.max_measurement_delta > 0) {
+    out << "max-measurement-delta " << spec.max_measurement_delta << "\n";
+  }
+  out << "reference-bus " << spec.reference_bus + 1 << "\n";
+  if (synthesis.max_secured_buses > 0) {
+    out << "max-secured-buses " << synthesis.max_secured_buses << "\n";
+  }
+  list("cannot-secure", synthesis.cannot_secure);
+  list("must-secure", synthesis.must_secure);
+  if (!synthesis.adjacency_pruning) out << "adjacency-pruning off\n";
+  return out.str();
+}
+
+}  // namespace psse::core

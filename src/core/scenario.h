@@ -1,0 +1,55 @@
+// Scenario files: the paper's text "input file" interface (Section III-H).
+//
+// A scenario bundles the grid, the measurement configuration (Table III
+// style), the attack attributes, and optional synthesis options, parsed
+// from a line-oriented format. 1-based ids throughout, matching the paper's
+// tables. Example:
+//
+//     # IEEE 14-bus, attack objective 2 with topology poisoning
+//     case ieee14
+//     untaken 5 10 14 19 22 27 30 35 43 52
+//     secured-measurements 1 2 6 15 25 32 41
+//     unknown-lines 3 7 17
+//     target-only 12
+//     topology-attacks on
+//     reference-bus 1
+//     max-secured-buses 4
+//
+// Custom grids replace `case` with `buses N` plus `line F T ADMITTANCE
+// [open] [switchable] [status-secured]` entries.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/attack_spec.h"
+#include "core/synthesis.h"
+#include "grid/grid.h"
+#include "grid/measurement.h"
+
+namespace psse::core {
+
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct Scenario {
+  std::string case_name;  // empty for inline grids
+  grid::Grid grid{1};
+  grid::MeasurementPlan plan{0, 1};
+  AttackSpec spec;
+  SynthesisOptions synthesis;
+
+  /// Parses a scenario from a stream; `what` names it for error messages.
+  static Scenario parse(std::istream& in, const std::string& what = "<in>");
+  /// Loads a scenario file. Throws ScenarioError on I/O or syntax errors.
+  static Scenario load(const std::string& path);
+
+  /// Serialises back to the file format (round-trips through parse()).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace psse::core

@@ -1,0 +1,66 @@
+#include "core/security_metrics.h"
+
+#include "core/attack_model.h"
+
+namespace psse::core {
+
+namespace {
+
+// Smallest limit in [1, hi] for which the attack is feasible, or -1.
+// Feasibility is monotone in the limit, so binary search applies.
+int min_feasible_limit(const grid::Grid& grid,
+                       const grid::MeasurementPlan& plan,
+                       const AttackSpec& spec, bool measurementLimit,
+                       int hi, const smt::Budget& budget) {
+  auto feasible = [&](int limit) {
+    AttackSpec probe = spec;
+    if (measurementLimit) {
+      probe.max_altered_measurements = limit;
+      probe.max_compromised_buses = 0;
+    } else {
+      probe.max_altered_measurements = 0;
+      probe.max_compromised_buses = limit;
+    }
+    UfdiAttackModel model(grid, plan, probe);
+    return model.verify(budget).result == smt::SolveResult::Sat;
+  };
+  if (!feasible(hi)) return -1;
+  int lo = 1;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::vector<BusAttackCost> bus_attack_costs(const grid::Grid& grid,
+                                            const grid::MeasurementPlan& plan,
+                                            const AttackSpec& base,
+                                            const smt::Budget& perSolve) {
+  std::vector<BusAttackCost> out;
+  for (grid::BusId bus = 0; bus < grid.num_buses(); ++bus) {
+    if (bus == base.reference_bus) continue;
+    AttackSpec spec = base;
+    spec.target_states = {bus};
+    spec.attack_only_targets = false;
+    spec.require_any_state_attack = false;
+    BusAttackCost cost;
+    cost.bus = bus;
+    cost.min_measurements = min_feasible_limit(
+        grid, plan, spec, /*measurementLimit=*/true, plan.num_taken(),
+        perSolve);
+    cost.min_buses = min_feasible_limit(grid, plan, spec,
+                                        /*measurementLimit=*/false,
+                                        grid.num_buses(), perSolve);
+    out.push_back(cost);
+  }
+  return out;
+}
+
+}  // namespace psse::core

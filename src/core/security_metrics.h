@@ -1,0 +1,36 @@
+// Security metrics: quantifying per-bus exposure (in the spirit of
+// Vukovic et al. [10], computed exactly with the verification model).
+//
+// For each state, the *attack cost* is the minimum number of measurements
+// (and the minimum number of substations) an adversary must tamper with to
+// corrupt that state stealthily. Low-cost states are where a defender's
+// budget buys the most; the metrics bench ranks them.
+#pragma once
+
+#include <vector>
+
+#include "core/attack_spec.h"
+#include "grid/grid.h"
+#include "grid/measurement.h"
+#include "smt/sat_solver.h"
+
+namespace psse::core {
+
+struct BusAttackCost {
+  grid::BusId bus = -1;
+  /// Minimum T_CZ for which an attack on this state exists; -1 if the
+  /// state cannot be attacked at all under the base spec.
+  int min_measurements = -1;
+  /// Minimum T_CB (given unlimited measurements); -1 if unattackable.
+  int min_buses = -1;
+};
+
+/// Computes attack costs for every non-reference bus by binary search over
+/// the resource limits (feasibility is monotone in both). `base` supplies
+/// the adversary's knowledge/accessibility context; its target and resource
+/// fields are overridden. Budget bounds each inner SMT solve.
+[[nodiscard]] std::vector<BusAttackCost> bus_attack_costs(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const AttackSpec& base, const smt::Budget& perSolve = {});
+
+}  // namespace psse::core

@@ -1,0 +1,50 @@
+#include "estimation/bad_data.h"
+
+#include <cmath>
+
+#include "estimation/chi2.h"
+
+namespace psse::est {
+
+BadDataDetector::BadDataDetector(const WlsEstimator& estimator, double alpha,
+                                 double lnrThreshold)
+    : estimator_(estimator), alpha_(alpha), lnrThreshold_(lnrThreshold) {
+  if (alpha_ <= 0.0 || alpha_ >= 1.0) {
+    throw EstimationError("BadDataDetector: alpha must be in (0,1)");
+  }
+  dof_ = estimator_.num_measurements() - estimator_.num_states();
+  if (dof_ <= 0) {
+    throw EstimationError(
+        "BadDataDetector: no redundancy (m <= n), detection impossible");
+  }
+  chi2Threshold_ = chi2_quantile(1.0 - alpha_, dof_);
+}
+
+Chi2TestResult BadDataDetector::chi2_test(const WlsResult& result) const {
+  Chi2TestResult out;
+  out.objective = result.objective;
+  out.threshold = chi2Threshold_;
+  out.dof = dof_;
+  out.bad_data = result.objective > chi2Threshold_;
+  return out;
+}
+
+LnrTestResult BadDataDetector::lnr_test(const WlsResult& result) const {
+  LnrTestResult out;
+  out.threshold = lnrThreshold_;
+  grid::Vector omega = estimator_.residual_covariance_diagonal();
+  for (std::size_t i = 0; i < result.residual.size(); ++i) {
+    // Near-zero Omega_ii marks a critical measurement whose residual is
+    // structurally zero — it cannot be tested.
+    if (omega[i] < 1e-12) continue;
+    double rn = std::fabs(result.residual[i]) / std::sqrt(omega[i]);
+    if (rn > out.largest) {
+      out.largest = rn;
+      out.suspect_row = static_cast<int>(i);
+    }
+  }
+  out.bad_data = out.largest > lnrThreshold_;
+  return out;
+}
+
+}  // namespace psse::est

@@ -1,0 +1,50 @@
+// Bad data detection — the defence UFDI attacks are engineered to evade.
+//
+// Two standard tests (Abur & Exposito, ch. 5; paper Section II-B):
+//  * chi-square test on the WLS objective J(x) against the (1 - alpha)
+//    quantile of chi^2 with m - n degrees of freedom;
+//  * largest normalised residual (LNR) test, which also *identifies* the
+//    suspect measurement.
+#pragma once
+
+#include <optional>
+
+#include "estimation/wls.h"
+#include "grid/matrix.h"
+
+namespace psse::est {
+
+struct Chi2TestResult {
+  double objective = 0.0;   // J(x_hat)
+  double threshold = 0.0;   // chi^2_{1-alpha, m-n}
+  int dof = 0;
+  bool bad_data = false;    // objective > threshold
+};
+
+struct LnrTestResult {
+  double largest = 0.0;           // max normalised residual magnitude
+  double threshold = 0.0;         // identification threshold (e.g. 3.0)
+  int suspect_row = -1;           // row of the largest residual
+  bool bad_data = false;
+};
+
+class BadDataDetector {
+ public:
+  /// alpha is the false-alarm probability of the chi-square test.
+  BadDataDetector(const WlsEstimator& estimator, double alpha = 0.01,
+                  double lnrThreshold = 3.0);
+
+  [[nodiscard]] Chi2TestResult chi2_test(const WlsResult& result) const;
+  [[nodiscard]] LnrTestResult lnr_test(const WlsResult& result) const;
+
+  [[nodiscard]] double chi2_threshold() const { return chi2Threshold_; }
+
+ private:
+  const WlsEstimator& estimator_;
+  double alpha_;
+  double lnrThreshold_;
+  double chi2Threshold_;
+  int dof_;
+};
+
+}  // namespace psse::est

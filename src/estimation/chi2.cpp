@@ -1,0 +1,103 @@
+#include "estimation/chi2.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace psse::est {
+
+namespace {
+
+// Series expansion of P(a,x), converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a,x), converges quickly for x > a + 1.
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("gamma_p: domain error");
+  }
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) { return 1.0 - gamma_p(a, x); }
+
+double chi2_cdf(double x, double k) {
+  if (k <= 0.0) throw std::invalid_argument("chi2_cdf: dof must be positive");
+  if (x <= 0.0) return 0.0;
+  return gamma_p(k / 2.0, x / 2.0);
+}
+
+double chi2_quantile(double p, double k) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("chi2_quantile: p must be in (0,1)");
+  }
+  // Bracket: the mean is k, variance 2k; expand upward until covered.
+  double lo = 0.0;
+  double hi = k + 10.0 * std::sqrt(2.0 * k) + 10.0;
+  while (chi2_cdf(hi, k) < p) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (chi2_cdf(mid, k) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  }
+  double lo = -40.0, hi = 40.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (normal_cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace psse::est

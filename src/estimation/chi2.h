@@ -1,0 +1,29 @@
+// Chi-square statistics for bad-data detection, hand-rolled.
+//
+// The BDD hypothesis test (paper Section II-B) needs the chi-square CDF and
+// its inverse: the residual J(x) = sum(r_i^2 / sigma_i^2) follows chi^2 with
+// m - n degrees of freedom under Gaussian errors, and the detection
+// threshold tau is the (1 - alpha) quantile. Both are built on the
+// regularised incomplete gamma functions (series + continued fraction,
+// Numerical-Recipes style), with quantiles obtained by bisection — slow but
+// robust, and thresholds are computed once per estimator.
+#pragma once
+
+namespace psse::est {
+
+/// Regularised lower incomplete gamma P(a, x), a > 0, x >= 0.
+[[nodiscard]] double gamma_p(double a, double x);
+/// Regularised upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Chi-square CDF with k degrees of freedom.
+[[nodiscard]] double chi2_cdf(double x, double k);
+/// Chi-square quantile: smallest x with CDF(x) >= p, for p in (0, 1).
+[[nodiscard]] double chi2_quantile(double p, double k);
+
+/// Standard normal CDF (for the largest-normalised-residual test).
+[[nodiscard]] double normal_cdf(double x);
+/// Standard normal quantile.
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace psse::est

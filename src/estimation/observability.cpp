@@ -1,0 +1,74 @@
+#include "estimation/observability.h"
+
+#include <numeric>
+#include <vector>
+
+namespace psse::est {
+
+ObservabilityReport check_observability(const grid::Grid& grid,
+                                        const grid::MeasurementPlan& plan,
+                                        grid::BusId referenceBus) {
+  grid::JacobianModel model = grid::build_jacobian(grid, plan);
+  // Reduced H: drop the reference column.
+  grid::Matrix reduced(model.h.rows(), model.h.cols() - 1);
+  for (std::size_t r = 0; r < model.h.rows(); ++r) {
+    std::size_t cc = 0;
+    for (std::size_t c = 0; c < model.h.cols(); ++c) {
+      if (static_cast<grid::BusId>(c) == referenceBus) continue;
+      reduced(r, cc++) = model.h(r, c);
+    }
+  }
+  ObservabilityReport out;
+  out.required = reduced.cols();
+  out.rank = reduced.rank();
+  out.observable = out.rank == out.required;
+  return out;
+}
+
+std::vector<grid::MeasId> critical_measurements(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    grid::BusId referenceBus) {
+  std::vector<grid::MeasId> out;
+  if (!check_observability(grid, plan, referenceBus).observable) return out;
+  for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (!plan.taken(m)) continue;
+    grid::MeasurementPlan reduced = plan;
+    reduced.set_taken(m, false);
+    if (!check_observability(grid, reduced, referenceBus).observable) {
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+bool flow_spanning_tree_exists(const grid::Grid& grid,
+                               const grid::MeasurementPlan& plan) {
+  // Union-find over buses joined by flow-measured in-service lines.
+  std::vector<int> parent(static_cast<std::size_t>(grid.num_buses()));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  int components = grid.num_buses();
+  for (grid::LineId i = 0; i < grid.num_lines(); ++i) {
+    const grid::Line& l = grid.line(i);
+    if (!l.in_service) continue;
+    if (!plan.taken(plan.forward_flow(i)) &&
+        !plan.taken(plan.backward_flow(i))) {
+      continue;
+    }
+    int a = find(l.from), b = find(l.to);
+    if (a != b) {
+      parent[static_cast<std::size_t>(a)] = b;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+}  // namespace psse::est

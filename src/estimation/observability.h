@@ -1,0 +1,41 @@
+// Observability analysis for DC state estimation.
+//
+// A measurement configuration is observable iff the reduced Jacobian (ref
+// column dropped) has full column rank — equivalently, iff the "measured
+// graph" (flow-measured lines as edges, plus injection couplings) spans the
+// grid. Both the numeric-rank test and a graph-flavoured test are provided;
+// the graph test is the classic topological observability heuristic and the
+// numeric test is the ground truth.
+#pragma once
+
+#include "grid/grid.h"
+#include "grid/jacobian.h"
+#include "grid/measurement.h"
+
+namespace psse::est {
+
+struct ObservabilityReport {
+  bool observable = false;
+  std::size_t rank = 0;       // of the reduced Jacobian
+  std::size_t required = 0;   // b - 1
+};
+
+/// Numeric observability: rank of the reduced H.
+[[nodiscard]] ObservabilityReport check_observability(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    grid::BusId referenceBus = 0);
+
+/// Topological sufficient test: a spanning tree of flow-measured lines
+/// makes the system observable (injections only help further). Returns
+/// true only when the flow measurements alone span the grid.
+[[nodiscard]] bool flow_spanning_tree_exists(const grid::Grid& grid,
+                                             const grid::MeasurementPlan& plan);
+
+/// Critical measurements: taken measurements whose loss makes the system
+/// unobservable. Their residuals are structurally zero, so the LNR test
+/// cannot vet them — classic candidates for securing.
+[[nodiscard]] std::vector<grid::MeasId> critical_measurements(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    grid::BusId referenceBus = 0);
+
+}  // namespace psse::est

@@ -1,0 +1,85 @@
+#include "estimation/pmu.h"
+
+namespace psse::est {
+
+namespace {
+
+grid::JacobianModel augment(grid::JacobianModel base,
+                            const std::vector<grid::BusId>& pmuBuses,
+                            int numPotential) {
+  const std::size_t scadaRows = base.h.rows();
+  grid::Matrix extended(scadaRows + pmuBuses.size(), base.h.cols());
+  for (std::size_t r = 0; r < scadaRows; ++r) {
+    for (std::size_t c = 0; c < base.h.cols(); ++c) {
+      extended(r, c) = base.h(r, c);
+    }
+  }
+  for (std::size_t k = 0; k < pmuBuses.size(); ++k) {
+    extended(scadaRows + k, static_cast<std::size_t>(pmuBuses[k])) = 1.0;
+    // PMU rows live beyond the SCADA potential-measurement id space.
+    base.row_meas.push_back(numPotential + static_cast<int>(k));
+  }
+  base.h = std::move(extended);
+  return base;
+}
+
+grid::Vector sigma_rows(std::size_t scadaRows, std::size_t pmuRows,
+                        double sigmaScada, double sigmaPmu) {
+  grid::Vector out(scadaRows + pmuRows, sigmaScada);
+  for (std::size_t k = 0; k < pmuRows; ++k) out[scadaRows + k] = sigmaPmu;
+  return out;
+}
+
+}  // namespace
+
+PmuEstimator::PmuEstimator(const grid::Grid& grid,
+                           const grid::MeasurementPlan& plan,
+                           std::vector<grid::BusId> pmuBuses,
+                           double sigmaScada, double sigmaPmu,
+                           grid::BusId referenceBus)
+    : augmented_(augment(grid::build_jacobian(grid, plan), pmuBuses,
+                         plan.num_potential())),
+      pmuBuses_(std::move(pmuBuses)),
+      sigmaPmu_(sigmaPmu),
+      scadaRows_(static_cast<int>(augmented_.h.rows()) -
+                 static_cast<int>(pmuBuses_.size())),
+      estimator_(augmented_,
+                 sigma_rows(static_cast<std::size_t>(scadaRows_),
+                            pmuBuses_.size(), sigmaScada, sigmaPmu),
+                 referenceBus) {
+  for (grid::BusId b : pmuBuses_) {
+    if (b < 0 || b >= grid.num_buses()) {
+      throw EstimationError("PmuEstimator: PMU bus out of range");
+    }
+  }
+}
+
+WlsResult PmuEstimator::estimate(const grid::Vector& scadaTelemetry,
+                                 const grid::Vector& pmuAngles) const {
+  if (pmuAngles.size() != pmuBuses_.size()) {
+    throw EstimationError("PmuEstimator: PMU reading count mismatch");
+  }
+  grid::Vector z(augmented_.h.rows());
+  for (int r = 0; r < scadaRows_; ++r) {
+    z[static_cast<std::size_t>(r)] =
+        scadaTelemetry[static_cast<std::size_t>(
+            augmented_.row_meas[static_cast<std::size_t>(r)])];
+  }
+  for (std::size_t k = 0; k < pmuBuses_.size(); ++k) {
+    z[static_cast<std::size_t>(scadaRows_) + k] = pmuAngles[k];
+  }
+  return estimator_.estimate(z);
+}
+
+grid::Vector PmuEstimator::simulate_pmu_readings(
+    const grid::Vector& trueTheta, std::mt19937_64& rng) const {
+  std::normal_distribution<double> noise(0.0, sigmaPmu_);
+  grid::Vector out(pmuBuses_.size());
+  for (std::size_t k = 0; k < pmuBuses_.size(); ++k) {
+    out[k] = trueTheta[static_cast<std::size_t>(pmuBuses_[k])] +
+             (sigmaPmu_ > 0 ? noise(rng) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace psse::est

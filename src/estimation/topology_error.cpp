@@ -1,0 +1,96 @@
+#include "estimation/topology_error.h"
+
+#include "estimation/chi2.h"
+
+namespace psse::est {
+
+namespace {
+
+// WLS objective of `telemetry` under a given mapped topology; nullopt when
+// the configuration is unobservable (such a flip cannot explain the data).
+std::optional<WlsResult> try_estimate(const grid::Grid& grid,
+                                      const grid::MeasurementPlan& plan,
+                                      const grid::MappedTopology& topo,
+                                      const grid::Vector& telemetry,
+                                      double sigma) {
+  grid::JacobianModel model = grid::build_jacobian(grid, plan, topo);
+  try {
+    WlsEstimator estimator(model, sigma);
+    return estimator.estimate(grid::restrict_to_rows(model, telemetry));
+  } catch (const EstimationError&) {
+    return std::nullopt;
+  }
+}
+
+double threshold_for(const grid::MeasurementPlan& plan, int numBuses,
+                     double alpha) {
+  int dof = plan.num_taken() - (numBuses - 1);
+  return dof > 0 ? chi2_quantile(1.0 - alpha, dof) : 0.0;
+}
+
+}  // namespace
+
+TopologyErrorReport detect_topology_error(const grid::Grid& grid,
+                                          const grid::MeasurementPlan& plan,
+                                          const grid::MappedTopology& mapped,
+                                          const grid::Vector& telemetry,
+                                          double sigma, double alpha) {
+  TopologyErrorReport out;
+  out.threshold = threshold_for(plan, grid.num_buses(), alpha);
+  std::optional<WlsResult> base =
+      try_estimate(grid, plan, mapped, telemetry, sigma);
+  out.mapped_objective = base.has_value() ? base->objective : 1e300;
+  out.anomaly = out.mapped_objective > out.threshold;
+  if (!out.anomaly) return out;
+
+  // Search single-line status flips over lines whose status is not
+  // integrity-protected (a secured status cannot be wrong).
+  double best = out.mapped_objective;
+  for (grid::LineId i = 0; i < grid.num_lines(); ++i) {
+    if (grid.line(i).status_secured) continue;
+    grid::MappedTopology flipped = mapped;
+    flipped.mapped[static_cast<std::size_t>(i)] =
+        !flipped.mapped[static_cast<std::size_t>(i)];
+    std::optional<WlsResult> alt =
+        try_estimate(grid, plan, flipped, telemetry, sigma);
+    if (!alt.has_value()) continue;
+    if (alt->objective < best) {
+      best = alt->objective;
+      if (alt->objective <= out.threshold) out.suspected_line = i;
+    }
+  }
+  out.best_alternative_objective = best;
+  return out;
+}
+
+BadDataCleaning clean_bad_data(const grid::Grid& grid,
+                               const grid::MeasurementPlan& plan,
+                               const grid::Vector& telemetry, double sigma,
+                               double alpha, int maxRemovals) {
+  BadDataCleaning out;
+  grid::MeasurementPlan working = plan;
+  for (int round = 0; round <= maxRemovals; ++round) {
+    grid::JacobianModel model = grid::build_jacobian(grid, working);
+    WlsEstimator estimator(model, sigma);
+    out.final_result =
+        estimator.estimate(grid::restrict_to_rows(model, telemetry));
+    int dof = estimator.num_measurements() - estimator.num_states();
+    if (dof <= 0) return out;  // redundancy exhausted
+    BadDataDetector detector(estimator, alpha);
+    Chi2TestResult chi = detector.chi2_test(out.final_result);
+    if (!chi.bad_data) {
+      out.clean = true;
+      return out;
+    }
+    if (round == maxRemovals) return out;
+    LnrTestResult lnr = detector.lnr_test(out.final_result);
+    if (lnr.suspect_row < 0) return out;  // nothing identifiable
+    grid::MeasId suspect =
+        model.row_meas[static_cast<std::size_t>(lnr.suspect_row)];
+    working.set_taken(suspect, false);
+    out.removed_rows.push_back(static_cast<int>(suspect));
+  }
+  return out;
+}
+
+}  // namespace psse::est

@@ -1,0 +1,66 @@
+// Topology error detection — the defence that uncoordinated topology
+// spoofing trips over (paper Section I: "since there are topology error
+// detection algorithms [4], it is important to examine if an adversary can
+// strengthen UFDI attacks by introducing topology errors").
+//
+// The detector is the standard residual-search variant: when the WLS
+// residual of the mapped topology is anomalous, re-estimate under
+// single-line status flips of the non-core lines and report any flip that
+// makes the residual statistically clean — the presumed status error. A
+// *coordinated* attack (paper Section III-E/F) keeps the original residual
+// clean, so the detector never even fires; the tests and the
+// topology_poisoning example demonstrate exactly that contrast.
+//
+// Also here: the sequential largest-normalised-residual identify-and-
+// remove loop used by real EMSes to clean multiple gross errors.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "estimation/bad_data.h"
+#include "estimation/wls.h"
+#include "grid/jacobian.h"
+#include "grid/measurement.h"
+#include "grid/topology_processor.h"
+
+namespace psse::est {
+
+struct TopologyErrorReport {
+  /// Residual objective under the mapped topology.
+  double mapped_objective = 0.0;
+  double threshold = 0.0;
+  /// True iff the mapped topology's residual is anomalous.
+  bool anomaly = false;
+  /// If an alternative single-line flip explains the data: the line whose
+  /// status is presumed wrong, and the clean objective it achieves.
+  std::optional<grid::LineId> suspected_line;
+  double best_alternative_objective = 0.0;
+};
+
+/// Runs the detector on a full-length telemetry vector against a mapped
+/// topology. `alpha` is the chi-square significance level.
+[[nodiscard]] TopologyErrorReport detect_topology_error(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const grid::MappedTopology& mapped, const grid::Vector& telemetry,
+    double sigma, double alpha = 0.01);
+
+struct BadDataCleaning {
+  /// Rows (of the model) removed, in removal order.
+  std::vector<int> removed_rows;
+  /// Final estimate after cleaning.
+  WlsResult final_result;
+  /// False if redundancy ran out before the residual became clean.
+  bool clean = false;
+};
+
+/// Sequential largest-normalised-residual cleaning: estimate, drop the
+/// worst-testing measurement, repeat (at most `maxRemovals`) until the
+/// chi-square test passes.
+[[nodiscard]] BadDataCleaning clean_bad_data(const grid::Grid& grid,
+                                             const grid::MeasurementPlan& plan,
+                                             const grid::Vector& telemetry,
+                                             double sigma, double alpha = 0.01,
+                                             int maxRemovals = 5);
+
+}  // namespace psse::est

@@ -1,0 +1,110 @@
+#include "estimation/wls.h"
+
+#include <cmath>
+
+namespace psse::est {
+
+using grid::Matrix;
+using grid::Vector;
+
+WlsEstimator::WlsEstimator(const grid::JacobianModel& model, double sigma,
+                           grid::BusId referenceBus)
+    : WlsEstimator(model, Vector(model.h.rows(), sigma), referenceBus) {}
+
+WlsEstimator::WlsEstimator(const grid::JacobianModel& model,
+                           grid::Vector sigmas, grid::BusId referenceBus)
+    : model_(model), sigmas_(std::move(sigmas)), ref_(referenceBus) {
+  if (sigmas_.size() != model_.h.rows()) {
+    throw EstimationError("WlsEstimator: sigma vector size mismatch");
+  }
+  for (std::size_t i = 0; i < sigmas_.size(); ++i) {
+    if (sigmas_[i] <= 0.0) {
+      throw EstimationError("WlsEstimator: sigma must be > 0");
+    }
+  }
+  if (ref_ < 0 || static_cast<std::size_t>(ref_) >= model_.h.cols()) {
+    throw EstimationError("WlsEstimator: reference bus out of range");
+  }
+  if (model_.h.rows() < model_.h.cols() - 1) {
+    throw EstimationError(
+        "WlsEstimator: fewer measurements than states (underdetermined)");
+  }
+}
+
+Matrix WlsEstimator::reduced_h() const {
+  // Drop the reference-bus column (its angle is fixed at zero).
+  Matrix out(model_.h.rows(), model_.h.cols() - 1);
+  for (std::size_t r = 0; r < model_.h.rows(); ++r) {
+    std::size_t cc = 0;
+    for (std::size_t c = 0; c < model_.h.cols(); ++c) {
+      if (static_cast<grid::BusId>(c) == ref_) continue;
+      out(r, cc++) = model_.h(r, c);
+    }
+  }
+  return out;
+}
+
+WlsResult WlsEstimator::estimate(const Vector& z) const {
+  if (z.size() != model_.h.rows()) {
+    throw EstimationError("estimate: measurement vector size mismatch");
+  }
+  // Row-weighted least squares via the whitened system
+  // (H_w = R^{-1/2} H, z_w = R^{-1/2} z).
+  Matrix hr = reduced_h();
+  Matrix hw = hr;
+  Vector zw = z;
+  for (std::size_t r = 0; r < hw.rows(); ++r) {
+    double w = 1.0 / sigmas_[r];
+    for (std::size_t c = 0; c < hw.cols(); ++c) hw(r, c) *= w;
+    zw[r] *= w;
+  }
+  Matrix hwt = hw.transposed();
+  Matrix gain = hwt * hw;
+  Vector rhs = hwt * zw;
+  Vector xr;
+  try {
+    xr = gain.cholesky_solve(rhs);
+  } catch (const grid::LinAlgError&) {
+    throw EstimationError(
+        "estimate: gain matrix not positive definite (unobservable "
+        "measurement configuration)");
+  }
+  WlsResult out;
+  out.theta = Vector(model_.h.cols());
+  std::size_t cc = 0;
+  for (std::size_t c = 0; c < model_.h.cols(); ++c) {
+    out.theta[c] = static_cast<grid::BusId>(c) == ref_ ? 0.0 : xr[cc++];
+  }
+  Vector predicted = model_.h * out.theta;
+  out.residual = z - predicted;
+  for (std::size_t i = 0; i < out.residual.size(); ++i) {
+    double w = 1.0 / (sigmas_[i] * sigmas_[i]);
+    out.objective += w * out.residual[i] * out.residual[i];
+  }
+  out.residual_norm = out.residual.norm2();
+  return out;
+}
+
+Vector WlsEstimator::residual_covariance_diagonal() const {
+  // Omega = R - H G^{-1} H^T with G = H^T R^{-1} H, computed through the
+  // whitened Jacobian.
+  Matrix hr = reduced_h();
+  Matrix hw = hr;
+  for (std::size_t r = 0; r < hw.rows(); ++r) {
+    double w = 1.0 / sigmas_[r];
+    for (std::size_t c = 0; c < hw.cols(); ++c) hw(r, c) *= w;
+  }
+  Matrix gain = hw.transposed() * hw;
+  Matrix ginvHt = gain.lu_solve(hr.transposed());  // G^{-1} H^T
+  Vector diag(hr.rows());
+  for (std::size_t i = 0; i < hr.rows(); ++i) {
+    double hgh = 0.0;
+    for (std::size_t k = 0; k < hr.cols(); ++k) {
+      hgh += hr(i, k) * ginvHt(k, i);
+    }
+    diag[i] = sigmas_[i] * sigmas_[i] - hgh;
+  }
+  return diag;
+}
+
+}  // namespace psse::est

@@ -1,0 +1,74 @@
+// Weighted least squares state estimation (paper Eq. (1)).
+//
+// Solves x_hat = (H^T W H)^{-1} H^T W z over the taken measurements, with
+// one bus angle pinned as the reference (the standard DC-SE gauge fix; the
+// paper's Section IV-E designates bus 1). The gain matrix is factored with
+// Cholesky; an unobservable measurement configuration surfaces as a
+// non-positive-definite gain and is reported as EstimationError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "grid/grid.h"
+#include "grid/jacobian.h"
+#include "grid/matrix.h"
+
+namespace psse::est {
+
+class EstimationError : public std::runtime_error {
+ public:
+  explicit EstimationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct WlsResult {
+  grid::Vector theta;          // estimated bus angles, theta[ref] == 0
+  grid::Vector residual;       // z - H*theta over the model's rows
+  double objective = 0.0;      // J = sum(w_i * r_i^2)
+  double residual_norm = 0.0;  // ||z - H*theta||_2 (unweighted)
+};
+
+class WlsEstimator {
+ public:
+  /// `model` is the measurement Jacobian; `sigma` the common measurement
+  /// noise standard deviation (W = I / sigma^2); `referenceBus` the pinned
+  /// angle.
+  WlsEstimator(const grid::JacobianModel& model, double sigma,
+               grid::BusId referenceBus = 0);
+
+  /// Heterogeneous variant: per-row noise standard deviations (W =
+  /// diag(1/sigma_i^2)) — how PMU angle rows get their higher weight.
+  WlsEstimator(const grid::JacobianModel& model, grid::Vector sigmas,
+               grid::BusId referenceBus = 0);
+
+  /// Estimates the state from a measurement vector over the model's rows.
+  [[nodiscard]] WlsResult estimate(const grid::Vector& z) const;
+
+  [[nodiscard]] int num_measurements() const {
+    return static_cast<int>(model_.row_meas.size());
+  }
+  /// Estimated states excluding the pinned reference.
+  [[nodiscard]] int num_states() const {
+    return static_cast<int>(model_.h.cols()) - 1;
+  }
+  /// Noise standard deviation of row i.
+  [[nodiscard]] double sigma(std::size_t row = 0) const {
+    return sigmas_[row];
+  }
+  [[nodiscard]] grid::BusId reference_bus() const { return ref_; }
+  [[nodiscard]] const grid::JacobianModel& model() const { return model_; }
+
+  /// Residual covariance diagonal Omega_ii = R_ii - (H G^{-1} H^T)_ii,
+  /// used by the largest-normalised-residual test.
+  [[nodiscard]] grid::Vector residual_covariance_diagonal() const;
+
+ private:
+  [[nodiscard]] grid::Matrix reduced_h() const;
+
+  grid::JacobianModel model_;
+  grid::Vector sigmas_;  // per row
+  grid::BusId ref_;
+};
+
+}  // namespace psse::est

@@ -1,0 +1,75 @@
+#include "grid/dc_powerflow.h"
+
+namespace psse::grid {
+
+DcPowerFlow::DcPowerFlow(const Grid& grid, BusId referenceBus)
+    : grid_(grid), ref_(referenceBus) {
+  if (ref_ < 0 || ref_ >= grid.num_buses()) {
+    throw GridError("DcPowerFlow: reference bus out of range");
+  }
+}
+
+DcPowerFlowResult DcPowerFlow::solve(const Vector& injections) const {
+  const int b = grid_.num_buses();
+  if (static_cast<int>(injections.size()) != b) {
+    throw GridError("DcPowerFlow: injection vector size mismatch");
+  }
+  // Reduced susceptance matrix: drop the reference bus row/column.
+  auto reduced = [&](BusId bus) {
+    return bus < ref_ ? bus : bus - 1;
+  };
+  Matrix B(static_cast<std::size_t>(b - 1), static_cast<std::size_t>(b - 1));
+  for (const Line& l : grid_.lines()) {
+    if (!l.in_service) continue;
+    const double y = l.admittance;
+    if (l.from != ref_) {
+      std::size_t i = static_cast<std::size_t>(reduced(l.from));
+      B(i, i) += y;
+    }
+    if (l.to != ref_) {
+      std::size_t j = static_cast<std::size_t>(reduced(l.to));
+      B(j, j) += y;
+    }
+    if (l.from != ref_ && l.to != ref_) {
+      std::size_t i = static_cast<std::size_t>(reduced(l.from));
+      std::size_t j = static_cast<std::size_t>(reduced(l.to));
+      B(i, j) -= y;
+      B(j, i) -= y;
+    }
+  }
+  Vector p(static_cast<std::size_t>(b - 1));
+  for (BusId bus = 0; bus < b; ++bus) {
+    if (bus == ref_) continue;
+    p[static_cast<std::size_t>(reduced(bus))] =
+        injections[static_cast<std::size_t>(bus)];
+  }
+  Vector reducedTheta = B.lu_solve(p);
+
+  DcPowerFlowResult out;
+  out.theta = Vector(static_cast<std::size_t>(b));
+  for (BusId bus = 0; bus < b; ++bus) {
+    out.theta[static_cast<std::size_t>(bus)] =
+        bus == ref_ ? 0.0
+                    : reducedTheta[static_cast<std::size_t>(reduced(bus))];
+  }
+  out.line_flows = Vector(static_cast<std::size_t>(grid_.num_lines()));
+  for (LineId i = 0; i < grid_.num_lines(); ++i) {
+    const Line& l = grid_.line(i);
+    out.line_flows[static_cast<std::size_t>(i)] =
+        l.in_service
+            ? l.admittance * (out.theta[static_cast<std::size_t>(l.from)] -
+                              out.theta[static_cast<std::size_t>(l.to)])
+            : 0.0;
+  }
+  return out;
+}
+
+DcPowerFlowResult DcPowerFlow::solve() const {
+  Vector inj(static_cast<std::size_t>(grid_.num_buses()));
+  for (BusId bus = 0; bus < grid_.num_buses(); ++bus) {
+    inj[static_cast<std::size_t>(bus)] = grid_.bus(bus).injection;
+  }
+  return solve(inj);
+}
+
+}  // namespace psse::grid

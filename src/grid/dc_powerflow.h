@@ -1,0 +1,38 @@
+// DC power flow: synthesising physically consistent operating points.
+//
+// Solves [B][theta] = [P] (paper Section II-A) for bus angles given net
+// injections, with a reference bus pinned to angle zero. Used to create the
+// true system state that telemetry generation and end-to-end attack
+// validation run against.
+#pragma once
+
+#include "grid/grid.h"
+#include "grid/matrix.h"
+
+namespace psse::grid {
+
+struct DcPowerFlowResult {
+  Vector theta;       // bus angles (radians), theta[ref] == 0
+  Vector line_flows;  // per line, from->to positive direction
+};
+
+class DcPowerFlow {
+ public:
+  explicit DcPowerFlow(const Grid& grid, BusId referenceBus = 0);
+
+  /// Solves for angles given net injections (generation - load, per unit).
+  /// Injections must (approximately) balance; the reference bus absorbs the
+  /// residual slack. Throws LinAlgError if the in-service grid is split.
+  [[nodiscard]] DcPowerFlowResult solve(const Vector& injections) const;
+
+  /// Solves using the injections stored on the grid's buses.
+  [[nodiscard]] DcPowerFlowResult solve() const;
+
+  [[nodiscard]] BusId reference_bus() const { return ref_; }
+
+ private:
+  const Grid& grid_;
+  BusId ref_;
+};
+
+}  // namespace psse::grid

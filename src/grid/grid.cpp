@@ -1,0 +1,122 @@
+#include "grid/grid.h"
+
+#include <queue>
+
+namespace psse::grid {
+
+Grid::Grid(int numBuses) {
+  if (numBuses <= 0) throw GridError("Grid: bus count must be positive");
+  buses_.resize(static_cast<std::size_t>(numBuses));
+  incidence_.resize(static_cast<std::size_t>(numBuses));
+  for (int b = 0; b < numBuses; ++b) {
+    buses_[static_cast<std::size_t>(b)].name = "bus" + std::to_string(b + 1);
+  }
+}
+
+void Grid::check_bus(BusId b, const char* who) const {
+  if (b < 0 || b >= num_buses()) {
+    throw GridError(std::string(who) + ": bus id out of range");
+  }
+}
+
+LineId Grid::add_line(BusId from, BusId to, double admittance) {
+  Line l;
+  l.from = from;
+  l.to = to;
+  l.admittance = admittance;
+  return add_line(std::move(l));
+}
+
+LineId Grid::add_line(Line line) {
+  check_bus(line.from, "add_line");
+  check_bus(line.to, "add_line");
+  if (line.from == line.to) throw GridError("add_line: self loop");
+  if (line.admittance <= 0.0) {
+    throw GridError("add_line: admittance must be positive");
+  }
+  LineId id = static_cast<LineId>(lines_.size());
+  incidence_[static_cast<std::size_t>(line.from)].push_back(id);
+  incidence_[static_cast<std::size_t>(line.to)].push_back(id);
+  lines_.push_back(std::move(line));
+  return id;
+}
+
+const Line& Grid::line(LineId i) const {
+  if (i < 0 || i >= num_lines()) throw GridError("line: id out of range");
+  return lines_[static_cast<std::size_t>(i)];
+}
+
+Line& Grid::line(LineId i) {
+  if (i < 0 || i >= num_lines()) throw GridError("line: id out of range");
+  return lines_[static_cast<std::size_t>(i)];
+}
+
+const Bus& Grid::bus(BusId b) const {
+  check_bus(b, "bus");
+  return buses_[static_cast<std::size_t>(b)];
+}
+
+Bus& Grid::bus(BusId b) {
+  check_bus(b, "bus");
+  return buses_[static_cast<std::size_t>(b)];
+}
+
+const std::vector<LineId>& Grid::lines_at(BusId b) const {
+  check_bus(b, "lines_at");
+  return incidence_[static_cast<std::size_t>(b)];
+}
+
+int Grid::in_service_degree(BusId b) const {
+  check_bus(b, "in_service_degree");
+  int deg = 0;
+  for (LineId i : incidence_[static_cast<std::size_t>(b)]) {
+    if (lines_[static_cast<std::size_t>(i)].in_service) ++deg;
+  }
+  return deg;
+}
+
+double Grid::average_degree() const {
+  int total = 0;
+  for (const Line& l : lines_) {
+    if (l.in_service) total += 2;
+  }
+  return static_cast<double>(total) / num_buses();
+}
+
+bool Grid::is_connected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_buses()), false);
+  std::queue<BusId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int reached = 1;
+  while (!frontier.empty()) {
+    BusId b = frontier.front();
+    frontier.pop();
+    for (LineId i : incidence_[static_cast<std::size_t>(b)]) {
+      const Line& l = lines_[static_cast<std::size_t>(i)];
+      if (!l.in_service) continue;
+      BusId other = l.from == b ? l.to : l.from;
+      if (!seen[static_cast<std::size_t>(other)]) {
+        seen[static_cast<std::size_t>(other)] = true;
+        ++reached;
+        frontier.push(other);
+      }
+    }
+  }
+  return reached == num_buses();
+}
+
+void Grid::validate() const {
+  for (const Line& l : lines_) {
+    if (l.from < 0 || l.from >= num_buses() || l.to < 0 ||
+        l.to >= num_buses() || l.from == l.to || l.admittance <= 0.0) {
+      throw GridError("validate: malformed line");
+    }
+    if (!l.in_service && l.fixed) {
+      throw GridError(
+          "validate: a core-topology (fixed) line cannot be out of service");
+    }
+  }
+}
+
+}  // namespace psse::grid

@@ -1,0 +1,90 @@
+// The power-grid model: buses, transmission lines, and switching state.
+//
+// Buses and lines are 0-based internally; the paper (and our scenario file
+// format) is 1-based, so I/O layers translate at the boundary. A Line's
+// `in_service` flag is the *true* breaker status — what the topology
+// processor would map if nobody tampered with the telemetry. The paper's
+// topology attributes (core/fixed lines `fl_i`, secured statuses `sl_i`)
+// live here too since they are physical/operational facts about the grid.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace psse::grid {
+
+/// Error thrown on malformed grid construction or out-of-range queries.
+class GridError : public std::runtime_error {
+ public:
+  explicit GridError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using BusId = int;
+using LineId = int;
+
+struct Line {
+  BusId from = -1;
+  BusId to = -1;
+  /// Series admittance (1/reactance) in per unit, as used by the DC model.
+  double admittance = 0.0;
+  /// True breaker status: is the line actually energised?
+  bool in_service = true;
+  /// Part of the core topology (paper `fl_i`): never opened, so exclusion
+  /// attacks on it are impossible.
+  bool fixed = true;
+  /// Topology status telemetry is integrity-protected (paper `sl_i`).
+  bool status_secured = false;
+};
+
+struct Bus {
+  std::string name;
+  /// Net injection (generation - load) in per unit, used to synthesise
+  /// operating points via DC power flow.
+  double injection = 0.0;
+};
+
+class Grid {
+ public:
+  /// Creates a grid with `numBuses` unnamed buses and no lines.
+  explicit Grid(int numBuses);
+
+  [[nodiscard]] int num_buses() const { return static_cast<int>(buses_.size()); }
+  [[nodiscard]] int num_lines() const { return static_cast<int>(lines_.size()); }
+
+  /// Adds a line; returns its id. Throws GridError on bad endpoints,
+  /// self-loops, or non-positive admittance.
+  LineId add_line(BusId from, BusId to, double admittance);
+  LineId add_line(Line line);
+
+  [[nodiscard]] const Line& line(LineId i) const;
+  [[nodiscard]] Line& line(LineId i);
+  [[nodiscard]] const Bus& bus(BusId b) const;
+  [[nodiscard]] Bus& bus(BusId b);
+  [[nodiscard]] const std::vector<Line>& lines() const { return lines_; }
+
+  /// Lines incident to bus b (any direction, regardless of service state).
+  [[nodiscard]] const std::vector<LineId>& lines_at(BusId b) const;
+  /// Degree of bus b counting only in-service lines.
+  [[nodiscard]] int in_service_degree(BusId b) const;
+  /// Average bus degree over in-service lines — the paper cites ~3 for
+  /// real grids [16]; the synthetic generator targets this.
+  [[nodiscard]] double average_degree() const;
+
+  /// True iff the in-service subgraph connects all buses.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Throws GridError if any invariant is broken (duplicate parallel lines
+  /// are allowed, matching real systems).
+  void validate() const;
+
+ private:
+  void check_bus(BusId b, const char* who) const;
+
+  std::vector<Bus> buses_;
+  std::vector<Line> lines_;
+  std::vector<std::vector<LineId>> incidence_;
+};
+
+}  // namespace psse::grid

@@ -1,0 +1,50 @@
+// Standard IEEE test systems and synthetic large grids.
+//
+// - ieee14(): exactly the paper's Table II (line admittances, core-topology
+//   flags for lines 5 and 13) plus standard case14 loads; paper_plan14()
+//   reproduces Table III's taken/secured measurement configuration.
+// - ieee30()/ieee57(): the standard test-system topologies with branch
+//   reactances from the common MATPOWER case data (57-bus reactances are
+//   approximate within the IEEE range; see DESIGN.md §5 — the evaluation
+//   depends on size/degree/redundancy, not individual impedances).
+// - ieee118_like()/ieee300_like(): deterministic synthetic systems matching
+//   the published bus/branch counts and the ~3 average-degree structural
+//   invariant the paper cites [16], standing in for the full datasets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/measurement.h"
+
+namespace psse::grid::cases {
+
+/// IEEE 14-bus system, Table II of the paper (20 lines).
+[[nodiscard]] Grid ieee14();
+/// The paper's Table III measurement plan for ieee14(): all 54 potential
+/// measurements taken except {5,10,14,19,22,27,30,35,43,52} (1-based);
+/// {1,2,6,15,25,32,41} secured; everything accessible.
+[[nodiscard]] MeasurementPlan paper_plan14(const Grid& grid);
+
+/// IEEE 30-bus system (41 lines).
+[[nodiscard]] Grid ieee30();
+/// IEEE 57-bus system (80 lines).
+[[nodiscard]] Grid ieee57();
+/// Synthetic 118-bus / 186-line system (deterministic).
+[[nodiscard]] Grid ieee118_like();
+/// Synthetic 300-bus / 411-line system (deterministic).
+[[nodiscard]] Grid ieee300_like();
+
+/// Deterministic synthetic grid: a connected "ring of neighbourhoods with
+/// chords" topology with `lines` branches over `buses` buses, admittances
+/// in the IEEE range [2, 24], randomised injections that sum to ~0, and a
+/// small fraction of non-core (switchable) lines.
+[[nodiscard]] Grid synthetic(int buses, int lines, std::uint64_t seed);
+
+/// Case registry used by benches: "ieee14", "ieee30", "ieee57",
+/// "ieee118", "ieee300".
+[[nodiscard]] Grid by_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> standard_names();
+
+}  // namespace psse::grid::cases

@@ -1,0 +1,65 @@
+#include "grid/jacobian.h"
+
+namespace psse::grid {
+
+JacobianModel build_jacobian(const Grid& grid, const MeasurementPlan& plan,
+                             const MappedTopology& topo) {
+  if (plan.num_lines() != grid.num_lines() ||
+      plan.num_buses() != grid.num_buses()) {
+    throw GridError("build_jacobian: plan dimensions mismatch");
+  }
+  JacobianModel out;
+  out.meas_row.assign(static_cast<std::size_t>(plan.num_potential()), -1);
+  for (MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (!plan.taken(m)) continue;
+    out.meas_row[static_cast<std::size_t>(m)] =
+        static_cast<int>(out.row_meas.size());
+    out.row_meas.push_back(m);
+  }
+  const std::size_t rows = out.row_meas.size();
+  const std::size_t cols = static_cast<std::size_t>(grid.num_buses());
+  out.h = Matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    MeasInfo info = plan.decode(out.row_meas[r]);
+    switch (info.type) {
+      case MeasType::ForwardFlow:
+      case MeasType::BackwardFlow: {
+        if (!topo.includes(info.line)) break;  // unmapped: zero row
+        const Line& l = grid.line(info.line);
+        double sign = info.type == MeasType::ForwardFlow ? 1.0 : -1.0;
+        out.h(r, static_cast<std::size_t>(l.from)) += sign * l.admittance;
+        out.h(r, static_cast<std::size_t>(l.to)) -= sign * l.admittance;
+        break;
+      }
+      case MeasType::Injection: {
+        // Paper convention (Eq. (4)): P^B_j = sum(incoming) - sum(outgoing)
+        // flows of mapped lines.
+        for (LineId i : grid.lines_at(info.bus)) {
+          if (!topo.includes(i)) continue;
+          const Line& l = grid.line(i);
+          double sign = l.to == info.bus ? 1.0 : -1.0;
+          out.h(r, static_cast<std::size_t>(l.from)) += sign * l.admittance;
+          out.h(r, static_cast<std::size_t>(l.to)) -= sign * l.admittance;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+JacobianModel build_jacobian(const Grid& grid, const MeasurementPlan& plan) {
+  return build_jacobian(
+      grid, plan,
+      TopologyProcessor::map(grid, BreakerTelemetry::truthful(grid)));
+}
+
+Vector restrict_to_rows(const JacobianModel& model, const Vector& full) {
+  Vector out(model.row_meas.size());
+  for (std::size_t r = 0; r < model.row_meas.size(); ++r) {
+    out[r] = full[static_cast<std::size_t>(model.row_meas[r])];
+  }
+  return out;
+}
+
+}  // namespace psse::grid

@@ -1,0 +1,41 @@
+// DC measurement-model (Jacobian) construction: H = [DA; -DA; A^T DA].
+//
+// Rows follow the paper's measurement ordering restricted to *taken*
+// measurements; columns are bus angles. The builder honours the mapped
+// topology: an unmapped line contributes zero rows for its flows and is
+// absent from incident buses' injection rows — precisely the model the
+// estimator runs against after a topology-poisoning attack.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/matrix.h"
+#include "grid/measurement.h"
+#include "grid/topology_processor.h"
+
+namespace psse::grid {
+
+struct JacobianModel {
+  /// Rows = taken measurements (in MeasId order), cols = buses.
+  Matrix h;
+  /// Row r of `h` corresponds to measurement row_meas[r].
+  std::vector<MeasId> row_meas;
+  /// Inverse map: measurement id -> row of `h`, or -1 when untaken.
+  std::vector<int> meas_row;
+};
+
+/// Builds the estimator's H for the given mapped topology.
+[[nodiscard]] JacobianModel build_jacobian(const Grid& grid,
+                                           const MeasurementPlan& plan,
+                                           const MappedTopology& topo);
+
+/// Convenience: H for the true topology.
+[[nodiscard]] JacobianModel build_jacobian(const Grid& grid,
+                                           const MeasurementPlan& plan);
+
+/// Restricts a full-length telemetry vector to the taken rows of a model.
+[[nodiscard]] Vector restrict_to_rows(const JacobianModel& model,
+                                      const Vector& full);
+
+}  // namespace psse::grid

@@ -1,0 +1,117 @@
+// Dense linear algebra for the power-system substrate.
+//
+// The estimation pipeline needs only modest dense kernels: multiplication,
+// transpose, LU with partial pivoting (for B*theta = P power-flow solves and
+// general inverses), Cholesky (for the WLS normal equations, whose gain
+// matrix H^T W H is symmetric positive definite on observable systems), and
+// numeric rank (observability analysis). Everything is double precision —
+// exactness matters in the SMT attack model, not here, mirroring real EMS
+// estimators.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace psse::grid {
+
+/// Error thrown on dimension mismatches and singular systems.
+class LinAlgError : public std::runtime_error {
+ public:
+  explicit LinAlgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double k);
+  friend Vector operator+(Vector a, const Vector& b) { return a += b; }
+  friend Vector operator-(Vector a, const Vector& b) { return a -= b; }
+  friend Vector operator*(Vector a, double k) { return a *= k; }
+  friend Vector operator*(double k, Vector a) { return a *= k; }
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm2() const;
+  /// Dot product.
+  [[nodiscard]] double dot(const Vector& rhs) const;
+  /// Largest |element|.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& d);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Vector operator*(const Vector& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+
+  /// Solves A x = b by LU with partial pivoting. Throws LinAlgError on
+  /// dimension mismatch or (numerically) singular A.
+  [[nodiscard]] Vector lu_solve(const Vector& b) const;
+  /// Solves A X = B column-wise.
+  [[nodiscard]] Matrix lu_solve(const Matrix& b) const;
+  /// Inverse via LU. Throws on singular input.
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Solves A x = b by Cholesky; A must be symmetric positive definite.
+  [[nodiscard]] Vector cholesky_solve(const Vector& b) const;
+
+  /// Numeric rank via Gaussian elimination with the given relative
+  /// tolerance on pivots.
+  [[nodiscard]] std::size_t rank(double tol = 1e-9) const;
+
+  /// Max |entry|, used in residual/stealthiness checks.
+  [[nodiscard]] double max_abs() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+ private:
+  // Factorises into L\U (packed) with row permutation; returns false when a
+  // pivot underflows the tolerance.
+  bool lu_factor(std::vector<double>& lu, std::vector<std::size_t>& perm)
+      const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace psse::grid

@@ -1,0 +1,165 @@
+#include "grid/measurement.h"
+
+#include <algorithm>
+
+namespace psse::grid {
+
+MeasurementPlan::MeasurementPlan(int numLines, int numBuses)
+    : l_(numLines), b_(numBuses) {
+  if (numLines < 0 || numBuses <= 0) {
+    throw GridError("MeasurementPlan: bad dimensions");
+  }
+  attrs_.resize(static_cast<std::size_t>(num_potential()));
+}
+
+int MeasurementPlan::num_taken() const {
+  int n = 0;
+  for (const Attr& a : attrs_) n += a.taken ? 1 : 0;
+  return n;
+}
+
+MeasId MeasurementPlan::forward_flow(LineId i) const {
+  if (i < 0 || i >= l_) throw GridError("forward_flow: line out of range");
+  return i;
+}
+
+MeasId MeasurementPlan::backward_flow(LineId i) const {
+  if (i < 0 || i >= l_) throw GridError("backward_flow: line out of range");
+  return l_ + i;
+}
+
+MeasId MeasurementPlan::injection(BusId j) const {
+  if (j < 0 || j >= b_) throw GridError("injection: bus out of range");
+  return 2 * l_ + j;
+}
+
+MeasInfo MeasurementPlan::decode(MeasId m) const {
+  if (m < 0 || m >= num_potential()) {
+    throw GridError("decode: measurement out of range");
+  }
+  if (m < l_) return {MeasType::ForwardFlow, m, -1};
+  if (m < 2 * l_) return {MeasType::BackwardFlow, m - l_, -1};
+  return {MeasType::Injection, -1, m - 2 * l_};
+}
+
+BusId MeasurementPlan::residence_bus(MeasId m, const Grid& grid) const {
+  MeasInfo info = decode(m);
+  switch (info.type) {
+    case MeasType::ForwardFlow:
+      return grid.line(info.line).from;
+    case MeasType::BackwardFlow:
+      return grid.line(info.line).to;
+    case MeasType::Injection:
+      return info.bus;
+  }
+  throw GridError("residence_bus: unreachable");
+}
+
+const MeasurementPlan::Attr& MeasurementPlan::at(MeasId m) const {
+  if (m < 0 || m >= num_potential()) {
+    throw GridError("MeasurementPlan: measurement out of range");
+  }
+  return attrs_[static_cast<std::size_t>(m)];
+}
+
+MeasurementPlan::Attr& MeasurementPlan::at(MeasId m) {
+  if (m < 0 || m >= num_potential()) {
+    throw GridError("MeasurementPlan: measurement out of range");
+  }
+  return attrs_[static_cast<std::size_t>(m)];
+}
+
+std::vector<MeasId> MeasurementPlan::taken_ids() const {
+  std::vector<MeasId> out;
+  out.reserve(attrs_.size());
+  for (MeasId m = 0; m < num_potential(); ++m) {
+    if (attrs_[static_cast<std::size_t>(m)].taken) out.push_back(m);
+  }
+  return out;
+}
+
+void MeasurementPlan::secure_bus(BusId bus, const Grid& grid) {
+  set_secured(injection(bus), true);
+  for (LineId i : grid.lines_at(bus)) {
+    const Line& line = grid.line(i);
+    if (line.from == bus) set_secured(forward_flow(i), true);
+    if (line.to == bus) set_secured(backward_flow(i), true);
+  }
+}
+
+void MeasurementPlan::keep_fraction(double fraction, std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw GridError("keep_fraction: fraction out of [0,1]");
+  }
+  std::vector<MeasId> taken = taken_ids();
+  const int target = static_cast<int>(fraction * num_potential());
+  if (static_cast<int>(taken.size()) <= target) return;
+  std::mt19937_64 rng(seed);
+  std::shuffle(taken.begin(), taken.end(), rng);
+  for (std::size_t k = static_cast<std::size_t>(target); k < taken.size();
+       ++k) {
+    set_taken(taken[k], false);
+  }
+}
+
+namespace {
+Telemetry telemetry_impl(const Grid& grid, const Vector& theta,
+                         const MeasurementPlan& plan, double sigma,
+                         std::mt19937_64* rng) {
+  if (static_cast<int>(theta.size()) != grid.num_buses()) {
+    throw GridError("telemetry: theta size mismatch");
+  }
+  Telemetry out;
+  out.values = Vector(static_cast<std::size_t>(plan.num_potential()));
+  std::normal_distribution<double> noise(0.0, sigma);
+  auto maybe_noise = [&]() {
+    return (rng != nullptr && sigma > 0.0) ? noise(*rng) : 0.0;
+  };
+  for (LineId i = 0; i < grid.num_lines(); ++i) {
+    const Line& l = grid.line(i);
+    double flow = l.in_service
+                      ? l.admittance *
+                            (theta[static_cast<std::size_t>(l.from)] -
+                             theta[static_cast<std::size_t>(l.to)])
+                      : 0.0;
+    MeasId fwd = plan.forward_flow(i);
+    MeasId bwd = plan.backward_flow(i);
+    if (plan.taken(fwd)) {
+      out.values[static_cast<std::size_t>(fwd)] = flow + maybe_noise();
+    }
+    if (plan.taken(bwd)) {
+      out.values[static_cast<std::size_t>(bwd)] = -flow + maybe_noise();
+    }
+  }
+  for (BusId j = 0; j < grid.num_buses(); ++j) {
+    MeasId inj = plan.injection(j);
+    if (!plan.taken(inj)) continue;
+    // Injection = sum of incoming flows - outgoing flows (paper Eq. (4)):
+    // with flow defined from->to, a line leaving j contributes -flow and a
+    // line arriving at j contributes +flow.
+    double sum = 0.0;
+    for (LineId i : grid.lines_at(j)) {
+      const Line& l = grid.line(i);
+      if (!l.in_service) continue;
+      double flow = l.admittance * (theta[static_cast<std::size_t>(l.from)] -
+                                    theta[static_cast<std::size_t>(l.to)]);
+      sum += l.to == j ? flow : -flow;
+    }
+    out.values[static_cast<std::size_t>(inj)] = sum + maybe_noise();
+  }
+  return out;
+}
+}  // namespace
+
+Telemetry generate_telemetry(const Grid& grid, const Vector& theta,
+                             const MeasurementPlan& plan, double sigma,
+                             std::mt19937_64& rng) {
+  return telemetry_impl(grid, theta, plan, sigma, &rng);
+}
+
+Telemetry exact_telemetry(const Grid& grid, const Vector& theta,
+                          const MeasurementPlan& plan) {
+  return telemetry_impl(grid, theta, plan, 0.0, nullptr);
+}
+
+}  // namespace psse::grid

@@ -1,0 +1,107 @@
+// The paper's measurement space and per-measurement security attributes.
+//
+// For a grid with l lines and b buses there are m = 2l + b *potential*
+// measurements (paper Section III-B), indexed 0-based here:
+//
+//   [0,   l)   forward power flow of line i   — meter resides at from(i)
+//   [l,  2l)   backward power flow of line i  — meter resides at to(i)
+//   [2l, 2l+b) power injection at bus j       — meter resides at bus j
+//
+// (The paper's 1-based ids are these indices + 1; scenario files translate.)
+// MeasurementPlan records which measurements are taken (`mz_i`), secured
+// (`sz_i`), and accessible to the adversary (`az_i`).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/matrix.h"
+
+namespace psse::grid {
+
+enum class MeasType : std::uint8_t { ForwardFlow, BackwardFlow, Injection };
+
+using MeasId = int;
+
+/// Decoded measurement identity.
+struct MeasInfo {
+  MeasType type;
+  LineId line = -1;  // flows
+  BusId bus = -1;    // injections
+};
+
+class MeasurementPlan {
+ public:
+  /// All measurements taken, none secured, all accessible.
+  MeasurementPlan(int numLines, int numBuses);
+
+  [[nodiscard]] int num_lines() const { return l_; }
+  [[nodiscard]] int num_buses() const { return b_; }
+  /// Total number of potential measurements (2l + b).
+  [[nodiscard]] int num_potential() const { return 2 * l_ + b_; }
+  [[nodiscard]] int num_taken() const;
+
+  /// Index helpers.
+  [[nodiscard]] MeasId forward_flow(LineId i) const;
+  [[nodiscard]] MeasId backward_flow(LineId i) const;
+  [[nodiscard]] MeasId injection(BusId j) const;
+  [[nodiscard]] MeasInfo decode(MeasId m) const;
+  /// The bus whose substation hosts measurement m (paper's residence rule:
+  /// forward at from-bus, backward at to-bus, injection at the bus).
+  [[nodiscard]] BusId residence_bus(MeasId m, const Grid& grid) const;
+
+  /// Attribute accessors; all throw GridError on out-of-range ids.
+  [[nodiscard]] bool taken(MeasId m) const { return at(m).taken; }
+  [[nodiscard]] bool secured(MeasId m) const { return at(m).secured; }
+  [[nodiscard]] bool accessible(MeasId m) const { return at(m).accessible; }
+  void set_taken(MeasId m, bool v) { at(m).taken = v; }
+  void set_secured(MeasId m, bool v) { at(m).secured = v; }
+  void set_accessible(MeasId m, bool v) { at(m).accessible = v; }
+
+  /// Ids of all taken measurements, in index order.
+  [[nodiscard]] std::vector<MeasId> taken_ids() const;
+
+  /// Marks every measurement residing at `bus` as secured — the paper's
+  /// "secure a bus with a PMU" countermeasure (Eq. (28)).
+  void secure_bus(BusId bus, const Grid& grid);
+
+  /// Drops taken measurements uniformly at random until only `fraction`
+  /// of the potential set remains taken (used by the Fig. 4(b)/5(b)
+  /// sweeps). Keeps the system observable only by chance; callers that
+  /// need observability should check it.
+  void keep_fraction(double fraction, std::uint64_t seed);
+
+ private:
+  struct Attr {
+    bool taken = true;
+    bool secured = false;
+    bool accessible = true;
+  };
+  [[nodiscard]] const Attr& at(MeasId m) const;
+  [[nodiscard]] Attr& at(MeasId m);
+
+  int l_;
+  int b_;
+  std::vector<Attr> attrs_;
+};
+
+/// Measurement vector over the full potential space; entries for untaken
+/// measurements are zero and ignored by consumers.
+struct Telemetry {
+  Vector values;  // size 2l + b
+};
+
+/// Simulates SCADA telemetry: true DC flows/injections from bus angles plus
+/// i.i.d. Gaussian noise of standard deviation `sigma` on taken
+/// measurements.
+Telemetry generate_telemetry(const Grid& grid, const Vector& theta,
+                             const MeasurementPlan& plan, double sigma,
+                             std::mt19937_64& rng);
+
+/// Noise-free telemetry (sigma = 0).
+Telemetry exact_telemetry(const Grid& grid, const Vector& theta,
+                          const MeasurementPlan& plan);
+
+}  // namespace psse::grid

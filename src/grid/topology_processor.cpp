@@ -1,0 +1,88 @@
+#include "grid/topology_processor.h"
+
+#include <queue>
+
+namespace psse::grid {
+
+BreakerTelemetry BreakerTelemetry::truthful(const Grid& grid) {
+  BreakerTelemetry t;
+  t.closed.reserve(static_cast<std::size_t>(grid.num_lines()));
+  for (const Line& l : grid.lines()) t.closed.push_back(l.in_service);
+  return t;
+}
+
+int MappedTopology::num_mapped() const {
+  int n = 0;
+  for (bool m : mapped) n += m ? 1 : 0;
+  return n;
+}
+
+MappedTopology TopologyProcessor::map(const Grid& grid,
+                                      const BreakerTelemetry& reported) {
+  if (static_cast<int>(reported.closed.size()) != grid.num_lines()) {
+    throw GridError("TopologyProcessor: telemetry size mismatch");
+  }
+  MappedTopology topo;
+  topo.mapped.resize(static_cast<std::size_t>(grid.num_lines()));
+  for (LineId i = 0; i < grid.num_lines(); ++i) {
+    const Line& l = grid.line(i);
+    // Integrity-protected statuses cannot be spoofed in transit.
+    topo.mapped[static_cast<std::size_t>(i)] =
+        l.status_secured ? l.in_service
+                         : reported.closed[static_cast<std::size_t>(i)];
+  }
+  return topo;
+}
+
+bool TopologyProcessor::connected(const Grid& grid,
+                                  const MappedTopology& topo) {
+  std::vector<bool> seen(static_cast<std::size_t>(grid.num_buses()), false);
+  std::queue<BusId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int reached = 1;
+  while (!frontier.empty()) {
+    BusId b = frontier.front();
+    frontier.pop();
+    for (LineId i : grid.lines_at(b)) {
+      if (!topo.includes(i)) continue;
+      const Line& l = grid.line(i);
+      BusId other = l.from == b ? l.to : l.from;
+      if (!seen[static_cast<std::size_t>(other)]) {
+        seen[static_cast<std::size_t>(other)] = true;
+        ++reached;
+        frontier.push(other);
+      }
+    }
+  }
+  return reached == grid.num_buses();
+}
+
+void apply_exclusion_attack(const Grid& grid, BreakerTelemetry& telemetry,
+                            LineId i) {
+  const Line& l = grid.line(i);
+  if (!l.in_service) {
+    throw GridError("exclusion attack: line is not in service");
+  }
+  if (l.fixed) {
+    throw GridError("exclusion attack: line is part of the core topology");
+  }
+  if (l.status_secured) {
+    throw GridError("exclusion attack: line status is secured");
+  }
+  telemetry.closed[static_cast<std::size_t>(i)] = false;
+}
+
+void apply_inclusion_attack(const Grid& grid, BreakerTelemetry& telemetry,
+                            LineId i) {
+  const Line& l = grid.line(i);
+  if (l.in_service) {
+    throw GridError("inclusion attack: line is already in service");
+  }
+  if (l.status_secured) {
+    throw GridError("inclusion attack: line status is secured");
+  }
+  telemetry.closed[static_cast<std::size_t>(i)] = true;
+}
+
+}  // namespace psse::grid

@@ -1,0 +1,62 @@
+// The EMS topology processor and the adversary's lever on it.
+//
+// Breaker/switch statuses are telemetered per line; the processor maps the
+// topology the estimator will use (paper Section II-B). A topology
+// poisoning attack flips reported statuses: an *exclusion* attack reports
+// an energised line as open, an *inclusion* attack reports an open line as
+// closed (Section III-C). The processor itself is honest — it maps whatever
+// statuses it is fed — which is exactly why the attack works.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace psse::grid {
+
+/// Reported breaker statuses, one per line (true = closed/in service).
+struct BreakerTelemetry {
+  std::vector<bool> closed;
+
+  /// Honest telemetry reflecting the grid's true switching state.
+  static BreakerTelemetry truthful(const Grid& grid);
+};
+
+/// The mapped topology: which lines the estimator believes are in service.
+struct MappedTopology {
+  std::vector<bool> mapped;
+
+  [[nodiscard]] bool includes(LineId i) const {
+    return mapped[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int num_mapped() const;
+};
+
+class TopologyProcessor {
+ public:
+  /// Maps reported statuses to the estimation topology. Secured-status
+  /// lines (Line::status_secured) are immune to tampering: their true
+  /// status overrides the report, modelling integrity-protected telemetry.
+  [[nodiscard]] static MappedTopology map(const Grid& grid,
+                                          const BreakerTelemetry& reported);
+
+  /// True iff the mapped in-service subgraph is connected (a mapped
+  /// topology that islands the grid is immediately suspicious, so stealthy
+  /// exclusion attacks must keep it connected).
+  [[nodiscard]] static bool connected(const Grid& grid,
+                                      const MappedTopology& topo);
+};
+
+/// Applies an exclusion attack on line i (report closed line as open).
+/// Throws GridError if the line is open, fixed (core topology), or has
+/// secured status — the paper's Eq. (9) feasibility conditions.
+void apply_exclusion_attack(const Grid& grid, BreakerTelemetry& telemetry,
+                            LineId i);
+
+/// Applies an inclusion attack on line i (report open line as closed).
+/// Throws GridError if the line is in service or has secured status
+/// (Eq. (10)).
+void apply_inclusion_attack(const Grid& grid, BreakerTelemetry& telemetry,
+                            LineId i);
+
+}  // namespace psse::grid

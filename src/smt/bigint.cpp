@@ -1,0 +1,412 @@
+#include "smt/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "smt/common.h"
+
+namespace psse::smt {
+
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+// Division works in base 2^32 so that trial-quotient estimation fits in
+// native 64-bit arithmetic (Knuth TAOCP vol. 2, algorithm D).
+std::vector<u32> to32(const std::vector<u64>& limbs) {
+  std::vector<u32> out;
+  out.reserve(limbs.size() * 2);
+  for (u64 limb : limbs) {
+    out.push_back(static_cast<u32>(limb));
+    out.push_back(static_cast<u32>(limb >> 32));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<u64> to64(const std::vector<u32>& limbs) {
+  std::vector<u64> out;
+  out.reserve((limbs.size() + 1) / 2);
+  for (std::size_t i = 0; i < limbs.size(); i += 2) {
+    u64 lo = limbs[i];
+    u64 hi = (i + 1 < limbs.size()) ? limbs[i + 1] : 0;
+    out.push_back(lo | (hi << 32));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+int cmp32(const std::vector<u32>& a, const std::vector<u32>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+// Long division of 32-bit-limb magnitudes; quotient and remainder out.
+void divmod32(std::vector<u32> num, std::vector<u32> den,
+              std::vector<u32>& quot, std::vector<u32>& rem) {
+  PSSE_ASSERT(!den.empty());
+  quot.clear();
+  rem.clear();
+  if (cmp32(num, den) < 0) {
+    rem = std::move(num);
+    return;
+  }
+  if (den.size() == 1) {
+    // Short division.
+    u64 d = den[0];
+    u64 r = 0;
+    quot.assign(num.size(), 0);
+    for (std::size_t i = num.size(); i-- > 0;) {
+      u64 cur = (r << 32) | num[i];
+      quot[i] = static_cast<u32>(cur / d);
+      r = cur % d;
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    if (r != 0) rem.push_back(static_cast<u32>(r));
+    return;
+  }
+
+  // Normalize so that den's top limb has its high bit set.
+  int shift = 0;
+  for (u32 top = den.back(); (top & 0x80000000u) == 0; top <<= 1) ++shift;
+  auto shl = [&](std::vector<u32>& v) {
+    if (shift == 0) return;
+    u32 carry = 0;
+    for (auto& limb : v) {
+      u32 next = limb >> (32 - shift);
+      limb = (limb << shift) | carry;
+      carry = next;
+    }
+    if (carry != 0) v.push_back(carry);
+  };
+  shl(num);
+  shl(den);
+
+  const std::size_t n = den.size();
+  const std::size_t m = num.size() >= n ? num.size() - n : 0;
+  num.push_back(0);  // u[m+n] slot
+  quot.assign(m + 1, 0);
+
+  const u64 vtop = den[n - 1];
+  const u64 vsec = den[n - 2];
+  for (std::size_t j = m + 1; j-- > 0;) {
+    u64 numerator = (static_cast<u64>(num[j + n]) << 32) | num[j + n - 1];
+    u64 qhat = numerator / vtop;
+    u64 rhat = numerator % vtop;
+    if (qhat > 0xFFFFFFFFull) {
+      qhat = 0xFFFFFFFFull;
+      rhat = numerator - qhat * vtop;
+    }
+    while (rhat <= 0xFFFFFFFFull &&
+           qhat * vsec > ((rhat << 32) | num[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+    // Multiply-subtract qhat * den from num[j .. j+n].
+    std::int64_t borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u64 product = qhat * den[i] + carry;
+      carry = product >> 32;
+      std::int64_t sub = static_cast<std::int64_t>(num[j + i]) -
+                         static_cast<std::int64_t>(product & 0xFFFFFFFFull) +
+                         borrow;
+      num[j + i] = static_cast<u32>(sub & 0xFFFFFFFF);
+      borrow = sub >> 32;  // arithmetic shift: 0 or -1
+    }
+    std::int64_t subTop = static_cast<std::int64_t>(num[j + n]) -
+                          static_cast<std::int64_t>(carry) + borrow;
+    num[j + n] = static_cast<u32>(subTop & 0xFFFFFFFF);
+    if (subTop < 0) {
+      // qhat was one too large: add den back once.
+      --qhat;
+      u64 addCarry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u64 sum = static_cast<u64>(num[j + i]) + den[i] + addCarry;
+        num[j + i] = static_cast<u32>(sum);
+        addCarry = sum >> 32;
+      }
+      num[j + n] = static_cast<u32>(num[j + n] + addCarry);
+    }
+    quot[j] = static_cast<u32>(qhat);
+  }
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+
+  // Remainder: low n limbs of num, denormalized.
+  num.resize(n);
+  if (shift != 0) {
+    u32 carry = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      u32 next = num[i] << (32 - shift);
+      num[i] = (num[i] >> shift) | carry;
+      carry = next;
+    }
+  }
+  while (!num.empty() && num.back() == 0) num.pop_back();
+  rem = std::move(num);
+}
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Avoid UB negating INT64_MIN by going through unsigned arithmetic.
+  u64 mag = negative_ ? ~static_cast<u64>(v) + 1 : static_cast<u64>(v);
+  limbs_.push_back(mag);
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  PSSE_CHECK(!s.empty(), "BigInt::from_string: empty input");
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  PSSE_CHECK(i < s.size(), "BigInt::from_string: sign without digits");
+  BigInt out;
+  const BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    PSSE_CHECK(s[i] >= '0' && s[i] <= '9',
+               "BigInt::from_string: non-digit character");
+    out *= ten;
+    out += BigInt(s[i] - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::cmp_mag(const std::vector<u64>& a, const std::vector<u64>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::add_mag(std::vector<u64>& a, const std::vector<u64>& b) {
+  if (b.size() > a.size()) a.resize(b.size(), 0);
+  unsigned carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 bi = i < b.size() ? b[i] : 0;
+    u64 sum = a[i] + bi;
+    unsigned c1 = sum < a[i] ? 1u : 0u;
+    sum += carry;
+    unsigned c2 = sum < static_cast<u64>(carry) ? 1u : 0u;
+    a[i] = sum;
+    carry = c1 | c2;
+    if (carry == 0 && i >= b.size()) break;
+  }
+  if (carry) a.push_back(1);
+}
+
+void BigInt::sub_mag(std::vector<u64>& a, const std::vector<u64>& b) {
+  unsigned borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 bi = i < b.size() ? b[i] : 0;
+    u64 diff = a[i] - bi;
+    unsigned b1 = a[i] < bi ? 1u : 0u;
+    u64 diff2 = diff - borrow;
+    unsigned b2 = diff < static_cast<u64>(borrow) ? 1u : 0u;
+    a[i] = diff2;
+    borrow = b1 | b2;
+    if (borrow == 0 && i >= b.size()) break;
+  }
+  PSSE_ASSERT(borrow == 0);
+  while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+std::vector<u64> BigInt::mul_mag(const std::vector<u64>& a,
+                                 const std::vector<u64>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<u64> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out[i + b.size()] += carry;
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+void BigInt::divmod_mag(const std::vector<u64>& num,
+                        const std::vector<u64>& den, std::vector<u64>& quot,
+                        std::vector<u64>& rem) {
+  std::vector<u32> q32, r32;
+  divmod32(to32(num), to32(den), q32, r32);
+  quot = to64(q32);
+  rem = to64(r32);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    add_mag(limbs_, rhs.limbs_);
+  } else {
+    int cmp = cmp_mag(limbs_, rhs.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      sub_mag(limbs_, rhs.limbs_);
+    } else {
+      std::vector<u64> tmp = rhs.limbs_;
+      sub_mag(tmp, limbs_);
+      limbs_ = std::move(tmp);
+      negative_ = rhs.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mul_mag(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  PSSE_CHECK(!rhs.is_zero(), "BigInt: division by zero");
+  std::vector<u64> quot, rem;
+  divmod_mag(limbs_, rhs.limbs_, quot, rem);
+  negative_ = !quot.empty() && (negative_ != rhs.negative_);
+  limbs_ = std::move(quot);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  PSSE_CHECK(!rhs.is_zero(), "BigInt: modulo by zero");
+  std::vector<u64> quot, rem;
+  divmod_mag(limbs_, rhs.limbs_, quot, rem);
+  // Remainder takes the dividend's sign (truncated division).
+  negative_ = !rem.empty() && negative_;
+  limbs_ = std::move(rem);
+  trim();
+  return *this;
+}
+
+void BigInt::div_mod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem) {
+  PSSE_CHECK(!den.is_zero(), "BigInt: division by zero");
+  std::vector<u64> q, r;
+  divmod_mag(num.limbs_, den.limbs_, q, r);
+  quot.limbs_ = std::move(q);
+  quot.negative_ = !quot.limbs_.empty() && (num.negative_ != den.negative_);
+  rem.limbs_ = std::move(r);
+  rem.negative_ = !rem.limbs_.empty() && num.negative_;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  int cmp = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  if (a.negative_) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::pow10(unsigned exp) {
+  BigInt out(1);
+  const BigInt ten(10);
+  for (unsigned i = 0; i < exp; ++i) out *= ten;
+  return out;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() > 1) return false;
+  if (limbs_.empty()) return true;
+  if (negative_) return limbs_[0] <= static_cast<u64>(1) << 63;
+  return limbs_[0] <= static_cast<u64>(std::numeric_limits<std::int64_t>::max());
+}
+
+std::int64_t BigInt::to_int64() const {
+  PSSE_CHECK(fits_int64(), "BigInt::to_int64: value out of range");
+  if (limbs_.empty()) return 0;
+  if (negative_) return static_cast<std::int64_t>(~limbs_[0] + 1);
+  return static_cast<std::int64_t>(limbs_[0]);
+}
+
+double BigInt::to_double() const {
+  double out = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::vector<u32> mag = to32(limbs_);
+  std::string digits;
+  // Repeatedly divide by 10^9 and emit 9 decimal digits at a time.
+  while (!mag.empty()) {
+    u64 rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      u64 cur = (rem << 32) | mag[i];
+      mag[i] = static_cast<u32>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.to_string();
+}
+
+}  // namespace psse::smt

@@ -1,0 +1,116 @@
+// Arbitrary-precision signed integers.
+//
+// The simplex theory solver pivots exact rational tableaus; coefficient
+// growth during pivoting routinely overflows 64-bit (and even 128-bit)
+// integers, so rationals are backed by this BigInt. The representation is
+// sign + little-endian magnitude in 64-bit limbs, with the usual invariant
+// that the magnitude has no trailing zero limbs and zero is non-negative.
+//
+// The implementation favours clarity over asymptotics: schoolbook
+// multiplication and division are ample for the limb counts reached by the
+// attack-model tableaus (admittances are small decimals; gcd-normalised
+// rationals stay short).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psse::smt {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a native signed integer.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal interop is intended.
+
+  /// Parses an optionally signed decimal string. Throws SmtError on
+  /// malformed input (empty, non-digits).
+  static BigInt from_string(std::string_view s);
+
+  /// True iff the value is zero.
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  /// True iff the value is strictly negative.
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  /// True iff the value is one.
+  [[nodiscard]] bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+  /// Sign as -1, 0, or +1.
+  [[nodiscard]] int sign() const {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// True iff the value fits in int64_t.
+  [[nodiscard]] bool fits_int64() const;
+  /// Value as int64_t; requires fits_int64().
+  [[nodiscard]] std::int64_t to_int64() const;
+  /// Closest double (may lose precision; infinities on overflow).
+  [[nodiscard]] double to_double() const;
+  /// Decimal string representation.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Number of 64-bit limbs in the magnitude (0 for zero). Used by the
+  /// memory accounting in bench/table4_memory.
+  [[nodiscard]] std::size_t limb_count() const { return limbs_.size(); }
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  /// Throws SmtError on division by zero.
+  BigInt& operator/=(const BigInt& rhs);
+  /// Remainder matching truncated division: (a/b)*b + a%b == a.
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Greatest common divisor; result is non-negative. gcd(0,0) == 0.
+  static BigInt gcd(BigInt a, BigInt b);
+  /// Quotient and remainder in one division (truncated semantics).
+  static void div_mod(const BigInt& num, const BigInt& den, BigInt& quot,
+                      BigInt& rem);
+  /// 10^exp for small non-negative exponents (decimal scaling).
+  static BigInt pow10(unsigned exp);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+ private:
+  // Magnitude comparison helpers (ignore sign).
+  static int cmp_mag(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b);
+  static void add_mag(std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b);
+  // Requires |a| >= |b|.
+  static void sub_mag(std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b);
+  static std::vector<std::uint64_t> mul_mag(
+      const std::vector<std::uint64_t>& a,
+      const std::vector<std::uint64_t>& b);
+  static void divmod_mag(const std::vector<std::uint64_t>& num,
+                         const std::vector<std::uint64_t>& den,
+                         std::vector<std::uint64_t>& quot,
+                         std::vector<std::uint64_t>& rem);
+  void trim();
+
+  bool negative_ = false;
+  std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace psse::smt

@@ -1,0 +1,40 @@
+// Common utilities shared by the psse SMT substrate.
+//
+// The solver is exception-safe at API boundaries: user errors (malformed
+// input, out-of-range variable ids) throw psse::smt::SmtError; internal
+// invariant violations abort via PSSE_ASSERT in all build types, because a
+// wrong SAT/UNSAT answer is strictly worse than a crash.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace psse::smt {
+
+/// Error thrown on invalid API usage (bad arguments, wrong solver state).
+class SmtError : public std::runtime_error {
+ public:
+  explicit SmtError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "psse internal assertion failed: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace psse::smt
+
+// Internal invariant check, enabled in every build type.
+#define PSSE_ASSERT(expr) \
+  ((expr) ? (void)0 : ::psse::smt::assert_fail(#expr, __FILE__, __LINE__))
+
+// Precondition check on public APIs: throws SmtError with a message.
+#define PSSE_CHECK(expr, msg)                 \
+  do {                                        \
+    if (!(expr)) throw ::psse::smt::SmtError(msg); \
+  } while (0)

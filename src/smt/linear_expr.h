@@ -1,0 +1,100 @@
+// Sparse linear expressions over theory (real) variables.
+//
+// LinExpr represents sum(coeff_i * var_i) + constant with exact rational
+// coefficients. Expressions are kept sorted by variable id with no zero
+// coefficients, so structural equality is semantic equality; `normalized()`
+// additionally scales the leading coefficient to 1, which the SMT layer uses
+// to share one simplex slack variable among all atoms over proportional
+// expressions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smt/rational.h"
+
+namespace psse::smt {
+
+/// Theory (real) variable id.
+using TVar = std::int32_t;
+inline constexpr TVar kNoTVar = -1;
+
+struct LinExprNormalized;
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /// Constant expression.
+  explicit LinExpr(Rational constant) : constant_(std::move(constant)) {}
+  /// Single variable with coefficient 1.
+  static LinExpr var(TVar v) {
+    LinExpr e;
+    e.terms_.emplace_back(v, Rational(1));
+    return e;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<TVar, Rational>>& terms() const {
+    return terms_;
+  }
+  [[nodiscard]] const Rational& constant() const { return constant_; }
+  [[nodiscard]] bool is_constant() const { return terms_.empty(); }
+  /// True iff the expression is a single variable with coefficient 1 and no
+  /// constant.
+  [[nodiscard]] bool is_plain_var() const {
+    return terms_.size() == 1 && constant_.is_zero() &&
+           terms_[0].second == Rational(1);
+  }
+
+  /// Adds coeff*v to the expression.
+  void add_term(TVar v, const Rational& coeff);
+  void add_constant(const Rational& c) { constant_ += c; }
+
+  LinExpr& operator+=(const LinExpr& rhs);
+  LinExpr& operator-=(const LinExpr& rhs);
+  LinExpr& operator*=(const Rational& k);
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, const Rational& k) { return a *= k; }
+  friend LinExpr operator*(const Rational& k, LinExpr a) { return a *= k; }
+  [[nodiscard]] LinExpr operator-() const {
+    LinExpr e = *this;
+    e *= Rational(-1);
+    return e;
+  }
+
+  friend bool operator==(const LinExpr& a, const LinExpr& b) {
+    return a.constant_ == b.constant_ && a.terms_ == b.terms_;
+  }
+
+  /// The variable part scaled so its leading coefficient is 1, plus the
+  /// factor k and offset c such that this == k * normalized + c. Requires a
+  /// non-constant expression.
+  [[nodiscard]] LinExprNormalized normalized() const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  std::vector<std::pair<TVar, Rational>> terms_;  // sorted by var, no zeros
+  Rational constant_;
+};
+
+/// Result of LinExpr::normalized().
+struct LinExprNormalized {
+  LinExpr expr;     // leading coefficient 1, zero constant
+  Rational scale;   // k (nonzero)
+  Rational offset;  // c
+};
+
+}  // namespace psse::smt
+
+template <>
+struct std::hash<psse::smt::LinExpr> {
+  std::size_t operator()(const psse::smt::LinExpr& e) const noexcept {
+    return e.hash();
+  }
+};

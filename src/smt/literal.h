@@ -1,0 +1,68 @@
+// Boolean variables and literals for the CDCL core.
+//
+// Variables are dense 0-based indices; a literal packs (variable, sign) as
+// 2*var + sign with sign==1 meaning negated — the MiniSat convention, which
+// makes literal-indexed arrays (watch lists, occurrence lists) trivial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace psse::smt {
+
+using Var = std::int32_t;
+inline constexpr Var kNoVar = -1;
+
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  /// Positive literal of v.
+  static Lit pos(Var v) { return Lit(v, false); }
+  /// Negative literal of v.
+  static Lit neg(Var v) { return Lit(v, true); }
+  static Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  [[nodiscard]] Var var() const { return code_ >> 1; }
+  [[nodiscard]] bool negated() const { return (code_ & 1) != 0; }
+  [[nodiscard]] std::int32_t code() const { return code_; }
+  [[nodiscard]] bool valid() const { return code_ >= 0; }
+
+  [[nodiscard]] Lit operator~() const { return from_code(code_ ^ 1); }
+
+  friend bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
+  friend bool operator<(Lit a, Lit b) { return a.code_ < b.code_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return (negated() ? "~b" : "b") + std::to_string(var());
+  }
+
+ private:
+  std::int32_t code_ = -1;
+};
+
+inline constexpr std::int32_t kLitUndefCode = -1;
+
+/// Ternary assignment value.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lbool_of(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool negate(LBool v) {
+  if (v == LBool::Undef) return v;
+  return v == LBool::True ? LBool::False : LBool::True;
+}
+
+}  // namespace psse::smt
+
+template <>
+struct std::hash<psse::smt::Lit> {
+  std::size_t operator()(psse::smt::Lit l) const noexcept {
+    return std::hash<std::int32_t>()(l.code());
+  }
+};

@@ -1,0 +1,127 @@
+#include "smt/rational.h"
+
+#include <ostream>
+#include <utility>
+
+#include "smt/common.h"
+
+namespace psse::smt {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  PSSE_CHECK(!den_.is_zero(), "Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::from_string(std::string_view s) {
+  PSSE_CHECK(!s.empty(), "Rational::from_string: empty input");
+  // Fraction form "a/b".
+  if (auto slash = s.find('/'); slash != std::string_view::npos) {
+    return Rational(BigInt::from_string(s.substr(0, slash)),
+                    BigInt::from_string(s.substr(slash + 1)));
+  }
+  // Decimal form "[-]int[.frac]".
+  auto dot = s.find('.');
+  if (dot == std::string_view::npos) {
+    return Rational(BigInt::from_string(s));
+  }
+  std::string_view intPart = s.substr(0, dot);
+  std::string_view fracPart = s.substr(dot + 1);
+  PSSE_CHECK(!fracPart.empty(), "Rational::from_string: trailing dot");
+  bool neg = !intPart.empty() && intPart[0] == '-';
+  std::string digits(intPart.substr((neg || (!intPart.empty() && intPart[0] == '+')) ? 1 : 0));
+  if (digits.empty()) digits = "0";
+  digits.append(fracPart);
+  BigInt num = BigInt::from_string(digits);
+  if (neg) num = -num;
+  return Rational(std::move(num),
+                  BigInt::pow10(static_cast<unsigned>(fracPart.size())));
+}
+
+std::string Rational::to_string() const {
+  if (den_.is_one()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.abs();
+  return out;
+}
+
+Rational Rational::inverse() const {
+  PSSE_CHECK(!is_zero(), "Rational::inverse: zero");
+  return Rational(den_, num_);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  PSSE_CHECK(!rhs.is_zero(), "Rational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return a.num_ * b.den_ <=> b.num_ * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.to_string();
+}
+
+std::string DeltaRational::to_string() const {
+  if (delta_.is_zero()) return real_.to_string();
+  return real_.to_string() + (delta_.is_negative() ? "-" : "+") +
+         delta_.abs().to_string() + "d";
+}
+
+std::ostream& operator<<(std::ostream& os, const DeltaRational& v) {
+  return os << v.to_string();
+}
+
+}  // namespace psse::smt

@@ -1,0 +1,165 @@
+// Exact rational arithmetic and delta-rationals.
+//
+// Rational is the coefficient domain of the LRA theory solver. Invariant:
+// denominator > 0 and gcd(|num|, den) == 1 (canonical form), so equality is
+// structural.
+//
+// DeltaRational models values of the form a + b*delta where delta is a
+// positive infinitesimal; it lets the simplex treat strict bounds (x < c) as
+// weak bounds (x <= c - delta) while staying exact (Dutertre & de Moura,
+// "A fast linear-arithmetic solver for DPLL(T)", CAV 2006).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "smt/bigint.h"
+
+namespace psse::smt {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// Integer value.
+  Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT(google-explicit-constructor)
+  /// num/den, canonicalised. Throws SmtError if den == 0.
+  Rational(BigInt num, BigInt den);
+  /// Integer BigInt value.
+  explicit Rational(BigInt v) : num_(std::move(v)), den_(1) {}
+  /// num/den from machine integers.
+  Rational(std::int64_t num, std::int64_t den)
+      : Rational(BigInt(num), BigInt(den)) {}
+
+  /// Parses "3", "-3/4", or a decimal like "16.90" / "-0.0125" exactly.
+  static Rational from_string(std::string_view s);
+  /// Exact value of a decimal string such as "16.90" (no binary rounding).
+  static Rational from_decimal(std::string_view s) { return from_string(s); }
+
+  [[nodiscard]] const BigInt& num() const { return num_; }
+  [[nodiscard]] const BigInt& den() const { return den_; }
+  [[nodiscard]] bool is_zero() const { return num_.is_zero(); }
+  [[nodiscard]] bool is_negative() const { return num_.is_negative(); }
+  [[nodiscard]] bool is_integer() const { return den_.is_one(); }
+  [[nodiscard]] int sign() const { return num_.sign(); }
+
+  [[nodiscard]] double to_double() const {
+    return num_.to_double() / den_.to_double();
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Rational operator-() const;
+  [[nodiscard]] Rational abs() const;
+  /// Multiplicative inverse. Throws SmtError if zero.
+  [[nodiscard]] Rational inverse() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  /// Approximate memory footprint in bytes (limb storage), for Table IV.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return (num_.limb_count() + den_.limb_count()) * sizeof(std::uint64_t);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;  // > 0
+};
+
+/// a + b*delta with delta an arbitrarily small positive infinitesimal.
+class DeltaRational {
+ public:
+  DeltaRational() = default;
+  DeltaRational(Rational real) : real_(std::move(real)) {}  // NOLINT(google-explicit-constructor)
+  DeltaRational(Rational real, Rational delta)
+      : real_(std::move(real)), delta_(std::move(delta)) {}
+
+  /// The value c - delta (used for strict upper bounds x < c).
+  static DeltaRational minus_delta(Rational c) {
+    return DeltaRational(std::move(c), Rational(-1));
+  }
+  /// The value c + delta (used for strict lower bounds x > c).
+  static DeltaRational plus_delta(Rational c) {
+    return DeltaRational(std::move(c), Rational(1));
+  }
+
+  [[nodiscard]] const Rational& real() const { return real_; }
+  [[nodiscard]] const Rational& delta() const { return delta_; }
+  [[nodiscard]] bool is_zero() const {
+    return real_.is_zero() && delta_.is_zero();
+  }
+
+  [[nodiscard]] DeltaRational operator-() const {
+    return DeltaRational(-real_, -delta_);
+  }
+
+  DeltaRational& operator+=(const DeltaRational& rhs) {
+    real_ += rhs.real_;
+    delta_ += rhs.delta_;
+    return *this;
+  }
+  DeltaRational& operator-=(const DeltaRational& rhs) {
+    real_ -= rhs.real_;
+    delta_ -= rhs.delta_;
+    return *this;
+  }
+  /// Scaling by a rational (delta-rationals form a Q-vector space).
+  DeltaRational& operator*=(const Rational& k) {
+    real_ *= k;
+    delta_ *= k;
+    return *this;
+  }
+
+  friend DeltaRational operator+(DeltaRational a, const DeltaRational& b) {
+    return a += b;
+  }
+  friend DeltaRational operator-(DeltaRational a, const DeltaRational& b) {
+    return a -= b;
+  }
+  friend DeltaRational operator*(DeltaRational a, const Rational& k) {
+    return a *= k;
+  }
+  friend DeltaRational operator*(const Rational& k, DeltaRational a) {
+    return a *= k;
+  }
+
+  friend bool operator==(const DeltaRational& a, const DeltaRational& b) {
+    return a.real_ == b.real_ && a.delta_ == b.delta_;
+  }
+  /// Lexicographic order (real part first) — the order induced by any
+  /// sufficiently small positive delta.
+  friend std::strong_ordering operator<=>(const DeltaRational& a,
+                                          const DeltaRational& b) {
+    auto c = a.real_ <=> b.real_;
+    return c != std::strong_ordering::equal ? c : a.delta_ <=> b.delta_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const DeltaRational& v);
+
+ private:
+  Rational real_;
+  Rational delta_;
+};
+
+}  // namespace psse::smt

@@ -1,0 +1,831 @@
+#include "smt/sat_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smt/common.h"
+
+namespace psse::smt {
+
+namespace {
+constexpr std::int32_t kNoConflict = -2;
+constexpr std::int32_t kExplicitConflict = -1;  // pending_conflict_ holds lits
+
+// Luby restart sequence: 1,1,2,1,1,2,4,...
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((1ull << k) <= i + 1) ++k;
+  --k;
+  while ((1ull << k) - 1 != i) {
+    i -= (1ull << k) - 1;
+    k = 1;
+    while ((1ull << k) <= i + 1) ++k;
+    --k;
+  }
+  return 1ull << k;
+}
+}  // namespace
+
+Var SatSolver::new_var() {
+  Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  var_info_.push_back({});
+  phase_.push_back(false);
+  activity_.push_back(0.0);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  card_occs_.emplace_back();
+  card_occs_.emplace_back();
+  heap_index_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+void SatSolver::attach_clause(std::int32_t id) {
+  Clause& c = clauses_[static_cast<std::size_t>(id)];
+  PSSE_ASSERT(c.lits.size() >= 2);
+  watches_[static_cast<std::size_t>(c.lits[0].code())].push_back(
+      {id, c.lits[1]});
+  watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(
+      {id, c.lits[0]});
+}
+
+void SatSolver::attach_card(std::int32_t id) {
+  Card& c = cards_[static_cast<std::size_t>(id)];
+  for (Lit l : c.lits) {
+    card_occs_[static_cast<std::size_t>(l.code())].push_back(id);
+  }
+}
+
+void SatSolver::add_clause(std::vector<Lit> lits) {
+  PSSE_CHECK(decision_level() == 0, "add_clause outside decision level 0");
+  if (!replaying_) pristine_clauses_.push_back(lits);
+  if (!ok_) return;
+  // Normalise: sort, dedupe, drop false literals, detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    Lit l = lits[i];
+    PSSE_CHECK(l.var() >= 0 && l.var() < num_vars(),
+               "add_clause: unknown variable");
+    if (i + 1 < lits.size() && lits[i + 1] == ~l) return;  // tautology
+    LBool v = value(l);
+    if (v == LBool::True) return;  // already satisfied at level 0
+    if (v == LBool::False) continue;
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (!enqueue(kept[0], Reason::none())) ok_ = false;
+    return;
+  }
+  std::int32_t id = static_cast<std::int32_t>(clauses_.size());
+  clauses_.push_back(Clause{std::move(kept), 0.0, 0, false, false});
+  attach_clause(id);
+}
+
+void SatSolver::add_at_most(std::vector<Lit> lits, std::uint32_t bound) {
+  PSSE_CHECK(decision_level() == 0, "add_at_most outside decision level 0");
+  if (!replaying_) pristine_cards_.push_back({lits, bound});
+  if (!ok_) return;
+  // Account for literals already fixed at level 0.
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (Lit l : lits) {
+    PSSE_CHECK(l.var() >= 0 && l.var() < num_vars(),
+               "add_at_most: unknown variable");
+    LBool v = value(l);
+    if (v == LBool::True) {
+      if (bound == 0) {
+        ok_ = false;
+        return;
+      }
+      --bound;
+    } else if (v == LBool::Undef) {
+      kept.push_back(l);
+    }
+  }
+  if (bound >= kept.size()) return;  // vacuous
+  if (bound == 0) {
+    for (Lit l : kept) {
+      if (!enqueue(~l, Reason::none())) {
+        ok_ = false;
+        return;
+      }
+    }
+    return;
+  }
+  std::int32_t id = static_cast<std::int32_t>(cards_.size());
+  cards_.push_back(Card{std::move(kept), bound, 0, false});
+  attach_card(id);
+}
+
+void SatSolver::add_at_least(std::vector<Lit> lits, std::uint32_t bound) {
+  if (bound == 0) return;
+  if (bound > lits.size()) {
+    // More true literals demanded than exist: trivially UNSAT.
+    add_clause({});
+    return;
+  }
+  std::uint32_t complement = static_cast<std::uint32_t>(lits.size()) - bound;
+  for (Lit& l : lits) l = ~l;
+  add_at_most(std::move(lits), complement);
+}
+
+bool SatSolver::enqueue(Lit l, Reason reason) {
+  LBool v = value(l);
+  if (v == LBool::False) return false;
+  if (v == LBool::True) return true;
+  Var x = l.var();
+  assigns_[static_cast<std::size_t>(x)] =
+      l.negated() ? LBool::False : LBool::True;
+  var_info_[static_cast<std::size_t>(x)] = {
+      reason, decision_level(), static_cast<std::int32_t>(trail_.size())};
+  phase_[static_cast<std::size_t>(x)] = !l.negated();
+  trail_.push_back(l);
+  return true;
+}
+
+std::int32_t SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+
+    // Cardinality bookkeeping: p just became true.
+    for (std::int32_t cid : card_occs_[static_cast<std::size_t>(p.code())]) {
+      Card& card = cards_[static_cast<std::size_t>(cid)];
+      if (card.deleted) continue;
+      if (++card.num_true > card.bound) {
+        // Conflict: bound+1 literals of the card are true.
+        pending_conflict_.clear();
+        for (Lit l : card.lits) {
+          if (value(l) == LBool::True &&
+              var_info_[static_cast<std::size_t>(l.var())].trail_pos <
+                  static_cast<std::int32_t>(qhead_)) {
+            pending_conflict_.push_back(~l);
+            if (pending_conflict_.size() == card.bound + 1) break;
+          }
+        }
+        PSSE_ASSERT(pending_conflict_.size() == card.bound + 1);
+        return kExplicitConflict;
+      }
+      if (card.num_true == card.bound) {
+        // All other literals become false.
+        for (Lit l : card.lits) {
+          if (value(l) == LBool::Undef) {
+            bool okEnq = enqueue(~l, Reason::card(cid));
+            PSSE_ASSERT(okEnq);
+          }
+        }
+      }
+    }
+
+    // Watched-literal propagation over clauses watching ~p.
+    std::vector<Watcher>& ws = watches_[static_cast<std::size_t>((~p).code())];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      if (value(w.blocker) == LBool::True) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[static_cast<std::size_t>(w.clause_id)];
+      if (c.deleted) {
+        ++i;
+        continue;
+      }
+      Lit falseLit = ~p;
+      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+      PSSE_ASSERT(c.lits[1] == falseLit);
+      Lit first = c.lits[0];
+      if (value(first) == LBool::True) {
+        ws[j++] = {w.clause_id, first};
+        ++i;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(
+              {w.clause_id, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;
+        continue;
+      }
+      // Clause is unit or conflicting.
+      ws[j++] = {w.clause_id, first};
+      ++i;
+      if (value(first) == LBool::False) {
+        // Conflict: copy the remaining watchers and bail out. qhead_ is
+        // deliberately left mid-trail — cardinality counters only cover the
+        // dequeued prefix, and cancel_until relies on that.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        return w.clause_id;
+      }
+      bool okEnq = enqueue(first, Reason::clause(w.clause_id));
+      PSSE_ASSERT(okEnq);
+    }
+    ws.resize(j);
+  }
+  return kNoConflict;
+}
+
+bool SatSolver::theory_check(bool final, std::vector<Lit>& confl) {
+  if (theory_ == nullptr) return true;
+  // Feed newly assigned theory literals in trail order.
+  while (theory_qhead_ < trail_.size()) {
+    Lit p = trail_[theory_qhead_++];
+    if (!theory_->is_theory_var(p.var())) continue;
+    ++theory_assert_count_;
+    if (!theory_->on_assert(p)) {
+      ++stats_.theory_conflicts;
+      confl = theory_->conflict_explanation();
+      return false;
+    }
+  }
+  ++stats_.theory_checks;
+  if (!theory_->check(final)) {
+    ++stats_.theory_conflicts;
+    confl = theory_->conflict_explanation();
+    return false;
+  }
+  return true;
+}
+
+void SatSolver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  std::int32_t bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (std::int32_t c = static_cast<std::int32_t>(trail_.size()) - 1;
+       c >= bound; --c) {
+    Lit p = trail_[static_cast<std::size_t>(c)];
+    Var x = p.var();
+    // Undo cardinality counters for literals the theory of whose true form
+    // was counted. The literal stored on the trail is the true one.
+    if (static_cast<std::size_t>(c) < qhead_) {
+      for (std::int32_t cid :
+           card_occs_[static_cast<std::size_t>(p.code())]) {
+        Card& card = cards_[static_cast<std::size_t>(cid)];
+        if (!card.deleted) --card.num_true;
+      }
+    }
+    assigns_[static_cast<std::size_t>(x)] = LBool::Undef;
+    phase_[static_cast<std::size_t>(x)] = !p.negated();
+    if (heap_index_[static_cast<std::size_t>(x)] < 0) heap_insert(x);
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+  if (theory_qhead_ > trail_.size()) {
+    // Retract theory bounds asserted beyond the new trail.
+    std::size_t remaining = 0;
+    for (std::size_t i = 0; i < trail_.size(); ++i) {
+      if (theory_ != nullptr && theory_->is_theory_var(trail_[i].var())) {
+        ++remaining;
+      }
+    }
+    theory_qhead_ = trail_.size();
+    theory_assert_count_ = remaining;
+    if (theory_ != nullptr) theory_->pop_to_assertion_count(remaining);
+  }
+}
+
+std::vector<Lit> SatSolver::reason_clause(Var v) {
+  const VarInfo& info = var_info_[static_cast<std::size_t>(v)];
+  std::vector<Lit> out;
+  switch (info.reason.kind) {
+    case Reason::Kind::None:
+      break;
+    case Reason::Kind::Clause: {
+      const Clause& c = clauses_[static_cast<std::size_t>(info.reason.index)];
+      out = c.lits;
+      // Put the implied literal first.
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i].var() == v) {
+          std::swap(out[0], out[i]);
+          break;
+        }
+      }
+      break;
+    }
+    case Reason::Kind::Card: {
+      const Card& card = cards_[static_cast<std::size_t>(info.reason.index)];
+      // v was forced false because `bound` literals assigned earlier are
+      // true: clause = ~v_lit \/ ~t_1 \/ ... \/ ~t_bound.
+      Lit implied = value(v) == LBool::True ? Lit::pos(v) : Lit::neg(v);
+      out.push_back(implied);
+      std::int32_t myPos = info.trail_pos;
+      std::uint32_t found = 0;
+      for (Lit l : card.lits) {
+        if (value(l) == LBool::True &&
+            var_info_[static_cast<std::size_t>(l.var())].trail_pos < myPos) {
+          out.push_back(~l);
+          if (++found == card.bound) break;
+        }
+      }
+      PSSE_ASSERT(found == card.bound);
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint32_t SatSolver::compute_lbd(const std::vector<Lit>& lits) {
+  std::vector<std::int32_t> levels;
+  levels.reserve(lits.size());
+  for (Lit l : lits) {
+    levels.push_back(var_info_[static_cast<std::size_t>(l.var())].level);
+  }
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  return static_cast<std::uint32_t>(levels.size());
+}
+
+void SatSolver::analyze(std::int32_t confl_clause,
+                        const std::vector<Lit>& confl_lits_in,
+                        std::vector<Lit>& out_learnt, int& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(Lit());  // placeholder for the asserting literal
+  std::vector<Lit> conflLits;
+  if (confl_clause >= 0) {
+    Clause& c = clauses_[static_cast<std::size_t>(confl_clause)];
+    if (c.learned) clause_bump(c);
+    conflLits = c.lits;
+  } else {
+    conflLits = confl_lits_in;
+  }
+
+  int pathC = 0;
+  Lit p;  // undefined
+  std::size_t index = trail_.size();
+  std::vector<Lit> toClear;
+  bool first = true;
+
+  for (;;) {
+    for (std::size_t i = first && !p.valid() ? 0 : 1; i < conflLits.size();
+         ++i) {
+      Lit q = conflLits[i];
+      Var vq = q.var();
+      const VarInfo& info = var_info_[static_cast<std::size_t>(vq)];
+      if (!seen_[static_cast<std::size_t>(vq)] && info.level > 0) {
+        seen_[static_cast<std::size_t>(vq)] = true;
+        toClear.push_back(q);
+        var_bump(vq);
+        if (info.level >= decision_level()) {
+          ++pathC;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    first = false;
+    // Select the next literal on the trail to resolve.
+    while (index > 0 && !seen_[static_cast<std::size_t>(
+                            trail_[index - 1].var())]) {
+      --index;
+    }
+    PSSE_ASSERT(index > 0);
+    p = trail_[--index];
+    seen_[static_cast<std::size_t>(p.var())] = false;
+    --pathC;
+    if (pathC <= 0) break;
+    conflLits = reason_clause(p.var());
+    PSSE_ASSERT(!conflLits.empty());
+    // conflLits[0] is the implied literal p; resolve over the rest.
+  }
+  out_learnt[0] = ~p;
+
+  // Clause minimisation: drop literals whose reason is fully subsumed by the
+  // rest of the learnt clause.
+  std::size_t w = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    Var v = out_learnt[i].var();
+    const VarInfo& info = var_info_[static_cast<std::size_t>(v)];
+    bool redundant = false;
+    if (info.reason.kind != Reason::Kind::None) {
+      std::vector<Lit> r = reason_clause(v);
+      redundant = true;
+      for (std::size_t k = 1; k < r.size(); ++k) {
+        Var rv = r[k].var();
+        const VarInfo& ri = var_info_[static_cast<std::size_t>(rv)];
+        if (ri.level > 0 && !seen_[static_cast<std::size_t>(rv)]) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) out_learnt[w++] = out_learnt[i];
+  }
+  out_learnt.resize(w);
+
+  for (Lit l : toClear) seen_[static_cast<std::size_t>(l.var())] = false;
+
+  // Backjump level: second-highest level in the clause.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t maxI = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (var_info_[static_cast<std::size_t>(out_learnt[i].var())].level >
+          var_info_[static_cast<std::size_t>(out_learnt[maxI].var())].level) {
+        maxI = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[maxI]);
+    out_btlevel =
+        var_info_[static_cast<std::size_t>(out_learnt[1].var())].level;
+  }
+}
+
+void SatSolver::var_bump(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  int idx = heap_index_[static_cast<std::size_t>(v)];
+  if (idx >= 0) heap_up(idx);
+}
+
+void SatSolver::var_decay() { var_inc_ /= var_decay_; }
+
+void SatSolver::clause_bump(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (std::int32_t id : learned_ids_) {
+      clauses_[static_cast<std::size_t>(id)].activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+Lit SatSolver::pick_branch() {
+  while (!heap_empty()) {
+    Var v = heap_pop();
+    if (value(v) == LBool::Undef) {
+      return Lit(v, !phase_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return Lit();  // invalid: everything assigned
+}
+
+void SatSolver::reduce_db() {
+  // Keep glue clauses (lbd <= 2) and clauses locked as reasons; drop the
+  // least active half of the rest.
+  std::vector<std::int32_t> candidates;
+  std::vector<bool> locked(clauses_.size(), false);
+  for (Lit l : trail_) {
+    const VarInfo& info = var_info_[static_cast<std::size_t>(l.var())];
+    if (info.reason.kind == Reason::Kind::Clause) {
+      locked[static_cast<std::size_t>(info.reason.index)] = true;
+    }
+  }
+  for (std::int32_t id : learned_ids_) {
+    Clause& c = clauses_[static_cast<std::size_t>(id)];
+    if (!c.deleted && c.lbd > 2 && !locked[static_cast<std::size_t>(id)]) {
+      candidates.push_back(id);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return clauses_[static_cast<std::size_t>(a)].activity <
+                     clauses_[static_cast<std::size_t>(b)].activity;
+            });
+  std::size_t toDelete = candidates.size() / 2;
+  for (std::size_t i = 0; i < toDelete; ++i) {
+    clauses_[static_cast<std::size_t>(candidates[i])].deleted = true;
+    clauses_[static_cast<std::size_t>(candidates[i])].lits.clear();
+    clauses_[static_cast<std::size_t>(candidates[i])].lits.shrink_to_fit();
+    ++stats_.deleted_clauses;
+  }
+}
+
+void SatSolver::rebuild_order_heap() {
+  heap_.clear();
+  std::fill(heap_index_.begin(), heap_index_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (value(v) == LBool::Undef) heap_insert(v);
+  }
+}
+
+SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
+                             const Budget& budget) {
+  if (!ok_) return SolveResult::Unsat;
+  PSSE_CHECK(decision_level() == 0, "solve: not at decision level 0");
+  for (Lit a : assumptions) {
+    PSSE_CHECK(a.var() >= 0 && a.var() < num_vars(),
+               "solve: unknown assumption variable");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t conflictLimit =
+      budget.max_conflicts == 0 ? UINT64_MAX
+                                : stats_.conflicts + budget.max_conflicts;
+  auto out_of_time = [&]() {
+    return budget.max_time.count() > 0 &&
+           std::chrono::steady_clock::now() - start >= budget.max_time;
+  };
+
+  rebuild_order_heap();
+  std::uint64_t restartCount = 0;
+  std::uint64_t conflictsUntilRestart = 100 * luby(restartCount);
+  std::uint64_t conflictsSinceRestart = 0;
+  std::vector<Lit> learnt;
+  std::vector<Lit> theoryConfl;
+
+  for (;;) {
+    std::int32_t confl = propagate();
+    std::vector<Lit> conflLits;
+    if (confl == kNoConflict) {
+      // Propagation fixpoint: consult the theory.
+      if (!theory_check(false, theoryConfl)) {
+        confl = kExplicitConflict;
+        conflLits = theoryConfl;
+      }
+    } else if (confl == kExplicitConflict) {
+      conflLits = pending_conflict_;
+    }
+
+    if (confl != kNoConflict) {
+      ++stats_.conflicts;
+      ++conflictsSinceRestart;
+      // A conflict entirely at level 0 closes the instance.
+      bool allLevel0 = true;
+      const std::vector<Lit>& cl =
+          confl >= 0 ? clauses_[static_cast<std::size_t>(confl)].lits
+                     : conflLits;
+      for (Lit l : cl) {
+        if (var_info_[static_cast<std::size_t>(l.var())].level > 0) {
+          allLevel0 = false;
+          break;
+        }
+      }
+      if (decision_level() == 0 || allLevel0) {
+        ok_ = false;
+        cancel_until(0);
+        return SolveResult::Unsat;
+      }
+      int btlevel = 0;
+      analyze(confl, conflLits, learnt, btlevel);
+      cancel_until(btlevel);
+      if (learnt.size() == 1) {
+        bool okEnq = enqueue(learnt[0], Reason::none());
+        PSSE_ASSERT(okEnq);
+      } else {
+        std::int32_t id = static_cast<std::int32_t>(clauses_.size());
+        Clause c;
+        c.lits = learnt;
+        c.learned = true;
+        c.lbd = compute_lbd(learnt);
+        clauses_.push_back(std::move(c));
+        attach_clause(id);
+        learned_ids_.push_back(id);
+        ++stats_.learned_clauses;
+        bool okEnq = enqueue(learnt[0], Reason::clause(id));
+        PSSE_ASSERT(okEnq);
+      }
+      var_decay();
+      clause_inc_ /= 0.999;
+
+      if (stats_.conflicts >= conflictLimit || out_of_time()) {
+        cancel_until(0);
+        return SolveResult::Unknown;
+      }
+      if (learned_ids_.size() > 8000 + 2 * clauses_.size() / 3) {
+        reduce_db();
+      }
+      if (conflictsSinceRestart >= conflictsUntilRestart) {
+        ++stats_.restarts;
+        ++restartCount;
+        conflictsSinceRestart = 0;
+        conflictsUntilRestart = 100 * luby(restartCount);
+        cancel_until(static_cast<int>(assumptions.size()) <= decision_level()
+                         ? static_cast<int>(assumptions.size())
+                         : 0);
+      }
+      continue;
+    }
+
+    // No conflict: extend the assignment.
+    if (out_of_time()) {
+      cancel_until(0);
+      return SolveResult::Unknown;
+    }
+    Lit next;
+    // Assumption decisions come first, one per level.
+    while (decision_level() < static_cast<int>(assumptions.size())) {
+      Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+      if (value(a) == LBool::True) {
+        trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      } else if (value(a) == LBool::False) {
+        cancel_until(0);
+        return SolveResult::Unsat;  // assumptions inconsistent
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (!next.valid()) {
+      next = pick_branch();
+      if (next.valid()) ++stats_.decisions;
+    } else {
+      ++stats_.decisions;
+    }
+    if (!next.valid()) {
+      // Full assignment: ask the theory for a final verdict.
+      if (!theory_check(true, theoryConfl)) {
+        bool allLevel0 = true;
+        for (Lit l : theoryConfl) {
+          if (var_info_[static_cast<std::size_t>(l.var())].level > 0) {
+            allLevel0 = false;
+            break;
+          }
+        }
+        if (decision_level() == 0 || allLevel0 || theoryConfl.empty()) {
+          ok_ = false;
+          cancel_until(0);
+          return SolveResult::Unsat;
+        }
+        ++stats_.conflicts;
+        int btlevel = 0;
+        analyze(kExplicitConflict, theoryConfl, learnt, btlevel);
+        cancel_until(btlevel);
+        if (learnt.size() == 1) {
+          bool okEnq = enqueue(learnt[0], Reason::none());
+          PSSE_ASSERT(okEnq);
+        } else {
+          std::int32_t id = static_cast<std::int32_t>(clauses_.size());
+          Clause c;
+          c.lits = learnt;
+          c.learned = true;
+          c.lbd = compute_lbd(learnt);
+          clauses_.push_back(std::move(c));
+          attach_clause(id);
+          learned_ids_.push_back(id);
+          ++stats_.learned_clauses;
+          bool okEnq = enqueue(learnt[0], Reason::clause(id));
+          PSSE_ASSERT(okEnq);
+        }
+        continue;
+      }
+      // Satisfiable: snapshot the model.
+      if (theory_ != nullptr) theory_->on_model();
+      model_.assign(static_cast<std::size_t>(num_vars()), false);
+      for (Var v = 0; v < num_vars(); ++v) {
+        model_[static_cast<std::size_t>(v)] = value(v) == LBool::True;
+      }
+      cancel_until(0);
+      return SolveResult::Sat;
+    }
+    trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+    bool okEnq = enqueue(next, Reason::none());
+    PSSE_ASSERT(okEnq);
+  }
+}
+
+bool SatSolver::model_value(Var v) const {
+  PSSE_CHECK(v >= 0 && static_cast<std::size_t>(v) < model_.size(),
+             "model_value: no model for variable");
+  return model_[static_cast<std::size_t>(v)];
+}
+
+void SatSolver::push() {
+  PSSE_CHECK(decision_level() == 0, "push: not at decision level 0");
+  save_points_.push_back(
+      {num_vars(), pristine_clauses_.size(), pristine_cards_.size()});
+}
+
+void SatSolver::pop() {
+  PSSE_CHECK(!save_points_.empty(), "pop without matching push");
+  PSSE_CHECK(decision_level() == 0, "pop: not at decision level 0");
+  SavePoint sp = save_points_.back();
+  save_points_.pop_back();
+
+  pristine_clauses_.resize(sp.num_pristine_clauses);
+  pristine_cards_.resize(sp.num_pristine_cards);
+
+  // Rebuild the entire database from the pristine constraints: learned
+  // clauses and level-0 facts derived after the push may depend on popped
+  // constraints, so discarding everything and replaying is the only simple
+  // sound option.
+  stats_.deleted_clauses += learned_ids_.size();
+  learned_ids_.clear();
+  clauses_.clear();
+  cards_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  qhead_ = 0;
+  theory_qhead_ = 0;
+  theory_assert_count_ = 0;
+  if (theory_ != nullptr) theory_->pop_to_assertion_count(0);
+
+  assigns_.assign(static_cast<std::size_t>(sp.num_vars), LBool::Undef);
+  var_info_.assign(static_cast<std::size_t>(sp.num_vars), {});
+  phase_.resize(static_cast<std::size_t>(sp.num_vars));
+  activity_.resize(static_cast<std::size_t>(sp.num_vars));
+  seen_.assign(static_cast<std::size_t>(sp.num_vars), false);
+  watches_.assign(static_cast<std::size_t>(2 * sp.num_vars), {});
+  card_occs_.assign(static_cast<std::size_t>(2 * sp.num_vars), {});
+  heap_index_.assign(static_cast<std::size_t>(sp.num_vars), -1);
+  heap_.clear();
+
+  ok_ = true;
+  replaying_ = true;
+  for (const auto& lits : pristine_clauses_) add_clause(lits);
+  for (const auto& card : pristine_cards_) add_at_most(card.lits, card.bound);
+  replaying_ = false;
+  rebuild_order_heap();
+}
+
+std::size_t SatSolver::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (const Clause& c : clauses_) {
+    bytes += sizeof(Clause) + c.lits.capacity() * sizeof(Lit);
+  }
+  for (const Card& c : cards_) {
+    bytes += sizeof(Card) + c.lits.capacity() * sizeof(Lit);
+  }
+  for (const auto& w : watches_) bytes += w.capacity() * sizeof(Watcher);
+  for (const auto& o : card_occs_) {
+    bytes += o.capacity() * sizeof(std::int32_t);
+  }
+  bytes += assigns_.capacity() * sizeof(LBool);
+  bytes += var_info_.capacity() * sizeof(VarInfo);
+  bytes += activity_.capacity() * sizeof(double);
+  bytes += trail_.capacity() * sizeof(Lit);
+  bytes += heap_.capacity() * sizeof(Var);
+  bytes += heap_index_.capacity() * sizeof(std::int32_t);
+  return bytes;
+}
+
+void SatSolver::heap_insert(Var v) {
+  heap_index_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_up(static_cast<int>(heap_.size()) - 1);
+}
+
+Var SatSolver::heap_pop() {
+  PSSE_ASSERT(!heap_.empty());
+  Var top = heap_[0];
+  heap_index_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_index_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_down(0);
+  }
+  return top;
+}
+
+void SatSolver::heap_up(int i) {
+  Var v = heap_[static_cast<std::size_t>(i)];
+  double act = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    Var pv = heap_[static_cast<std::size_t>(parent)];
+    if (activity_[static_cast<std::size_t>(pv)] >= act) break;
+    heap_[static_cast<std::size_t>(i)] = pv;
+    heap_index_[static_cast<std::size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_index_[static_cast<std::size_t>(v)] = i;
+}
+
+void SatSolver::heap_down(int i) {
+  Var v = heap_[static_cast<std::size_t>(i)];
+  double act = activity_[static_cast<std::size_t>(v)];
+  int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(
+            child + 1)])] >
+            activity_[static_cast<std::size_t>(
+                heap_[static_cast<std::size_t>(child)])]) {
+      ++child;
+    }
+    Var cv = heap_[static_cast<std::size_t>(child)];
+    if (act >= activity_[static_cast<std::size_t>(cv)]) break;
+    heap_[static_cast<std::size_t>(i)] = cv;
+    heap_index_[static_cast<std::size_t>(cv)] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_index_[static_cast<std::size_t>(v)] = i;
+}
+
+}  // namespace psse::smt

@@ -1,0 +1,255 @@
+// CDCL SAT solver with native cardinality constraints and a DPLL(T) theory
+// hook.
+//
+// Features: two-watched-literal propagation, first-UIP conflict analysis
+// with clause minimisation, exponential VSIDS activities, phase saving,
+// Luby restarts, LBD-based learned-clause reduction, solving under
+// assumptions, push/pop of the constraint database, and counter-based
+// AtMost-K constraints with lazily reconstructed reasons (no exponential
+// CNF encodings).
+//
+// The theory client (the simplex LRA solver) is attached via TheoryClient;
+// the SAT core notifies it of assignments to theory-mapped literals and asks
+// it for consistency at every propagation fixpoint and at full assignments.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/literal.h"
+
+namespace psse::smt {
+
+/// Result of a solve call.
+enum class SolveResult { Sat, Unsat, Unknown };
+
+/// Interface the SAT core uses to drive an attached theory solver.
+class TheoryClient {
+ public:
+  virtual ~TheoryClient() = default;
+
+  /// A theory-mapped literal became true. Must not throw. Returns false if
+  /// the theory detects an immediate bound conflict; the core will then call
+  /// conflict_explanation().
+  virtual bool on_assert(Lit lit) = 0;
+
+  /// Called at each propagation fixpoint (and at a full assignment, with
+  /// final==true). Returns true if the current set of asserted bounds is
+  /// consistent.
+  virtual bool check(bool final) = 0;
+
+  /// After on_assert or check returned false: a conflict clause (the
+  /// negations of the inconsistent bound literals). Every literal in the
+  /// returned clause must currently be false.
+  virtual std::vector<Lit> conflict_explanation() = 0;
+
+  /// The boolean assignment is complete and the theory is consistent; the
+  /// client may snapshot theory model values before the core backtracks.
+  virtual void on_model() {}
+
+  /// The trail shrank: retract every bound asserted after `n` theory
+  /// assertions (the count of on_assert calls that are still valid).
+  virtual void pop_to_assertion_count(std::size_t n) = 0;
+
+  /// True if this boolean variable is mapped to a theory atom.
+  virtual bool is_theory_var(Var v) const = 0;
+};
+
+/// Aggregate statistics, exposed for the evaluation harness.
+struct SatStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t theory_checks = 0;
+  std::uint64_t theory_conflicts = 0;
+};
+
+/// Resource limits for a solve call; zero means unlimited.
+struct Budget {
+  std::uint64_t max_conflicts = 0;
+  std::chrono::milliseconds max_time{0};
+};
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+  SatSolver(const SatSolver&) = delete;
+  SatSolver& operator=(const SatSolver&) = delete;
+
+  /// Creates a fresh boolean variable and returns its index.
+  Var new_var();
+  [[nodiscard]] int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause (disjunction). An empty clause makes the instance
+  /// trivially UNSAT. Must be called at decision level 0.
+  void add_clause(std::vector<Lit> lits);
+
+  /// Adds sum(lits true) <= bound. bound >= lits.size() is a no-op;
+  /// bound == 0 forces all literals false.
+  void add_at_most(std::vector<Lit> lits, std::uint32_t bound);
+  /// Adds sum(lits true) >= bound (encoded as at-most on negations).
+  void add_at_least(std::vector<Lit> lits, std::uint32_t bound);
+
+  /// Attaches the theory client. Must be done before solving; the pointer
+  /// is unowned and must outlive the solver's use.
+  void set_theory(TheoryClient* theory) { theory_ = theory; }
+
+  /// Saves the sizes of the constraint database.
+  void push();
+  /// Restores the previous save point: constraints and variables created
+  /// since the matching push are discarded, as are all learned clauses.
+  void pop();
+
+  /// Decides satisfiability under the given assumption literals.
+  SolveResult solve(const std::vector<Lit>& assumptions = {},
+                    const Budget& budget = {});
+
+  /// Model value of a variable after solve() returned Sat.
+  [[nodiscard]] bool model_value(Var v) const;
+
+  [[nodiscard]] const SatStats& stats() const { return stats_; }
+
+  /// Approximate heap footprint of the clause/watch/card databases in
+  /// bytes (Table IV accounting).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    std::uint32_t lbd = 0;
+    bool learned = false;
+    bool deleted = false;
+  };
+
+  struct Card {
+    std::vector<Lit> lits;  // at most `bound` of these may be true
+    std::uint32_t bound = 0;
+    std::uint32_t num_true = 0;
+    bool deleted = false;
+  };
+
+  // Why a variable was assigned.
+  struct Reason {
+    enum class Kind : std::uint8_t { None, Clause, Card } kind = Kind::None;
+    std::int32_t index = -1;
+    static Reason none() { return {}; }
+    static Reason clause(std::int32_t id) {
+      return {Kind::Clause, id};
+    }
+    static Reason card(std::int32_t id) { return {Kind::Card, id}; }
+  };
+
+  struct VarInfo {
+    Reason reason;
+    std::int32_t level = 0;
+    std::int32_t trail_pos = -1;
+  };
+
+  struct Watcher {
+    std::int32_t clause_id;
+    Lit blocker;
+  };
+
+  struct SavePoint {
+    int num_vars;
+    std::size_t num_pristine_clauses;
+    std::size_t num_pristine_cards;
+  };
+
+  struct PristineCard {
+    std::vector<Lit> lits;
+    std::uint32_t bound;
+  };
+
+  [[nodiscard]] LBool value(Lit l) const {
+    LBool v = assigns_[l.var()];
+    return l.negated() ? negate(v) : v;
+  }
+  [[nodiscard]] LBool value(Var v) const { return assigns_[v]; }
+  [[nodiscard]] int decision_level() const {
+    return static_cast<int>(trail_lim_.size());
+  }
+
+  void attach_clause(std::int32_t id);
+  void attach_card(std::int32_t id);
+  bool enqueue(Lit l, Reason reason);
+  // Returns conflicting clause id, or -1 and fills card/theory conflict
+  // state. kNoConflict when propagation reached a fixpoint.
+  std::int32_t propagate();
+  void cancel_until(int level);
+  void analyze(std::int32_t confl_clause,
+               const std::vector<Lit>& confl_lits_in,
+               std::vector<Lit>& out_learnt, int& out_btlevel);
+  // The clause (implied lit first) justifying an assignment.
+  std::vector<Lit> reason_clause(Var v);
+  void var_bump(Var v);
+  void var_decay();
+  void clause_bump(Clause& c);
+  Lit pick_branch();
+  void reduce_db();
+  void rebuild_order_heap();
+  std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+  bool theory_check(bool final, std::vector<Lit>& confl);
+  void remove_learned_clauses();
+
+  // Heap-backed VSIDS order (simple binary heap keyed by activity).
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(int i);
+  void heap_down(int i);
+  [[nodiscard]] bool heap_empty() const { return heap_.empty(); }
+
+  TheoryClient* theory_ = nullptr;
+
+  std::deque<Clause> clauses_;
+  std::deque<Card> cards_;
+  std::vector<std::vector<Watcher>> watches_;     // indexed by lit code
+  std::vector<std::vector<std::int32_t>> card_occs_;  // lit code -> card ids
+
+  std::vector<LBool> assigns_;
+  std::vector<VarInfo> var_info_;
+  std::vector<bool> phase_;       // saved phases
+  std::vector<double> activity_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::size_t theory_qhead_ = 0;       // trail prefix already sent to theory
+  std::size_t theory_assert_count_ = 0;
+
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_index_;
+
+  double var_inc_ = 1.0;
+  double var_decay_ = 0.95;
+  double clause_inc_ = 1.0;
+
+  bool ok_ = true;  // false once UNSAT at level 0
+  std::vector<bool> model_;
+  std::vector<std::int32_t> learned_ids_;
+  std::vector<SavePoint> save_points_;
+
+  // Constraints exactly as the user gave them, so pop() can rebuild the
+  // database without trusting level-0 simplifications that may have used
+  // popped facts.
+  std::vector<std::vector<Lit>> pristine_clauses_;
+  std::vector<PristineCard> pristine_cards_;
+  bool replaying_ = false;
+
+  // Conflict state populated by propagate() for non-clause conflicts.
+  std::vector<Lit> pending_conflict_;
+
+  // Temporaries for analyze().
+  std::vector<bool> seen_;
+
+  SatStats stats_;
+};
+
+}  // namespace psse::smt

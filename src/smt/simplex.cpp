@@ -1,0 +1,356 @@
+#include "smt/simplex.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "smt/common.h"
+
+namespace psse::smt {
+
+TVar Simplex::new_var(std::string name) {
+  TVar v = static_cast<TVar>(vars_.size());
+  VarState st;
+  st.name = name.empty() ? "r" + std::to_string(v) : std::move(name);
+  vars_.push_back(std::move(st));
+  cols_.emplace_back();
+  return v;
+}
+
+TVar Simplex::slack_for(const LinExpr& expr) {
+  PSSE_CHECK(!expr.is_constant(), "slack_for: constant expression");
+  PSSE_CHECK(expr.constant().is_zero(),
+             "slack_for: expression must have zero constant part");
+  if (auto it = slack_cache_.find(expr); it != slack_cache_.end()) {
+    return it->second;
+  }
+  TVar s = new_var("s" + std::to_string(rows_.size()));
+  // Row: s = sum(expr), substituting any basic variables by their rows so
+  // the tableau stays in solved form.
+  Row row;
+  row.owner = s;
+  LinExpr substituted;
+  for (const auto& [v, c] : expr.terms()) {
+    const VarState& st = vars_[static_cast<std::size_t>(v)];
+    if (st.row >= 0) {
+      for (const auto& [w, cw] : rows_[static_cast<std::size_t>(st.row)].terms) {
+        substituted.add_term(w, c * cw);
+      }
+    } else {
+      substituted.add_term(v, c);
+    }
+  }
+  row.terms.assign(substituted.terms().begin(), substituted.terms().end());
+  std::int32_t rowIdx = static_cast<std::int32_t>(rows_.size());
+  // beta(s) := value of the expression under the current assignment.
+  DeltaRational val;
+  for (const auto& [v, c] : row.terms) {
+    val += vars_[static_cast<std::size_t>(v)].beta * c;
+    cols_[static_cast<std::size_t>(v)].insert(rowIdx);
+  }
+  vars_[static_cast<std::size_t>(s)].beta = val;
+  vars_[static_cast<std::size_t>(s)].row = rowIdx;
+  rows_.push_back(std::move(row));
+  slack_cache_.emplace(expr, s);
+  return s;
+}
+
+const Rational* Simplex::row_coeff(const Row& row, TVar v) const {
+  auto it = std::lower_bound(
+      row.terms.begin(), row.terms.end(), v,
+      [](const auto& term, TVar key) { return term.first < key; });
+  if (it != row.terms.end() && it->first == v) return &it->second;
+  return nullptr;
+}
+
+bool Simplex::in_bounds(TVar v) const {
+  const VarState& st = vars_[static_cast<std::size_t>(v)];
+  if (st.lower.active && st.beta < st.lower.value) return false;
+  if (st.upper.active && st.beta > st.upper.value) return false;
+  return true;
+}
+
+bool Simplex::set_bound(TVar v, const DeltaRational& bound, Lit reason,
+                        bool is_upper) {
+  concrete_delta_.reset();
+  VarState& st = vars_[static_cast<std::size_t>(v)];
+  Bound& mine = is_upper ? st.upper : st.lower;
+  const Bound& other = is_upper ? st.lower : st.upper;
+
+  // Redundant (not tighter) assertions need no trail entry.
+  if (mine.active &&
+      (is_upper ? bound >= mine.value : bound <= mine.value)) {
+    return true;
+  }
+  // Immediate conflict with the opposite bound.
+  if (other.active && (is_upper ? bound < other.value : bound > other.value)) {
+    conflict_.clear();
+    conflict_.push_back(~reason);
+    if (other.reason.valid()) conflict_.push_back(~other.reason);
+    return false;
+  }
+  trail_.push_back({v, is_upper, mine});
+  mine.value = bound;
+  mine.reason = reason;
+  mine.active = true;
+
+  if (st.row < 0) {
+    // Non-basic: keep it inside its bounds eagerly. Dependent basic
+    // variables may drift out of bounds, so feasibility must be rechecked.
+    if (is_upper ? st.beta > bound : st.beta < bound) {
+      update(v, bound);
+      maybe_infeasible_ = true;
+    }
+  } else if (is_upper ? st.beta > bound : st.beta < bound) {
+    maybe_infeasible_ = true;
+  }
+  return true;
+}
+
+bool Simplex::assert_upper(TVar v, const DeltaRational& bound, Lit reason) {
+  return set_bound(v, bound, reason, true);
+}
+
+bool Simplex::assert_lower(TVar v, const DeltaRational& bound, Lit reason) {
+  return set_bound(v, bound, reason, false);
+}
+
+void Simplex::pop_to(std::size_t mark) {
+  PSSE_ASSERT(mark <= trail_.size());
+  concrete_delta_.reset();
+  while (trail_.size() > mark) {
+    TrailEntry e = std::move(trail_.back());
+    trail_.pop_back();
+    VarState& st = vars_[static_cast<std::size_t>(e.var)];
+    (e.is_upper ? st.upper : st.lower) = e.previous;
+  }
+}
+
+void Simplex::update(TVar v, const DeltaRational& newVal) {
+  VarState& st = vars_[static_cast<std::size_t>(v)];
+  PSSE_ASSERT(st.row < 0);
+  DeltaRational diff = newVal - st.beta;
+  if (diff.is_zero()) return;
+  for (std::int32_t r : cols_[static_cast<std::size_t>(v)]) {
+    const Row& row = rows_[static_cast<std::size_t>(r)];
+    const Rational* c = row_coeff(row, v);
+    PSSE_ASSERT(c != nullptr);
+    vars_[static_cast<std::size_t>(row.owner)].beta += diff * *c;
+  }
+  st.beta = newVal;
+}
+
+void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
+  ++pivots_;
+  Row& row = rows_[static_cast<std::size_t>(rowIdx)];
+  TVar leaving = row.owner;
+  const Rational* aPtr = row_coeff(row, entering);
+  PSSE_ASSERT(aPtr != nullptr && !aPtr->is_zero());
+  Rational a = *aPtr;
+  Rational inv = a.inverse();
+
+  // Solve the row for `entering`:
+  //   leaving = a*entering + rest  =>  entering = inv*leaving - inv*rest.
+  std::vector<std::pair<TVar, Rational>> newTerms;
+  newTerms.reserve(row.terms.size());
+  for (const auto& [v, c] : row.terms) {
+    if (v == entering) continue;
+    newTerms.emplace_back(v, -(c * inv));
+    cols_[static_cast<std::size_t>(v)].erase(rowIdx);
+  }
+  cols_[static_cast<std::size_t>(entering)].erase(rowIdx);
+  {
+    // Insert the leaving variable keeping terms sorted.
+    auto it = std::lower_bound(
+        newTerms.begin(), newTerms.end(), leaving,
+        [](const auto& term, TVar key) { return term.first < key; });
+    newTerms.insert(it, {leaving, inv});
+  }
+  row.owner = entering;
+  row.terms = std::move(newTerms);
+  for (const auto& [v, c] : row.terms) {
+    cols_[static_cast<std::size_t>(v)].insert(rowIdx);
+  }
+  vars_[static_cast<std::size_t>(leaving)].row = -1;
+  vars_[static_cast<std::size_t>(entering)].row = rowIdx;
+
+  // Substitute `entering` in every other row that mentions it.
+  // Copy the column set: it is mutated during substitution.
+  std::vector<std::int32_t> dependents(
+      cols_[static_cast<std::size_t>(entering)].begin(),
+      cols_[static_cast<std::size_t>(entering)].end());
+  for (std::int32_t r : dependents) {
+    if (r == rowIdx) continue;
+    Row& other = rows_[static_cast<std::size_t>(r)];
+    const Rational* bPtr = row_coeff(other, entering);
+    PSSE_ASSERT(bPtr != nullptr);
+    Rational b = *bPtr;
+    // other = b*entering + rest'  =>  substitute entering by its new row.
+    LinExpr combined;
+    for (const auto& [v, c] : other.terms) {
+      if (v != entering) combined.add_term(v, c);
+    }
+    for (const auto& [v, c] : row.terms) {
+      combined.add_term(v, b * c);
+    }
+    // Refresh the column index for this row.
+    for (const auto& [v, c] : other.terms) {
+      if (v != entering) cols_[static_cast<std::size_t>(v)].erase(r);
+    }
+    cols_[static_cast<std::size_t>(entering)].erase(r);
+    other.terms.assign(combined.terms().begin(), combined.terms().end());
+    for (const auto& [v, c] : other.terms) {
+      cols_[static_cast<std::size_t>(v)].insert(r);
+    }
+  }
+}
+
+void Simplex::pivot_and_update(std::int32_t rowIdx, TVar entering,
+                               const DeltaRational& target) {
+  Row& row = rows_[static_cast<std::size_t>(rowIdx)];
+  TVar leaving = row.owner;
+  const Rational* aPtr = row_coeff(row, entering);
+  PSSE_ASSERT(aPtr != nullptr);
+  VarState& leaveSt = vars_[static_cast<std::size_t>(leaving)];
+  VarState& enterSt = vars_[static_cast<std::size_t>(entering)];
+  // theta: how far the entering variable must move.
+  DeltaRational theta = (target - leaveSt.beta) * aPtr->inverse();
+  leaveSt.beta = target;
+  enterSt.beta += theta;
+  // Other basic variables depending on `entering` shift too.
+  for (std::int32_t r : cols_[static_cast<std::size_t>(entering)]) {
+    if (r == rowIdx) continue;
+    const Row& other = rows_[static_cast<std::size_t>(r)];
+    const Rational* c = row_coeff(other, entering);
+    PSSE_ASSERT(c != nullptr);
+    vars_[static_cast<std::size_t>(other.owner)].beta += theta * *c;
+  }
+  pivot(rowIdx, entering);
+}
+
+void Simplex::build_conflict_from_row(const Row& row, bool lowerViolated) {
+  conflict_.clear();
+  const VarState& owner = vars_[static_cast<std::size_t>(row.owner)];
+  // lowerViolated: beta(owner) < lower(owner) and no entering var can raise
+  // it; the explanation is owner's lower bound plus, for each positive
+  // coefficient the column's upper bound, for each negative its lower.
+  const Bound& ownBound = lowerViolated ? owner.lower : owner.upper;
+  PSSE_ASSERT(ownBound.active);
+  if (ownBound.reason.valid()) conflict_.push_back(~ownBound.reason);
+  for (const auto& [v, c] : row.terms) {
+    const VarState& st = vars_[static_cast<std::size_t>(v)];
+    bool needUpper = lowerViolated ? !c.is_negative() : c.is_negative();
+    const Bound& b = needUpper ? st.upper : st.lower;
+    PSSE_ASSERT(b.active);
+    if (b.reason.valid()) conflict_.push_back(~b.reason);
+  }
+}
+
+bool Simplex::check() {
+  if (!maybe_infeasible_) return true;
+  concrete_delta_.reset();
+  for (;;) {
+    // Bland's rule: smallest-index violated basic variable.
+    TVar violated = kNoTVar;
+    bool lowerViolated = false;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      TVar owner = rows_[i].owner;
+      const VarState& st = vars_[static_cast<std::size_t>(owner)];
+      if (st.lower.active && st.beta < st.lower.value) {
+        if (violated == kNoTVar || owner < violated) {
+          violated = owner;
+          lowerViolated = true;
+        }
+      } else if (st.upper.active && st.beta > st.upper.value) {
+        if (violated == kNoTVar || owner < violated) {
+          violated = owner;
+          lowerViolated = false;
+        }
+      }
+    }
+    if (violated == kNoTVar) {
+      maybe_infeasible_ = false;
+      return true;
+    }
+
+    const VarState& st = vars_[static_cast<std::size_t>(violated)];
+    std::int32_t rowIdx = st.row;
+    const Row& row = rows_[static_cast<std::size_t>(rowIdx)];
+    // Smallest-index suitable entering variable (Bland).
+    TVar entering = kNoTVar;
+    for (const auto& [v, c] : row.terms) {
+      const VarState& cv = vars_[static_cast<std::size_t>(v)];
+      bool suitable;
+      if (lowerViolated) {
+        // Need to increase the owner.
+        suitable = !c.is_negative()
+                       ? (!cv.upper.active || cv.beta < cv.upper.value)
+                       : (!cv.lower.active || cv.beta > cv.lower.value);
+      } else {
+        // Need to decrease the owner.
+        suitable = !c.is_negative()
+                       ? (!cv.lower.active || cv.beta > cv.lower.value)
+                       : (!cv.upper.active || cv.beta < cv.upper.value);
+      }
+      if (suitable && (entering == kNoTVar || v < entering)) entering = v;
+    }
+    if (entering == kNoTVar) {
+      build_conflict_from_row(row, lowerViolated);
+      return false;
+    }
+    pivot_and_update(rowIdx, entering,
+                     lowerViolated ? st.lower.value : st.upper.value);
+  }
+}
+
+void Simplex::compute_delta() {
+  // Choose a concrete positive delta small enough that replacing the
+  // symbolic delta keeps every bound satisfied: for each pair
+  // (bound, beta) with bound.real < beta.real but bound.delta > beta.delta
+  // (or the symmetric case), delta < (beta.real - bound.real) /
+  // (bound.delta - beta.delta).
+  Rational delta(1);
+  auto tighten = [&](const DeltaRational& lo, const DeltaRational& hi) {
+    // Constraint lo <= hi must survive delta instantiation.
+    if (lo.real() < hi.real() && lo.delta() > hi.delta()) {
+      Rational cand = (hi.real() - lo.real()) / (lo.delta() - hi.delta());
+      if (cand < delta) delta = cand;
+    }
+  };
+  for (const VarState& st : vars_) {
+    if (st.lower.active) tighten(st.lower.value, st.beta);
+    if (st.upper.active) tighten(st.beta, st.upper.value);
+  }
+  // Halve once so strict constraints hold strictly even at equality of the
+  // limiting ratio.
+  concrete_delta_ = delta * Rational(1, 2);
+}
+
+Rational Simplex::model_value(TVar v) {
+  if (!concrete_delta_.has_value()) compute_delta();
+  const VarState& st = vars_[static_cast<std::size_t>(v)];
+  return st.beta.real() + st.beta.delta() * *concrete_delta_;
+}
+
+std::size_t Simplex::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (const VarState& st : vars_) {
+    bytes += sizeof(VarState);
+    bytes += st.beta.real().footprint_bytes() +
+             st.beta.delta().footprint_bytes();
+    bytes += st.lower.value.real().footprint_bytes() +
+             st.upper.value.real().footprint_bytes();
+  }
+  for (const Row& row : rows_) {
+    bytes += sizeof(Row);
+    for (const auto& [v, c] : row.terms) {
+      bytes += sizeof(std::pair<TVar, Rational>) + c.footprint_bytes();
+    }
+  }
+  for (const auto& col : cols_) {
+    bytes += col.size() * sizeof(std::int32_t) * 2;  // hash-set overhead
+  }
+  bytes += trail_.capacity() * sizeof(TrailEntry);
+  return bytes;
+}
+
+}  // namespace psse::smt

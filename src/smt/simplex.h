@@ -1,0 +1,128 @@
+// Linear real arithmetic theory solver: the "general simplex" of
+// Dutertre & de Moura (CAV 2006), over exact delta-rationals.
+//
+// Variables carry optional lower/upper bounds, each tagged with the SAT
+// literal that asserted it; linear constraints are rows of a tableau whose
+// basic variable is a slack. check() restores bound feasibility by pivoting
+// (Bland's rule, so termination is guaranteed) and, on infeasibility,
+// produces a conflict clause over the tagging literals.
+//
+// Bound assertions are trailed; pop_to() retracts to an earlier trail mark
+// in O(retracted). The tableau itself is never rolled back — any pivoted
+// tableau is an equivalent presentation of the same linear system.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "smt/linear_expr.h"
+#include "smt/literal.h"
+#include "smt/rational.h"
+
+namespace psse::smt {
+
+class Simplex {
+ public:
+  Simplex() = default;
+  Simplex(const Simplex&) = delete;
+  Simplex& operator=(const Simplex&) = delete;
+
+  /// Creates a theory variable (initially unbounded, value 0).
+  TVar new_var(std::string name = {});
+  [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
+
+  /// Creates (or reuses) a slack variable constrained to equal `expr`,
+  /// which must be non-constant with zero constant part.
+  TVar slack_for(const LinExpr& expr);
+
+  /// Asserts v <= bound (or v >= bound), tagged with the asserting literal.
+  /// Returns false on an immediate bound conflict (then conflict_clause()
+  /// is the explanation).
+  bool assert_upper(TVar v, const DeltaRational& bound, Lit reason);
+  bool assert_lower(TVar v, const DeltaRational& bound, Lit reason);
+
+  /// Number of trailed bound assertions so far (monotone within a level).
+  [[nodiscard]] std::size_t trail_size() const { return trail_.size(); }
+  /// Retracts bound assertions down to an earlier trail_size().
+  void pop_to(std::size_t mark);
+
+  /// Restores feasibility. Returns false on theory conflict.
+  bool check();
+
+  /// After a failed assert/check: a clause (negated bound literals), all of
+  /// which are currently false in the SAT core.
+  [[nodiscard]] const std::vector<Lit>& conflict_clause() const {
+    return conflict_;
+  }
+
+  /// After a successful check(): concrete rational value of a variable,
+  /// with delta instantiated small enough to respect every strict bound.
+  [[nodiscard]] Rational model_value(TVar v);
+
+  /// Diagnostics / Table IV accounting.
+  [[nodiscard]] std::uint64_t num_pivots() const { return pivots_; }
+  [[nodiscard]] std::size_t footprint_bytes() const;
+  [[nodiscard]] const std::string& name_of(TVar v) const {
+    return vars_[static_cast<std::size_t>(v)].name;
+  }
+
+ private:
+  struct Bound {
+    DeltaRational value;
+    Lit reason;
+    bool active = false;
+  };
+
+  struct VarState {
+    std::string name;
+    Bound lower;
+    Bound upper;
+    DeltaRational beta;        // current assignment
+    std::int32_t row = -1;     // row index if basic, -1 if non-basic
+  };
+
+  struct TrailEntry {
+    TVar var;
+    bool is_upper;
+    Bound previous;
+  };
+
+  // Row: owner = sum(coeff * column var). Terms sorted by var id.
+  struct Row {
+    TVar owner;
+    std::vector<std::pair<TVar, Rational>> terms;
+  };
+
+  bool set_bound(TVar v, const DeltaRational& bound, Lit reason,
+                 bool is_upper);
+  // Moves a non-basic variable and propagates into dependent basics.
+  void update(TVar v, const DeltaRational& newVal);
+  // Pivots basic leaving var (by row) with entering non-basic var, setting
+  // the leaving var's value to `target`.
+  void pivot_and_update(std::int32_t rowIdx, TVar entering,
+                        const DeltaRational& target);
+  void pivot(std::int32_t rowIdx, TVar entering);
+  [[nodiscard]] const Rational* row_coeff(const Row& row, TVar v) const;
+  void build_conflict_from_row(const Row& row, bool lowerViolated);
+  [[nodiscard]] bool in_bounds(TVar v) const;
+  void compute_delta();
+
+  std::vector<VarState> vars_;
+  std::vector<Row> rows_;
+  // var -> rows whose terms mention it (column index).
+  std::vector<std::unordered_set<std::int32_t>> cols_;
+  std::unordered_map<LinExpr, TVar> slack_cache_;
+  std::vector<TrailEntry> trail_;
+  std::vector<Lit> conflict_;
+  std::optional<Rational> concrete_delta_;
+  std::uint64_t pivots_ = 0;
+  // False only when every variable is known to satisfy its bounds; lets
+  // check() short-circuit at propagation fixpoints where no bound moved.
+  bool maybe_infeasible_ = false;
+};
+
+}  // namespace psse::smt

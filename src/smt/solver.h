@@ -1,0 +1,132 @@
+// The public SMT solver facade: DPLL(T) over the CDCL core and the simplex
+// LRA theory.
+//
+// Usage:
+//   Solver s;
+//   TermRef p = s.mk_bool("p");
+//   TVar x = s.mk_real("x");
+//   LinExpr e = LinExpr::var(x);
+//   s.assert_term(s.terms().mk_implies(p, s.terms().mk_ge(e, 3)));
+//   ...
+//   if (s.solve() == SolveResult::Sat) { s.bool_value(p); s.real_value(x); }
+//
+// Cardinality constraints (sum of booleans <= k) go through add_at_most /
+// add_at_least, which reach the CDCL core's native counting propagator.
+//
+// push()/pop() checkpoint the assertion database; solve() also accepts
+// assumption literals, which is how the countermeasure-synthesis loop
+// evaluates candidate architectures without re-encoding the attack model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/sat_solver.h"
+#include "smt/simplex.h"
+#include "smt/term.h"
+
+namespace psse::smt {
+
+/// Aggregate statistics across the boolean and theory parts.
+struct SolverStats {
+  SatStats sat;
+  std::uint64_t pivots = 0;
+  std::size_t num_terms = 0;
+  std::size_t num_atoms = 0;
+  std::size_t num_bool_vars = 0;
+  std::size_t num_real_vars = 0;
+  std::size_t footprint_bytes = 0;
+};
+
+class Solver final : private TheoryClient {
+ public:
+  Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Term builder (owned by the solver).
+  [[nodiscard]] TermManager& terms() { return terms_; }
+
+  /// Fresh boolean variable as a term.
+  TermRef mk_bool(std::string name = {}) {
+    return terms_.mk_bool(std::move(name));
+  }
+  /// Fresh real variable.
+  TVar mk_real(std::string name = {}) { return terms_.mk_real(std::move(name)); }
+
+  /// Asserts a term (must hold in every model).
+  void assert_term(TermRef t);
+  /// Asserts sum(b in bools true) <= k. Terms must be boolean-sorted.
+  void add_at_most(const std::vector<TermRef>& bools, std::uint32_t k);
+  /// Asserts sum(b in bools true) >= k.
+  void add_at_least(const std::vector<TermRef>& bools, std::uint32_t k);
+
+  /// Checkpoints the assertion database.
+  void push();
+  /// Restores the last checkpoint.
+  void pop();
+
+  /// Decides satisfiability of the asserted formulas, optionally under
+  /// assumptions (terms that must hold for this call only).
+  SolveResult solve(const std::vector<TermRef>& assumptions = {},
+                    const Budget& budget = {});
+
+  /// Model access after solve() returned Sat.
+  [[nodiscard]] bool bool_value(TermRef t) const;
+  [[nodiscard]] Rational real_value(TVar v) const;
+
+  [[nodiscard]] SolverStats stats() const;
+
+ private:
+  struct AtomInfo {
+    TVar simplex_var = kNoTVar;
+    bool is_lt = false;   // AtomLt vs AtomLe
+    Rational bound;
+  };
+
+  struct SavePoint {
+    std::size_t encoded_trail;
+    std::size_t atom_trail;
+  };
+
+  // --- TheoryClient ---
+  bool on_assert(Lit lit) override;
+  bool check(bool final) override;
+  std::vector<Lit> conflict_explanation() override;
+  void pop_to_assertion_count(std::size_t n) override;
+  bool is_theory_var(Var v) const override;
+  void on_model() override;
+
+  /// CNF encoding with structural caching: SAT literal equisatisfiable
+  /// with term t.
+  Lit encode(TermRef t);
+  Lit encode_node(std::int32_t index);
+  TVar simplex_var_for(const LinExpr& userExpr);
+
+  TermManager terms_;
+  SatSolver sat_;
+  Simplex simplex_;
+
+  // Term node index -> SAT literal for the positive node.
+  std::unordered_map<std::int32_t, Lit> encoded_;
+  std::vector<std::int32_t> encoded_trail_;  // insertion order, for pop()
+
+  // SAT var -> atom mapping.
+  std::vector<std::int32_t> sat_to_atom_;  // -1 when not a theory literal
+  std::vector<AtomInfo> atoms_;
+  std::vector<Var> atom_sat_vars_;  // insertion order, for pop()
+
+  // User real var -> simplex var.
+  std::vector<TVar> real_to_simplex_;
+
+  // Simplex trail mark before each theory assertion (for retraction).
+  std::vector<std::size_t> assert_marks_;
+
+  std::vector<Rational> model_reals_;  // snapshot by simplex var id
+  std::vector<SavePoint> save_points_;
+};
+
+}  // namespace psse::smt

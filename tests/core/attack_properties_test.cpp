@@ -1,0 +1,183 @@
+// Property-based tests of the UFDI verification model on random small
+// grids: monotonicity laws, model soundness (extracted attack vectors
+// satisfy every constraint they were solved under), and agreement between
+// static securing and assumption-based securing.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/attack_model.h"
+#include "core/attack_vector.h"
+#include "grid/ieee_cases.h"
+
+namespace psse::core {
+namespace {
+
+using smt::SolveResult;
+
+grid::Grid random_grid(std::mt19937_64& rng) {
+  int buses = 4 + static_cast<int>(rng() % 5);  // 4..8
+  int lines = buses - 1 + static_cast<int>(rng() % buses);
+  return grid::cases::synthetic(buses, lines, rng());
+}
+
+grid::MeasurementPlan random_plan(const grid::Grid& g,
+                                  std::mt19937_64& rng) {
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (rng() % 5 == 0) plan.set_taken(m, false);
+    if (rng() % 7 == 0) plan.set_secured(m, true);
+    if (rng() % 9 == 0) plan.set_accessible(m, false);
+  }
+  return plan;
+}
+
+TEST(AttackModelProperty, SecurityIsMonotone) {
+  // If an attack survives a superset of countermeasures, it survives any
+  // subset of them too.
+  std::mt19937_64 rng(424242);
+  for (int iter = 0; iter < 25; ++iter) {
+    grid::Grid g = random_grid(rng);
+    grid::MeasurementPlan plan = random_plan(g, rng);
+    AttackSpec spec;
+    UfdiAttackModel model(g, plan, spec);
+    std::vector<grid::BusId> small, large;
+    for (grid::BusId b = 1; b < g.num_buses(); ++b) {
+      if (rng() % 3 == 0) {
+        large.push_back(b);
+        if (rng() % 2 == 0) small.push_back(b);
+      }
+    }
+    SolveResult withLarge = model.verify_with_secured_buses(large).result;
+    SolveResult withSmall = model.verify_with_secured_buses(small).result;
+    if (withLarge == SolveResult::Sat) {
+      EXPECT_EQ(withSmall, SolveResult::Sat) << "iter " << iter;
+    }
+    if (withSmall == SolveResult::Unsat) {
+      EXPECT_EQ(withLarge, SolveResult::Unsat) << "iter " << iter;
+    }
+  }
+}
+
+TEST(AttackModelProperty, ResourcesAreMonotone) {
+  std::mt19937_64 rng(77);
+  for (int iter = 0; iter < 25; ++iter) {
+    grid::Grid g = random_grid(rng);
+    grid::MeasurementPlan plan = random_plan(g, rng);
+    int limit = 2 + static_cast<int>(rng() % 8);
+    AttackSpec tight;
+    tight.max_altered_measurements = limit;
+    AttackSpec loose;
+    loose.max_altered_measurements = limit + 2;
+    UfdiAttackModel tightModel(g, plan, tight);
+    UfdiAttackModel looseModel(g, plan, loose);
+    if (tightModel.verify().result == SolveResult::Sat) {
+      EXPECT_EQ(looseModel.verify().result, SolveResult::Sat)
+          << "iter " << iter;
+    }
+  }
+}
+
+TEST(AttackModelProperty, ExtractedVectorsSatisfyAllConstraints) {
+  std::mt19937_64 rng(1337);
+  int satSeen = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    grid::Grid g = random_grid(rng);
+    grid::MeasurementPlan plan = random_plan(g, rng);
+    AttackSpec spec;
+    spec.max_altered_measurements = 3 + static_cast<int>(rng() % 10);
+    spec.max_compromised_buses = 2 + static_cast<int>(rng() % 4);
+    UfdiAttackModel model(g, plan, spec);
+    VerificationResult r = model.verify();
+    if (r.result != SolveResult::Sat) continue;
+    ++satSeen;
+    const AttackVector& a = *r.attack;
+
+    // Resource limits hold.
+    EXPECT_LE(a.altered_measurements.size(),
+              static_cast<std::size_t>(spec.max_altered_measurements));
+    EXPECT_LE(a.compromised_buses.size(),
+              static_cast<std::size_t>(spec.max_compromised_buses));
+    // Reference pinned; at least one state moved.
+    EXPECT_TRUE(a.delta_theta[0].is_zero());
+    bool any = false;
+    for (const auto& d : a.delta_theta) any = any || !d.is_zero();
+    EXPECT_TRUE(any);
+
+    std::vector<bool> altered(
+        static_cast<std::size_t>(plan.num_potential()), false);
+    for (grid::MeasId m : a.altered_measurements) {
+      // Altered => taken, accessible, unsecured, nonzero delta.
+      EXPECT_TRUE(plan.taken(m));
+      EXPECT_TRUE(plan.accessible(m));
+      EXPECT_FALSE(plan.secured(m));
+      EXPECT_FALSE(a.delta_z[static_cast<std::size_t>(m)].is_zero());
+      altered[static_cast<std::size_t>(m)] = true;
+    }
+    // Every line's flow delta is consistent with the state deltas, and
+    // unaltered taken measurements have zero delta.
+    for (grid::LineId i = 0; i < g.num_lines(); ++i) {
+      const grid::Line& l = g.line(i);
+      if (!l.in_service) continue;
+      smt::Rational y(static_cast<std::int64_t>(
+                          std::llround(l.admittance * 1e6)),
+                      1000000);
+      smt::Rational flowDelta =
+          y * (a.delta_theta[static_cast<std::size_t>(l.from)] -
+               a.delta_theta[static_cast<std::size_t>(l.to)]);
+      grid::MeasId fwd = plan.forward_flow(i);
+      if (plan.taken(fwd)) {
+        if (altered[static_cast<std::size_t>(fwd)]) {
+          EXPECT_EQ(a.delta_z[static_cast<std::size_t>(fwd)], flowDelta);
+        } else {
+          EXPECT_TRUE(flowDelta.is_zero())
+              << "iter " << iter << " line " << i;
+        }
+      }
+    }
+  }
+  EXPECT_GT(satSeen, 5);  // the property actually got exercised
+}
+
+TEST(AttackModelProperty, StaticAndAssumedSecuringAgree) {
+  std::mt19937_64 rng(2025);
+  for (int iter = 0; iter < 20; ++iter) {
+    grid::Grid g = random_grid(rng);
+    grid::MeasurementPlan plan = random_plan(g, rng);
+    std::vector<grid::BusId> secured;
+    for (grid::BusId b = 1; b < g.num_buses(); ++b) {
+      if (rng() % 3 == 0) secured.push_back(b);
+    }
+    AttackSpec spec;
+    UfdiAttackModel assumed(g, plan, spec);
+    grid::MeasurementPlan staticPlan = plan;
+    for (grid::BusId b : secured) staticPlan.secure_bus(b, g);
+    UfdiAttackModel staticModel(g, staticPlan, spec);
+    EXPECT_EQ(assumed.verify_with_secured_buses(secured).result,
+              staticModel.verify().result)
+        << "iter " << iter;
+  }
+}
+
+TEST(AttackModelProperty, SatAttacksReplayStealthily) {
+  std::mt19937_64 rng(31415);
+  int replayed = 0;
+  for (int iter = 0; iter < 25 && replayed < 8; ++iter) {
+    grid::Grid g = random_grid(rng);
+    grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+    AttackSpec spec;
+    spec.target_states = {g.num_buses() - 1};
+    UfdiAttackModel model(g, plan, spec);
+    VerificationResult r = model.verify();
+    if (r.result != SolveResult::Sat) continue;
+    ++replayed;
+    AttackReplay replay = replay_attack(g, plan, *r.attack, 0.005, 0.01, 0.05,
+                                        /*seed=*/iter + 1);
+    EXPECT_LT(replay.stealth_gap, 1e-6) << "iter " << iter;
+    EXPECT_FALSE(replay.detected) << "iter " << iter;
+  }
+  EXPECT_GE(replayed, 5);
+}
+
+}  // namespace
+}  // namespace psse::core

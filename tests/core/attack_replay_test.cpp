@@ -1,0 +1,129 @@
+// End-to-end integration: attack vectors synthesised by the SMT model are
+// replayed against the full DC-SE pipeline (power flow -> telemetry -> WLS
+// -> chi-square BDD) and must evade detection while shifting the estimate.
+#include "core/attack_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/attack_model.h"
+#include "grid/ieee_cases.h"
+
+namespace psse::core {
+namespace {
+
+using grid::cases::ieee14;
+using grid::cases::paper_plan14;
+
+TEST(AttackReplay, PureMeasurementAttackIsStealthy) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+
+  AttackReplay r = replay_attack(g, plan, *v.attack, 0.01, 0.01, 0.1);
+  EXPECT_FALSE(r.detected)
+      << "J=" << r.attacked_objective << " tau=" << r.detection_threshold;
+  EXPECT_LT(r.stealth_gap, 1e-9);
+  // The estimate of bus 12 moved; every honest state barely did.
+  EXPECT_GT(std::fabs(r.achieved_shift[11]), 0.01);
+  EXPECT_LT(std::fabs(r.achieved_shift[0]), 1e-6);
+}
+
+TEST(AttackReplay, TopologyPoisoningAttackIsStealthy) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  plan.set_secured(45, true);
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  spec.allow_topology_attacks = true;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+  ASSERT_EQ(v.attack->excluded_lines.size(), 1u);
+
+  AttackReplay r = replay_attack(g, plan, *v.attack, 0.005, 0.01);
+  EXPECT_FALSE(r.detected)
+      << "J=" << r.attacked_objective << " tau=" << r.detection_threshold;
+  // lambda was pinned by the excluded line's physical flow.
+  EXPECT_NE(r.lambda, 0.0);
+  EXPECT_LT(r.stealth_gap, 1e-9);
+  EXPECT_GT(std::fabs(r.achieved_shift[11]), 1e-4);
+}
+
+TEST(AttackReplay, TamperingWithoutModelConsistencyIsDetected) {
+  // Sanity: corrupt the same meters by arbitrary amounts instead of the
+  // model-consistent deltas -> the chi-square test fires.
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+  AttackVector mangled = *v.attack;
+  // Claim an extra state shift (bus 11) without altering the meters that
+  // would have to absorb it: a = H c no longer holds on unaltered rows.
+  mangled.delta_theta[10] = mangled.delta_theta[11];
+  AttackReplay r = replay_attack(g, plan, mangled, 0.01, 0.01, 0.1);
+  EXPECT_GT(r.stealth_gap, 1e-6);
+}
+
+TEST(AttackReplay, LargerMagnitudesStayUndetected) {
+  // UFDI stealth is magnitude-independent (the attack lives in H's range).
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  AttackSpec spec;
+  spec.target_states = {8, 9};
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+  for (double mag : {0.01, 0.1, 0.5}) {
+    AttackReplay r = replay_attack(g, plan, *v.attack, 0.01, 0.01, mag);
+    EXPECT_FALSE(r.detected) << "magnitude " << mag;
+  }
+}
+
+TEST(AttackImpact, QuantifiesEstimateDistortion) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+  AttackImpact impact = attack_impact(g, *v.attack, 1.0);
+  // Only bus 12 moved, so the worst flows are on its incident lines.
+  EXPECT_GT(impact.max_flow_distortion, 0.0);
+  EXPECT_TRUE(impact.worst_line == 11 || impact.worst_line == 18);
+  EXPECT_EQ(impact.worst_bus, 11);
+  // Impact scales linearly with lambda.
+  AttackImpact doubled = attack_impact(g, *v.attack, 2.0);
+  EXPECT_NEAR(doubled.max_flow_distortion, 2 * impact.max_flow_distortion,
+              1e-9);
+}
+
+TEST(AttackReplay, SummaryMentionsAllParts) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+  std::string s = v.attack->summary();
+  EXPECT_NE(s.find("altered measurements"), std::string::npos);
+  EXPECT_NE(s.find("bus12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psse::core

@@ -1,0 +1,181 @@
+// Tests for the extensions around the core model: magnitude constraints,
+// the greedy baseline defence, per-bus security metrics, and critical
+// measurements.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/attack_model.h"
+#include "core/baseline_defense.h"
+#include "core/security_metrics.h"
+#include "estimation/observability.h"
+#include "grid/ieee_cases.h"
+
+namespace psse::core {
+namespace {
+
+using grid::cases::ieee14;
+using smt::SolveResult;
+
+// --- Magnitude constraints (non-homogeneous extension) ---
+
+TEST(MagnitudeConstraints, GenerousCapIsFeasible) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.min_target_shift = 0.1;
+  spec.max_measurement_delta = 100.0;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult r = model.verify();
+  ASSERT_EQ(r.result, SolveResult::Sat);
+  // The shift honours the floor.
+  EXPECT_GE(r.attack->delta_theta[11].abs(),
+            smt::Rational::from_decimal("0.1"));
+}
+
+TEST(MagnitudeConstraints, TightCapKillsLargeShifts) {
+  // Shifting bus 12 by >= 1 rad changes line 12's flow by >= 3.91 p.u.
+  // (when theta_6 stays put); a 0.05 p.u. meter cap cannot hide that.
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  spec.min_target_shift = 1.0;
+  spec.max_measurement_delta = 0.05;
+  UfdiAttackModel model(g, plan, spec);
+  EXPECT_EQ(model.verify().result, SolveResult::Unsat);
+
+  AttackSpec relaxed = spec;
+  relaxed.max_measurement_delta = 10.0;
+  UfdiAttackModel model2(g, plan, relaxed);
+  EXPECT_EQ(model2.verify().result, SolveResult::Sat);
+}
+
+TEST(MagnitudeConstraints, CapBoundsExtractedDeltas) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec spec;
+  spec.target_states = {13};
+  spec.min_target_shift = 0.01;
+  spec.max_measurement_delta = 0.5;
+  UfdiAttackModel model(g, plan, spec);
+  VerificationResult r = model.verify();
+  ASSERT_EQ(r.result, SolveResult::Sat);
+  smt::Rational cap = smt::Rational(1, 2);
+  for (const smt::Rational& dz : r.attack->delta_z) {
+    EXPECT_LE(dz.abs(), cap);
+  }
+}
+
+// --- Greedy baseline defence ---
+
+TEST(GreedyDefense, CompletesAndActuallyDefends) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  GreedyDefenseResult greedy =
+      greedy_basic_measurement_defense(g, plan, {0});
+  ASSERT_TRUE(greedy.complete);
+  EXPECT_EQ(greedy.secured_buses.front(), 0);
+
+  // Securing those buses blocks every attack of an unlimited adversary.
+  AttackSpec spec;
+  UfdiAttackModel model(g, plan, spec);
+  EXPECT_EQ(model.verify_with_secured_buses(greedy.secured_buses).result,
+            SolveResult::Unsat);
+}
+
+TEST(GreedyDefense, RespectsPreSecuredMeasurements) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan pre(g.num_lines(), g.num_buses());
+  // Pre-secure a spanning set by securing many buses' meters directly.
+  for (grid::BusId b = 0; b < g.num_buses(); ++b) pre.secure_bus(b, g);
+  GreedyDefenseResult r = greedy_basic_measurement_defense(g, pre);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.secured_buses.empty());  // nothing left to do
+}
+
+TEST(GreedyDefense, IncompleteWithoutFlowCoverage) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  // No flow measurements at all: state pinning is impossible.
+  for (grid::LineId i = 0; i < g.num_lines(); ++i) {
+    plan.set_taken(plan.forward_flow(i), false);
+    plan.set_taken(plan.backward_flow(i), false);
+  }
+  GreedyDefenseResult r = greedy_basic_measurement_defense(g, plan);
+  EXPECT_FALSE(r.complete);
+}
+
+// --- Security metrics ---
+
+TEST(SecurityMetrics, LeafBusesAreCheapest) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec base;
+  std::vector<BusAttackCost> costs = bus_attack_costs(g, plan, base);
+  ASSERT_EQ(costs.size(), 13u);  // all but the reference
+  // Every state is attackable by an unlimited adversary.
+  for (const BusAttackCost& c : costs) {
+    EXPECT_GT(c.min_measurements, 0) << "bus " << c.bus + 1;
+    EXPECT_GT(c.min_buses, 0) << "bus " << c.bus + 1;
+  }
+  // Bus 8 (degree 1, behind line 14) is a cheapest target: 4 measurements
+  // (two flow meters + two injections), 2 substations.
+  auto bus8 = std::find_if(costs.begin(), costs.end(),
+                           [](const BusAttackCost& c) { return c.bus == 7; });
+  ASSERT_NE(bus8, costs.end());
+  EXPECT_EQ(bus8->min_measurements, 4);
+  EXPECT_EQ(bus8->min_buses, 2);
+  for (const BusAttackCost& c : costs) {
+    EXPECT_GE(c.min_measurements, 4);
+    EXPECT_GE(c.min_buses, 2);
+  }
+}
+
+TEST(SecurityMetrics, SecuringRaisesCostOrKillsAttack) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec base;
+  std::vector<BusAttackCost> before = bus_attack_costs(g, plan, base);
+  grid::MeasurementPlan hardened = plan;
+  hardened.secure_bus(7, g);  // bus 8
+  hardened.secure_bus(6, g);  // bus 7
+  std::vector<BusAttackCost> after = bus_attack_costs(g, hardened, base);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (after[i].min_measurements < 0) continue;  // now unattackable: fine
+    EXPECT_GE(after[i].min_measurements, before[i].min_measurements)
+        << "bus " << before[i].bus + 1;
+  }
+  // Bus 8's meters are all secured, so the cheap 4-measurement island
+  // attack is gone; the remaining option drags the whole {4,7,8,9} region
+  // along, which is strictly costlier.
+  auto bus8 = std::find_if(after.begin(), after.end(),
+                           [](const BusAttackCost& c) { return c.bus == 7; });
+  EXPECT_GT(bus8->min_measurements, 4);
+}
+
+// --- Critical measurements ---
+
+TEST(CriticalMeasurements, FullRedundancyHasNone) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  EXPECT_TRUE(est::critical_measurements(g, plan).empty());
+}
+
+TEST(CriticalMeasurements, LoneBridgeMeterIsCritical) {
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  // Strip bus 8's observability down to exactly one meter (fwd of line
+  // 14): that meter becomes critical.
+  plan.set_taken(plan.backward_flow(13), false);
+  plan.set_taken(plan.injection(7), false);
+  plan.set_taken(plan.injection(6), false);
+  std::vector<grid::MeasId> crit = est::critical_measurements(g, plan);
+  EXPECT_TRUE(std::find(crit.begin(), crit.end(), plan.forward_flow(13)) !=
+              crit.end());
+}
+
+}  // namespace
+}  // namespace psse::core

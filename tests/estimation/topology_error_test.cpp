@@ -1,0 +1,159 @@
+// Tests for topology error detection and sequential bad-data cleaning —
+// including the paper's central contrast: an uncoordinated topology spoof
+// is caught, a coordinated UFDI+topology attack never raises the alarm.
+#include "estimation/topology_error.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/attack_model.h"
+#include "core/attack_vector.h"
+#include "grid/dc_powerflow.h"
+#include "grid/ieee_cases.h"
+
+namespace psse::est {
+namespace {
+
+struct World {
+  grid::Grid g = grid::cases::ieee14();
+  grid::MeasurementPlan plan{20, 14};
+  grid::Vector telemetry;
+  grid::Vector trueTheta;
+  double sigma = 0.005;
+
+  World() : plan(g.num_lines(), g.num_buses()) {
+    grid::DcPowerFlow pf(g, 0);
+    grid::DcPowerFlowResult op = pf.solve();
+    trueTheta = op.theta;
+    std::mt19937_64 rng(5);
+    telemetry = grid::generate_telemetry(g, op.theta, plan, sigma, rng).values;
+  }
+};
+
+TEST(TopologyError, HonestTopologyIsClean) {
+  World w;
+  grid::MappedTopology honest = grid::TopologyProcessor::map(
+      w.g, grid::BreakerTelemetry::truthful(w.g));
+  TopologyErrorReport rep =
+      detect_topology_error(w.g, w.plan, honest, w.telemetry, w.sigma);
+  EXPECT_FALSE(rep.anomaly);
+  EXPECT_FALSE(rep.suspected_line.has_value());
+}
+
+TEST(TopologyError, NaiveExclusionSpoofIsCaughtAndIdentified) {
+  // Spoof line 13's breaker status without touching any measurement: the
+  // estimator's model omits a line that plainly carries flow.
+  World w;
+  grid::BreakerTelemetry breakers = grid::BreakerTelemetry::truthful(w.g);
+  grid::apply_exclusion_attack(w.g, breakers, 12);
+  grid::MappedTopology poisoned = grid::TopologyProcessor::map(w.g, breakers);
+  TopologyErrorReport rep =
+      detect_topology_error(w.g, w.plan, poisoned, w.telemetry, w.sigma);
+  EXPECT_TRUE(rep.anomaly);
+  ASSERT_TRUE(rep.suspected_line.has_value());
+  EXPECT_EQ(*rep.suspected_line, 12);
+  EXPECT_LE(rep.best_alternative_objective, rep.threshold);
+}
+
+TEST(TopologyError, CoordinatedAttackNeverRaisesTheAlarm) {
+  // The paper's coordinated attack (objective 2 + exclusion of line 13)
+  // adjusts the measurements so the poisoned topology looks consistent.
+  World w;
+  grid::MeasurementPlan plan = grid::cases::paper_plan14(w.g);
+  plan.set_secured(45, true);
+  core::AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  spec.allow_topology_attacks = true;
+  core::UfdiAttackModel model(w.g, plan, spec);
+  core::VerificationResult v = model.verify();
+  ASSERT_TRUE(v.feasible());
+
+  core::AttackReplay replay =
+      core::replay_attack(w.g, plan, *v.attack, w.sigma, 0.01);
+  EXPECT_FALSE(replay.detected);
+  // Re-run the dedicated topology detector on the same poisoned world: the
+  // residual is clean, so it never fires.
+  EXPECT_LE(replay.attacked_objective, replay.detection_threshold);
+}
+
+TEST(TopologyError, SecuredStatusesAreNeverSuspected) {
+  World w;
+  for (grid::LineId i = 0; i < w.g.num_lines(); ++i) {
+    w.g.line(i).status_secured = true;
+  }
+  grid::MappedTopology poisoned = grid::TopologyProcessor::map(
+      w.g, grid::BreakerTelemetry::truthful(w.g));
+  // Manually corrupt the mapped view (processor would not, but the
+  // detector must still refuse to blame a secured line).
+  poisoned.mapped[12] = false;
+  TopologyErrorReport rep =
+      detect_topology_error(w.g, w.plan, poisoned, w.telemetry, w.sigma);
+  EXPECT_TRUE(rep.anomaly);
+  EXPECT_FALSE(rep.suspected_line.has_value());
+}
+
+TEST(BadDataCleaning, RemovesSingleGrossError) {
+  World w;
+  grid::Vector dirty = w.telemetry;
+  grid::MeasurementPlan plan = w.plan;
+  grid::MeasId bad = plan.forward_flow(3);
+  dirty[static_cast<std::size_t>(bad)] += 2.0;
+  BadDataCleaning res = clean_bad_data(w.g, plan, dirty, w.sigma);
+  ASSERT_TRUE(res.clean);
+  ASSERT_EQ(res.removed_rows.size(), 1u);
+  EXPECT_EQ(res.removed_rows[0], bad);
+}
+
+TEST(BadDataCleaning, RemovesTwoIndependentErrors) {
+  World w;
+  grid::Vector dirty = w.telemetry;
+  grid::MeasId bad1 = w.plan.forward_flow(3);
+  grid::MeasId bad2 = w.plan.injection(9);
+  dirty[static_cast<std::size_t>(bad1)] += 2.0;
+  dirty[static_cast<std::size_t>(bad2)] -= 1.5;
+  BadDataCleaning res = clean_bad_data(w.g, w.plan, dirty, w.sigma);
+  ASSERT_TRUE(res.clean);
+  EXPECT_EQ(res.removed_rows.size(), 2u);
+}
+
+TEST(BadDataCleaning, CleanDataNeedsNoRemovals) {
+  World w;
+  BadDataCleaning res = clean_bad_data(w.g, w.plan, w.telemetry, w.sigma);
+  EXPECT_TRUE(res.clean);
+  EXPECT_TRUE(res.removed_rows.empty());
+}
+
+TEST(BadDataCleaning, GivesUpAtRemovalBudget) {
+  World w;
+  grid::Vector dirty = w.telemetry;
+  for (int i = 0; i < 8; ++i) {
+    dirty[static_cast<std::size_t>(w.plan.forward_flow(i))] += 1.0 + i;
+  }
+  BadDataCleaning res = clean_bad_data(w.g, w.plan, dirty, w.sigma, 0.01, 3);
+  EXPECT_FALSE(res.clean);
+  EXPECT_EQ(res.removed_rows.size(), 3u);
+}
+
+// A UFDI attack also defeats the *cleaning* loop: nothing gets removed and
+// the corrupted estimate is accepted as clean.
+TEST(BadDataCleaning, UfdiAttackSurvivesCleaning) {
+  World w;
+  grid::JacobianModel model = grid::build_jacobian(w.g, w.plan);
+  grid::Vector c(static_cast<std::size_t>(w.g.num_buses()));
+  for (std::size_t j = 8; j < c.size(); ++j) c[j] = 0.05;
+  grid::Vector a = model.h * c;
+  grid::Vector poisoned = w.telemetry;
+  for (std::size_t r = 0; r < model.row_meas.size(); ++r) {
+    poisoned[static_cast<std::size_t>(model.row_meas[r])] += a[r];
+  }
+  BadDataCleaning res = clean_bad_data(w.g, w.plan, poisoned, w.sigma);
+  EXPECT_TRUE(res.clean);
+  EXPECT_TRUE(res.removed_rows.empty());
+  // ...and the estimate was silently shifted by c.
+  EXPECT_NEAR(res.final_result.theta[13] - w.trueTheta[13], 0.05, 0.01);
+}
+
+}  // namespace
+}  // namespace psse::est

@@ -1,0 +1,197 @@
+// Unit and property tests for the arbitrary-precision integer.
+#include "smt/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "smt/common.h"
+
+namespace psse::smt {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_int64(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {0L, 1L, -1L, 42L, -9999999L,
+                         std::int64_t{INT64_MAX}, std::int64_t{INT64_MIN}}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigInt, FromStringRoundTrip) {
+  const char* cases[] = {"0",
+                         "1",
+                         "-1",
+                         "123456789",
+                         "-987654321012345678901234567890",
+                         "340282366920938463463374607431768211456"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_string(s).to_string(), s);
+  }
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), SmtError);
+  EXPECT_THROW(BigInt::from_string("-"), SmtError);
+  EXPECT_THROW(BigInt::from_string("12a3"), SmtError);
+  EXPECT_THROW(BigInt::from_string("0x10"), SmtError);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  BigInt one(1);
+  EXPECT_EQ((a + one).to_string(), "18446744073709551616");
+  EXPECT_EQ((a + a).to_string(), "36893488147419103230");
+}
+
+TEST(BigInt, SubtractionBorrowsAcrossLimbs) {
+  BigInt a = BigInt::from_string("18446744073709551616");  // 2^64
+  EXPECT_EQ((a - BigInt(1)).to_string(), "18446744073709551615");
+  EXPECT_EQ((BigInt(1) - a).to_string(), "-18446744073709551615");
+  EXPECT_TRUE((a - a).is_zero());
+}
+
+TEST(BigInt, MixedSignAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-3)).to_int64(), 2);
+  EXPECT_EQ((BigInt(-5) + BigInt(3)).to_int64(), -2);
+  EXPECT_EQ((BigInt(-5) + BigInt(-3)).to_int64(), -8);
+  EXPECT_TRUE((BigInt(7) + BigInt(-7)).is_zero());
+}
+
+TEST(BigInt, MultiplicationSchoolbook) {
+  BigInt a = BigInt::from_string("123456789123456789");
+  BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).to_string(), "0");
+  EXPECT_EQ((a * BigInt(-1)).to_string(), "-123456789123456789");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).to_int64(), -1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), SmtError);
+  EXPECT_THROW(BigInt(1) % BigInt(0), SmtError);
+}
+
+TEST(BigInt, LongDivisionMultiLimb) {
+  BigInt n = BigInt::from_string("340282366920938463463374607431768211457");
+  BigInt d = BigInt::from_string("18446744073709551616");
+  BigInt q, r;
+  BigInt::div_mod(n, d, q, r);
+  EXPECT_EQ(q.to_string(), "18446744073709551616");
+  EXPECT_EQ(r.to_string(), "1");
+  EXPECT_EQ(q * d + r, n);
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt::from_string("99999999999999999999"),
+            BigInt::from_string("100000000000000000000"));
+  EXPECT_GT(BigInt::from_string("-99999999999999999999"),
+            BigInt::from_string("-100000000000000000000"));
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(BigInt::gcd(BigInt::from_string("123456789123456789123456789"),
+                        BigInt::from_string("123456789"))
+                .to_string(),
+            "123456789");
+}
+
+TEST(BigInt, Pow10) {
+  EXPECT_EQ(BigInt::pow10(0).to_int64(), 1);
+  EXPECT_EQ(BigInt::pow10(3).to_int64(), 1000);
+  EXPECT_EQ(BigInt::pow10(25).to_string(), "10000000000000000000000000");
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).to_double(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).to_double(), -12345.0);
+  EXPECT_NEAR(BigInt::from_string("18446744073709551616").to_double(),
+              18446744073709551616.0, 1.0);
+}
+
+// Property: arithmetic agrees with native __int128 on random 64-bit inputs.
+TEST(BigInt, PropertyAgainstInt128) {
+  std::mt19937_64 rng(20140623);  // DSN'14 vibes
+  std::uniform_int_distribution<std::int64_t> dist(INT64_MIN / 2,
+                                                   INT64_MAX / 2);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::int64_t x = dist(rng), y = dist(rng);
+    BigInt bx(x), by(y);
+    EXPECT_EQ((bx + by).to_int64(), x + y);
+    EXPECT_EQ((bx - by).to_int64(), x - y);
+    __int128 prod = static_cast<__int128>(x) * y;
+    BigInt bprod = bx * by;
+    // Compare via string to cover > 64-bit products.
+    __int128 p = prod;
+    bool negP = p < 0;
+    if (negP) p = -p;
+    std::string s;
+    if (p == 0) s = "0";
+    while (p > 0) {
+      s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(p % 10)));
+      p /= 10;
+    }
+    if (negP && s != "0") s.insert(s.begin(), '-');
+    EXPECT_EQ(bprod.to_string(), s);
+    if (y != 0) {
+      EXPECT_EQ((bx / by).to_int64(), x / y);
+      EXPECT_EQ((bx % by).to_int64(), x % y);
+    }
+  }
+}
+
+// Property: div_mod inverts multiplication for random multi-limb values.
+TEST(BigInt, PropertyDivModInvariant) {
+  std::mt19937_64 rng(42);
+  auto randomBig = [&](int limbs) {
+    BigInt out;
+    for (int i = 0; i < limbs; ++i) {
+      out = out * BigInt::from_string("18446744073709551616") +
+            BigInt(static_cast<std::int64_t>(rng() >> 1));
+    }
+    if (rng() & 1) out = -out;
+    return out;
+  };
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt n = randomBig(1 + static_cast<int>(rng() % 4));
+    BigInt d = randomBig(1 + static_cast<int>(rng() % 3));
+    if (d.is_zero()) continue;
+    BigInt q, r;
+    BigInt::div_mod(n, d, q, r);
+    EXPECT_EQ(q * d + r, n);
+    EXPECT_LT(r.abs(), d.abs());
+    // Remainder sign matches dividend (or zero).
+    if (!r.is_zero()) EXPECT_EQ(r.is_negative(), n.is_negative());
+  }
+}
+
+}  // namespace
+}  // namespace psse::smt

@@ -1,0 +1,222 @@
+// Tests for the LRA simplex: bound assertion, pivoting, conflicts with
+// explanations, strict bounds via delta-rationals, and trail retraction.
+#include "smt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace psse::smt {
+namespace {
+
+Lit tag(int i) { return Lit::pos(static_cast<Var>(i)); }
+
+TEST(Simplex, UnconstrainedIsFeasible) {
+  Simplex s;
+  s.new_var();
+  s.new_var();
+  EXPECT_TRUE(s.check());
+}
+
+TEST(Simplex, SimpleBoundsSatisfied) {
+  Simplex s;
+  TVar x = s.new_var("x");
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(2)), tag(0)));
+  EXPECT_TRUE(s.assert_upper(x, DeltaRational(Rational(5)), tag(1)));
+  ASSERT_TRUE(s.check());
+  Rational v = s.model_value(x);
+  EXPECT_GE(v, Rational(2));
+  EXPECT_LE(v, Rational(5));
+}
+
+TEST(Simplex, ImmediateBoundConflict) {
+  Simplex s;
+  TVar x = s.new_var("x");
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(5)), tag(0)));
+  EXPECT_FALSE(s.assert_upper(x, DeltaRational(Rational(3)), tag(1)));
+  // Conflict clause mentions both bound literals, negated.
+  auto confl = s.conflict_clause();
+  ASSERT_EQ(confl.size(), 2u);
+  EXPECT_EQ(confl[0], ~tag(1));
+  EXPECT_EQ(confl[1], ~tag(0));
+}
+
+TEST(Simplex, RowFeasibilityByPivoting) {
+  // s = x + y; x >= 3, y >= 4  =>  s >= 7, so s <= 6 is infeasible.
+  Simplex s;
+  TVar x = s.new_var("x");
+  TVar y = s.new_var("y");
+  LinExpr e;
+  e.add_term(x, Rational(1));
+  e.add_term(y, Rational(1));
+  TVar sum = s.slack_for(e);
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(3)), tag(0)));
+  EXPECT_TRUE(s.assert_lower(y, DeltaRational(Rational(4)), tag(1)));
+  EXPECT_TRUE(s.assert_upper(sum, DeltaRational(Rational(6)), tag(2)));
+  EXPECT_FALSE(s.check());
+  auto confl = s.conflict_clause();
+  // All three bounds participate.
+  EXPECT_EQ(confl.size(), 3u);
+}
+
+TEST(Simplex, RowFeasibleCase) {
+  Simplex s;
+  TVar x = s.new_var("x");
+  TVar y = s.new_var("y");
+  LinExpr e;
+  e.add_term(x, Rational(1));
+  e.add_term(y, Rational(1));
+  TVar sum = s.slack_for(e);
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(3)), tag(0)));
+  EXPECT_TRUE(s.assert_lower(y, DeltaRational(Rational(4)), tag(1)));
+  EXPECT_TRUE(s.assert_upper(sum, DeltaRational(Rational(9)), tag(2)));
+  ASSERT_TRUE(s.check());
+  EXPECT_EQ(s.model_value(sum), s.model_value(x) + s.model_value(y));
+  EXPECT_LE(s.model_value(sum), Rational(9));
+}
+
+TEST(Simplex, SharedSlackForProportionalExpressions) {
+  Simplex s;
+  TVar x = s.new_var("x");
+  TVar y = s.new_var("y");
+  LinExpr e;
+  e.add_term(x, Rational(1));
+  e.add_term(y, Rational(2));
+  TVar s1 = s.slack_for(e);
+  TVar s2 = s.slack_for(e);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Simplex, StrictBoundsSeparate) {
+  // x > 0 and x < 1 has rational solutions; model must satisfy both
+  // strictly.
+  Simplex s;
+  TVar x = s.new_var("x");
+  EXPECT_TRUE(
+      s.assert_lower(x, DeltaRational::plus_delta(Rational(0)), tag(0)));
+  EXPECT_TRUE(
+      s.assert_upper(x, DeltaRational::minus_delta(Rational(1)), tag(1)));
+  ASSERT_TRUE(s.check());
+  Rational v = s.model_value(x);
+  EXPECT_GT(v, Rational(0));
+  EXPECT_LT(v, Rational(1));
+}
+
+TEST(Simplex, StrictConflictAtEquality) {
+  // x >= 1 and x < 1: infeasible only because of strictness.
+  Simplex s;
+  TVar x = s.new_var("x");
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(1)), tag(0)));
+  EXPECT_FALSE(
+      s.assert_upper(x, DeltaRational::minus_delta(Rational(1)), tag(1)));
+}
+
+TEST(Simplex, EqualityChainPropagation) {
+  // d = a(t1 - t2) with a = 169/10: the paper's line-flow equation shape.
+  Simplex s;
+  TVar t1 = s.new_var("t1");
+  TVar t2 = s.new_var("t2");
+  TVar d = s.new_var("d");
+  Rational a(169, 10);
+  LinExpr e;  // d - a*t1 + a*t2 == 0
+  e.add_term(d, Rational(1));
+  e.add_term(t1, -a);
+  e.add_term(t2, a);
+  TVar slack = s.slack_for(e);
+  EXPECT_TRUE(s.assert_lower(slack, DeltaRational(Rational(0)), tag(0)));
+  EXPECT_TRUE(s.assert_upper(slack, DeltaRational(Rational(0)), tag(1)));
+  // Pin t1 = 1/2, t2 = 0.
+  EXPECT_TRUE(s.assert_lower(t1, DeltaRational(Rational(1, 2)), tag(2)));
+  EXPECT_TRUE(s.assert_upper(t1, DeltaRational(Rational(1, 2)), tag(3)));
+  EXPECT_TRUE(s.assert_lower(t2, DeltaRational(Rational(0)), tag(4)));
+  EXPECT_TRUE(s.assert_upper(t2, DeltaRational(Rational(0)), tag(5)));
+  ASSERT_TRUE(s.check());
+  EXPECT_EQ(s.model_value(d), Rational(169, 20));
+}
+
+TEST(Simplex, PopRestoresFeasibility) {
+  Simplex s;
+  TVar x = s.new_var("x");
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(0)), tag(0)));
+  std::size_t mark = s.trail_size();
+  EXPECT_TRUE(s.assert_upper(x, DeltaRational(Rational(10)), tag(1)));
+  EXPECT_FALSE(s.assert_upper(x, DeltaRational(Rational(-1)), tag(2)));
+  s.pop_to(mark);
+  ASSERT_TRUE(s.check());
+  // Upper bound gone: x can exceed 10 again.
+  EXPECT_TRUE(s.assert_lower(x, DeltaRational(Rational(100)), tag(3)));
+  EXPECT_TRUE(s.check());
+  EXPECT_GE(s.model_value(x), Rational(100));
+}
+
+TEST(Simplex, RedundantBoundsLeaveNoTrail) {
+  Simplex s;
+  TVar x = s.new_var("x");
+  EXPECT_TRUE(s.assert_upper(x, DeltaRational(Rational(5)), tag(0)));
+  std::size_t before = s.trail_size();
+  EXPECT_TRUE(s.assert_upper(x, DeltaRational(Rational(7)), tag(1)));
+  EXPECT_EQ(s.trail_size(), before);
+}
+
+// Property: random bounded systems A*x ⋈ b agree with a dense
+// floating-point feasibility oracle based on exhaustive vertex search is
+// overkill; instead verify internal consistency — whenever check() says
+// feasible, the model satisfies every constraint exactly.
+TEST(Simplex, PropertyModelSatisfiesAllConstraints) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    Simplex s;
+    int n = 3 + static_cast<int>(rng() % 4);
+    std::vector<TVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    struct Constraint {
+      LinExpr e;
+      bool upper;
+      Rational bound;
+      TVar slack;
+    };
+    std::vector<Constraint> cs;
+    bool feasible = true;
+    int tagId = 0;
+    int m = 2 + static_cast<int>(rng() % 8);
+    for (int c = 0; c < m && feasible; ++c) {
+      LinExpr e;
+      for (int i = 0; i < n; ++i) {
+        int coeff = static_cast<int>(rng() % 7) - 3;
+        if (coeff != 0) e.add_term(vars[i], Rational(coeff));
+      }
+      if (e.is_constant()) continue;
+      Rational b(static_cast<int>(rng() % 21) - 10);
+      bool upper = (rng() & 1) != 0;
+      TVar sv = s.slack_for(e);
+      bool okA = upper ? s.assert_upper(sv, DeltaRational(b),
+                                        tag(tagId++))
+                       : s.assert_lower(sv, DeltaRational(b), tag(tagId++));
+      if (!okA) {
+        feasible = false;
+        break;
+      }
+      cs.push_back({e, upper, b, sv});
+      if (!s.check()) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    for (const auto& c : cs) {
+      Rational lhs;
+      for (const auto& [v, coeff] : c.e.terms()) {
+        lhs += s.model_value(v) * coeff;
+      }
+      if (c.upper) {
+        EXPECT_LE(lhs, c.bound) << "iter=" << iter;
+      } else {
+        EXPECT_GE(lhs, c.bound) << "iter=" << iter;
+      }
+      EXPECT_EQ(lhs, s.model_value(c.slack));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psse::smt

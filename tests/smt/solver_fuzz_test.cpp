@@ -1,0 +1,185 @@
+// Differential fuzzing of the SMT solver's incremental features: random
+// sequences of assert/push/pop/solve must agree with a freshly built
+// solver that contains exactly the live (non-popped) assertions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "smt/solver.h"
+
+namespace psse::smt {
+namespace {
+
+struct RandomProblem {
+  int numBools;
+  int numReals;
+
+  struct Assertion {
+    // A random clause over bool literals and interval atoms.
+    std::vector<int> boolLits;          // +/- (index+1)
+    std::vector<std::pair<int, int>> bounds;  // (real var, "x >= b"): b
+    int upperVar = -1;
+    int upperBound = 0;
+  };
+  std::vector<Assertion> assertions;
+};
+
+// Builds the term for one assertion in the given solver.
+TermRef build(Solver& s, std::vector<TermRef>& bools,
+              std::vector<TVar>& reals,
+              const RandomProblem::Assertion& a) {
+  auto& t = s.terms();
+  std::vector<TermRef> parts;
+  for (int lit : a.boolLits) {
+    TermRef b = bools[static_cast<std::size_t>(std::abs(lit) - 1)];
+    parts.push_back(lit > 0 ? b : ~b);
+  }
+  for (auto [v, bound] : a.bounds) {
+    parts.push_back(t.mk_ge(LinExpr::var(reals[static_cast<std::size_t>(v)]),
+                            Rational(bound)));
+  }
+  if (a.upperVar >= 0) {
+    parts.push_back(
+        t.mk_le(LinExpr::var(reals[static_cast<std::size_t>(a.upperVar)]),
+                Rational(a.upperBound)));
+  }
+  return t.mk_or(std::move(parts));
+}
+
+SolveResult solve_fresh(const RandomProblem& p,
+                        const std::vector<std::size_t>& live) {
+  Solver s;
+  std::vector<TermRef> bools;
+  std::vector<TVar> reals;
+  for (int i = 0; i < p.numBools; ++i) bools.push_back(s.mk_bool());
+  for (int i = 0; i < p.numReals; ++i) reals.push_back(s.mk_real());
+  for (std::size_t idx : live) {
+    s.assert_term(build(s, bools, reals, p.assertions[idx]));
+  }
+  return s.solve();
+}
+
+TEST(SolverFuzz, IncrementalMatchesFresh) {
+  std::mt19937_64 rng(987654);
+  for (int round = 0; round < 40; ++round) {
+    RandomProblem p;
+    p.numBools = 3 + static_cast<int>(rng() % 3);
+    p.numReals = 2 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < 30; ++i) {
+      RandomProblem::Assertion a;
+      int parts = 1 + static_cast<int>(rng() % 3);
+      for (int k = 0; k < parts; ++k) {
+        switch (rng() % 3) {
+          case 0: {
+            int var = 1 + static_cast<int>(rng() % p.numBools);
+            a.boolLits.push_back((rng() & 1) ? var : -var);
+            break;
+          }
+          case 1:
+            a.bounds.emplace_back(static_cast<int>(rng() % p.numReals),
+                                  static_cast<int>(rng() % 11) - 5);
+            break;
+          default:
+            a.upperVar = static_cast<int>(rng() % p.numReals);
+            a.upperBound = static_cast<int>(rng() % 11) - 5;
+        }
+      }
+      p.assertions.push_back(std::move(a));
+    }
+
+    Solver inc;
+    std::vector<TermRef> bools;
+    std::vector<TVar> reals;
+    for (int i = 0; i < p.numBools; ++i) bools.push_back(inc.mk_bool());
+    for (int i = 0; i < p.numReals; ++i) reals.push_back(inc.mk_real());
+
+    std::vector<std::vector<std::size_t>> frames{{}};
+    std::size_t next = 0;
+    for (int step = 0; step < 25 && next < p.assertions.size(); ++step) {
+      switch (rng() % 5) {
+        case 0:
+          inc.push();
+          frames.push_back(frames.back());
+          break;
+        case 1:
+          if (frames.size() > 1) {
+            inc.pop();
+            frames.pop_back();
+          }
+          break;
+        case 2: {
+          // Cross-check satisfiability mid-stream.
+          std::vector<std::size_t> live = frames.back();
+          EXPECT_EQ(inc.solve(), solve_fresh(p, live))
+              << "round " << round << " step " << step;
+          break;
+        }
+        default: {
+          inc.assert_term(build(inc, bools, reals, p.assertions[next]));
+          frames.back().push_back(next);
+          ++next;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(inc.solve(), solve_fresh(p, frames.back())) << round;
+  }
+}
+
+TEST(SolverFuzz, AssumptionsMatchAssertions) {
+  // solve({a1..ak}) must equal asserting a1..ak in a fresh copy.
+  std::mt19937_64 rng(13579);
+  for (int round = 0; round < 40; ++round) {
+    int nb = 3 + static_cast<int>(rng() % 3);
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < 10; ++c) {
+      std::vector<int> cl;
+      for (int k = 0; k < 3; ++k) {
+        int var = 1 + static_cast<int>(rng() % nb);
+        cl.push_back((rng() & 1) ? var : -var);
+      }
+      clauses.push_back(cl);
+    }
+    std::vector<int> assumptions;
+    for (int v = 1; v <= nb; ++v) {
+      if (rng() % 2) assumptions.push_back((rng() & 1) ? v : -v);
+    }
+
+    auto make = [&](bool assertAssumptions) {
+      auto s = std::make_unique<Solver>();
+      std::vector<TermRef> bools;
+      for (int i = 0; i < nb; ++i) bools.push_back(s->mk_bool());
+      for (const auto& cl : clauses) {
+        std::vector<TermRef> lits;
+        for (int lit : cl) {
+          TermRef b = bools[static_cast<std::size_t>(std::abs(lit) - 1)];
+          lits.push_back(lit > 0 ? b : ~b);
+        }
+        s->assert_term(s->terms().mk_or(std::move(lits)));
+      }
+      std::vector<TermRef> assume;
+      for (int lit : assumptions) {
+        TermRef b = bools[static_cast<std::size_t>(std::abs(lit) - 1)];
+        TermRef l = lit > 0 ? b : ~b;
+        if (assertAssumptions) {
+          s->assert_term(l);
+        } else {
+          assume.push_back(l);
+        }
+      }
+      return std::make_pair(std::move(s), assume);
+    };
+
+    auto [withAssume, lits] = make(false);
+    auto [withAssert, none] = make(true);
+    EXPECT_EQ(withAssume->solve(lits), withAssert->solve()) << round;
+    // Assumption solving must not corrupt later unassumed solves.
+    auto [fresh, noLits] = make(false);
+    EXPECT_EQ(withAssume->solve(), fresh->solve()) << round;
+  }
+}
+
+}  // namespace
+}  // namespace psse::smt
