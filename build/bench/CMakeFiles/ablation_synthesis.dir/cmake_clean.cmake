@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_synthesis.dir/ablation_synthesis.cpp.o"
+  "CMakeFiles/ablation_synthesis.dir/ablation_synthesis.cpp.o.d"
+  "ablation_synthesis"
+  "ablation_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

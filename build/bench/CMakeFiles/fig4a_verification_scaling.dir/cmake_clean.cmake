@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_verification_scaling.dir/fig4a_verification_scaling.cpp.o"
+  "CMakeFiles/fig4a_verification_scaling.dir/fig4a_verification_scaling.cpp.o.d"
+  "fig4a_verification_scaling"
+  "fig4a_verification_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_verification_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

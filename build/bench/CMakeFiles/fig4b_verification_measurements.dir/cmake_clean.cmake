@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_verification_measurements.dir/fig4b_verification_measurements.cpp.o"
+  "CMakeFiles/fig4b_verification_measurements.dir/fig4b_verification_measurements.cpp.o.d"
+  "fig4b_verification_measurements"
+  "fig4b_verification_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_verification_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

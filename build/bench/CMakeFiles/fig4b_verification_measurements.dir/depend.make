@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4b_verification_measurements.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_verification_resources.dir/fig4c_verification_resources.cpp.o"
+  "CMakeFiles/fig4c_verification_resources.dir/fig4c_verification_resources.cpp.o.d"
+  "fig4c_verification_resources"
+  "fig4c_verification_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_verification_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

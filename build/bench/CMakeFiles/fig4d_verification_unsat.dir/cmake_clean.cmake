@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_verification_unsat.dir/fig4d_verification_unsat.cpp.o"
+  "CMakeFiles/fig4d_verification_unsat.dir/fig4d_verification_unsat.cpp.o.d"
+  "fig4d_verification_unsat"
+  "fig4d_verification_unsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_verification_unsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

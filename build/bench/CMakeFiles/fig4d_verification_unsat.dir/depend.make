@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4d_verification_unsat.
+# This may be replaced when dependencies are built.

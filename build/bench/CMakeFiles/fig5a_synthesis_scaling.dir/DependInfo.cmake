@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5a_synthesis_scaling.cpp" "bench/CMakeFiles/fig5a_synthesis_scaling.dir/fig5a_synthesis_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig5a_synthesis_scaling.dir/fig5a_synthesis_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/psse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/psse_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/psse_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/psse_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

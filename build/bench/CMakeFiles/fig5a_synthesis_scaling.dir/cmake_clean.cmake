@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_synthesis_scaling.dir/fig5a_synthesis_scaling.cpp.o"
+  "CMakeFiles/fig5a_synthesis_scaling.dir/fig5a_synthesis_scaling.cpp.o.d"
+  "fig5a_synthesis_scaling"
+  "fig5a_synthesis_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_synthesis_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_synthesis_measurements.dir/fig5b_synthesis_measurements.cpp.o"
+  "CMakeFiles/fig5b_synthesis_measurements.dir/fig5b_synthesis_measurements.cpp.o.d"
+  "fig5b_synthesis_measurements"
+  "fig5b_synthesis_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_synthesis_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_synthesis_measurements.
+# This may be replaced when dependencies are built.

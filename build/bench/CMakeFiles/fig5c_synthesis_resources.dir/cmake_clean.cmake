@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_synthesis_resources.dir/fig5c_synthesis_resources.cpp.o"
+  "CMakeFiles/fig5c_synthesis_resources.dir/fig5c_synthesis_resources.cpp.o.d"
+  "fig5c_synthesis_resources"
+  "fig5c_synthesis_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_synthesis_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

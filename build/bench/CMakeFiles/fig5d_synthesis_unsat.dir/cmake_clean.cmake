@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_synthesis_unsat.dir/fig5d_synthesis_unsat.cpp.o"
+  "CMakeFiles/fig5d_synthesis_unsat.dir/fig5d_synthesis_unsat.cpp.o.d"
+  "fig5d_synthesis_unsat"
+  "fig5d_synthesis_unsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_synthesis_unsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

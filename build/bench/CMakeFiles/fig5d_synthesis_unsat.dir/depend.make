@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5d_synthesis_unsat.
+# This may be replaced when dependencies are built.

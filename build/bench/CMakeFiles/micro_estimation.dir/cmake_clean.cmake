@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_estimation.dir/micro_estimation.cpp.o"
+  "CMakeFiles/micro_estimation.dir/micro_estimation.cpp.o.d"
+  "micro_estimation"
+  "micro_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

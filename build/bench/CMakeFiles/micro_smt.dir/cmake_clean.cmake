@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_smt.dir/micro_smt.cpp.o"
+  "CMakeFiles/micro_smt.dir/micro_smt.cpp.o.d"
+  "micro_smt"
+  "micro_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_memory.dir/table4_memory.cpp.o"
+  "CMakeFiles/table4_memory.dir/table4_memory.cpp.o.d"
+  "table4_memory"
+  "table4_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

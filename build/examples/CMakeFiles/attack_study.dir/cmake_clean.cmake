@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_study.dir/attack_study.cpp.o"
+  "CMakeFiles/attack_study.dir/attack_study.cpp.o.d"
+  "attack_study"
+  "attack_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

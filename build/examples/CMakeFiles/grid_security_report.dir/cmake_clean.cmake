@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_security_report.dir/grid_security_report.cpp.o"
+  "CMakeFiles/grid_security_report.dir/grid_security_report.cpp.o.d"
+  "grid_security_report"
+  "grid_security_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_security_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_tool.dir/scenario_tool.cpp.o"
+  "CMakeFiles/scenario_tool.dir/scenario_tool.cpp.o.d"
+  "scenario_tool"
+  "scenario_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_study.dir/synthesis_study.cpp.o"
+  "CMakeFiles/synthesis_study.dir/synthesis_study.cpp.o.d"
+  "synthesis_study"
+  "synthesis_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

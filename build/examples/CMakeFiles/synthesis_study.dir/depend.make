@@ -1,0 +1,2 @@
+# Empty dependencies file for synthesis_study.
+# This may be replaced when dependencies are built.

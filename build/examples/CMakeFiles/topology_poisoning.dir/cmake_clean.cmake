@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_poisoning.dir/topology_poisoning.cpp.o"
+  "CMakeFiles/topology_poisoning.dir/topology_poisoning.cpp.o.d"
+  "topology_poisoning"
+  "topology_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

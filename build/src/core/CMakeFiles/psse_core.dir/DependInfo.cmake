@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack_model.cpp" "src/core/CMakeFiles/psse_core.dir/attack_model.cpp.o" "gcc" "src/core/CMakeFiles/psse_core.dir/attack_model.cpp.o.d"
+  "/root/repo/src/core/attack_vector.cpp" "src/core/CMakeFiles/psse_core.dir/attack_vector.cpp.o" "gcc" "src/core/CMakeFiles/psse_core.dir/attack_vector.cpp.o.d"
+  "/root/repo/src/core/baseline_defense.cpp" "src/core/CMakeFiles/psse_core.dir/baseline_defense.cpp.o" "gcc" "src/core/CMakeFiles/psse_core.dir/baseline_defense.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/psse_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/psse_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/security_metrics.cpp" "src/core/CMakeFiles/psse_core.dir/security_metrics.cpp.o" "gcc" "src/core/CMakeFiles/psse_core.dir/security_metrics.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/core/CMakeFiles/psse_core.dir/synthesis.cpp.o" "gcc" "src/core/CMakeFiles/psse_core.dir/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/psse_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/psse_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/psse_estimation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psse_core.dir/attack_model.cpp.o"
+  "CMakeFiles/psse_core.dir/attack_model.cpp.o.d"
+  "CMakeFiles/psse_core.dir/attack_vector.cpp.o"
+  "CMakeFiles/psse_core.dir/attack_vector.cpp.o.d"
+  "CMakeFiles/psse_core.dir/baseline_defense.cpp.o"
+  "CMakeFiles/psse_core.dir/baseline_defense.cpp.o.d"
+  "CMakeFiles/psse_core.dir/scenario.cpp.o"
+  "CMakeFiles/psse_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/psse_core.dir/security_metrics.cpp.o"
+  "CMakeFiles/psse_core.dir/security_metrics.cpp.o.d"
+  "CMakeFiles/psse_core.dir/synthesis.cpp.o"
+  "CMakeFiles/psse_core.dir/synthesis.cpp.o.d"
+  "libpsse_core.a"
+  "libpsse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

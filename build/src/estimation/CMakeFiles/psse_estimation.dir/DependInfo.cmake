@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/bad_data.cpp" "src/estimation/CMakeFiles/psse_estimation.dir/bad_data.cpp.o" "gcc" "src/estimation/CMakeFiles/psse_estimation.dir/bad_data.cpp.o.d"
+  "/root/repo/src/estimation/chi2.cpp" "src/estimation/CMakeFiles/psse_estimation.dir/chi2.cpp.o" "gcc" "src/estimation/CMakeFiles/psse_estimation.dir/chi2.cpp.o.d"
+  "/root/repo/src/estimation/observability.cpp" "src/estimation/CMakeFiles/psse_estimation.dir/observability.cpp.o" "gcc" "src/estimation/CMakeFiles/psse_estimation.dir/observability.cpp.o.d"
+  "/root/repo/src/estimation/pmu.cpp" "src/estimation/CMakeFiles/psse_estimation.dir/pmu.cpp.o" "gcc" "src/estimation/CMakeFiles/psse_estimation.dir/pmu.cpp.o.d"
+  "/root/repo/src/estimation/topology_error.cpp" "src/estimation/CMakeFiles/psse_estimation.dir/topology_error.cpp.o" "gcc" "src/estimation/CMakeFiles/psse_estimation.dir/topology_error.cpp.o.d"
+  "/root/repo/src/estimation/wls.cpp" "src/estimation/CMakeFiles/psse_estimation.dir/wls.cpp.o" "gcc" "src/estimation/CMakeFiles/psse_estimation.dir/wls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/psse_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psse_estimation.dir/bad_data.cpp.o"
+  "CMakeFiles/psse_estimation.dir/bad_data.cpp.o.d"
+  "CMakeFiles/psse_estimation.dir/chi2.cpp.o"
+  "CMakeFiles/psse_estimation.dir/chi2.cpp.o.d"
+  "CMakeFiles/psse_estimation.dir/observability.cpp.o"
+  "CMakeFiles/psse_estimation.dir/observability.cpp.o.d"
+  "CMakeFiles/psse_estimation.dir/pmu.cpp.o"
+  "CMakeFiles/psse_estimation.dir/pmu.cpp.o.d"
+  "CMakeFiles/psse_estimation.dir/topology_error.cpp.o"
+  "CMakeFiles/psse_estimation.dir/topology_error.cpp.o.d"
+  "CMakeFiles/psse_estimation.dir/wls.cpp.o"
+  "CMakeFiles/psse_estimation.dir/wls.cpp.o.d"
+  "libpsse_estimation.a"
+  "libpsse_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psse_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

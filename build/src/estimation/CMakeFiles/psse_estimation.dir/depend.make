@@ -1,0 +1,2 @@
+# Empty dependencies file for psse_estimation.
+# This may be replaced when dependencies are built.

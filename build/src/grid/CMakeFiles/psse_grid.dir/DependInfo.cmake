@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/dc_powerflow.cpp" "src/grid/CMakeFiles/psse_grid.dir/dc_powerflow.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/dc_powerflow.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/psse_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/ieee_cases.cpp" "src/grid/CMakeFiles/psse_grid.dir/ieee_cases.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/ieee_cases.cpp.o.d"
+  "/root/repo/src/grid/jacobian.cpp" "src/grid/CMakeFiles/psse_grid.dir/jacobian.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/jacobian.cpp.o.d"
+  "/root/repo/src/grid/matrix.cpp" "src/grid/CMakeFiles/psse_grid.dir/matrix.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/matrix.cpp.o.d"
+  "/root/repo/src/grid/measurement.cpp" "src/grid/CMakeFiles/psse_grid.dir/measurement.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/measurement.cpp.o.d"
+  "/root/repo/src/grid/topology_processor.cpp" "src/grid/CMakeFiles/psse_grid.dir/topology_processor.cpp.o" "gcc" "src/grid/CMakeFiles/psse_grid.dir/topology_processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

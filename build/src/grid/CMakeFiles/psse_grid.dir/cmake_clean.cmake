@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psse_grid.dir/dc_powerflow.cpp.o"
+  "CMakeFiles/psse_grid.dir/dc_powerflow.cpp.o.d"
+  "CMakeFiles/psse_grid.dir/grid.cpp.o"
+  "CMakeFiles/psse_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/psse_grid.dir/ieee_cases.cpp.o"
+  "CMakeFiles/psse_grid.dir/ieee_cases.cpp.o.d"
+  "CMakeFiles/psse_grid.dir/jacobian.cpp.o"
+  "CMakeFiles/psse_grid.dir/jacobian.cpp.o.d"
+  "CMakeFiles/psse_grid.dir/matrix.cpp.o"
+  "CMakeFiles/psse_grid.dir/matrix.cpp.o.d"
+  "CMakeFiles/psse_grid.dir/measurement.cpp.o"
+  "CMakeFiles/psse_grid.dir/measurement.cpp.o.d"
+  "CMakeFiles/psse_grid.dir/topology_processor.cpp.o"
+  "CMakeFiles/psse_grid.dir/topology_processor.cpp.o.d"
+  "libpsse_grid.a"
+  "libpsse_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psse_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

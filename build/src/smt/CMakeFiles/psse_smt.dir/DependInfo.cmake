@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/bigint.cpp" "src/smt/CMakeFiles/psse_smt.dir/bigint.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/bigint.cpp.o.d"
+  "/root/repo/src/smt/linear_expr.cpp" "src/smt/CMakeFiles/psse_smt.dir/linear_expr.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/linear_expr.cpp.o.d"
+  "/root/repo/src/smt/rational.cpp" "src/smt/CMakeFiles/psse_smt.dir/rational.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/rational.cpp.o.d"
+  "/root/repo/src/smt/sat_solver.cpp" "src/smt/CMakeFiles/psse_smt.dir/sat_solver.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/sat_solver.cpp.o.d"
+  "/root/repo/src/smt/simplex.cpp" "src/smt/CMakeFiles/psse_smt.dir/simplex.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/simplex.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/smt/CMakeFiles/psse_smt.dir/solver.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/solver.cpp.o.d"
+  "/root/repo/src/smt/term.cpp" "src/smt/CMakeFiles/psse_smt.dir/term.cpp.o" "gcc" "src/smt/CMakeFiles/psse_smt.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psse_smt.dir/bigint.cpp.o"
+  "CMakeFiles/psse_smt.dir/bigint.cpp.o.d"
+  "CMakeFiles/psse_smt.dir/linear_expr.cpp.o"
+  "CMakeFiles/psse_smt.dir/linear_expr.cpp.o.d"
+  "CMakeFiles/psse_smt.dir/rational.cpp.o"
+  "CMakeFiles/psse_smt.dir/rational.cpp.o.d"
+  "CMakeFiles/psse_smt.dir/sat_solver.cpp.o"
+  "CMakeFiles/psse_smt.dir/sat_solver.cpp.o.d"
+  "CMakeFiles/psse_smt.dir/simplex.cpp.o"
+  "CMakeFiles/psse_smt.dir/simplex.cpp.o.d"
+  "CMakeFiles/psse_smt.dir/solver.cpp.o"
+  "CMakeFiles/psse_smt.dir/solver.cpp.o.d"
+  "CMakeFiles/psse_smt.dir/term.cpp.o"
+  "CMakeFiles/psse_smt.dir/term.cpp.o.d"
+  "libpsse_smt.a"
+  "libpsse_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psse_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_validation_test.dir/core/architecture_validation_test.cpp.o"
+  "CMakeFiles/architecture_validation_test.dir/core/architecture_validation_test.cpp.o.d"
+  "architecture_validation_test"
+  "architecture_validation_test.pdb"
+  "architecture_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

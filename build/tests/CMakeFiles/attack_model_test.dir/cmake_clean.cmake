@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_model_test.dir/core/attack_model_test.cpp.o"
+  "CMakeFiles/attack_model_test.dir/core/attack_model_test.cpp.o.d"
+  "attack_model_test"
+  "attack_model_test.pdb"
+  "attack_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

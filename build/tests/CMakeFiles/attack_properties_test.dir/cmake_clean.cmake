@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_properties_test.dir/core/attack_properties_test.cpp.o"
+  "CMakeFiles/attack_properties_test.dir/core/attack_properties_test.cpp.o.d"
+  "attack_properties_test"
+  "attack_properties_test.pdb"
+  "attack_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_replay_test.dir/core/attack_replay_test.cpp.o"
+  "CMakeFiles/attack_replay_test.dir/core/attack_replay_test.cpp.o.d"
+  "attack_replay_test"
+  "attack_replay_test.pdb"
+  "attack_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

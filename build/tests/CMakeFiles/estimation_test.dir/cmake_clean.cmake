@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_test.dir/estimation/estimation_test.cpp.o"
+  "CMakeFiles/estimation_test.dir/estimation/estimation_test.cpp.o.d"
+  "estimation_test"
+  "estimation_test.pdb"
+  "estimation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_test.dir/estimation/pmu_test.cpp.o"
+  "CMakeFiles/pmu_test.dir/estimation/pmu_test.cpp.o.d"
+  "pmu_test"
+  "pmu_test.pdb"
+  "pmu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_solver_test.dir/smt/sat_solver_test.cpp.o"
+  "CMakeFiles/sat_solver_test.dir/smt/sat_solver_test.cpp.o.d"
+  "sat_solver_test"
+  "sat_solver_test.pdb"
+  "sat_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

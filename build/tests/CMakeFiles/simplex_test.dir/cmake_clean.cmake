@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_test.dir/smt/simplex_test.cpp.o"
+  "CMakeFiles/simplex_test.dir/smt/simplex_test.cpp.o.d"
+  "simplex_test"
+  "simplex_test.pdb"
+  "simplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_fuzz_test.dir/smt/solver_fuzz_test.cpp.o"
+  "CMakeFiles/solver_fuzz_test.dir/smt/solver_fuzz_test.cpp.o.d"
+  "solver_fuzz_test"
+  "solver_fuzz_test.pdb"
+  "solver_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_test.dir/core/synthesis_test.cpp.o"
+  "CMakeFiles/synthesis_test.dir/core/synthesis_test.cpp.o.d"
+  "synthesis_test"
+  "synthesis_test.pdb"
+  "synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_error_test.dir/estimation/topology_error_test.cpp.o"
+  "CMakeFiles/topology_error_test.dir/estimation/topology_error_test.cpp.o.d"
+  "topology_error_test"
+  "topology_error_test.pdb"
+  "topology_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_model_test[1]_include.cmake")
+include("/root/repo/build/tests/synthesis_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/estimation_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/term_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_error_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/pmu_test[1]_include.cmake")
+include("/root/repo/build/tests/architecture_validation_test[1]_include.cmake")

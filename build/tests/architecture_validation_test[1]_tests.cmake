@@ -1,0 +1,3 @@
+add_test([=[ArchitectureValidation.SynthesizedPmuPlacementDefeatsReplayedAttacks]=]  /root/repo/build/tests/architecture_validation_test [==[--gtest_filter=ArchitectureValidation.SynthesizedPmuPlacementDefeatsReplayedAttacks]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ArchitectureValidation.SynthesizedPmuPlacementDefeatsReplayedAttacks]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  architecture_validation_test_TESTS ArchitectureValidation.SynthesizedPmuPlacementDefeatsReplayedAttacks)
