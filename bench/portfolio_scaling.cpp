@@ -1,0 +1,96 @@
+// portfolio_scaling: portfolio verification speedup vs. member count.
+//
+// For the IEEE 30- and 57-bus verification scenarios, runs the serial
+// verify() baseline and then racing portfolios of 1, 2, 4 and 8 members,
+// printing one JSON line per configuration:
+//
+//   {"bench":"portfolio_scaling","scenario":"ieee57_verification",
+//    "threads":4,"ms":812.4,"speedup":1.62,"verdict":"SAT",
+//    "winner":"agile-restarts"}
+//
+// Speedup is serial_ms / portfolio_ms for the same scenario. Because all
+// members are sound and complete, the verdict column must be constant down
+// each scenario's block — a cheap cross-check that racing never changes
+// the answer. On a single-core host the speedup measures diversification
+// (a non-default configuration finding the answer in fewer steps), not
+// parallelism; with real cores both effects combine.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "core/scenario.h"
+#include "runtime/portfolio.h"
+
+using namespace psse;
+
+namespace {
+
+const char* verdict_name(smt::SolveResult r) {
+  switch (r) {
+    case smt::SolveResult::Sat:
+      return "SAT";
+    case smt::SolveResult::Unsat:
+      return "UNSAT";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+constexpr double kTimeLimitSeconds = 300;
+
+smt::Budget bench_budget() {
+  smt::Budget b;
+  b.max_time = std::chrono::milliseconds(
+      static_cast<long>(kTimeLimitSeconds * 1000));
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataDir = PSSE_DATA_DIR;
+  if (argc == 2) dataDir = argv[1];
+  const std::vector<std::string> scenarios = {"ieee30_verification",
+                                              "ieee57_verification"};
+  const std::vector<std::size_t> memberCounts = {1, 2, 4, 8};
+
+  for (const std::string& name : scenarios) {
+    core::Scenario sc;
+    try {
+      sc = core::Scenario::load(dataDir + "/" + name + ".scn");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+
+    core::VerificationResult serial = model.verify(bench_budget());
+    const double serialMs = serial.seconds * 1000.0;
+    std::printf(
+        "{\"bench\":\"portfolio_scaling\",\"scenario\":\"%s\","
+        "\"threads\":0,\"ms\":%.1f,\"speedup\":1.00,\"verdict\":\"%s\","
+        "\"winner\":\"serial\"}\n",
+        name.c_str(), serialMs, verdict_name(serial.result));
+
+    for (std::size_t n : memberCounts) {
+      runtime::PortfolioOptions popt;
+      popt.num_threads = n;
+      popt.budget = bench_budget();
+      runtime::PortfolioResult pr = runtime::verify_portfolio(model, popt);
+      const double ms = pr.seconds * 1000.0;
+      const std::string winner =
+          pr.winner >= 0
+              ? pr.members[static_cast<std::size_t>(pr.winner)].label
+              : "none";
+      std::printf(
+          "{\"bench\":\"portfolio_scaling\",\"scenario\":\"%s\","
+          "\"threads\":%zu,\"ms\":%.1f,\"speedup\":%.2f,"
+          "\"verdict\":\"%s\",\"winner\":\"%s\"}\n",
+          name.c_str(), n, ms, ms > 0 ? serialMs / ms : 0.0,
+          verdict_name(pr.result()), winner.c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// batch_runner: fan a directory of scenario files across the thread pool.
+//
+//   batch_runner [--threads N] [--portfolio M] [--time-limit S] <dir>
+//
+// Every `.scn` file under <dir> (sorted, non-recursive) becomes one
+// verification job on the pool; each job prints exactly one JSON line to
+// stdout, so the output is directly `jq`-able:
+//
+//   {"scenario":"ieee14_verification","verdict":"SAT","seconds":0.012,
+//    "decisions":1201,"conflicts":54,"pivots":3310}
+//
+// With --portfolio M each job races an M-member diversified portfolio
+// (runtime::verify_portfolio) instead of a single serial solve, and the
+// line additionally reports the winning configuration. Scenarios that fail
+// to parse produce an "error" line instead of aborting the batch.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "core/scenario.h"
+#include "runtime/portfolio.h"
+#include "runtime/thread_pool.h"
+
+using namespace psse;
+
+namespace {
+
+const char* verdict_name(smt::SolveResult r) {
+  switch (r) {
+    case smt::SolveResult::Sat:
+      return "SAT";
+    case smt::SolveResult::Unsat:
+      return "UNSAT";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+struct Config {
+  std::size_t threads = 4;
+  std::size_t portfolio = 0;  // 0 = plain serial verify per scenario
+  double time_limit_seconds = 0;
+  std::string dir;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--portfolio M] [--time-limit S] "
+               "<scenario-dir>\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto num = [&](std::size_t& out) {
+      if (i + 1 >= argc) return false;
+      out = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      return out > 0;
+    };
+    if (arg == "--threads") {
+      if (!num(cfg.threads)) return usage(argv[0]);
+    } else if (arg == "--portfolio") {
+      if (!num(cfg.portfolio)) return usage(argv[0]);
+    } else if (arg == "--time-limit") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      cfg.time_limit_seconds = std::strtod(argv[++i], nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (cfg.dir.empty()) {
+      cfg.dir = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cfg.dir.empty()) return usage(argv[0]);
+
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cfg.dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read directory %s: %s\n",
+                 cfg.dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no .scn files in %s\n", cfg.dir.c_str());
+    return 1;
+  }
+
+  smt::Budget budget;
+  if (cfg.time_limit_seconds > 0) {
+    budget.max_time = std::chrono::milliseconds(
+        static_cast<long>(cfg.time_limit_seconds * 1000));
+  }
+
+  // One scenario per pool task; stdout is the shared resource, so each
+  // task formats its whole line first and prints it under the mutex.
+  std::mutex outMu;
+  bool anyError = false;
+  runtime::ThreadPool pool(cfg.threads);
+  std::vector<std::future<void>> jobs;
+  jobs.reserve(files.size());
+  for (const std::filesystem::path& path : files) {
+    jobs.push_back(pool.submit([&, path] {
+      const std::string name = path.stem().string();
+      std::string line;
+      bool failed = false;
+      try {
+        core::Scenario sc = core::Scenario::load(path.string());
+        core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+        core::VerificationResult r;
+        std::string winner;
+        if (cfg.portfolio > 0) {
+          runtime::PortfolioOptions popt;
+          popt.num_threads = cfg.portfolio;
+          popt.budget = budget;
+          runtime::PortfolioResult pr =
+              runtime::verify_portfolio(model, popt);
+          r = std::move(pr.verification);
+          r.seconds = pr.seconds;
+          if (pr.winner >= 0) {
+            winner = pr.members[static_cast<std::size_t>(pr.winner)].label;
+          }
+        } else {
+          r = model.verify(budget);
+        }
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "{\"scenario\":\"%s\",\"verdict\":\"%s\","
+                      "\"seconds\":%.3f,\"decisions\":%llu,"
+                      "\"conflicts\":%llu,\"pivots\":%llu",
+                      json_escape(name).c_str(), verdict_name(r.result),
+                      r.seconds,
+                      static_cast<unsigned long long>(r.stats.sat.decisions),
+                      static_cast<unsigned long long>(r.stats.sat.conflicts),
+                      static_cast<unsigned long long>(r.stats.pivots));
+        line = buf;
+        if (!winner.empty()) {
+          line += ",\"winner\":\"" + json_escape(winner) + "\"";
+        }
+        line += "}";
+      } catch (const std::exception& e) {
+        line = "{\"scenario\":\"" + json_escape(name) +
+               "\",\"error\":\"" + json_escape(e.what()) + "\"}";
+        failed = true;
+      }
+      std::lock_guard<std::mutex> lock(outMu);
+      std::puts(line.c_str());
+      if (failed) anyError = true;
+    }));
+  }
+  for (std::future<void>& j : jobs) j.wait();
+  return anyError ? 1 : 0;
+}

@@ -56,6 +56,22 @@ class UfdiAttackModel {
   UfdiAttackModel(const UfdiAttackModel&) = delete;
   UfdiAttackModel& operator=(const UfdiAttackModel&) = delete;
 
+  /// Fresh model over the same (grid, plan, spec): re-encodes the
+  /// constraint system into a new solver with pristine search state. The
+  /// clone aliases this model's grid reference, so the grid must outlive
+  /// it. Clones are what the parallel runtime hands to worker threads —
+  /// solver instances are not thread-safe, but independent clones solving
+  /// the same question concurrently are.
+  [[nodiscard]] std::unique_ptr<UfdiAttackModel> clone() const {
+    return std::make_unique<UfdiAttackModel>(grid_, plan_, spec_);
+  }
+
+  /// Reconfigures the underlying CDCL heuristics (portfolio
+  /// diversification). Affects subsequent verify calls only.
+  void set_solver_options(const smt::SatOptions& options) {
+    solver_.set_sat_options(options);
+  }
+
   /// Is the specified attack feasible with no extra countermeasures?
   [[nodiscard]] VerificationResult verify(const smt::Budget& budget = {});
 

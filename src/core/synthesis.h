@@ -45,6 +45,16 @@ struct SynthesisOptions {
   smt::Budget verification_budget;
   /// Wall-clock ceiling for the whole synthesis; 0 = unlimited.
   double time_limit_seconds = 0.0;
+  /// Evaluate up to this many candidate architectures concurrently (the
+  /// parallel CEGIS path); 1 = the serial loop. Each round enumerates K
+  /// distinct candidates from the shared candidate model, verifies them on
+  /// per-thread clones of the attack model, and merges the resulting
+  /// counterexample-blocking clauses back under a mutex. The first
+  /// successful candidate cancels its siblings via the stop token.
+  /// Parallel and serial runs agree on the outcome status — and any found
+  /// architecture blocks every attack of the model — but they may return
+  /// different, equally valid, architectures.
+  int parallel_candidates = 1;
 };
 
 struct SynthesisResult {
@@ -77,6 +87,14 @@ class SecurityArchitectureSynthesizer {
  private:
   void build_candidate_model(smt::SatSolver& solver,
                              std::vector<smt::Var>& sbVars, int budget) const;
+  /// The clause that prunes the candidate space after S failed with
+  /// counterexample v: "secure one of the attack's compromised buses"
+  /// (counterexample blocking), "secure something outside S" (subset
+  /// blocking), or the exact negation of S.
+  [[nodiscard]] std::vector<smt::Lit> failure_blocking_clause(
+      const std::vector<smt::Var>& sbVars, const std::vector<grid::BusId>& S,
+      const VerificationResult& v) const;
+  [[nodiscard]] SynthesisResult synthesize_parallel();
 
   UfdiAttackModel& attackModel_;
   SynthesisOptions options_;

@@ -1,0 +1,63 @@
+// Cooperative cancellation for the parallel runtime.
+//
+// A CancellationSource owns a heap-allocated atomic flag; any number of
+// CancellationTokens share it. Work that should be cancellable plugs the
+// token's raw flag into smt::Budget::stop — the solver polls it in the CDCL
+// propagate loop and the simplex pivot loop, so cancellation latency is a
+// few thousand propagations or a handful of pivots, not a full solve.
+//
+// Cancellation is one-way: once requested it stays requested. Tokens are
+// cheap to copy and keep the flag alive, so a source may be destroyed while
+// solves holding its tokens are still draining.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace psse::runtime {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the owning source requested cancellation.
+  [[nodiscard]] bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// The raw flag for smt::Budget::stop; null for a default-constructed
+  /// (never-cancellable) token.
+  [[nodiscard]] const std::atomic<bool>* raw() const { return flag_.get(); }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent, callable from any thread.
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancellationToken token() const {
+    return CancellationToken(flag_);
+  }
+
+  /// The raw flag for smt::Budget::stop (valid while this source or any of
+  /// its tokens is alive).
+  [[nodiscard]] const std::atomic<bool>* raw() const { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace psse::runtime

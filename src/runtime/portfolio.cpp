@@ -1,0 +1,161 @@
+#include "runtime/portfolio.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+#include "smt/common.h"
+
+namespace psse::runtime {
+
+std::vector<PortfolioMember> default_portfolio(std::size_t n) {
+  using smt::SatOptions;
+  std::vector<PortfolioMember> members;
+  members.reserve(n);
+  auto add = [&](const char* label, SatOptions o) {
+    if (members.size() < n) members.push_back({label, o});
+  };
+  // Member 0 must stay the default configuration (serial-equivalence
+  // anchor for tests and for the deterministic mode). The rest of the
+  // ladder is ordered by measured strength on the data/ verification
+  // suite, so small portfolios get the configurations most likely to
+  // complement the baseline.
+  add("baseline", {});
+  {
+    SatOptions o;
+    o.default_phase = true;
+    o.theory_check_period = 2;
+    o.restart_base = 200;
+    add("pos-lazy", o);
+  }
+  {
+    SatOptions o;
+    o.random_branch_permil = 50;
+    o.default_phase = true;
+    o.seed = 0x9e3779b97f4a7c15ull;
+    add("pos-random-5pct", o);
+  }
+  {
+    SatOptions o;
+    o.restart_base = 50;
+    o.var_decay = 0.90;
+    add("agile-restarts", o);
+  }
+  {
+    SatOptions o;
+    o.theory_check_period = 4;
+    add("lazy-theory", o);
+  }
+  {
+    SatOptions o;
+    o.random_branch_permil = 20;
+    o.seed = 0x2545f4914f6cdd1dull;
+    add("random-2pct", o);
+  }
+  {
+    SatOptions o;
+    o.restart_base = 400;
+    o.var_decay = 0.99;
+    add("slow-restarts", o);
+  }
+  {
+    SatOptions o;
+    o.default_phase = true;
+    add("pos-phase", o);
+  }
+  // Beyond the ladder: random-branching variants with distinct seeds.
+  for (std::size_t k = members.size(); k < n; ++k) {
+    SatOptions o;
+    o.random_branch_permil = 30 + 8 * static_cast<std::uint32_t>(k % 8);
+    o.default_phase = (k & 1) != 0;
+    o.seed = 0x100000001b3ull * (k + 1) + 0xcbf29ce484222325ull;
+    members.push_back({"random-seed-" + std::to_string(k), o});
+  }
+  return members;
+}
+
+PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
+                                 const PortfolioOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<PortfolioMember> members =
+      options.members.empty() ? default_portfolio(options.num_threads)
+                              : options.members;
+  PSSE_CHECK(!members.empty(), "verify_portfolio: no portfolio members");
+  const std::size_t n = members.size();
+
+  PortfolioResult out;
+  out.members.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.members[i].label = members[i].label;
+
+  // First-winner cancellation (racing mode only). A caller-supplied stop
+  // token is layered on top by the wait loop below, which forwards it into
+  // this internal flag so members need to poll only one.
+  std::atomic<bool> raceStop{false};
+  std::mutex mu;
+  std::vector<core::VerificationResult> results(n);
+  int firstDefinitive = -1;  // completion order, guarded by mu
+
+  ThreadPool pool(n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&, i] {
+      // Clone inside the worker: model encoding is itself a significant
+      // cost on big grids, so members pay it concurrently.
+      auto clone = model.clone();
+      clone->set_solver_options(members[i].options);
+      smt::Budget budget = options.budget;
+      budget.stop = &raceStop;
+      core::VerificationResult v = clone->verify(budget);
+      std::lock_guard<std::mutex> lock(mu);
+      out.members[i].result = v.result;
+      out.members[i].seconds = v.seconds;
+      results[i] = std::move(v);
+      if (results[i].result != smt::SolveResult::Unknown &&
+          firstDefinitive < 0) {
+        firstDefinitive = static_cast<int>(i);
+        if (!options.deterministic) {
+          raceStop.store(true, std::memory_order_relaxed);
+        }
+      }
+    }));
+  }
+
+  // Wait for all members, forwarding an external stop token if given.
+  for (std::future<void>& f : futures) {
+    if (options.budget.stop == nullptr) {
+      f.wait();
+      continue;
+    }
+    while (f.wait_for(std::chrono::milliseconds(5)) !=
+           std::future_status::ready) {
+      if (options.budget.stop->load(std::memory_order_relaxed)) {
+        raceStop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (options.deterministic) {
+    // Reproducible winner: lowest index with a definitive answer,
+    // regardless of completion order.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (results[i].result != smt::SolveResult::Unknown) {
+        out.winner = static_cast<int>(i);
+        break;
+      }
+    }
+  } else {
+    out.winner = firstDefinitive;
+  }
+  if (out.winner >= 0) {
+    out.verification = std::move(results[static_cast<std::size_t>(out.winner)]);
+  }
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return out;
+}
+
+}  // namespace psse::runtime

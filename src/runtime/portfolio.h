@@ -1,0 +1,82 @@
+// Portfolio verification: race diversified solver configurations on clones
+// of one UFDI attack model; the first definitive SAT/UNSAT answer wins and
+// cancels the rest.
+//
+// Soundness: every member runs a sound and complete solver over the *same*
+// formula, so all definitive answers agree — racing changes which member
+// answers (and which concrete attack vector a SAT answer carries), never
+// the verdict. Diversification varies branching polarity, restart
+// schedule, VSIDS decay, random-branching rate/seed, and theory-propagation
+// aggressiveness (see smt::SatOptions).
+//
+// Determinism mode trades latency for reproducibility: members are not
+// cancelled on a sibling's success, and the winner is the lowest-indexed
+// member with a definitive answer rather than the first to finish. With no
+// wall-clock member budget this makes the reported result — winner index,
+// verdict, and attack vector — independent of thread count and scheduling;
+// racing mode only guarantees the verdict.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "smt/budget.h"
+#include "smt/sat_solver.h"
+
+namespace psse::runtime {
+
+/// One racing member: a labelled CDCL configuration.
+struct PortfolioMember {
+  std::string label;
+  smt::SatOptions options;
+};
+
+/// The standard diversification ladder. Member 0 is always the solver's
+/// default configuration, so a 1-member portfolio reproduces the serial
+/// verify() search exactly; members beyond the built-in ladder cycle
+/// through random-branching variants with distinct seeds.
+[[nodiscard]] std::vector<PortfolioMember> default_portfolio(std::size_t n);
+
+struct PortfolioOptions {
+  /// Number of racing members (ignored when `members` is non-empty).
+  std::size_t num_threads = 4;
+  /// Reproducible winner selection (see file comment).
+  bool deterministic = false;
+  /// Per-member budget. A caller-supplied stop token is honoured (it
+  /// cancels the whole portfolio); the internal first-winner cancellation
+  /// is layered on top of it.
+  smt::Budget budget;
+  /// Explicit member list; empty selects default_portfolio(num_threads).
+  std::vector<PortfolioMember> members;
+};
+
+struct PortfolioMemberOutcome {
+  std::string label;
+  smt::SolveResult result = smt::SolveResult::Unknown;
+  double seconds = 0.0;
+};
+
+struct PortfolioResult {
+  /// The winning member's full verification result (attack vector, stats).
+  core::VerificationResult verification;
+  /// Index into members of the winner; -1 if no member was definitive.
+  int winner = -1;
+  /// Wall-clock of the whole portfolio call.
+  double seconds = 0.0;
+  std::vector<PortfolioMemberOutcome> members;
+
+  [[nodiscard]] smt::SolveResult result() const {
+    return verification.result;
+  }
+  [[nodiscard]] bool feasible() const { return verification.feasible(); }
+};
+
+/// Races the portfolio on clones of `model`. The model itself is only read
+/// (to clone); its grid must outlive the call. Thread count equals member
+/// count — each member runs on its own clone on its own pool thread.
+[[nodiscard]] PortfolioResult verify_portfolio(
+    const core::UfdiAttackModel& model, const PortfolioOptions& options = {});
+
+}  // namespace psse::runtime

@@ -1,0 +1,49 @@
+#include "runtime/thread_pool.h"
+
+namespace psse::runtime {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads == 0) numThreads = 1;
+  workers_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain-on-shutdown: only exit once the queue is empty, so every
+      // submitted future eventually becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task routes exceptions into the future
+  }
+}
+
+}  // namespace psse::runtime

@@ -1,0 +1,78 @@
+// Fixed-size thread pool with a FIFO work queue and std::future task
+// handles.
+//
+// The pool is the dispatch substrate for the parallel runtime: portfolio
+// verification races solver configurations on it, and the batch scenario
+// runner fans whole scenario files across it. Tasks are arbitrary
+// callables; submit() returns a std::future for the callable's result
+// (exceptions thrown by the task surface through the future).
+//
+// Shutdown semantics: the destructor (or an explicit shutdown()) stops
+// accepting new work, *drains the queue* — every task already submitted
+// still runs — and joins the workers. Dropping queued work on the floor
+// would break futures that callers may still be holding; tasks that should
+// die early must observe a CancellationToken instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "smt/common.h"
+
+namespace psse::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `numThreads` workers (at least 1).
+  explicit ThreadPool(std::size_t numThreads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a callable; returns the future for its result. Throws
+  /// smt::SmtError if the pool has been shut down.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function needs copyable targets;
+    // the shared_ptr indirection bridges the two.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PSSE_CHECK(!shutdown_, "ThreadPool::submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Stops accepting work, runs everything already queued, joins the
+  /// workers. Idempotent; implied by the destructor.
+  void shutdown();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  /// Queued-but-not-started task count (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace psse::runtime

@@ -1,0 +1,59 @@
+// Resource limits and cooperative interruption for solve calls.
+//
+// A Budget bounds a single solve() by conflicts and/or wall-clock time, and
+// optionally carries a *stop token*: a caller-owned atomic flag that any
+// thread may set to abort the solve promptly. The portfolio runtime uses it
+// to cancel losing solver configurations once one member of the race has a
+// definitive answer.
+//
+// Interrupt is the solver-internal view of a Budget's abort conditions: a
+// single object shared (by pointer) between the CDCL core and the simplex
+// theory solver during one solve() call, so both layers observe exactly the
+// same deadline and the same flag. It is polled in the CDCL propagate loop
+// and in the simplex pivot loop — long theory checks can no longer blow
+// past the wall-clock limit, which used to be enforced only at SAT-decision
+// boundaries.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace psse::smt {
+
+/// Resource limits for a solve call; zero/null means unlimited.
+struct Budget {
+  std::uint64_t max_conflicts = 0;
+  std::chrono::milliseconds max_time{0};
+  /// Cooperative cancellation: when non-null and set to true, the solve
+  /// returns Unknown at the next poll point. The pointee must outlive the
+  /// solve call; the solver only ever reads it (relaxed loads).
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Shared abort state for one solve() call. Monotone: once triggered()
+/// returns true it stays true (stop flags are never cleared mid-solve and
+/// deadlines do not move), which lets the layers poll independently without
+/// coordination.
+struct Interrupt {
+  const std::atomic<bool>* stop = nullptr;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  static Interrupt from(const Budget& budget) {
+    Interrupt it;
+    it.stop = budget.stop;
+    if (budget.max_time.count() > 0) {
+      it.has_deadline = true;
+      it.deadline = std::chrono::steady_clock::now() + budget.max_time;
+    }
+    return it;
+  }
+
+  [[nodiscard]] bool triggered() const {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return true;
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+}  // namespace psse::smt

@@ -26,11 +26,34 @@ std::uint64_t luby(std::uint64_t i) {
 }
 }  // namespace
 
+void SatSolver::set_options(const SatOptions& options) {
+  PSSE_CHECK(options.var_decay > 0.0 && options.var_decay < 1.0,
+             "set_options: var_decay outside (0, 1)");
+  PSSE_CHECK(options.restart_base > 0, "set_options: restart_base == 0");
+  PSSE_CHECK(options.theory_check_period > 0,
+             "set_options: theory_check_period == 0");
+  options_ = options;
+  rng_state_ = options.seed == 0 ? 0x9e3779b97f4a7c15ull : options.seed;
+  // Saved phases are a pure heuristic; re-seeding them with the configured
+  // polarity only affects variables not yet (re)assigned.
+  for (std::size_t v = 0; v < phase_.size(); ++v) {
+    if (assigns_[v] == LBool::Undef) phase_[v] = options_.default_phase;
+  }
+}
+
+std::uint64_t SatSolver::next_rand() {
+  // xorshift64*: deterministic per seed, no global state.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545f4914f6cdd1dull;
+}
+
 Var SatSolver::new_var() {
   Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);
   var_info_.push_back({});
-  phase_.push_back(false);
+  phase_.push_back(options_.default_phase);
   activity_.push_back(0.0);
   seen_.push_back(false);
   watches_.emplace_back();
@@ -156,6 +179,15 @@ std::int32_t SatSolver::propagate() {
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];
     ++stats_.propagations;
+    // Cooperative abort: bail out of long propagation chains promptly. The
+    // early return is indistinguishable from a fixpoint to the caller; the
+    // solve loop re-polls the same (monotone) interrupt before extending
+    // the assignment, so it can never conclude Sat from a partial
+    // propagation.
+    if ((stats_.propagations & 4095) == 0 && interrupt_ != nullptr &&
+        interrupt_->triggered()) {
+      return kNoConflict;
+    }
 
     // Cardinality bookkeeping: p just became true.
     for (std::int32_t cid : card_occs_[static_cast<std::size_t>(p.code())]) {
@@ -459,7 +491,7 @@ void SatSolver::var_bump(Var v) {
   if (idx >= 0) heap_up(idx);
 }
 
-void SatSolver::var_decay() { var_inc_ /= var_decay_; }
+void SatSolver::var_decay() { var_inc_ /= options_.var_decay; }
 
 void SatSolver::clause_bump(Clause& c) {
   c.activity += clause_inc_;
@@ -472,6 +504,18 @@ void SatSolver::clause_bump(Clause& c) {
 }
 
 Lit SatSolver::pick_branch() {
+  if (options_.random_branch_permil > 0 && num_vars() > 0 &&
+      (next_rand() & 1023) < options_.random_branch_permil) {
+    // Diversification: occasionally branch on a random unassigned variable
+    // (it stays in the heap; the VSIDS path skips assigned entries anyway).
+    for (int tries = 0; tries < 8; ++tries) {
+      Var v = static_cast<Var>(next_rand() %
+                               static_cast<std::uint64_t>(num_vars()));
+      if (value(v) == LBool::Undef) {
+        return Lit(v, !phase_[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
   while (!heap_empty()) {
     Var v = heap_pop();
     if (value(v) == LBool::Undef) {
@@ -528,19 +572,33 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
     PSSE_CHECK(a.var() >= 0 && a.var() < num_vars(),
                "solve: unknown assumption variable");
   }
-  const auto start = std::chrono::steady_clock::now();
   const std::uint64_t conflictLimit =
       budget.max_conflicts == 0 ? UINT64_MAX
                                 : stats_.conflicts + budget.max_conflicts;
-  auto out_of_time = [&]() {
-    return budget.max_time.count() > 0 &&
-           std::chrono::steady_clock::now() - start >= budget.max_time;
-  };
+  // One Interrupt object serves this whole solve: the propagate loop, the
+  // decision loop, and (via the theory client) the simplex pivot loop all
+  // poll the same deadline and stop token, so no layer can observe an abort
+  // the others would miss.
+  Interrupt interrupt = Interrupt::from(budget);
+  struct InterruptScope {
+    SatSolver* solver;
+    explicit InterruptScope(SatSolver* s, const Interrupt* it) : solver(s) {
+      solver->interrupt_ = it;
+      if (solver->theory_ != nullptr) solver->theory_->set_interrupt(it);
+    }
+    ~InterruptScope() {
+      solver->interrupt_ = nullptr;
+      if (solver->theory_ != nullptr) solver->theory_->set_interrupt(nullptr);
+    }
+  } interruptScope{this, &interrupt};
+  auto interrupted = [&]() { return interrupt.triggered(); };
 
   rebuild_order_heap();
   std::uint64_t restartCount = 0;
-  std::uint64_t conflictsUntilRestart = 100 * luby(restartCount);
+  std::uint64_t conflictsUntilRestart =
+      options_.restart_base * luby(restartCount);
   std::uint64_t conflictsSinceRestart = 0;
+  std::uint32_t fixpointsSinceTheory = 0;
   std::vector<Lit> learnt;
   std::vector<Lit> theoryConfl;
 
@@ -548,10 +606,14 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
     std::int32_t confl = propagate();
     std::vector<Lit> conflLits;
     if (confl == kNoConflict) {
-      // Propagation fixpoint: consult the theory.
-      if (!theory_check(false, theoryConfl)) {
-        confl = kExplicitConflict;
-        conflLits = theoryConfl;
+      // Propagation fixpoint: consult the theory (lazier configurations
+      // skip some fixpoints; the final check below never is).
+      if (++fixpointsSinceTheory >= options_.theory_check_period) {
+        fixpointsSinceTheory = 0;
+        if (!theory_check(false, theoryConfl)) {
+          confl = kExplicitConflict;
+          conflLits = theoryConfl;
+        }
       }
     } else if (confl == kExplicitConflict) {
       conflLits = pending_conflict_;
@@ -560,21 +622,26 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
     if (confl != kNoConflict) {
       ++stats_.conflicts;
       ++conflictsSinceRestart;
-      // A conflict entirely at level 0 closes the instance.
-      bool allLevel0 = true;
       const std::vector<Lit>& cl =
           confl >= 0 ? clauses_[static_cast<std::size_t>(confl)].lits
                      : conflLits;
+      int conflLevel = 0;
       for (Lit l : cl) {
-        if (var_info_[static_cast<std::size_t>(l.var())].level > 0) {
-          allLevel0 = false;
-          break;
-        }
+        const int lv = var_info_[static_cast<std::size_t>(l.var())].level;
+        if (lv > conflLevel) conflLevel = lv;
       }
-      if (decision_level() == 0 || allLevel0) {
+      // A conflict entirely at level 0 closes the instance.
+      if (decision_level() == 0 || conflLevel == 0) {
         ok_ = false;
         cancel_until(0);
         return SolveResult::Unsat;
+      }
+      // A lazy theory check can surface a conflict that lags the search:
+      // every literal in it below the current decision level. analyze()
+      // needs a current-level literal, so first backjump to the conflict's
+      // own level (all its literals stay falsified there).
+      if (confl == kExplicitConflict && conflLevel < decision_level()) {
+        cancel_until(conflLevel);
       }
       int btlevel = 0;
       analyze(confl, conflLits, learnt, btlevel);
@@ -598,7 +665,7 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
       var_decay();
       clause_inc_ /= 0.999;
 
-      if (stats_.conflicts >= conflictLimit || out_of_time()) {
+      if (stats_.conflicts >= conflictLimit || interrupted()) {
         cancel_until(0);
         return SolveResult::Unknown;
       }
@@ -609,7 +676,7 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
         ++stats_.restarts;
         ++restartCount;
         conflictsSinceRestart = 0;
-        conflictsUntilRestart = 100 * luby(restartCount);
+        conflictsUntilRestart = options_.restart_base * luby(restartCount);
         cancel_until(static_cast<int>(assumptions.size()) <= decision_level()
                          ? static_cast<int>(assumptions.size())
                          : 0);
@@ -617,8 +684,10 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
       continue;
     }
 
-    // No conflict: extend the assignment.
-    if (out_of_time()) {
+    // No conflict: extend the assignment. The interrupt check also covers
+    // early returns from propagate() and from a bailed-out theory check —
+    // the interrupt is monotone, so if a lower layer saw it, so do we.
+    if (interrupted()) {
       cancel_until(0);
       return SolveResult::Unknown;
     }
@@ -645,18 +714,21 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
     if (!next.valid()) {
       // Full assignment: ask the theory for a final verdict.
       if (!theory_check(true, theoryConfl)) {
-        bool allLevel0 = true;
+        int conflLevel = 0;
         for (Lit l : theoryConfl) {
-          if (var_info_[static_cast<std::size_t>(l.var())].level > 0) {
-            allLevel0 = false;
-            break;
-          }
+          const int lv = var_info_[static_cast<std::size_t>(l.var())].level;
+          if (lv > conflLevel) conflLevel = lv;
         }
-        if (decision_level() == 0 || allLevel0 || theoryConfl.empty()) {
+        if (decision_level() == 0 || conflLevel == 0 ||
+            theoryConfl.empty()) {
           ok_ = false;
           cancel_until(0);
           return SolveResult::Unsat;
         }
+        // Same lagging-conflict backjump as in the main loop: with lazy
+        // theory checks the conflict may live entirely below the current
+        // decision level.
+        if (conflLevel < decision_level()) cancel_until(conflLevel);
         ++stats_.conflicts;
         int btlevel = 0;
         analyze(kExplicitConflict, theoryConfl, learnt, btlevel);
@@ -678,6 +750,12 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
           PSSE_ASSERT(okEnq);
         }
         continue;
+      }
+      // An interrupted theory check may report "consistent" without having
+      // restored bound feasibility; never conclude Sat in that case.
+      if (interrupted()) {
+        cancel_until(0);
+        return SolveResult::Unknown;
       }
       // Satisfiable: snapshot the model.
       if (theory_ != nullptr) theory_->on_model();

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "smt/budget.h"
 #include "smt/literal.h"
 
 namespace psse::smt {
@@ -57,6 +58,13 @@ class TheoryClient {
 
   /// True if this boolean variable is mapped to a theory atom.
   virtual bool is_theory_var(Var v) const = 0;
+
+  /// Shares the solve call's abort state with the theory, so deadline and
+  /// stop-token polling reach long-running theory procedures (the simplex
+  /// pivot loop). Called with a valid pointer at the start of each solve
+  /// and with nullptr when the solve returns; the pointee lives exactly
+  /// that long.
+  virtual void set_interrupt(const Interrupt* /*interrupt*/) {}
 };
 
 /// Aggregate statistics, exposed for the evaluation harness.
@@ -71,10 +79,28 @@ struct SatStats {
   std::uint64_t theory_conflicts = 0;
 };
 
-/// Resource limits for a solve call; zero means unlimited.
-struct Budget {
-  std::uint64_t max_conflicts = 0;
-  std::chrono::milliseconds max_time{0};
+/// Search-heuristic configuration. The defaults reproduce the solver's
+/// historical behaviour; portfolio solving diversifies these knobs so that
+/// racing members explore the search space differently while every
+/// configuration stays sound and complete (same SAT/UNSAT answer, possibly
+/// different models and runtimes).
+struct SatOptions {
+  /// Initial saved phase for branching (false = branch negative first).
+  bool default_phase = false;
+  /// Luby restart unit: restart after base * luby(k) conflicts.
+  std::uint32_t restart_base = 100;
+  /// VSIDS activity decay factor in (0, 1).
+  double var_decay = 0.95;
+  /// Probability (in 1/1024 units) of branching on a random unassigned
+  /// variable instead of the VSIDS top. 0 disables random branching.
+  std::uint32_t random_branch_permil = 0;
+  /// Seed for the deterministic branching RNG.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Consult the theory at every k-th propagation fixpoint only (1 =
+  /// eager, the default). Larger values trade earlier theory conflicts for
+  /// less simplex work; soundness is unaffected because the full check at
+  /// complete assignments always runs.
+  std::uint32_t theory_check_period = 1;
 };
 
 class SatSolver {
@@ -100,6 +126,13 @@ class SatSolver {
   /// Attaches the theory client. Must be done before solving; the pointer
   /// is unowned and must outlive the solver's use.
   void set_theory(TheoryClient* theory) { theory_ = theory; }
+
+  /// Reconfigures the search heuristics (portfolio diversification). May be
+  /// called between solves; resets every unassigned variable's saved phase
+  /// to the new default so the next descent starts from the configured
+  /// polarity.
+  void set_options(const SatOptions& options);
+  [[nodiscard]] const SatOptions& options() const { return options_; }
 
   /// Saves the sizes of the constraint database.
   void push();
@@ -194,6 +227,7 @@ class SatSolver {
   void var_decay();
   void clause_bump(Clause& c);
   Lit pick_branch();
+  std::uint64_t next_rand();
   void reduce_db();
   void rebuild_order_heap();
   std::uint32_t compute_lbd(const std::vector<Lit>& lits);
@@ -228,8 +262,11 @@ class SatSolver {
   std::vector<std::int32_t> heap_index_;
 
   double var_inc_ = 1.0;
-  double var_decay_ = 0.95;
   double clause_inc_ = 1.0;
+  SatOptions options_;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+  // Abort state of the in-flight solve; null outside solve().
+  const Interrupt* interrupt_ = nullptr;
 
   bool ok_ = true;  // false once UNSAT at level 0
   std::vector<bool> model_;

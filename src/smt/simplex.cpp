@@ -248,7 +248,14 @@ void Simplex::build_conflict_from_row(const Row& row, bool lowerViolated) {
 bool Simplex::check() {
   if (!maybe_infeasible_) return true;
   concrete_delta_.reset();
-  for (;;) {
+  for (std::uint64_t iter = 0;; ++iter) {
+    // Budgets used to be enforced only between SAT decisions, so one long
+    // pivot sequence could blow far past the wall-clock limit; poll here.
+    // maybe_infeasible_ stays set, so an aborted check redoes no bookkeeping
+    // it shouldn't.
+    if ((iter & 15) == 0 && interrupt_ != nullptr && interrupt_->triggered()) {
+      return true;
+    }
     // Bland's rule: smallest-index violated basic variable.
     TVar violated = kNoTVar;
     bool lowerViolated = false;

@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "smt/budget.h"
 #include "smt/linear_expr.h"
 #include "smt/literal.h"
 #include "smt/rational.h"
@@ -50,8 +51,18 @@ class Simplex {
   /// Retracts bound assertions down to an earlier trail_size().
   void pop_to(std::size_t mark);
 
-  /// Restores feasibility. Returns false on theory conflict.
+  /// Restores feasibility. Returns false on theory conflict. When the
+  /// attached interrupt triggers mid-pivot, returns true *without* having
+  /// restored feasibility (and without clearing the internal dirty flag);
+  /// the caller must treat the result as unusable and abort the solve —
+  /// the SAT core does so by re-polling the same interrupt before acting.
   bool check();
+
+  /// Attaches (or detaches, with nullptr) the abort state polled in the
+  /// pivot loop. The pointee must outlive its attachment; the DPLL(T)
+  /// facade wires the SAT core's per-solve Interrupt here so wall-clock
+  /// budgets and stop tokens cut long pivot sequences short.
+  void set_interrupt(const Interrupt* interrupt) { interrupt_ = interrupt; }
 
   /// After a failed assert/check: a clause (negated bound literals), all of
   /// which are currently false in the SAT core.
@@ -120,6 +131,7 @@ class Simplex {
   std::vector<Lit> conflict_;
   std::optional<Rational> concrete_delta_;
   std::uint64_t pivots_ = 0;
+  const Interrupt* interrupt_ = nullptr;
   // False only when every variable is known to satisfy its bounds; lets
   // check() short-circuit at propagation fixpoints where no bound moved.
   bool maybe_infeasible_ = false;

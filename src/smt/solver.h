@@ -50,6 +50,14 @@ class Solver final : private TheoryClient {
   /// Term builder (owned by the solver).
   [[nodiscard]] TermManager& terms() { return terms_; }
 
+  /// Reconfigures the CDCL search heuristics (portfolio diversification).
+  void set_sat_options(const SatOptions& options) {
+    sat_.set_options(options);
+  }
+  [[nodiscard]] const SatOptions& sat_options() const {
+    return sat_.options();
+  }
+
   /// Fresh boolean variable as a term.
   TermRef mk_bool(std::string name = {}) {
     return terms_.mk_bool(std::move(name));
@@ -99,6 +107,9 @@ class Solver final : private TheoryClient {
   void pop_to_assertion_count(std::size_t n) override;
   bool is_theory_var(Var v) const override;
   void on_model() override;
+  void set_interrupt(const Interrupt* interrupt) override {
+    simplex_.set_interrupt(interrupt);
+  }
 
   /// CNF encoding with structural caching: SAT literal equisatisfiable
   /// with term t.

@@ -1,0 +1,132 @@
+// Portfolio verification and parallel CEGIS agreement properties: the
+// verdict never depends on how many configurations race, deterministic
+// mode is reproducible across thread counts, and the parallel synthesis
+// path agrees with the serial loop.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "core/scenario.h"
+#include "core/synthesis.h"
+#include "runtime/portfolio.h"
+
+namespace psse {
+namespace {
+
+core::Scenario load_scenario(const char* name) {
+  return core::Scenario::load(std::string(PSSE_DATA_DIR) + "/" + name);
+}
+
+std::vector<std::string> all_scenarios() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PSSE_DATA_DIR)) {
+    if (entry.path().extension() == ".scn") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Portfolio, LadderStartsAtBaselineAndExtends) {
+  auto two = runtime::default_portfolio(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].label, "baseline");
+  // Member 0 is exactly the default configuration (serial anchor).
+  EXPECT_EQ(two[0].options.default_phase, smt::SatOptions{}.default_phase);
+  EXPECT_EQ(two[0].options.restart_base, smt::SatOptions{}.restart_base);
+  auto many = runtime::default_portfolio(12);
+  ASSERT_EQ(many.size(), 12u);
+  // Generated members beyond the built-in ladder get distinct seeds.
+  EXPECT_NE(many[10].options.seed, many[11].options.seed);
+}
+
+TEST(Portfolio, DeterministicVerdictIndependentOfThreadCount) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  smt::SolveResult verdicts[3];
+  int winners[3];
+  const std::size_t counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    runtime::PortfolioOptions opt;
+    opt.num_threads = counts[i];
+    opt.deterministic = true;
+    runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+    verdicts[i] = pr.result();
+    winners[i] = pr.winner;
+    // Deterministic mode runs every member to completion.
+    for (const auto& m : pr.members) {
+      EXPECT_NE(m.result, smt::SolveResult::Unknown) << m.label;
+    }
+  }
+  EXPECT_EQ(verdicts[0], smt::SolveResult::Sat);
+  EXPECT_EQ(verdicts[0], verdicts[1]);
+  EXPECT_EQ(verdicts[0], verdicts[2]);
+  // With no member budget every member is definitive, so the
+  // lowest-index winner is member 0 regardless of thread count.
+  EXPECT_EQ(winners[0], 0);
+  EXPECT_EQ(winners[1], 0);
+  EXPECT_EQ(winners[2], 0);
+}
+
+TEST(Portfolio, RacingVerdictMatchesSerialOnAllScenarios) {
+  for (const std::string& file : all_scenarios()) {
+    core::Scenario sc = core::Scenario::load(file);
+    core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    core::VerificationResult serial = model.verify();
+    runtime::PortfolioOptions opt;
+    opt.num_threads = 4;
+    runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+    EXPECT_EQ(pr.result(), serial.result) << file;
+    EXPECT_GE(pr.winner, 0) << file;
+    if (pr.result() == smt::SolveResult::Sat) {
+      // The winning member's attack vector is a genuine model.
+      ASSERT_TRUE(pr.verification.attack.has_value()) << file;
+    }
+  }
+}
+
+TEST(Portfolio, ExternalStopTokenCancelsTheRace) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  std::atomic<bool> stop{true};  // cancelled before the race starts
+  runtime::PortfolioOptions opt;
+  opt.num_threads = 2;
+  opt.budget.stop = &stop;
+  runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+  EXPECT_EQ(pr.winner, -1);
+  EXPECT_EQ(pr.result(), smt::SolveResult::Unknown);
+}
+
+TEST(ParallelSynthesis, AgreesWithSerialOnIeee57) {
+  core::Scenario sc = load_scenario("ieee57_synthesis.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  core::SynthesisOptions opt = sc.synthesis;
+  if (opt.max_secured_buses == 0) {
+    opt.max_secured_buses = sc.grid.num_buses();
+  }
+
+  core::SecurityArchitectureSynthesizer serial(model, opt);
+  core::SynthesisResult serialResult = serial.synthesize();
+
+  opt.parallel_candidates = 4;
+  core::SecurityArchitectureSynthesizer parallel(model, opt);
+  core::SynthesisResult parallelResult = parallel.synthesize();
+
+  ASSERT_EQ(serialResult.status, core::SynthesisResult::Status::Found);
+  EXPECT_EQ(parallelResult.status, serialResult.status);
+  EXPECT_LE(static_cast<int>(parallelResult.secured_buses.size()),
+            opt.max_secured_buses);
+  // The two paths may pick different architectures; what matters is that
+  // the parallel one actually blocks every attack of the model.
+  core::VerificationResult check =
+      model.verify_with_secured_buses(parallelResult.secured_buses);
+  EXPECT_EQ(check.result, smt::SolveResult::Unsat);
+}
+
+}  // namespace
+}  // namespace psse

@@ -1,0 +1,122 @@
+// Thread pool and cooperative-cancellation behaviour: shutdown drains
+// pending work, a stop token aborts a solve mid-search, and the wall-clock
+// budget is honoured even inside long theory (simplex) phases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "core/scenario.h"
+#include "runtime/cancellation.h"
+#include "runtime/thread_pool.h"
+#include "smt/common.h"
+
+namespace psse {
+namespace {
+
+core::Scenario load_scenario(const char* name) {
+  return core::Scenario::load(std::string(PSSE_DATA_DIR) + "/" + name);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  {
+    runtime::ThreadPool pool(2);
+    ASSERT_EQ(pool.size(), 2u);
+    // Far more tasks than workers so the queue is deep when the
+    // destructor runs; each task is slow enough that most are still
+    // pending at shutdown.
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&ran, i] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return i;
+      }));
+    }
+  }  // ~ThreadPool: must run everything already submitted
+  EXPECT_EQ(ran.load(), 64);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(futures[static_cast<std::size_t>(i)].wait_for(
+                  std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  runtime::ThreadPool pool(1);
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  EXPECT_THROW((void)pool.submit([] { return 1; }), smt::SmtError);
+}
+
+TEST(ThreadPool, ExceptionsSurfaceThroughFuture) {
+  runtime::ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(Cancellation, TokenObservesSource) {
+  runtime::CancellationSource source;
+  runtime::CancellationToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  ASSERT_NE(token.raw(), nullptr);
+  source.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_EQ(runtime::CancellationToken().raw(), nullptr);
+}
+
+TEST(Cancellation, PreCancelledSolveReturnsUnknownImmediately) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  runtime::CancellationSource source;
+  source.cancel();
+  smt::Budget budget;
+  budget.stop = source.raw();
+  core::VerificationResult r = model.verify(budget);
+  EXPECT_EQ(r.result, smt::SolveResult::Unknown);
+  // The full solve needs hundreds of conflicts; a pre-set stop token must
+  // abort before any meaningful search happens.
+  EXPECT_LT(r.stats.sat.conflicts, 50u);
+}
+
+TEST(Cancellation, ObservedMidSolveFromAnotherThread) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  // Uncancelled, this instance solves in ~100ms+; cancelling a few
+  // milliseconds in must cut the search short.
+  runtime::CancellationSource source;
+  smt::Budget budget;
+  budget.stop = source.raw();
+  core::VerificationResult r;
+  std::thread solver([&] { r = model.verify(budget); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  source.cancel();
+  solver.join();
+  EXPECT_EQ(r.result, smt::SolveResult::Unknown);
+}
+
+TEST(Budget, WallClockHonouredMidSolve) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  smt::Budget budget;
+  budget.max_time = std::chrono::milliseconds(1);
+  const auto start = std::chrono::steady_clock::now();
+  core::VerificationResult r = model.verify(budget);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(r.result, smt::SolveResult::Unknown);
+  // The deadline is polled inside propagation and pivot loops, so a 1ms
+  // budget ends the solve orders of magnitude before the ~100ms full
+  // search (generous bound for loaded CI machines).
+  EXPECT_LT(elapsed, 2.0);
+}
+
+}  // namespace
+}  // namespace psse
