@@ -161,17 +161,18 @@ int main(int argc, char** argv) {
         } else {
           r = model.verify(budget);
         }
-        char buf[512];
-        std::snprintf(buf, sizeof buf,
-                      "{\"scenario\":\"%s\",\"verdict\":\"%s\","
+        // The scenario name has no length bound, so build the line with
+        // string concatenation; only the fixed-width numeric fields go
+        // through snprintf.
+        char nums[160];
+        std::snprintf(nums, sizeof nums,
                       "\"seconds\":%.3f,\"decisions\":%llu,"
-                      "\"conflicts\":%llu,\"pivots\":%llu",
-                      json_escape(name).c_str(), verdict_name(r.result),
-                      r.seconds,
+                      "\"conflicts\":%llu,\"pivots\":%llu", r.seconds,
                       static_cast<unsigned long long>(r.stats.sat.decisions),
                       static_cast<unsigned long long>(r.stats.sat.conflicts),
                       static_cast<unsigned long long>(r.stats.pivots));
-        line = buf;
+        line = "{\"scenario\":\"" + json_escape(name) + "\",\"verdict\":\"" +
+               verdict_name(r.result) + "\"," + nums;
         if (!winner.empty()) {
           line += ",\"winner\":\"" + json_escape(winner) + "\"";
         }

@@ -13,16 +13,18 @@ ThreadPool::ThreadPool(std::size_t numThreads) {
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
+  // Claim the worker threads under the lock so exactly one concurrent
+  // caller owns the joins; everyone else sees an empty vector.
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ && workers_.empty()) return;
     shutdown_ = true;
+    workers.swap(workers_);
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) {
+  for (std::thread& w : workers) {
     if (w.joinable()) w.join();
   }
-  workers_.clear();
 }
 
 std::size_t ThreadPool::pending() const {

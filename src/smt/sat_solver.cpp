@@ -177,17 +177,19 @@ bool SatSolver::enqueue(Lit l, Reason reason) {
 
 std::int32_t SatSolver::propagate() {
   while (qhead_ < trail_.size()) {
-    Lit p = trail_[qhead_++];
-    ++stats_.propagations;
     // Cooperative abort: bail out of long propagation chains promptly. The
-    // early return is indistinguishable from a fixpoint to the caller; the
-    // solve loop re-polls the same (monotone) interrupt before extending
-    // the assignment, so it can never conclude Sat from a partial
-    // propagation.
+    // poll must precede the dequeue so an aborted call leaves qhead_ at the
+    // first unprocessed literal — cancel_until's counter bookkeeping assumes
+    // every dequeued literal was fully propagated. The early return is
+    // indistinguishable from a fixpoint to the caller; the solve loop
+    // re-polls the same (monotone) interrupt before extending the
+    // assignment, so it can never conclude Sat from a partial propagation.
     if ((stats_.propagations & 4095) == 0 && interrupt_ != nullptr &&
         interrupt_->triggered()) {
       return kNoConflict;
     }
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
 
     // Cardinality bookkeeping: p just became true.
     for (std::int32_t cid : card_occs_[static_cast<std::size_t>(p.code())]) {
