@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/attack_model.h"
@@ -49,17 +50,87 @@ inline grid::MeasurementPlan observable_fraction_plan(const grid::Grid& g,
   throw grid::GridError("observable_fraction_plan: no observable draw");
 }
 
-/// Milliseconds of a verification run (the model is rebuilt each time, as
-/// the paper's per-run measurements do).
-inline double verify_ms(const grid::Grid& g, const grid::MeasurementPlan& p,
-                        const core::AttackSpec& spec,
-                        double timeLimitSeconds = 600) {
+/// One full verification run (the model is rebuilt each time, as the
+/// paper's per-run measurements do); the result carries timing and the
+/// solver statistics (pivot count, footprint) for machine-readable output.
+inline core::VerificationResult verify_run(const grid::Grid& g,
+                                           const grid::MeasurementPlan& p,
+                                           const core::AttackSpec& spec,
+                                           double timeLimitSeconds = 600) {
   core::UfdiAttackModel model(g, p, spec);
   smt::Budget budget;
   budget.max_time = std::chrono::milliseconds(
       static_cast<long>(timeLimitSeconds * 1000));
-  return model.verify(budget).seconds * 1000.0;
+  return model.verify(budget);
 }
+
+/// Milliseconds of a verification run.
+inline double verify_ms(const grid::Grid& g, const grid::MeasurementPlan& p,
+                        const core::AttackSpec& spec,
+                        double timeLimitSeconds = 600) {
+  return verify_run(g, p, spec, timeLimitSeconds).seconds * 1000.0;
+}
+
+/// True when the bench was invoked with `--json`: each case then emits one
+/// machine-readable line alongside the human-readable columns, so runs can
+/// be recorded and diffed (BENCH_smt.json keeps the before/after baseline).
+inline bool json_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+/// Builder for one JSON result line:
+///   {"bench":"fig4a","case":"ieee57","ms":6.8,"pivots":1042}
+/// Keys and string values are emitted verbatim (callers pass plain
+/// identifiers, no escaping needed); emit() prints the line iff enabled.
+class JsonLine {
+ public:
+  JsonLine(bool enabled, std::string_view bench, std::string_view caseName)
+      : enabled_(enabled) {
+    body_ = "{\"bench\":\"";
+    body_ += bench;
+    body_ += "\",\"case\":\"";
+    body_ += caseName;
+    body_ += '"';
+  }
+
+  JsonLine& field(std::string_view key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+
+  JsonLine& field(std::string_view key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+
+  JsonLine& field(std::string_view key, std::string_view v) {
+    std::string quoted = "\"";
+    quoted += v;
+    quoted += '"';
+    return raw(key, quoted);
+  }
+
+  void emit() {
+    if (!enabled_) return;
+    std::printf("%s}\n", body_.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  JsonLine& raw(std::string_view key, std::string_view value) {
+    body_ += ",\"";
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+
+  bool enabled_;
+  std::string body_;
+};
 
 inline double mean(const std::vector<double>& xs) {
   return std::accumulate(xs.begin(), xs.end(), 0.0) /

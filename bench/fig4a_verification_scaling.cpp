@@ -1,12 +1,15 @@
 // Fig. 4(a): UFDI verification time vs bus-system size.
 //
 // Three experiments per IEEE system (different attacked states) plus the
-// average — the series the paper plots as bars + line.
+// average — the series the paper plots as bars + line. With --json each
+// experiment additionally emits one machine-readable line carrying the
+// verdict and simplex pivot count.
 #include "bench_util.h"
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   bench::header("Fig. 4(a) - verification time vs problem size",
                 "growth between linear and quadratic in the bus count; "
                 "different target choices give different times");
@@ -16,12 +19,22 @@ int main() {
     grid::Grid g = grid::cases::by_name(name);
     grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
     std::vector<double> times;
+    int exp = 0;
     for (const core::AttackSpec& spec : bench::standard_targets(g)) {
-      times.push_back(bench::verify_ms(g, plan, spec));
+      core::VerificationResult r = bench::verify_run(g, plan, spec);
+      times.push_back(r.seconds * 1000.0);
+      bench::JsonLine(json, "fig4a", name + "/exp" + std::to_string(++exp))
+          .field("ms", r.seconds * 1000.0)
+          .field("pivots", r.stats.pivots)
+          .field("verdict", r.feasible() ? "sat" : "unsat")
+          .emit();
     }
     std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
                 times[0], times[1], times[2], bench::mean(times));
     std::fflush(stdout);
+    bench::JsonLine(json, "fig4a", name)
+        .field("ms", bench::mean(times))
+        .emit();
   }
   return 0;
 }

@@ -45,6 +45,51 @@ void BM_RationalArith(benchmark::State& state) {
 }
 BENCHMARK(BM_RationalArith);
 
+// Small-value fast-path targets: the pivot loop spends its time in exactly
+// these shapes (gcd-normalised admittance-sized coefficients).
+void BM_RationalSmallAdd(benchmark::State& state) {
+  smt::Rational a(3, 7);
+  const smt::Rational b(-5, 11);
+  for (auto _ : state) {
+    smt::Rational c = a;
+    c += b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RationalSmallAdd);
+
+void BM_RationalSmallMul(benchmark::State& state) {
+  smt::Rational a(355, 113);
+  const smt::Rational b(-113, 355);
+  for (auto _ : state) {
+    smt::Rational c = a;
+    c *= b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RationalSmallMul);
+
+void BM_BigIntSmallGcd(benchmark::State& state) {
+  const smt::BigInt a(123456789);
+  const smt::BigInt b(987654);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smt::BigInt::gcd(a, b));
+  }
+}
+BENCHMARK(BM_BigIntSmallGcd);
+
+void BM_BigIntSmallMulAdd(benchmark::State& state) {
+  const smt::BigInt a(774747);
+  const smt::BigInt b(-12345);
+  smt::BigInt acc(1);
+  for (auto _ : state) {
+    acc = a * b + acc;
+    benchmark::DoNotOptimize(acc);
+    acc = smt::BigInt(1);
+  }
+}
+BENCHMARK(BM_BigIntSmallMulAdd);
+
 void BM_SatRandom3Sat(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {

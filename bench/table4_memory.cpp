@@ -10,7 +10,8 @@
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   bench::header("Table IV - memory requirement (MB)",
                 "memory grows ~linearly with the bus count; the candidate-"
                 "selection model is orders of magnitude smaller than the "
@@ -41,6 +42,12 @@ int main() {
         static_cast<double>(sr.candidate_footprint_bytes) / 1048576.0;
     std::printf("%-10s %18.2f %22.4f\n", name.c_str(), verifMb, candMb);
     std::fflush(stdout);
+    bench::JsonLine(json, "table4", name)
+        .field("ms", r.seconds * 1000.0)
+        .field("pivots", r.stats.pivots)
+        .field("verification_mb", verifMb)
+        .field("candidate_mb", candMb)
+        .emit();
   }
   return 0;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Lightweight CI: the full tier-1 suite plus both sanitizer presets.
+#
+#   ./ci.sh            # default + ubsan(smt) + tsan(runtime)
+#   ./ci.sh default    # just one stage
+#
+# The ubsan stage exists because the BigInt small-value representation is
+# built on overflow-checked native arithmetic — a missed signed-overflow
+# edge must fail the build, not corrupt a SAT/UNSAT verdict.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=(default ubsan tsan)
+fi
+
+for preset in "${stages[@]}"; do
+  echo "== ci: ${preset} =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+echo "== ci: all stages passed =="

@@ -154,13 +154,32 @@ void divmod32(std::vector<u32> num, std::vector<u32> den,
 
 }  // namespace
 
-BigInt::BigInt(std::int64_t v) {
-  if (v == 0) return;
-  negative_ = v < 0;
-  // Avoid UB negating INT64_MIN by going through unsigned arithmetic.
-  u64 mag = negative_ ? ~static_cast<u64>(v) + 1 : static_cast<u64>(v);
-  limbs_.push_back(mag);
-}
+// Sign-magnitude view over either representation. For an inline value the
+// magnitude is materialised into `own_` (at most one limb); for limb form
+// it aliases the operand's buffer, so the viewed BigInt must stay alive
+// and unmodified for the view's lifetime.
+struct BigInt::MagView {
+  explicit MagView(const BigInt& v) {
+    if (v.inline_) {
+      if (v.small_ != 0) own_.push_back(mag64(v.small_));
+      p_ = &own_;
+      neg_ = v.small_ < 0;
+    } else {
+      p_ = &v.limbs_;
+      neg_ = v.negative_;
+    }
+  }
+  MagView(const MagView&) = delete;
+  MagView& operator=(const MagView&) = delete;
+
+  [[nodiscard]] const std::vector<u64>& mag() const { return *p_; }
+  [[nodiscard]] bool neg() const { return neg_; }
+
+ private:
+  const std::vector<u64>* p_;
+  std::vector<u64> own_;
+  bool neg_;
+};
 
 BigInt BigInt::from_string(std::string_view s) {
   PSSE_CHECK(!s.empty(), "BigInt::from_string: empty input");
@@ -179,13 +198,80 @@ BigInt BigInt::from_string(std::string_view s) {
     out *= ten;
     out += BigInt(s[i] - '0');
   }
-  if (neg && !out.is_zero()) out.negative_ = true;
+  if (neg) out.negate();
   return out;
 }
 
+void BigInt::promote() {
+  PSSE_ASSERT(inline_);
+  negative_ = small_ < 0;
+  limbs_.clear();
+  if (small_ != 0) limbs_.push_back(mag64(small_));
+  small_ = 0;
+  inline_ = false;
+}
+
 void BigInt::trim() {
+  PSSE_ASSERT(!inline_);
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) negative_ = false;
+  if (limbs_.empty()) {
+    inline_ = true;
+    small_ = 0;
+    negative_ = false;
+    return;
+  }
+  if (limbs_.size() != 1) return;
+  const u64 m = limbs_[0];
+  if (!negative_ &&
+      m <= static_cast<u64>(std::numeric_limits<std::int64_t>::max())) {
+    small_ = static_cast<std::int64_t>(m);
+  } else if (negative_ && m <= (static_cast<u64>(1) << 63)) {
+    // Two's complement conversion is well-defined in C++20; m == 2^63
+    // maps to INT64_MIN.
+    small_ = static_cast<std::int64_t>(~m + 1);
+  } else {
+    return;  // genuinely needs limb form
+  }
+  inline_ = true;
+  limbs_.clear();  // capacity retained; heap_bytes() accounts for it
+  negative_ = false;
+}
+
+BigInt BigInt::from_u64_mag(u64 m) {
+  if (m <= static_cast<u64>(std::numeric_limits<std::int64_t>::max())) {
+    return BigInt(static_cast<std::int64_t>(m));
+  }
+  BigInt out;
+  out.inline_ = false;
+  out.negative_ = false;
+  out.limbs_.push_back(m);
+  return out;
+}
+
+BigInt BigInt::from_mag(std::vector<u64> mag, bool neg) {
+  BigInt out;
+  out.inline_ = false;
+  out.negative_ = neg;
+  out.limbs_ = std::move(mag);
+  out.trim();
+  return out;
+}
+
+void BigInt::negate() {
+  if (inline_) {
+    if (small_ != std::numeric_limits<std::int64_t>::min()) {
+      small_ = -small_;
+      return;
+    }
+    // |INT64_MIN| does not fit inline: promote to a one-limb magnitude.
+    inline_ = false;
+    small_ = 0;
+    negative_ = false;
+    limbs_.assign(1, static_cast<u64>(1) << 63);
+    return;
+  }
+  negative_ = !negative_;  // limb form is never zero
+  if (limbs_.size() == 1) trim();  // -2^63 demotes back to inline
 }
 
 int BigInt::cmp_mag(const std::vector<u64>& a, const std::vector<u64>& b) {
@@ -255,62 +341,70 @@ void BigInt::divmod_mag(const std::vector<u64>& num,
   rem = to64(r32);
 }
 
-BigInt BigInt::operator-() const {
-  BigInt out = *this;
-  if (!out.is_zero()) out.negative_ = !out.negative_;
-  return out;
-}
-
-BigInt BigInt::abs() const {
-  BigInt out = *this;
-  out.negative_ = false;
-  return out;
-}
-
-BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (negative_ == rhs.negative_) {
-    add_mag(limbs_, rhs.limbs_);
+BigInt& BigInt::add_slow(const BigInt& rhs) {
+  // Aliasing note: when &rhs == this the view below must not point into a
+  // buffer we are about to overwrite; a self-add is inline-safe only, so
+  // materialise a copy for the limb case.
+  if (&rhs == this) {
+    BigInt copy = rhs;
+    return add_slow(copy);
+  }
+  if (inline_) promote();
+  const MagView rb(rhs);
+  if (negative_ == rb.neg()) {
+    add_mag(limbs_, rb.mag());
   } else {
-    int cmp = cmp_mag(limbs_, rhs.limbs_);
+    int cmp = cmp_mag(limbs_, rb.mag());
     if (cmp == 0) {
       limbs_.clear();
       negative_ = false;
     } else if (cmp > 0) {
-      sub_mag(limbs_, rhs.limbs_);
+      sub_mag(limbs_, rb.mag());
     } else {
-      std::vector<u64> tmp = rhs.limbs_;
+      std::vector<u64> tmp = rb.mag();
       sub_mag(tmp, limbs_);
       limbs_ = std::move(tmp);
-      negative_ = rhs.negative_;
+      negative_ = rb.neg();
     }
   }
   trim();
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+BigInt& BigInt::sub_slow(const BigInt& rhs) { return add_slow(-rhs); }
 
-BigInt& BigInt::operator*=(const BigInt& rhs) {
-  negative_ = negative_ != rhs.negative_;
-  limbs_ = mul_mag(limbs_, rhs.limbs_);
+BigInt& BigInt::mul_slow(const BigInt& rhs) {
+  const bool rhsNeg = rhs.is_negative();
+  if (&rhs == this) {
+    BigInt copy = rhs;
+    return mul_slow(copy);
+  }
+  if (inline_) promote();
+  const MagView rb(rhs);
+  negative_ = negative_ != rhsNeg;
+  limbs_ = mul_mag(limbs_, rb.mag());
   trim();
   return *this;
 }
 
-BigInt& BigInt::operator/=(const BigInt& rhs) {
+BigInt& BigInt::div_slow(const BigInt& rhs) {
   PSSE_CHECK(!rhs.is_zero(), "BigInt: division by zero");
+  if (inline_) promote();
+  const MagView rb(rhs);
   std::vector<u64> quot, rem;
-  divmod_mag(limbs_, rhs.limbs_, quot, rem);
-  negative_ = !quot.empty() && (negative_ != rhs.negative_);
+  divmod_mag(limbs_, rb.mag(), quot, rem);
+  negative_ = !quot.empty() && (negative_ != rb.neg());
   limbs_ = std::move(quot);
   trim();
   return *this;
 }
 
-BigInt& BigInt::operator%=(const BigInt& rhs) {
+BigInt& BigInt::mod_slow(const BigInt& rhs) {
   PSSE_CHECK(!rhs.is_zero(), "BigInt: modulo by zero");
+  if (inline_) promote();
+  const MagView rb(rhs);
   std::vector<u64> quot, rem;
-  divmod_mag(limbs_, rhs.limbs_, quot, rem);
+  divmod_mag(limbs_, rb.mag(), quot, rem);
   // Remainder takes the dividend's sign (truncated division).
   negative_ = !rem.empty() && negative_;
   limbs_ = std::move(rem);
@@ -321,35 +415,63 @@ BigInt& BigInt::operator%=(const BigInt& rhs) {
 void BigInt::div_mod(const BigInt& num, const BigInt& den, BigInt& quot,
                      BigInt& rem) {
   PSSE_CHECK(!den.is_zero(), "BigInt: division by zero");
+  if (num.inline_ && den.inline_) {
+    const std::int64_t n = num.small_;
+    const std::int64_t d = den.small_;
+    if (!(n == std::numeric_limits<std::int64_t>::min() && d == -1)) {
+      quot = BigInt(n / d);
+      rem = BigInt(n % d);
+      return;
+    }
+    // INT64_MIN / -1: quotient 2^63 overflows inline form.
+    quot = from_u64_mag(static_cast<u64>(1) << 63);
+    rem = BigInt(0);
+    return;
+  }
   std::vector<u64> q, r;
-  divmod_mag(num.limbs_, den.limbs_, q, r);
-  quot.limbs_ = std::move(q);
-  quot.negative_ = !quot.limbs_.empty() && (num.negative_ != den.negative_);
-  rem.limbs_ = std::move(r);
-  rem.negative_ = !rem.limbs_.empty() && num.negative_;
+  bool qneg, rneg;
+  {
+    const MagView mn(num), md(den);
+    divmod_mag(mn.mag(), md.mag(), q, r);
+    qneg = !q.empty() && (mn.neg() != md.neg());
+    rneg = !r.empty() && mn.neg();
+  }  // views die before quot/rem (possibly aliasing num/den) are written
+  quot = from_mag(std::move(q), qneg);
+  rem = from_mag(std::move(r), rneg);
 }
 
-std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+std::strong_ordering BigInt::cmp_slow(const BigInt& a, const BigInt& b) {
+  // At least one operand is in limb form; canonical form guarantees its
+  // magnitude exceeds every inline value, so mixed compares are decided by
+  // the limb operand's sign.
+  if (a.inline_ != b.inline_) {
+    if (!a.inline_) {
+      return a.negative_ ? std::strong_ordering::less
+                         : std::strong_ordering::greater;
+    }
+    return b.negative_ ? std::strong_ordering::greater
+                       : std::strong_ordering::less;
+  }
   if (a.negative_ != b.negative_) {
     return a.negative_ ? std::strong_ordering::less
                        : std::strong_ordering::greater;
   }
-  int cmp = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  int cmp = cmp_mag(a.limbs_, b.limbs_);
   if (a.negative_) cmp = -cmp;
   if (cmp < 0) return std::strong_ordering::less;
   if (cmp > 0) return std::strong_ordering::greater;
   return std::strong_ordering::equal;
 }
 
-BigInt BigInt::gcd(BigInt a, BigInt b) {
-  a.negative_ = false;
-  b.negative_ = false;
-  while (!b.is_zero()) {
-    BigInt r = a % b;
-    a = std::move(b);
-    b = std::move(r);
+BigInt BigInt::gcd_slow(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
   }
-  return a;
+  return x;
 }
 
 BigInt BigInt::pow10(unsigned exp) {
@@ -359,21 +481,80 @@ BigInt BigInt::pow10(unsigned exp) {
   return out;
 }
 
-bool BigInt::fits_int64() const {
-  if (limbs_.size() > 1) return false;
-  if (limbs_.empty()) return true;
-  if (negative_) return limbs_[0] <= static_cast<u64>(1) << 63;
-  return limbs_[0] <= static_cast<u64>(std::numeric_limits<std::int64_t>::max());
+BigInt BigInt::reference_add(const BigInt& a, const BigInt& b) {
+  const MagView ma(a), mb(b);
+  std::vector<u64> mag;
+  bool neg;
+  if (ma.neg() == mb.neg()) {
+    mag = ma.mag();
+    add_mag(mag, mb.mag());
+    neg = ma.neg();
+  } else {
+    int cmp = cmp_mag(ma.mag(), mb.mag());
+    if (cmp == 0) return BigInt(0);
+    if (cmp > 0) {
+      mag = ma.mag();
+      sub_mag(mag, mb.mag());
+      neg = ma.neg();
+    } else {
+      mag = mb.mag();
+      sub_mag(mag, ma.mag());
+      neg = mb.neg();
+    }
+  }
+  return from_mag(std::move(mag), neg);
+}
+
+BigInt BigInt::reference_mul(const BigInt& a, const BigInt& b) {
+  const MagView ma(a), mb(b);
+  return from_mag(mul_mag(ma.mag(), mb.mag()), ma.neg() != mb.neg());
+}
+
+void BigInt::reference_div_mod(const BigInt& num, const BigInt& den,
+                               BigInt& quot, BigInt& rem) {
+  PSSE_CHECK(!den.is_zero(), "BigInt: division by zero");
+  std::vector<u64> q, r;
+  bool qneg, rneg;
+  {
+    const MagView mn(num), md(den);
+    divmod_mag(mn.mag(), md.mag(), q, r);
+    qneg = !q.empty() && (mn.neg() != md.neg());
+    rneg = !r.empty() && mn.neg();
+  }
+  quot = from_mag(std::move(q), qneg);
+  rem = from_mag(std::move(r), rneg);
+}
+
+BigInt BigInt::reference_gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt q, r;
+    reference_div_mod(x, y, q, r);
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+int BigInt::reference_cmp(const BigInt& a, const BigInt& b) {
+  const MagView ma(a), mb(b);
+  const bool aZero = ma.mag().empty();
+  const bool bZero = mb.mag().empty();
+  const int asign = aZero ? 0 : (ma.neg() ? -1 : 1);
+  const int bsign = bZero ? 0 : (mb.neg() ? -1 : 1);
+  if (asign != bsign) return asign < bsign ? -1 : 1;
+  int cmp = cmp_mag(ma.mag(), mb.mag());
+  return asign < 0 ? -cmp : cmp;
 }
 
 std::int64_t BigInt::to_int64() const {
-  PSSE_CHECK(fits_int64(), "BigInt::to_int64: value out of range");
-  if (limbs_.empty()) return 0;
-  if (negative_) return static_cast<std::int64_t>(~limbs_[0] + 1);
-  return static_cast<std::int64_t>(limbs_[0]);
+  PSSE_CHECK(inline_, "BigInt::to_int64: value out of range");
+  return small_;
 }
 
 double BigInt::to_double() const {
+  if (inline_) return static_cast<double>(small_);
   double out = 0.0;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
     out = out * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
@@ -382,7 +563,7 @@ double BigInt::to_double() const {
 }
 
 std::string BigInt::to_string() const {
-  if (is_zero()) return "0";
+  if (inline_) return std::to_string(small_);
   std::vector<u32> mag = to32(limbs_);
   std::string digits;
   // Repeatedly divide by 10^9 and emit 9 decimal digits at a time.

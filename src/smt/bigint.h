@@ -1,20 +1,32 @@
-// Arbitrary-precision signed integers.
+// Arbitrary-precision signed integers with a tagged small-value fast path.
 //
 // The simplex theory solver pivots exact rational tableaus; coefficient
 // growth during pivoting routinely overflows 64-bit (and even 128-bit)
-// integers, so rationals are backed by this BigInt. The representation is
-// sign + little-endian magnitude in 64-bit limbs, with the usual invariant
-// that the magnitude has no trailing zero limbs and zero is non-negative.
+// integers, so rationals are backed by this BigInt. Most values never get
+// there, though: admittances are small decimals and gcd-normalised
+// coefficients stay short, so the representation is *tagged*:
 //
-// The implementation favours clarity over asymptotics: schoolbook
-// multiplication and division are ample for the limb counts reached by the
-// attack-model tableaus (admittances are small decimals; gcd-normalised
-// rationals stay short).
+//   - inline:  a single std::int64_t stored in-object (`small_`). No heap.
+//   - limbs:   sign + little-endian magnitude in 64-bit limbs, used only
+//              when the value does not fit in int64_t.
+//
+// Canonical-form invariants (maintained by every operation, so equality is
+// structural and representation is unique per value):
+//   - a value is inline if and only if it fits in int64_t (INT64_MIN and
+//     INT64_MAX inclusive); zero is always inline (small_ == 0);
+//   - in limb form the magnitude has no trailing zero limbs and
+//     `negative_` carries the sign (a limb-form value is never zero).
+// Operations promote to limb form only on native overflow (detected with
+// __builtin_*_overflow) and demote back on trim, so the hot small×small
+// add/sub/mul/divmod/gcd paths are pure register arithmetic with zero
+// allocations. The schoolbook limb routines remain the big-value backend
+// and are exposed as reference_* entry points for differential testing.
 #pragma once
 
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,28 +37,36 @@ class BigInt {
  public:
   /// Zero.
   BigInt() = default;
-  /// From a native signed integer.
-  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal interop is intended.
+  /// From a native signed integer (inline, no allocation).
+  BigInt(std::int64_t v) : small_(v) {}  // NOLINT(google-explicit-constructor): numeric literal interop is intended.
 
   /// Parses an optionally signed decimal string. Throws SmtError on
   /// malformed input (empty, non-digits).
   static BigInt from_string(std::string_view s);
 
+  /// True iff the value is stored inline (fits int64_t; canonical form
+  /// guarantees the converse too).
+  [[nodiscard]] bool is_inline() const { return inline_; }
+  /// Unchecked inline value; requires is_inline().
+  [[nodiscard]] std::int64_t inline_value() const { return small_; }
+
   /// True iff the value is zero.
-  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_zero() const { return inline_ && small_ == 0; }
   /// True iff the value is strictly negative.
-  [[nodiscard]] bool is_negative() const { return negative_; }
-  /// True iff the value is one.
-  [[nodiscard]] bool is_one() const {
-    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  [[nodiscard]] bool is_negative() const {
+    return inline_ ? small_ < 0 : negative_;
   }
+  /// True iff the value is one.
+  [[nodiscard]] bool is_one() const { return inline_ && small_ == 1; }
   /// Sign as -1, 0, or +1.
   [[nodiscard]] int sign() const {
-    return is_zero() ? 0 : (negative_ ? -1 : 1);
+    if (inline_) return small_ == 0 ? 0 : (small_ < 0 ? -1 : 1);
+    return negative_ ? -1 : 1;
   }
 
-  /// True iff the value fits in int64_t.
-  [[nodiscard]] bool fits_int64() const;
+  /// True iff the value fits in int64_t (equivalent to is_inline() in
+  /// canonical form).
+  [[nodiscard]] bool fits_int64() const { return inline_; }
   /// Value as int64_t; requires fits_int64().
   [[nodiscard]] std::int64_t to_int64() const;
   /// Closest double (may lose precision; infinities on overflow).
@@ -54,21 +74,81 @@ class BigInt {
   /// Decimal string representation.
   [[nodiscard]] std::string to_string() const;
 
-  /// Number of 64-bit limbs in the magnitude (0 for zero). Used by the
-  /// memory accounting in bench/table4_memory.
-  [[nodiscard]] std::size_t limb_count() const { return limbs_.size(); }
+  /// Number of heap-allocated 64-bit limbs in use (0 when the value is
+  /// stored inline). Used by the memory accounting in bench/table4_memory.
+  [[nodiscard]] std::size_t limb_count() const {
+    return inline_ ? 0 : limbs_.size();
+  }
+  /// Heap bytes owned by this value (limb buffer capacity; 0 unless the
+  /// value has ever been promoted). The honest Table IV quantity.
+  [[nodiscard]] std::size_t heap_bytes() const {
+    return limbs_.capacity() * sizeof(std::uint64_t);
+  }
 
-  [[nodiscard]] BigInt operator-() const;
-  [[nodiscard]] BigInt abs() const;
+  /// In-place negation (no allocation except at the INT64_MIN edge).
+  void negate();
+  [[nodiscard]] BigInt operator-() const {
+    BigInt out = *this;
+    out.negate();
+    return out;
+  }
+  [[nodiscard]] BigInt abs() const {
+    BigInt out = *this;
+    if (out.is_negative()) out.negate();
+    return out;
+  }
 
-  BigInt& operator+=(const BigInt& rhs);
-  BigInt& operator-=(const BigInt& rhs);
-  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator+=(const BigInt& rhs) {
+    if (inline_ && rhs.inline_) {
+      std::int64_t r;
+      if (!__builtin_add_overflow(small_, rhs.small_, &r)) {
+        small_ = r;
+        return *this;
+      }
+    }
+    return add_slow(rhs);
+  }
+  BigInt& operator-=(const BigInt& rhs) {
+    if (inline_ && rhs.inline_) {
+      std::int64_t r;
+      if (!__builtin_sub_overflow(small_, rhs.small_, &r)) {
+        small_ = r;
+        return *this;
+      }
+    }
+    return sub_slow(rhs);
+  }
+  BigInt& operator*=(const BigInt& rhs) {
+    if (inline_ && rhs.inline_) {
+      std::int64_t r;
+      if (!__builtin_mul_overflow(small_, rhs.small_, &r)) {
+        small_ = r;
+        return *this;
+      }
+    }
+    return mul_slow(rhs);
+  }
   /// Truncated division (C++ semantics: quotient rounds toward zero).
   /// Throws SmtError on division by zero.
-  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs) {
+    if (inline_ && rhs.inline_ && rhs.small_ != 0 &&
+        !(small_ == std::numeric_limits<std::int64_t>::min() &&
+          rhs.small_ == -1)) {
+      small_ /= rhs.small_;
+      return *this;
+    }
+    return div_slow(rhs);
+  }
   /// Remainder matching truncated division: (a/b)*b + a%b == a.
-  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs) {
+    if (inline_ && rhs.inline_ && rhs.small_ != 0 &&
+        !(small_ == std::numeric_limits<std::int64_t>::min() &&
+          rhs.small_ == -1)) {
+      small_ %= rhs.small_;
+      return *this;
+    }
+    return mod_slow(rhs);
+  }
 
   friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
   friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
@@ -77,22 +157,71 @@ class BigInt {
   friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
 
   friend bool operator==(const BigInt& a, const BigInt& b) {
+    if (a.inline_ != b.inline_) return false;  // canonical form is unique
+    if (a.inline_) return a.small_ == b.small_;
     return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
   }
-  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+    if (a.inline_ && b.inline_) return a.small_ <=> b.small_;
+    return cmp_slow(a, b);
+  }
 
   /// Greatest common divisor; result is non-negative. gcd(0,0) == 0.
-  static BigInt gcd(BigInt a, BigInt b);
+  static BigInt gcd(const BigInt& a, const BigInt& b) {
+    if (a.inline_ && b.inline_) {
+      std::uint64_t x = mag64(a.small_);
+      std::uint64_t y = mag64(b.small_);
+      while (y != 0) {
+        std::uint64_t t = x % y;
+        x = y;
+        y = t;
+      }
+      return from_u64_mag(x);
+    }
+    return gcd_slow(a, b);
+  }
   /// Quotient and remainder in one division (truncated semantics).
   static void div_mod(const BigInt& num, const BigInt& den, BigInt& quot,
                       BigInt& rem);
   /// 10^exp for small non-negative exponents (decimal scaling).
   static BigInt pow10(unsigned exp);
 
+  // Reference implementations that always run the limb-vector algorithms,
+  // regardless of operand size. Differential tests check the tagged fast
+  // paths against these; production code should use the operators.
+  static BigInt reference_add(const BigInt& a, const BigInt& b);
+  static BigInt reference_mul(const BigInt& a, const BigInt& b);
+  static void reference_div_mod(const BigInt& num, const BigInt& den,
+                                BigInt& quot, BigInt& rem);
+  static BigInt reference_gcd(const BigInt& a, const BigInt& b);
+  /// -1, 0, +1 as the limb comparator would order a and b.
+  static int reference_cmp(const BigInt& a, const BigInt& b);
+
   friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
 
  private:
-  // Magnitude comparison helpers (ignore sign).
+  struct MagView;  // sign-magnitude view of either representation
+
+  // Magnitude of a signed 64-bit value without UB at INT64_MIN.
+  static std::uint64_t mag64(std::int64_t v) {
+    return v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+                 : static_cast<std::uint64_t>(v);
+  }
+  // Non-negative value from a u64 magnitude (promotes above INT64_MAX).
+  static BigInt from_u64_mag(std::uint64_t m);
+  // Canonical value from a limb magnitude and sign.
+  static BigInt from_mag(std::vector<std::uint64_t> mag, bool neg);
+
+  // Out-of-line continuations of the operators' overflow/big cases.
+  BigInt& add_slow(const BigInt& rhs);
+  BigInt& sub_slow(const BigInt& rhs);
+  BigInt& mul_slow(const BigInt& rhs);
+  BigInt& div_slow(const BigInt& rhs);
+  BigInt& mod_slow(const BigInt& rhs);
+  static std::strong_ordering cmp_slow(const BigInt& a, const BigInt& b);
+  static BigInt gcd_slow(const BigInt& a, const BigInt& b);
+
+  // Magnitude helpers on limb vectors (ignore sign).
   static int cmp_mag(const std::vector<std::uint64_t>& a,
                      const std::vector<std::uint64_t>& b);
   static void add_mag(std::vector<std::uint64_t>& a,
@@ -107,10 +236,19 @@ class BigInt {
                          const std::vector<std::uint64_t>& den,
                          std::vector<std::uint64_t>& quot,
                          std::vector<std::uint64_t>& rem);
+
+  // Converts an inline value to (transient, possibly non-canonical) limb
+  // form so the magnitude routines can run on it.
+  void promote();
+  // Restores canonical form after limb-form surgery: strips trailing zero
+  // limbs and demotes to inline when the value fits int64_t (the limb
+  // buffer's capacity is kept to avoid churn; heap_bytes() reports it).
   void trim();
 
-  bool negative_ = false;
-  std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
+  std::int64_t small_ = 0;  // the value, when inline_
+  bool inline_ = true;
+  bool negative_ = false;                // sign, when !inline_
+  std::vector<std::uint64_t> limbs_;     // little-endian magnitude, when !inline_
 };
 
 }  // namespace psse::smt

@@ -6,6 +6,17 @@
 
 namespace psse::smt {
 
+LinExpr LinExpr::from_sorted_terms(
+    std::vector<std::pair<TVar, Rational>> terms) {
+  LinExpr out;
+  out.terms_ = std::move(terms);
+  for (std::size_t i = 0; i < out.terms_.size(); ++i) {
+    PSSE_ASSERT(!out.terms_[i].second.is_zero());
+    PSSE_ASSERT(i == 0 || out.terms_[i - 1].first < out.terms_[i].first);
+  }
+  return out;
+}
+
 void LinExpr::add_term(TVar v, const Rational& coeff) {
   if (coeff.is_zero()) return;
   auto it = std::lower_bound(
@@ -40,6 +51,35 @@ LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
   terms_ = std::move(merged);
   constant_ += rhs.constant_;
   return *this;
+}
+
+void LinExpr::add_scaled(const LinExpr& rhs, const Rational& k) {
+  if (k.is_zero()) return;
+  if (&rhs == this) {  // this += k*this
+    *this *= k + Rational(1);
+    return;
+  }
+  std::vector<std::pair<TVar, Rational>> merged;
+  merged.reserve(terms_.size() + rhs.terms_.size());
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() || j < rhs.terms_.size()) {
+    if (j == rhs.terms_.size() ||
+        (i < terms_.size() && terms_[i].first < rhs.terms_[j].first)) {
+      merged.push_back(std::move(terms_[i++]));
+    } else if (i == terms_.size() || rhs.terms_[j].first < terms_[i].first) {
+      // k and the coefficient are both nonzero, so the product is nonzero.
+      merged.emplace_back(rhs.terms_[j].first, rhs.terms_[j].second * k);
+      ++j;
+    } else {
+      Rational sum = std::move(terms_[i].second);
+      sum.add_mul(rhs.terms_[j].second, k);
+      if (!sum.is_zero()) merged.emplace_back(terms_[i].first, std::move(sum));
+      ++i;
+      ++j;
+    }
+  }
+  terms_ = std::move(merged);
+  constant_.add_mul(rhs.constant_, k);
 }
 
 LinExpr& LinExpr::operator-=(const LinExpr& rhs) {

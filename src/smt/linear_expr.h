@@ -35,6 +35,11 @@ class LinExpr {
     e.terms_.emplace_back(v, Rational(1));
     return e;
   }
+  /// Adopts an already-sorted, zero-free term list without re-merging (the
+  /// simplex builds pivoted rows term by term in order). Sortedness is an
+  /// asserted precondition.
+  static LinExpr from_sorted_terms(
+      std::vector<std::pair<TVar, Rational>> terms);
 
   [[nodiscard]] const std::vector<std::pair<TVar, Rational>>& terms() const {
     return terms_;
@@ -51,6 +56,11 @@ class LinExpr {
   /// Adds coeff*v to the expression.
   void add_term(TVar v, const Rational& coeff);
   void add_constant(const Rational& c) { constant_ += c; }
+
+  /// *this += k * rhs as one sorted merge with fused coefficient updates
+  /// (Rational::add_mul) — the simplex row-elimination step, with no
+  /// per-term temporaries.
+  void add_scaled(const LinExpr& rhs, const Rational& k);
 
   LinExpr& operator+=(const LinExpr& rhs);
   LinExpr& operator-=(const LinExpr& rhs);

@@ -105,7 +105,30 @@ Rational& Rational::operator/=(const Rational& rhs) {
   return *this;
 }
 
-std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+Rational& Rational::add_mul(const Rational& b, const Rational& c) {
+  // this + b*c == (num*bd*cd + bn*cn*den) / (den*bd*cd), normalised once.
+  BigInt prodNum = b.num_ * c.num_;
+  BigInt prodDen = b.den_ * c.den_;
+  num_ *= prodDen;
+  prodNum *= den_;
+  num_ += prodNum;
+  den_ *= prodDen;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::sub_mul(const Rational& b, const Rational& c) {
+  BigInt prodNum = b.num_ * c.num_;
+  BigInt prodDen = b.den_ * c.den_;
+  num_ *= prodDen;
+  prodNum *= den_;
+  num_ -= prodNum;
+  den_ *= prodDen;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering Rational::cmp_slow(const Rational& a, const Rational& b) {
   // Denominators are positive, so cross-multiplication preserves order.
   return a.num_ * b.den_ <=> b.num_ * a.den_;
 }

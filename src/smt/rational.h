@@ -51,6 +51,8 @@ class Rational {
   }
   [[nodiscard]] std::string to_string() const;
 
+  /// In-place negation (no renormalisation needed).
+  void negate() { num_.negate(); }
   [[nodiscard]] Rational operator-() const;
   [[nodiscard]] Rational abs() const;
   /// Multiplicative inverse. Throws SmtError if zero.
@@ -61,6 +63,12 @@ class Rational {
   Rational& operator*=(const Rational& rhs);
   Rational& operator/=(const Rational& rhs);
 
+  /// Fused *this += b*c (resp. -=) without a temporary Rational and with a
+  /// single end-of-op normalisation instead of one per operator — the
+  /// simplex beta-update and row-elimination workhorses.
+  Rational& add_mul(const Rational& b, const Rational& c);
+  Rational& sub_mul(const Rational& b, const Rational& c);
+
   friend Rational operator+(Rational a, const Rational& b) { return a += b; }
   friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
   friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
@@ -70,17 +78,33 @@ class Rational {
     return a.num_ == b.num_ && a.den_ == b.den_;
   }
   friend std::strong_ordering operator<=>(const Rational& a,
-                                          const Rational& b);
+                                          const Rational& b) {
+    // Inline fast path: |num|,|den| <= 2^63 so the cross products fit in
+    // 128 bits exactly (denominators are positive, order is preserved).
+    if (a.num_.is_inline() && a.den_.is_inline() && b.num_.is_inline() &&
+        b.den_.is_inline()) {
+      const __int128 lhs =
+          static_cast<__int128>(a.num_.inline_value()) * b.den_.inline_value();
+      const __int128 rhs =
+          static_cast<__int128>(b.num_.inline_value()) * a.den_.inline_value();
+      return lhs < rhs    ? std::strong_ordering::less
+             : lhs > rhs  ? std::strong_ordering::greater
+                          : std::strong_ordering::equal;
+    }
+    return cmp_slow(a, b);
+  }
 
-  /// Approximate memory footprint in bytes (limb storage), for Table IV.
+  /// Heap bytes owned by the two BigInts (0 while both stay inline), for
+  /// Table IV. Inline values must not be charged phantom limbs.
   [[nodiscard]] std::size_t footprint_bytes() const {
-    return (num_.limb_count() + den_.limb_count()) * sizeof(std::uint64_t);
+    return num_.heap_bytes() + den_.heap_bytes();
   }
 
   friend std::ostream& operator<<(std::ostream& os, const Rational& v);
 
  private:
   void normalize();
+  static std::strong_ordering cmp_slow(const Rational& a, const Rational& b);
 
   BigInt num_;
   BigInt den_;  // > 0
@@ -127,6 +151,18 @@ class DeltaRational {
   DeltaRational& operator*=(const Rational& k) {
     real_ *= k;
     delta_ *= k;
+    return *this;
+  }
+  /// Fused *this += x*k (resp. -=) — no temporary DeltaRational; the hot
+  /// operation of Simplex::update / pivot_and_update.
+  DeltaRational& add_mul(const DeltaRational& x, const Rational& k) {
+    real_.add_mul(x.real_, k);
+    delta_.add_mul(x.delta_, k);
+    return *this;
+  }
+  DeltaRational& sub_mul(const DeltaRational& x, const Rational& k) {
+    real_.sub_mul(x.real_, k);
+    delta_.sub_mul(x.delta_, k);
     return *this;
   }
 

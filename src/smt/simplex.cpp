@@ -7,6 +7,21 @@
 
 namespace psse::smt {
 
+namespace {
+
+// Sorted-vector column index: set semantics via binary search.
+void col_insert(std::vector<std::int32_t>& col, std::int32_t r) {
+  auto it = std::lower_bound(col.begin(), col.end(), r);
+  if (it == col.end() || *it != r) col.insert(it, r);
+}
+
+void col_erase(std::vector<std::int32_t>& col, std::int32_t r) {
+  auto it = std::lower_bound(col.begin(), col.end(), r);
+  if (it != col.end() && *it == r) col.erase(it);
+}
+
+}  // namespace
+
 TVar Simplex::new_var(std::string name) {
   TVar v = static_cast<TVar>(vars_.size());
   VarState st;
@@ -32,20 +47,18 @@ TVar Simplex::slack_for(const LinExpr& expr) {
   for (const auto& [v, c] : expr.terms()) {
     const VarState& st = vars_[static_cast<std::size_t>(v)];
     if (st.row >= 0) {
-      for (const auto& [w, cw] : rows_[static_cast<std::size_t>(st.row)].terms) {
-        substituted.add_term(w, c * cw);
-      }
+      substituted.add_scaled(rows_[static_cast<std::size_t>(st.row)].expr, c);
     } else {
       substituted.add_term(v, c);
     }
   }
-  row.terms.assign(substituted.terms().begin(), substituted.terms().end());
+  row.expr = std::move(substituted);
   std::int32_t rowIdx = static_cast<std::int32_t>(rows_.size());
   // beta(s) := value of the expression under the current assignment.
   DeltaRational val;
-  for (const auto& [v, c] : row.terms) {
-    val += vars_[static_cast<std::size_t>(v)].beta * c;
-    cols_[static_cast<std::size_t>(v)].insert(rowIdx);
+  for (const auto& [v, c] : row.expr.terms()) {
+    val.add_mul(vars_[static_cast<std::size_t>(v)].beta, c);
+    col_insert(cols_[static_cast<std::size_t>(v)], rowIdx);
   }
   vars_[static_cast<std::size_t>(s)].beta = val;
   vars_[static_cast<std::size_t>(s)].row = rowIdx;
@@ -55,10 +68,11 @@ TVar Simplex::slack_for(const LinExpr& expr) {
 }
 
 const Rational* Simplex::row_coeff(const Row& row, TVar v) const {
+  const auto& terms = row.expr.terms();
   auto it = std::lower_bound(
-      row.terms.begin(), row.terms.end(), v,
+      terms.begin(), terms.end(), v,
       [](const auto& term, TVar key) { return term.first < key; });
-  if (it != row.terms.end() && it->first == v) return &it->second;
+  if (it != terms.end() && it->first == v) return &it->second;
   return nullptr;
 }
 
@@ -134,7 +148,7 @@ void Simplex::update(TVar v, const DeltaRational& newVal) {
     const Row& row = rows_[static_cast<std::size_t>(r)];
     const Rational* c = row_coeff(row, v);
     PSSE_ASSERT(c != nullptr);
-    vars_[static_cast<std::size_t>(row.owner)].beta += diff * *c;
+    vars_[static_cast<std::size_t>(row.owner)].beta.add_mul(diff, *c);
   }
   st.beta = newVal;
 }
@@ -145,30 +159,32 @@ void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
   TVar leaving = row.owner;
   const Rational* aPtr = row_coeff(row, entering);
   PSSE_ASSERT(aPtr != nullptr && !aPtr->is_zero());
-  Rational a = *aPtr;
-  Rational inv = a.inverse();
+  Rational inv = aPtr->inverse();
 
   // Solve the row for `entering`:
   //   leaving = a*entering + rest  =>  entering = inv*leaving - inv*rest.
   std::vector<std::pair<TVar, Rational>> newTerms;
-  newTerms.reserve(row.terms.size());
-  for (const auto& [v, c] : row.terms) {
+  newTerms.reserve(row.expr.terms().size());
+  for (const auto& [v, c] : row.expr.terms()) {
     if (v == entering) continue;
-    newTerms.emplace_back(v, -(c * inv));
-    cols_[static_cast<std::size_t>(v)].erase(rowIdx);
+    Rational nc = c;
+    nc *= inv;
+    nc.negate();
+    newTerms.emplace_back(v, std::move(nc));
+    col_erase(cols_[static_cast<std::size_t>(v)], rowIdx);
   }
-  cols_[static_cast<std::size_t>(entering)].erase(rowIdx);
+  col_erase(cols_[static_cast<std::size_t>(entering)], rowIdx);
   {
     // Insert the leaving variable keeping terms sorted.
     auto it = std::lower_bound(
         newTerms.begin(), newTerms.end(), leaving,
         [](const auto& term, TVar key) { return term.first < key; });
-    newTerms.insert(it, {leaving, inv});
+    newTerms.insert(it, {leaving, std::move(inv)});
   }
   row.owner = entering;
-  row.terms = std::move(newTerms);
-  for (const auto& [v, c] : row.terms) {
-    cols_[static_cast<std::size_t>(v)].insert(rowIdx);
+  row.expr = LinExpr::from_sorted_terms(std::move(newTerms));
+  for (const auto& [v, c] : row.expr.terms()) {
+    col_insert(cols_[static_cast<std::size_t>(v)], rowIdx);
   }
   vars_[static_cast<std::size_t>(leaving)].row = -1;
   vars_[static_cast<std::size_t>(entering)].row = rowIdx;
@@ -184,22 +200,18 @@ void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
     const Rational* bPtr = row_coeff(other, entering);
     PSSE_ASSERT(bPtr != nullptr);
     Rational b = *bPtr;
-    // other = b*entering + rest'  =>  substitute entering by its new row.
-    LinExpr combined;
-    for (const auto& [v, c] : other.terms) {
-      if (v != entering) combined.add_term(v, c);
+    // other = b*entering + rest'  =>  substitute entering by its new row:
+    // drop the entering term, then fuse-in b * row (one merge, add_mul per
+    // coincident coefficient, no intermediate expression).
+    for (const auto& [v, c] : other.expr.terms()) {
+      col_erase(cols_[static_cast<std::size_t>(v)], r);
     }
-    for (const auto& [v, c] : row.terms) {
-      combined.add_term(v, b * c);
-    }
-    // Refresh the column index for this row.
-    for (const auto& [v, c] : other.terms) {
-      if (v != entering) cols_[static_cast<std::size_t>(v)].erase(r);
-    }
-    cols_[static_cast<std::size_t>(entering)].erase(r);
-    other.terms.assign(combined.terms().begin(), combined.terms().end());
-    for (const auto& [v, c] : other.terms) {
-      cols_[static_cast<std::size_t>(v)].insert(r);
+    Rational negB = b;
+    negB.negate();
+    other.expr.add_term(entering, negB);  // cancels exactly
+    other.expr.add_scaled(row.expr, b);
+    for (const auto& [v, c] : other.expr.terms()) {
+      col_insert(cols_[static_cast<std::size_t>(v)], r);
     }
   }
 }
@@ -222,7 +234,7 @@ void Simplex::pivot_and_update(std::int32_t rowIdx, TVar entering,
     const Row& other = rows_[static_cast<std::size_t>(r)];
     const Rational* c = row_coeff(other, entering);
     PSSE_ASSERT(c != nullptr);
-    vars_[static_cast<std::size_t>(other.owner)].beta += theta * *c;
+    vars_[static_cast<std::size_t>(other.owner)].beta.add_mul(theta, *c);
   }
   pivot(rowIdx, entering);
 }
@@ -236,7 +248,7 @@ void Simplex::build_conflict_from_row(const Row& row, bool lowerViolated) {
   const Bound& ownBound = lowerViolated ? owner.lower : owner.upper;
   PSSE_ASSERT(ownBound.active);
   if (ownBound.reason.valid()) conflict_.push_back(~ownBound.reason);
-  for (const auto& [v, c] : row.terms) {
+  for (const auto& [v, c] : row.expr.terms()) {
     const VarState& st = vars_[static_cast<std::size_t>(v)];
     bool needUpper = lowerViolated ? !c.is_negative() : c.is_negative();
     const Bound& b = needUpper ? st.upper : st.lower;
@@ -284,7 +296,7 @@ bool Simplex::check() {
     const Row& row = rows_[static_cast<std::size_t>(rowIdx)];
     // Smallest-index suitable entering variable (Bland).
     TVar entering = kNoTVar;
-    for (const auto& [v, c] : row.terms) {
+    for (const auto& [v, c] : row.expr.terms()) {
       const VarState& cv = vars_[static_cast<std::size_t>(v)];
       bool suitable;
       if (lowerViolated) {
@@ -349,12 +361,12 @@ std::size_t Simplex::footprint_bytes() const {
   }
   for (const Row& row : rows_) {
     bytes += sizeof(Row);
-    for (const auto& [v, c] : row.terms) {
+    for (const auto& [v, c] : row.expr.terms()) {
       bytes += sizeof(std::pair<TVar, Rational>) + c.footprint_bytes();
     }
   }
   for (const auto& col : cols_) {
-    bytes += col.size() * sizeof(std::int32_t) * 2;  // hash-set overhead
+    bytes += col.capacity() * sizeof(std::int32_t);  // sorted vector, no hash overhead
   }
   bytes += trail_.capacity() * sizeof(TrailEntry);
   return bytes;

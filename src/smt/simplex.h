@@ -16,7 +16,6 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "smt/budget.h"
@@ -102,10 +101,10 @@ class Simplex {
     Bound previous;
   };
 
-  // Row: owner = sum(coeff * column var). Terms sorted by var id.
+  // Row: owner = expr (a zero-constant LinExpr; terms sorted by var id).
   struct Row {
     TVar owner;
-    std::vector<std::pair<TVar, Rational>> terms;
+    LinExpr expr;
   };
 
   bool set_bound(TVar v, const DeltaRational& bound, Lit reason,
@@ -124,8 +123,10 @@ class Simplex {
 
   std::vector<VarState> vars_;
   std::vector<Row> rows_;
-  // var -> rows whose terms mention it (column index).
-  std::vector<std::unordered_set<std::int32_t>> cols_;
+  // var -> rows whose terms mention it (column index), kept as sorted
+  // vectors: columns are small, so binary-search insert/erase beats the
+  // hash set on both the pivot loop and memory.
+  std::vector<std::vector<std::int32_t>> cols_;
   std::unordered_map<LinExpr, TVar> slack_cache_;
   std::vector<TrailEntry> trail_;
   std::vector<Lit> conflict_;

@@ -168,6 +168,145 @@ TEST(BigInt, PropertyAgainstInt128) {
   }
 }
 
+// --- Tagged-representation boundaries -------------------------------------
+// The inline<->limb promotion/demotion edges of the small-value fast path.
+
+TEST(BigIntRepr, Int64EdgesStayInline) {
+  BigInt mx(INT64_MAX), mn(INT64_MIN);
+  EXPECT_TRUE(mx.is_inline());
+  EXPECT_TRUE(mn.is_inline());
+  EXPECT_EQ(mx.limb_count(), 0u);
+  EXPECT_EQ(mn.limb_count(), 0u);
+  EXPECT_EQ(mx.to_int64(), INT64_MAX);
+  EXPECT_EQ(mn.to_int64(), INT64_MIN);
+  EXPECT_EQ(BigInt::from_string("9223372036854775807"), mx);
+  EXPECT_EQ(BigInt::from_string("-9223372036854775808"), mn);
+}
+
+TEST(BigIntRepr, AddOverflowPromotesAtExactEdge) {
+  // INT64_MAX + 1 is the first value that cannot stay inline.
+  BigInt v(INT64_MAX);
+  v += BigInt(1);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_FALSE(v.fits_int64());
+  EXPECT_EQ(v.limb_count(), 1u);
+  EXPECT_EQ(v.to_string(), "9223372036854775808");
+  // ...and subtracting 1 demotes straight back.
+  v -= BigInt(1);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.to_int64(), INT64_MAX);
+
+  BigInt w(INT64_MIN);
+  w -= BigInt(1);
+  EXPECT_FALSE(w.is_inline());
+  EXPECT_EQ(w.to_string(), "-9223372036854775809");
+  w += BigInt(1);
+  EXPECT_TRUE(w.is_inline());
+  EXPECT_EQ(w.to_int64(), INT64_MIN);
+}
+
+TEST(BigIntRepr, NegateInt64MinPromotes) {
+  BigInt v(INT64_MIN);
+  BigInt neg = -v;
+  EXPECT_FALSE(neg.is_inline());
+  EXPECT_EQ(neg.to_string(), "9223372036854775808");
+  EXPECT_EQ(v.abs(), neg);
+  // Negating back demotes to the inline INT64_MIN.
+  BigInt back = -neg;
+  EXPECT_TRUE(back.is_inline());
+  EXPECT_EQ(back.to_int64(), INT64_MIN);
+}
+
+TEST(BigIntRepr, MulOverflowAtExactEdge) {
+  // 2^31 * 2^32 == 2^63 overflows int64; 2^31 * (2^32 - 1) < 2^63 does not.
+  BigInt a(std::int64_t{1} << 31);
+  BigInt fits = a * BigInt((std::int64_t{1} << 32) - 1);
+  EXPECT_TRUE(fits.is_inline());
+  BigInt over = a * BigInt(std::int64_t{1} << 32);
+  EXPECT_FALSE(over.is_inline());
+  EXPECT_EQ(over.to_string(), "9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MIN) * BigInt(-1), over);
+}
+
+TEST(BigIntRepr, DivModInt64MinByMinusOne) {
+  BigInt q = BigInt(INT64_MIN) / BigInt(-1);
+  EXPECT_FALSE(q.is_inline());
+  EXPECT_EQ(q.to_string(), "9223372036854775808");
+  BigInt r = BigInt(INT64_MIN) % BigInt(-1);
+  EXPECT_TRUE(r.is_zero());
+  BigInt q2, r2;
+  BigInt::div_mod(BigInt(INT64_MIN), BigInt(-1), q2, r2);
+  EXPECT_EQ(q2, q);
+  EXPECT_TRUE(r2.is_zero());
+}
+
+TEST(BigIntRepr, GcdDemotesAndHandlesEdges) {
+  // gcd of two huge values with a small gcd comes back inline.
+  BigInt big = BigInt::from_string("36893488147419103232");  // 2^65
+  BigInt g = BigInt::gcd(big, BigInt(48));
+  EXPECT_TRUE(g.is_inline());
+  EXPECT_EQ(g.to_int64(), 16);
+  // gcd(INT64_MIN, 0) = 2^63 does not fit inline.
+  BigInt g2 = BigInt::gcd(BigInt(INT64_MIN), BigInt(0));
+  EXPECT_FALSE(g2.is_inline());
+  EXPECT_EQ(g2.to_string(), "9223372036854775808");
+  EXPECT_FALSE(g2.is_negative());
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::gcd(BigInt(INT64_MIN), BigInt(INT64_MIN)).to_string(),
+            "9223372036854775808");
+}
+
+TEST(BigIntRepr, SubtractionDemotesMultiLimb) {
+  BigInt big = BigInt::from_string("18446744073709551617");  // 2^64 + 1
+  BigInt small = big - BigInt::from_string("18446744073709551610");
+  EXPECT_TRUE(small.is_inline());
+  EXPECT_EQ(small.to_int64(), 7);
+  EXPECT_EQ(small.limb_count(), 0u);
+}
+
+TEST(BigIntRepr, CanonicalZeroAfterCancellation) {
+  BigInt big = BigInt::from_string("340282366920938463463374607431768211456");
+  BigInt z = big - big;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_inline());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z, BigInt(0));  // structural equality with the canonical zero
+}
+
+TEST(BigIntRepr, MixedRepresentationComparison) {
+  BigInt big = BigInt::from_string("9223372036854775808");  // 2^63
+  EXPECT_GT(big, BigInt(INT64_MAX));
+  // -2^63 is exactly INT64_MIN: negation demotes back to inline and the two
+  // representations compare equal structurally.
+  EXPECT_EQ(-big, BigInt(INT64_MIN));
+  EXPECT_TRUE((-big).is_inline());
+  EXPECT_LT(-(big + BigInt(1)), BigInt(INT64_MIN));
+  EXPECT_LT(BigInt(INT64_MIN), big);
+  EXPECT_NE(big, BigInt(INT64_MAX));
+}
+
+TEST(BigIntRepr, SelfAliasedOps) {
+  BigInt a(INT64_MAX);
+  a += a;  // overflows inline, both operands are the same object
+  EXPECT_EQ(a.to_string(), "18446744073709551614");
+  a *= a;
+  EXPECT_EQ(a, BigInt::from_string("18446744073709551614") *
+                   BigInt::from_string("18446744073709551614"));
+  a -= a;
+  EXPECT_TRUE(a.is_zero());
+  BigInt b = BigInt::from_string("36893488147419103232");
+  b /= b;
+  EXPECT_EQ(b, BigInt(1));
+}
+
+TEST(BigIntRepr, HeapBytesAccounting) {
+  BigInt small(123);
+  EXPECT_EQ(small.heap_bytes(), 0u);  // never promoted: no heap at all
+  BigInt big = BigInt::from_string("18446744073709551617");
+  EXPECT_GE(big.heap_bytes(), 2 * sizeof(std::uint64_t));
+  EXPECT_EQ(big.limb_count(), 2u);
+}
+
 // Property: div_mod inverts multiplication for random multi-limb values.
 TEST(BigInt, PropertyDivModInvariant) {
   std::mt19937_64 rng(42);

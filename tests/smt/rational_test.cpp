@@ -93,6 +93,71 @@ TEST(Rational, PropertyFieldAxioms) {
   }
 }
 
+TEST(Rational, Int64EdgeConstructors) {
+  // Machine-integer constructor edge cases around INT64_MIN and negative
+  // denominators (den is negated during canonicalisation).
+  Rational a(INT64_MIN, -1);
+  EXPECT_FALSE(a.is_negative());
+  EXPECT_EQ(a.to_string(), "9223372036854775808");
+  EXPECT_TRUE(a.is_integer());
+
+  Rational b(INT64_MIN, 1);
+  EXPECT_EQ(b.to_string(), "-9223372036854775808");
+  EXPECT_EQ(b, Rational(INT64_MIN));
+
+  Rational c(INT64_MIN, INT64_MIN);
+  EXPECT_EQ(c, Rational(1));
+  Rational d(INT64_MIN, 2);
+  EXPECT_EQ(d.to_string(), "-4611686018427387904");
+  Rational e(1, INT64_MIN);
+  EXPECT_EQ(e.to_string(), "-1/9223372036854775808");
+  EXPECT_FALSE(e.den().is_negative());
+  Rational f(INT64_MAX, -INT64_MAX);
+  EXPECT_EQ(f, Rational(-1));
+}
+
+TEST(Rational, FusedAddMulSubMul) {
+  Rational a(1, 3);
+  a.add_mul(Rational(2, 5), Rational(3, 7));  // 1/3 + 6/35 = 53/105
+  EXPECT_EQ(a, Rational(53, 105));
+  a.sub_mul(Rational(2, 5), Rational(3, 7));
+  EXPECT_EQ(a, Rational(1, 3));
+  // Aliased arguments: x.add_mul(x, k) == x*(1+k).
+  Rational x(3, 4);
+  x.add_mul(x, Rational(2));
+  EXPECT_EQ(x, Rational(9, 4));
+  Rational y(3, 4);
+  y.sub_mul(y, y);
+  EXPECT_EQ(y, Rational(3, 16));
+  // Fused into zero stays canonical.
+  Rational z(1, 2);
+  z.sub_mul(Rational(1, 4), Rational(2));
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.den(), BigInt(1));
+}
+
+TEST(Rational, FootprintCountsNoPhantomLimbs) {
+  // Inline-backed rationals own zero heap bytes; only genuinely promoted
+  // values are charged (Table IV accounting).
+  EXPECT_EQ(Rational(0).footprint_bytes(), 0u);
+  EXPECT_EQ(Rational(355, 113).footprint_bytes(), 0u);
+  EXPECT_EQ(Rational(INT64_MIN, 3).footprint_bytes(), 0u);
+  Rational big(BigInt::from_string("170141183460469231731687303715884105728"),
+               BigInt(3));
+  EXPECT_GT(big.footprint_bytes(), 0u);
+}
+
+TEST(DeltaRational, FusedAddMulSubMul) {
+  DeltaRational acc(Rational(1), Rational(2));
+  DeltaRational x(Rational(3, 2), Rational(-1));
+  acc.add_mul(x, Rational(2, 3));
+  EXPECT_EQ(acc,
+            DeltaRational(Rational(1), Rational(2)) + x * Rational(2, 3));
+  DeltaRational acc2(Rational(1), Rational(2));
+  acc2.sub_mul(x, Rational(2, 3));
+  EXPECT_EQ(acc2, DeltaRational(Rational(1), Rational(2)) - x * Rational(2, 3));
+}
+
 TEST(DeltaRational, StrictBoundSemantics) {
   // c - delta < c < c + delta for every rational c.
   Rational c(5, 3);
