@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <string_view>
@@ -19,6 +20,8 @@
 #include "estimation/observability.h"
 #include "grid/ieee_cases.h"
 #include "grid/measurement.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
 
 namespace psse::bench {
 
@@ -56,8 +59,10 @@ inline grid::MeasurementPlan observable_fraction_plan(const grid::Grid& g,
 inline core::VerificationResult verify_run(const grid::Grid& g,
                                            const grid::MeasurementPlan& p,
                                            const core::AttackSpec& spec,
-                                           double timeLimitSeconds = 600) {
+                                           double timeLimitSeconds = 600,
+                                           const obs::Config& trace = {}) {
   core::UfdiAttackModel model(g, p, spec);
+  model.set_trace(trace);
   smt::Budget budget;
   budget.max_time = std::chrono::milliseconds(
       static_cast<long>(timeLimitSeconds * 1000));
@@ -67,8 +72,9 @@ inline core::VerificationResult verify_run(const grid::Grid& g,
 /// Milliseconds of a verification run.
 inline double verify_ms(const grid::Grid& g, const grid::MeasurementPlan& p,
                         const core::AttackSpec& spec,
-                        double timeLimitSeconds = 600) {
-  return verify_run(g, p, spec, timeLimitSeconds).seconds * 1000.0;
+                        double timeLimitSeconds = 600,
+                        const obs::Config& trace = {}) {
+  return verify_run(g, p, spec, timeLimitSeconds, trace).seconds * 1000.0;
 }
 
 /// True when the bench was invoked with `--json`: each case then emits one
@@ -83,54 +89,54 @@ inline bool json_enabled(int argc, char** argv) {
 
 /// Builder for one JSON result line:
 ///   {"bench":"fig4a","case":"ieee57","ms":6.8,"pivots":1042}
-/// Keys and string values are emitted verbatim (callers pass plain
-/// identifiers, no escaping needed); emit() prints the line iff enabled.
+/// Keys and string values are escaped per RFC 8259 (scenario names come
+/// from the command line and may contain anything); emit() prints the line
+/// iff enabled.
 class JsonLine {
  public:
   JsonLine(bool enabled, std::string_view bench, std::string_view caseName)
       : enabled_(enabled) {
-    body_ = "{\"bench\":\"";
-    body_ += bench;
-    body_ += "\",\"case\":\"";
-    body_ += caseName;
-    body_ += '"';
+    writer_.field("bench", bench);
+    writer_.field("case", caseName);
   }
 
   JsonLine& field(std::string_view key, double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return raw(key, buf);
+    writer_.field(key, v);
+    return *this;
   }
 
   JsonLine& field(std::string_view key, std::uint64_t v) {
-    return raw(key, std::to_string(v));
+    writer_.field(key, v);
+    return *this;
   }
 
   JsonLine& field(std::string_view key, std::string_view v) {
-    std::string quoted = "\"";
-    quoted += v;
-    quoted += '"';
-    return raw(key, quoted);
+    writer_.field(key, v);
+    return *this;
   }
 
   void emit() {
     if (!enabled_) return;
-    std::printf("%s}\n", body_.c_str());
+    std::printf("%s\n", writer_.str().c_str());
     std::fflush(stdout);
   }
 
  private:
-  JsonLine& raw(std::string_view key, std::string_view value) {
-    body_ += ",\"";
-    body_ += key;
-    body_ += "\":";
-    body_ += value;
-    return *this;
-  }
-
   bool enabled_;
-  std::string body_;
+  obs::JsonWriter writer_;
 };
+
+/// `--trace <file>` support for the benches: returns an open sink when the
+/// flag is present (nullptr otherwise). Callers hold the unique_ptr for the
+/// bench's lifetime and pass {sink.get()} as the obs::Config.
+inline std::unique_ptr<obs::TraceSink> trace_sink(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace") {
+      return obs::TraceSink::open(argv[i + 1]);
+    }
+  }
+  return nullptr;
+}
 
 inline double mean(const std::vector<double>& xs) {
   return std::accumulate(xs.begin(), xs.end(), 0.0) /

@@ -10,6 +10,8 @@ using namespace psse;
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 4(a) - verification time vs problem size",
                 "growth between linear and quadratic in the bus count; "
                 "different target choices give different times");
@@ -21,7 +23,7 @@ int main(int argc, char** argv) {
     std::vector<double> times;
     int exp = 0;
     for (const core::AttackSpec& spec : bench::standard_targets(g)) {
-      core::VerificationResult r = bench::verify_run(g, plan, spec);
+      core::VerificationResult r = bench::verify_run(g, plan, spec, 600, trace);
       times.push_back(r.seconds * 1000.0);
       bench::JsonLine(json, "fig4a", name + "/exp" + std::to_string(++exp))
           .field("ms", r.seconds * 1000.0)

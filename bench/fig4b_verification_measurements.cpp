@@ -4,7 +4,9 @@
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 4(b) - verification time vs taken measurements",
                 "time increases roughly linearly with the percentage of "
                 "taken measurements");
@@ -23,7 +25,7 @@ int main() {
         grid::MeasurementPlan plan =
             bench::observable_fraction_plan(g, pct / 100.0, seed);
         for (const core::AttackSpec& spec : bench::standard_targets(g)) {
-          ts.push_back(bench::verify_ms(g, plan, spec));
+          ts.push_back(bench::verify_ms(g, plan, spec, 600, trace));
         }
       }
       std::printf(" %12.1f", bench::median(ts));

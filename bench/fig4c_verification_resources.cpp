@@ -4,7 +4,9 @@
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 4(c) - verification time vs attacker resource limit",
                 "time decreases as the limit relaxes and flattens once the "
                 "resources suffice (~20 measurements)");
@@ -19,6 +21,7 @@ int main() {
       spec.target_states = {g.num_buses() - 1};
       spec.max_altered_measurements = tcz;
       core::UfdiAttackModel model(g, plan, spec);
+      model.set_trace(trace);
       core::VerificationResult r = model.verify();
       std::printf(" %14.1f %6s", r.seconds * 1000.0,
                   r.feasible() ? "sat" : "unsat");

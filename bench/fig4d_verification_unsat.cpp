@@ -7,7 +7,9 @@
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 4(d) - satisfiable vs unsatisfiable verification",
                 "unsat takes longer than sat, but the gap stays small "
                 "because attack-attribute constraints already bound the "
@@ -21,8 +23,8 @@ int main() {
     sat.target_states = {g.num_buses() / 2};
     core::AttackSpec unsat = sat;
     unsat.max_altered_measurements = 3;  // below the 4-measurement floor
-    double satMs = bench::verify_ms(g, plan, sat);
-    double unsatMs = bench::verify_ms(g, plan, unsat);
+    double satMs = bench::verify_ms(g, plan, sat, 600, trace);
+    double unsatMs = bench::verify_ms(g, plan, unsat, 600, trace);
     std::printf("%-10s %12.1f %12.1f %8.2f\n", name, satMs, unsatMs,
                 unsatMs / satMs);
     std::fflush(stdout);

@@ -4,7 +4,9 @@
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 5(b) - synthesis time vs taken measurements",
                 "time increases roughly linearly with the measurement "
                 "percentage (candidate selection is bus-based; only the "
@@ -24,6 +26,7 @@ int main() {
         opt.max_secured_buses = g.num_buses();
         opt.must_secure = {0};
         opt.time_limit_seconds = 600;
+        opt.trace = trace;
         core::SecurityArchitectureSynthesizer syn(model, opt);
         ts.push_back(syn.synthesize().seconds);
       }

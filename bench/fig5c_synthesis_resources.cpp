@@ -4,7 +4,9 @@
 
 using namespace psse;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 5(c) - synthesis time vs attacker resource limit",
                 "time decreases slowly as the attacker's resources grow: "
                 "failed candidates are refuted (SAT) faster");
@@ -21,6 +23,7 @@ int main() {
     opt.max_secured_buses = g.num_buses();
     opt.must_secure = {0};
     opt.time_limit_seconds = 600;
+    opt.trace = trace;
     core::SecurityArchitectureSynthesizer syn(model, opt);
     core::SynthesisResult r = syn.synthesize();
     std::printf("%-12d %8d %12.2f %10zu %10d\n", pct,

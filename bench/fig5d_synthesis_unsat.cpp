@@ -22,7 +22,9 @@ int find_minimum(core::UfdiAttackModel& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto sink = bench::trace_sink(argc, argv);
+  const obs::Config trace{sink.get()};
   bench::header("Fig. 5(d) - synthesis time in unsatisfiable cases",
                 "refuting 'no architecture within budget' takes longer the "
                 "closer the budget is to the minimum viable size");
@@ -53,6 +55,7 @@ int main() {
       opt.max_secured_buses = budget;
       opt.must_secure = {0};
       opt.time_limit_seconds = 600;
+      opt.trace = trace;
       core::SecurityArchitectureSynthesizer syn(model, opt);
       core::SynthesisResult r = syn.synthesize();
       const char* status =

@@ -22,4 +22,45 @@ for preset in "${stages[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
 done
+
+# Trace smoke: run the whole data/ suite through batch_runner with the
+# structured trace enabled and validate that stdout and every trace line
+# are well-formed JSON. Catches escaping/interleaving regressions that the
+# unit tests' synthetic inputs might miss.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== ci: trace smoke =="
+  runner=""
+  for candidate in build/examples/batch_runner build/default/examples/batch_runner; do
+    [ -x "${candidate}" ] && runner="${candidate}" && break
+  done
+  if [ -z "${runner}" ]; then
+    echo "ci: batch_runner binary not found" >&2
+    exit 1
+  fi
+  trace_file=$(mktemp /tmp/psse_trace.XXXXXX.jsonl)
+  trap 'rm -f "${trace_file}"' EXIT
+  "${runner}" --threads "${jobs}" --portfolio 2 --trace "${trace_file}" data \
+    | python3 -c '
+import json, sys
+n = 0
+for line in sys.stdin:
+    json.loads(line)  # malformed stdout line -> exception -> nonzero exit
+    n += 1
+assert n > 0, "batch_runner produced no output"
+print(f"ci: {n} result lines OK")
+'
+  python3 -c '
+import json, sys
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        ev = json.loads(line)
+        assert "ev" in ev and "t_us" in ev, f"missing envelope: {line!r}"
+        n += 1
+assert n > 0, "trace file is empty"
+print(f"ci: {n} trace events OK")
+' "${trace_file}"
+else
+  echo "== ci: trace smoke skipped (no python3) =="
+fi
 echo "== ci: all stages passed =="

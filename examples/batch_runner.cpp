@@ -1,6 +1,7 @@
 // batch_runner: fan a directory of scenario files across the thread pool.
 //
-//   batch_runner [--threads N] [--portfolio M] [--time-limit S] <dir>
+//   batch_runner [--threads N] [--portfolio M] [--time-limit S]
+//                [--trace FILE] <dir>
 //
 // Every `.scn` file under <dir> (sorted, non-recursive) becomes one
 // verification job on the pool; each job prints exactly one JSON line to
@@ -11,19 +12,26 @@
 //
 // With --portfolio M each job races an M-member diversified portfolio
 // (runtime::verify_portfolio) instead of a single serial solve, and the
-// line additionally reports the winning configuration. Scenarios that fail
-// to parse produce an "error" line instead of aborting the batch.
+// line additionally reports the winning configuration. With --trace FILE
+// every solve additionally journals structured events (obs::TraceSink,
+// one JSON object per line) to FILE — the sink is thread-safe, so all
+// pool workers share it. Scenarios that fail to parse produce an "error"
+// line instead of aborting the batch.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/attack_model.h"
 #include "core/scenario.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
 #include "runtime/portfolio.h"
 #include "runtime/thread_pool.h"
 
@@ -42,37 +50,18 @@ const char* verdict_name(smt::SolveResult r) {
   }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 struct Config {
   std::size_t threads = 4;
   std::size_t portfolio = 0;  // 0 = plain serial verify per scenario
   double time_limit_seconds = 0;
+  std::string trace_path;
   std::string dir;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--portfolio M] [--time-limit S] "
-               "<scenario-dir>\n",
+               "[--trace FILE] <scenario-dir>\n",
                argv0);
   return 2;
 }
@@ -95,6 +84,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--time-limit") {
       if (i + 1 >= argc) return usage(argv[0]);
       cfg.time_limit_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      cfg.trace_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (cfg.dir.empty()) {
@@ -130,6 +122,17 @@ int main(int argc, char** argv) {
         static_cast<long>(cfg.time_limit_seconds * 1000));
   }
 
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!cfg.trace_path.empty()) {
+    try {
+      sink = obs::TraceSink::open(cfg.trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  const obs::Config trace{sink.get()};
+
   // One scenario per pool task; stdout is the shared resource, so each
   // task formats its whole line first and prints it under the mutex.
   std::mutex outMu;
@@ -145,12 +148,14 @@ int main(int argc, char** argv) {
       try {
         core::Scenario sc = core::Scenario::load(path.string());
         core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+        model.set_trace(trace);
         core::VerificationResult r;
         std::string winner;
         if (cfg.portfolio > 0) {
           runtime::PortfolioOptions popt;
           popt.num_threads = cfg.portfolio;
           popt.budget = budget;
+          popt.trace = trace;
           runtime::PortfolioResult pr =
               runtime::verify_portfolio(model, popt);
           r = std::move(pr.verification);
@@ -161,25 +166,27 @@ int main(int argc, char** argv) {
         } else {
           r = model.verify(budget);
         }
-        // The scenario name has no length bound, so build the line with
-        // string concatenation; only the fixed-width numeric fields go
-        // through snprintf.
-        char nums[160];
-        std::snprintf(nums, sizeof nums,
-                      "\"seconds\":%.3f,\"decisions\":%llu,"
-                      "\"conflicts\":%llu,\"pivots\":%llu", r.seconds,
-                      static_cast<unsigned long long>(r.stats.sat.decisions),
-                      static_cast<unsigned long long>(r.stats.sat.conflicts),
-                      static_cast<unsigned long long>(r.stats.pivots));
-        line = "{\"scenario\":\"" + json_escape(name) + "\",\"verdict\":\"" +
-               verdict_name(r.result) + "\"," + nums;
-        if (!winner.empty()) {
-          line += ",\"winner\":\"" + json_escape(winner) + "\"";
+        obs::JsonWriter w;
+        w.field("scenario", name);
+        w.field("verdict", verdict_name(r.result));
+        w.field("seconds", r.seconds);
+        w.field("decisions", r.stats.sat.decisions);
+        w.field("conflicts", r.stats.sat.conflicts);
+        w.field("pivots", r.stats.pivots);
+        if (!winner.empty()) w.field("winner", winner);
+        line = w.str();
+        if (trace.enabled()) {
+          obs::Event("batch_scenario")
+              .field("scenario", name)
+              .field("verdict", verdict_name(r.result))
+              .field("seconds", r.seconds)
+              .emit(trace);
         }
-        line += "}";
       } catch (const std::exception& e) {
-        line = "{\"scenario\":\"" + json_escape(name) +
-               "\",\"error\":\"" + json_escape(e.what()) + "\"}";
+        obs::JsonWriter w;
+        w.field("scenario", name);
+        w.field("error", std::string_view(e.what()));
+        line = w.str();
         failed = true;
       }
       std::lock_guard<std::mutex> lock(outMu);

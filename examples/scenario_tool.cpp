@@ -4,20 +4,31 @@
 //   scenario_tool synthesize <file.scn>  run countermeasure synthesis
 //   scenario_tool print <file.scn>       parse and echo the scenario
 //
+// An optional `--trace FILE` (after the scenario file) journals structured
+// solver/CEGIS events to FILE, one JSON object per line (see obs/trace.h).
 // Scenario files live in data/ (see data/README for the format).
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "core/attack_model.h"
 #include "core/scenario.h"
 #include "core/synthesis.h"
+#include "obs/trace.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
+  std::string trace_path;
+  if (argc == 5 && std::strcmp(argv[3], "--trace") == 0) {
+    trace_path = argv[4];
+    argc = 3;
+  }
   if (argc != 3) {
     std::fprintf(stderr,
-                 "usage: %s verify|synthesize|print <scenario-file>\n",
+                 "usage: %s verify|synthesize|print <scenario-file> "
+                 "[--trace FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -35,7 +46,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!trace_path.empty()) {
+    try {
+      sink = obs::TraceSink::open(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  const obs::Config trace{sink.get()};
+
   core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  model.set_trace(trace);
   if (mode == "verify") {
     core::VerificationResult r = model.verify();
     switch (r.result) {
@@ -57,6 +80,7 @@ int main(int argc, char** argv) {
     if (opt.max_secured_buses == 0) {
       opt.max_secured_buses = sc.grid.num_buses();
     }
+    opt.trace = trace;
     core::SecurityArchitectureSynthesizer syn(model, opt);
     core::SynthesisResult r = syn.synthesize();
     switch (r.status) {

@@ -307,13 +307,38 @@ void UfdiAttackModel::encode() {
 VerificationResult UfdiAttackModel::run(
     const std::vector<TermRef>& assumptions, const smt::Budget& budget) {
   VerificationResult out;
+  // Snapshot/delta: the solver is incremental and reused across calls, so
+  // its counters are lifetime totals — report what *this* call cost.
+  const smt::SolverStats before = solver_.stats();
+  const obs::PhaseTimes phasesBefore = solver_.phase_times();
   auto start = std::chrono::steady_clock::now();
   out.result = solver_.solve(assumptions, budget);
   out.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-  out.stats = solver_.stats();
+  out.stats = solver_.stats().since(before);
+  out.phase_times = solver_.phase_times().since(phasesBefore);
   if (out.result == smt::SolveResult::Sat) out.attack = extract_model();
+  if (trace_.enabled()) {
+    obs::Event("solve")
+        .field("verdict", smt::to_cstring(out.result))
+        .field("seconds", out.seconds)
+        .field("assumptions", static_cast<std::uint64_t>(assumptions.size()))
+        .field("decisions", out.stats.sat.decisions)
+        .field("propagations", out.stats.sat.propagations)
+        .field("conflicts", out.stats.sat.conflicts)
+        .field("restarts", out.stats.sat.restarts)
+        .field("theory_checks", out.stats.sat.theory_checks)
+        .field("theory_conflicts", out.stats.sat.theory_conflicts)
+        .field("pivots", out.stats.pivots)
+        .field("bound_flips", out.stats.bound_flips)
+        .field("bigint_promotions", out.stats.bigint_promotions)
+        .field("encode_us", out.phase_times.encode_us)
+        .field("propagate_us", out.phase_times.propagate_us)
+        .field("simplex_us", out.phase_times.simplex_us)
+        .field("theory_us", out.phase_times.theory_us)
+        .emit(trace_);
+  }
   return out;
 }
 

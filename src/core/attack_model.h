@@ -33,6 +33,7 @@
 #include "core/attack_vector.h"
 #include "grid/grid.h"
 #include "grid/measurement.h"
+#include "obs/trace.h"
 #include "smt/solver.h"
 
 namespace psse::core {
@@ -41,7 +42,14 @@ struct VerificationResult {
   smt::SolveResult result = smt::SolveResult::Unknown;
   std::optional<AttackVector> attack;  // present iff Sat
   double seconds = 0.0;
+  /// Effort of *this* verify call (snapshot/delta over the underlying
+  /// solver): counters cover exactly this solve, gauges describe the
+  /// current model size. Summing per-call counters over a session equals
+  /// the solver's lifetime totals.
   smt::SolverStats stats;
+  /// Per-phase wall time of this call; all-zero unless tracing (or
+  /// phase timing) is enabled on the model.
+  obs::PhaseTimes phase_times;
 
   [[nodiscard]] bool feasible() const {
     return result == smt::SolveResult::Sat;
@@ -71,6 +79,16 @@ class UfdiAttackModel {
   void set_solver_options(const smt::SatOptions& options) {
     solver_.set_sat_options(options);
   }
+
+  /// Attaches structured tracing: every subsequent verify call emits one
+  /// "solve" event (verdict, per-call stats, phase times) to the sink and
+  /// enables per-phase timing on the solver. A default-constructed Config
+  /// detaches. The sink must outlive the model's traced calls.
+  void set_trace(const obs::Config& trace) {
+    trace_ = trace;
+    solver_.enable_phase_timing(trace.enabled());
+  }
+  [[nodiscard]] const obs::Config& trace() const { return trace_; }
 
   /// Is the specified attack feasible with no extra countermeasures?
   [[nodiscard]] VerificationResult verify(const smt::Budget& budget = {});
@@ -114,6 +132,7 @@ class UfdiAttackModel {
   grid::MeasurementPlan plan_;
   AttackSpec spec_;
   smt::Solver solver_;
+  obs::Config trace_;
 
   // Variable maps (invalid/unused entries are default-invalid).
   std::vector<smt::TermRef> cx_;                 // per bus

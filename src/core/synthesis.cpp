@@ -76,6 +76,35 @@ void SecurityArchitectureSynthesizer::build_candidate_model(
   }
 }
 
+const char* SecurityArchitectureSynthesizer::blocking_kind(
+    const VerificationResult& v) const {
+  if (v.result != smt::SolveResult::Sat) return "none";
+  if (options_.counterexample_blocking && v.attack.has_value() &&
+      !v.attack->compromised_buses.empty()) {
+    return "counterexample";
+  }
+  if (options_.subset_blocking) return "subset";
+  return "exact";
+}
+
+void SecurityArchitectureSynthesizer::trace_iteration(
+    int iter, const std::vector<BusId>& candidate,
+    const VerificationResult& v, const smt::SatStats& candidateEffort) const {
+  if (!options_.trace.enabled()) return;
+  obs::Event("cegis_iter")
+      .field("iter", iter)
+      .field_raw("candidate", obs::json_int_array(candidate))
+      .field("verdict", smt::to_cstring(v.result))
+      .field("blocking", blocking_kind(v))
+      .field("seconds", v.seconds)
+      .field("decisions", v.stats.sat.decisions)
+      .field("conflicts", v.stats.sat.conflicts)
+      .field("pivots", v.stats.pivots)
+      .field("cand_decisions", candidateEffort.decisions)
+      .field("cand_conflicts", candidateEffort.conflicts)
+      .emit(options_.trace);
+}
+
 std::vector<Lit> SecurityArchitectureSynthesizer::failure_blocking_clause(
     const std::vector<Var>& sbVars, const std::vector<BusId>& S,
     const VerificationResult& v) const {
@@ -132,7 +161,12 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize() {
       candBudget.max_time = std::chrono::milliseconds(static_cast<long>(
           1000 * std::max(0.1, options_.time_limit_seconds - elapsed())));
     }
+    // Per-candidate effort of the (reused) candidate solver: snapshot and
+    // delta, so the journal reports this iteration's work, not lifetime
+    // totals.
+    const smt::SatStats candBefore = candidates.stats();
     smt::SolveResult cr = candidates.solve({}, candBudget);
+    const smt::SatStats candEffort = candidates.stats_since(candBefore);
     if (cr == smt::SolveResult::Unknown) {
       out.status = SynthesisResult::Status::Timeout;
       break;
@@ -159,6 +193,7 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize() {
       }
     }
     VerificationResult v = attackModel_.verify_with_secured_buses(S, vb);
+    trace_iteration(out.candidates_tried, S, v, candEffort);
     if (v.result == smt::SolveResult::Unsat) {
       out.status = SynthesisResult::Status::Found;
       out.secured_buses = std::move(S);
@@ -173,6 +208,14 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize() {
   }
   out.seconds = elapsed();
   out.candidate_footprint_bytes = candidates.footprint_bytes();
+  if (options_.trace.enabled()) {
+    obs::Event("cegis_done")
+        .field("status", SynthesisResult::status_name(out.status))
+        .field("candidates_tried", out.candidates_tried)
+        .field("seconds", out.seconds)
+        .field_raw("architecture", obs::json_int_array(out.secured_buses))
+        .emit(options_.trace);
+  }
   return out;
 }
 
@@ -216,12 +259,15 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize_parallel() {
     // yields a different one; failed candidates get their (stronger)
     // failure clause after verification, which subsumes the exact block.
     std::vector<std::vector<BusId>> batch;
+    std::vector<smt::SatStats> batchCandEffort;
     bool candUnsat = false;
     bool candUnknown = false;
     while (batch.size() < slots) {
       smt::Budget candBudget;
       if (options_.time_limit_seconds > 0) candBudget.max_time = remaining_ms();
+      const smt::SatStats candBefore = candidates.stats();
       smt::SolveResult cr = candidates.solve({}, candBudget);
+      batchCandEffort.push_back(candidates.stats_since(candBefore));
       if (cr == smt::SolveResult::Unknown) {
         candUnknown = true;
         break;
@@ -279,6 +325,12 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize_parallel() {
       });
     }
     for (std::thread& t : threads) t.join();
+    // Journal in candidate order (not completion order), so serial and
+    // parallel traces of the same run read the same way.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      trace_iteration(out.candidates_tried + static_cast<int>(i) + 1,
+                      batch[i], results[i], batchCandEffort[i]);
+    }
     out.candidates_tried += static_cast<int>(batch.size());
     for (std::vector<Lit>& cl : learnedBlocks) {
       candidates.add_clause(std::move(cl));
@@ -314,6 +366,14 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize_parallel() {
   }
   out.seconds = elapsed();
   out.candidate_footprint_bytes = candidates.footprint_bytes();
+  if (options_.trace.enabled()) {
+    obs::Event("cegis_done")
+        .field("status", SynthesisResult::status_name(out.status))
+        .field("candidates_tried", out.candidates_tried)
+        .field("seconds", out.seconds)
+        .field_raw("architecture", obs::json_int_array(out.secured_buses))
+        .emit(options_.trace);
+  }
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/attack_model.h"
+#include "obs/trace.h"
 #include "smt/sat_solver.h"
 
 namespace psse::core {
@@ -55,10 +56,29 @@ struct SynthesisOptions {
   /// architecture blocks every attack of the model — but they may return
   /// different, equally valid, architectures.
   int parallel_candidates = 1;
+  /// Structured tracing of the CEGIS loop: one "cegis_iter" event per
+  /// candidate (bus set, verdict, blocking-clause kind, wall time,
+  /// per-candidate solver effort) and a final "cegis_done" event. Off by
+  /// default (null sink); the sink must outlive the synthesis call. Bus
+  /// ids in events are 0-based, matching the C++ API (the CLI prints
+  /// 1-based).
+  obs::Config trace;
 };
 
 struct SynthesisResult {
   enum class Status { Found, NoArchitecture, Timeout };
+
+  /// Lower-case status name for machine-readable reports and traces.
+  [[nodiscard]] static constexpr const char* status_name(Status s) {
+    switch (s) {
+      case Status::Found:
+        return "found";
+      case Status::NoArchitecture:
+        return "no_architecture";
+      default:
+        return "timeout";
+    }
+  }
   Status status = Status::Timeout;
   /// The synthesised security architecture (buses to secure).
   std::vector<grid::BusId> secured_buses;
@@ -94,6 +114,13 @@ class SecurityArchitectureSynthesizer {
   [[nodiscard]] std::vector<smt::Lit> failure_blocking_clause(
       const std::vector<smt::Var>& sbVars, const std::vector<grid::BusId>& S,
       const VerificationResult& v) const;
+  /// Which pruning rule failure_blocking_clause will choose for `v` — the
+  /// "blocking" field of the cegis_iter journal event.
+  [[nodiscard]] const char* blocking_kind(const VerificationResult& v) const;
+  /// One cegis_iter journal line (no-op when tracing is off).
+  void trace_iteration(int iter, const std::vector<grid::BusId>& candidate,
+                       const VerificationResult& v,
+                       const smt::SatStats& candidateEffort) const;
   [[nodiscard]] SynthesisResult synthesize_parallel();
 
   UfdiAttackModel& attackModel_;

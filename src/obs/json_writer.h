@@ -1,0 +1,140 @@
+// Shared JSON emission helpers.
+//
+// Every machine-readable line this repository prints — bench `--json`
+// output, batch_runner result lines, and the obs trace stream — goes
+// through these helpers, so string escaping is implemented exactly once.
+// The writer builds one JSON object per line (JSONL); it does not pretty-
+// print, nest, or stream, because every consumer here is `jq`/`json.loads`
+// over single lines.
+//
+// Header-only and dependency-free: the grid/smt/core layers must be able
+// to include it without linking anything beyond psse_obs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace psse::obs {
+
+/// Appends `s` to `out` with JSON string escaping: quote, backslash, and
+/// every control character below 0x20 (the characters RFC 8259 requires).
+/// Bytes >= 0x80 pass through untouched — the stream is byte-transparent
+/// for UTF-8.
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// `s` escaped for embedding in a JSON string (no surrounding quotes).
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_json_escaped(out, s);
+  return out;
+}
+
+/// Builder for one flat JSON object, rendered as a single line:
+///
+///   JsonWriter w;
+///   w.field("ev", "solve").field("ms", 1.25).field("sat", true);
+///   puts(w.str().c_str());   // {"ev":"solve","ms":1.25,"sat":true}
+///
+/// Keys and string values are escaped; numbers use shortest-roundtrip-ish
+/// "%.6g" for doubles and exact decimal for integers. field_raw() splices
+/// pre-rendered JSON (arrays, nested objects) verbatim — the caller is
+/// responsible for its validity.
+class JsonWriter {
+ public:
+  JsonWriter() : body_("{") {}
+
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    key_prefix(key);
+    body_ += '"';
+    append_json_escaped(body_, v);
+    body_ += '"';
+    return *this;
+  }
+
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+
+  JsonWriter& field(std::string_view key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return field_raw(key, buf);
+  }
+
+  JsonWriter& field(std::string_view key, std::uint64_t v) {
+    return field_raw(key, std::to_string(v));
+  }
+
+  JsonWriter& field(std::string_view key, std::int64_t v) {
+    return field_raw(key, std::to_string(v));
+  }
+
+  JsonWriter& field(std::string_view key, int v) {
+    return field_raw(key, std::to_string(v));
+  }
+
+  JsonWriter& field(std::string_view key, bool v) {
+    return field_raw(key, v ? "true" : "false");
+  }
+
+  /// Splices `value` into the object verbatim (must be valid JSON).
+  JsonWriter& field_raw(std::string_view key, std::string_view value) {
+    key_prefix(key);
+    body_ += value;
+    return *this;
+  }
+
+  /// The finished object. The writer may keep accepting fields afterwards;
+  /// str() is non-destructive.
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+ private:
+  void key_prefix(std::string_view key) {
+    if (body_.size() > 1) body_ += ',';
+    body_ += '"';
+    append_json_escaped(body_, key);
+    body_ += "\":";
+  }
+
+  std::string body_;
+};
+
+}  // namespace psse::obs

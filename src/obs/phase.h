@@ -1,0 +1,68 @@
+// Per-phase wall-time accounting for one solver instance.
+//
+// The DPLL(T) stack attributes its time to four phases: CNF encoding
+// (term -> SAT translation), boolean constraint propagation, the simplex
+// pivot loop, and the theory-check envelope around it (bound transfer,
+// conflict extraction). Accounting is pull-based and allocation-free: the
+// instrumented layers hold a `PhaseTimes*` that is null unless a caller
+// opted in, so the disabled cost is one pointer test per phase boundary —
+// no clock reads, no stores.
+//
+// The accumulators are plain (non-atomic) counters: a PhaseTimes instance
+// belongs to exactly one solver, and solvers are single-threaded by
+// contract (the parallel runtime gives each worker its own clone).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace psse::obs {
+
+/// Monotonic timestamp in microseconds (steady clock; origin unspecified).
+[[nodiscard]] inline std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Cumulative microseconds per solver phase. Monotone counters: snapshot
+/// and subtract for per-solve deltas, or reset() between solves.
+struct PhaseTimes {
+  std::uint64_t encode_us = 0;     ///< term -> CNF translation
+  std::uint64_t propagate_us = 0;  ///< boolean unit propagation
+  std::uint64_t simplex_us = 0;    ///< simplex feasibility restoration
+  std::uint64_t theory_us = 0;     ///< whole theory_check envelope
+                                   ///< (includes simplex_us)
+
+  void reset() { *this = PhaseTimes{}; }
+
+  [[nodiscard]] PhaseTimes since(const PhaseTimes& earlier) const {
+    PhaseTimes d;
+    d.encode_us = encode_us - earlier.encode_us;
+    d.propagate_us = propagate_us - earlier.propagate_us;
+    d.simplex_us = simplex_us - earlier.simplex_us;
+    d.theory_us = theory_us - earlier.theory_us;
+    return d;
+  }
+};
+
+/// RAII accumulator: adds the scope's duration to `*slot` on destruction;
+/// a null slot makes both constructor and destructor a single branch.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(std::uint64_t* slot)
+      : slot_(slot), start_(slot == nullptr ? 0 : now_us()) {}
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+  ~ScopedPhaseTimer() {
+    if (slot_ != nullptr) {
+      *slot_ += static_cast<std::uint64_t>(now_us() - start_);
+    }
+  }
+
+ private:
+  std::uint64_t* slot_;
+  std::int64_t start_;
+};
+
+}  // namespace psse::obs

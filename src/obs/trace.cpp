@@ -1,0 +1,31 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+namespace psse::obs {
+
+std::unique_ptr<TraceSink> TraceSink::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("TraceSink: cannot open trace file: " + path);
+  }
+  return std::make_unique<TraceSink>(f, /*owned=*/true);
+}
+
+TraceSink::TraceSink(std::FILE* file, bool owned)
+    : file_(file), owned_(owned) {}
+
+TraceSink::~TraceSink() {
+  if (owned_ && file_ != nullptr) std::fclose(file_);
+}
+
+void TraceSink::write_line(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  // Flush per event: traces exist to explain runs that may die mid-way
+  // (timeouts, cancellation), so buffered tails must not be lost.
+  std::fflush(file_);
+}
+
+}  // namespace psse::obs

@@ -109,9 +109,29 @@ PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
       smt::Budget budget = options.budget;
       budget.stop = &raceStop;
       core::VerificationResult v = clone->verify(budget);
+      // Whether the abort flag was up when this member finished decides
+      // "cancelled" vs "own budget exhausted" for an Unknown verdict.
+      const bool raceDecided = raceStop.load(std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu);
-      out.members[i].result = v.result;
-      out.members[i].seconds = v.seconds;
+      PortfolioMemberOutcome& outcome = out.members[i];
+      outcome.result = v.result;
+      outcome.seconds = v.seconds;
+      outcome.stats = v.stats;
+      outcome.cancelled =
+          v.result == smt::SolveResult::Unknown && raceDecided;
+      if (options.trace.enabled()) {
+        obs::Event("portfolio_member")
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("label", outcome.label)
+            .field("verdict", smt::to_cstring(v.result))
+            .field("cancelled", outcome.cancelled)
+            .field("seconds", v.seconds)
+            .field("decisions", v.stats.sat.decisions)
+            .field("conflicts", v.stats.sat.conflicts)
+            .field("restarts", v.stats.sat.restarts)
+            .field("pivots", v.stats.pivots)
+            .emit(options.trace);
+      }
       results[i] = std::move(v);
       if (results[i].result != smt::SolveResult::Unknown &&
           firstDefinitive < 0) {
@@ -155,6 +175,19 @@ PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
   out.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+  if (options.trace.enabled()) {
+    obs::Event("portfolio_done")
+        .field("winner", out.winner)
+        .field("winner_label",
+               out.winner >= 0
+                   ? out.members[static_cast<std::size_t>(out.winner)].label
+                   : std::string())
+        .field("verdict", smt::to_cstring(out.verification.result))
+        .field("deterministic", options.deterministic)
+        .field("members", static_cast<std::uint64_t>(n))
+        .field("seconds", out.seconds)
+        .emit(options.trace);
+  }
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/attack_model.h"
+#include "obs/trace.h"
 #include "smt/budget.h"
 #include "smt/sat_solver.h"
 
@@ -50,12 +51,25 @@ struct PortfolioOptions {
   smt::Budget budget;
   /// Explicit member list; empty selects default_portfolio(num_threads).
   std::vector<PortfolioMember> members;
+  /// Structured tracing: one "portfolio_member" event per member as it
+  /// completes (including cancelled losers) and a closing "portfolio_done"
+  /// event with winner attribution. The sink must outlive the call.
+  obs::Config trace;
 };
 
+/// Every member's outcome — winners *and* losers. A cancelled loser still
+/// reports how far it got (its per-solve stats), which is what explains
+/// where portfolio time goes.
 struct PortfolioMemberOutcome {
   std::string label;
   smt::SolveResult result = smt::SolveResult::Unknown;
   double seconds = 0.0;
+  /// This member's solve effort on its own clone (per-call delta).
+  smt::SolverStats stats;
+  /// True when the member returned Unknown because the race was already
+  /// decided (first-winner cancellation or an external stop token), as
+  /// opposed to exhausting its own budget.
+  bool cancelled = false;
 };
 
 struct PortfolioResult {

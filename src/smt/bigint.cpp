@@ -11,6 +11,14 @@ namespace psse::smt {
 
 namespace {
 
+thread_local std::uint64_t g_promotions = 0;
+
+}  // namespace
+
+std::uint64_t bigint_promotions() noexcept { return g_promotions; }
+
+namespace {
+
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 
@@ -204,6 +212,7 @@ BigInt BigInt::from_string(std::string_view s) {
 
 void BigInt::promote() {
   PSSE_ASSERT(inline_);
+  ++g_promotions;
   negative_ = small_ < 0;
   limbs_.clear();
   if (small_ != 0) limbs_.push_back(mag64(small_));
@@ -264,6 +273,7 @@ void BigInt::negate() {
       return;
     }
     // |INT64_MIN| does not fit inline: promote to a one-limb magnitude.
+    ++g_promotions;
     inline_ = false;
     small_ = 0;
     negative_ = false;

@@ -33,6 +33,14 @@
 
 namespace psse::smt {
 
+/// Lifetime count of inline -> limb promotions performed by this thread's
+/// BigInt arithmetic. A promotion marks a genuine 64-bit overflow — the
+/// moment a solve leaves the allocation-free fast path — so the trace layer
+/// reports the per-solve delta as "big-path promotions". Thread-local
+/// because parallel solver clones each run on their own thread; a solver's
+/// counters must not see a sibling's arithmetic.
+[[nodiscard]] std::uint64_t bigint_promotions() noexcept;
+
 class BigInt {
  public:
   /// Zero.

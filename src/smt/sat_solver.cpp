@@ -176,6 +176,8 @@ bool SatSolver::enqueue(Lit l, Reason reason) {
 }
 
 std::int32_t SatSolver::propagate() {
+  obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
+                                                 : &phases_->propagate_us);
   while (qhead_ < trail_.size()) {
     // Cooperative abort: bail out of long propagation chains promptly. The
     // poll must precede the dequeue so an aborted call leaves qhead_ at the
@@ -279,6 +281,8 @@ std::int32_t SatSolver::propagate() {
 
 bool SatSolver::theory_check(bool final, std::vector<Lit>& confl) {
   if (theory_ == nullptr) return true;
+  obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
+                                                 : &phases_->theory_us);
   // Feed newly assigned theory literals in trail order.
   while (theory_qhead_ < trail_.size()) {
     Lit p = trail_[theory_qhead_++];

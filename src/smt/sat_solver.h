@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.h"
 #include "smt/budget.h"
 #include "smt/literal.h"
 
@@ -27,6 +28,18 @@ namespace psse::smt {
 
 /// Result of a solve call.
 enum class SolveResult { Sat, Unsat, Unknown };
+
+/// Lower-case verdict name for machine-readable reports and traces.
+[[nodiscard]] constexpr const char* to_cstring(SolveResult r) {
+  switch (r) {
+    case SolveResult::Sat:
+      return "sat";
+    case SolveResult::Unsat:
+      return "unsat";
+    default:
+      return "unknown";
+  }
+}
 
 /// Interface the SAT core uses to drive an attached theory solver.
 class TheoryClient {
@@ -67,7 +80,9 @@ class TheoryClient {
   virtual void set_interrupt(const Interrupt* /*interrupt*/) {}
 };
 
-/// Aggregate statistics, exposed for the evaluation harness.
+/// Aggregate statistics, exposed for the evaluation harness. Every field
+/// is a monotone lifetime counter; per-solve numbers come from snapshot/
+/// delta via since() — see SatSolver::stats_since.
 struct SatStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
@@ -77,6 +92,21 @@ struct SatStats {
   std::uint64_t deleted_clauses = 0;
   std::uint64_t theory_checks = 0;
   std::uint64_t theory_conflicts = 0;
+
+  /// Field-wise difference against an earlier snapshot of the same solver:
+  /// the cost of exactly the work done between the two reads.
+  [[nodiscard]] SatStats since(const SatStats& earlier) const {
+    SatStats d;
+    d.decisions = decisions - earlier.decisions;
+    d.propagations = propagations - earlier.propagations;
+    d.conflicts = conflicts - earlier.conflicts;
+    d.restarts = restarts - earlier.restarts;
+    d.learned_clauses = learned_clauses - earlier.learned_clauses;
+    d.deleted_clauses = deleted_clauses - earlier.deleted_clauses;
+    d.theory_checks = theory_checks - earlier.theory_checks;
+    d.theory_conflicts = theory_conflicts - earlier.theory_conflicts;
+    return d;
+  }
 };
 
 /// Search-heuristic configuration. The defaults reproduce the solver's
@@ -148,6 +178,20 @@ class SatSolver {
   [[nodiscard]] bool model_value(Var v) const;
 
   [[nodiscard]] const SatStats& stats() const { return stats_; }
+
+  /// Per-call effort: what this solver spent since `snapshot` (a prior
+  /// stats() copy). Reused and incremental solvers accumulate counters for
+  /// their lifetime, so reporting stats() per solve inflates every call
+  /// after the first — report stats_since(snapshot) instead.
+  [[nodiscard]] SatStats stats_since(const SatStats& snapshot) const {
+    return stats_.since(snapshot);
+  }
+
+  /// Attaches (or detaches, with nullptr) per-phase wall-time accounting
+  /// for the propagate and theory-check phases. Off by default; when off
+  /// the cost is one pointer test per phase boundary. The pointee must
+  /// outlive its attachment.
+  void set_phase_times(obs::PhaseTimes* phases) { phases_ = phases; }
 
   /// Approximate heap footprint of the clause/watch/card databases in
   /// bytes (Table IV accounting).
@@ -267,6 +311,8 @@ class SatSolver {
   std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
   // Abort state of the in-flight solve; null outside solve().
   const Interrupt* interrupt_ = nullptr;
+  // Phase-time accumulator; null = accounting off (see set_phase_times).
+  obs::PhaseTimes* phases_ = nullptr;
 
   bool ok_ = true;  // false once UNSAT at level 0
   std::vector<bool> model_;

@@ -111,6 +111,7 @@ bool Simplex::set_bound(TVar v, const DeltaRational& bound, Lit reason,
     // Non-basic: keep it inside its bounds eagerly. Dependent basic
     // variables may drift out of bounds, so feasibility must be rechecked.
     if (is_upper ? st.beta > bound : st.beta < bound) {
+      ++bound_flips_;
       update(v, bound);
       maybe_infeasible_ = true;
     }
@@ -259,6 +260,8 @@ void Simplex::build_conflict_from_row(const Row& row, bool lowerViolated) {
 
 bool Simplex::check() {
   if (!maybe_infeasible_) return true;
+  obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
+                                                 : &phases_->simplex_us);
   concrete_delta_.reset();
   for (std::uint64_t iter = 0;; ++iter) {
     // Budgets used to be enforced only between SAT decisions, so one long

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/phase.h"
 #include "smt/budget.h"
 #include "smt/linear_expr.h"
 #include "smt/literal.h"
@@ -73,9 +74,18 @@ class Simplex {
   /// with delta instantiated small enough to respect every strict bound.
   [[nodiscard]] Rational model_value(TVar v);
 
-  /// Diagnostics / Table IV accounting.
+  /// Diagnostics / Table IV accounting. Lifetime counters: pivots performed
+  /// by check(), and bound flips (a bound assertion moving a non-basic
+  /// variable onto its new bound, the cheap feasibility repair that avoids
+  /// a pivot).
   [[nodiscard]] std::uint64_t num_pivots() const { return pivots_; }
+  [[nodiscard]] std::uint64_t num_bound_flips() const { return bound_flips_; }
   [[nodiscard]] std::size_t footprint_bytes() const;
+
+  /// Attaches (or detaches, with nullptr) wall-time accounting for the
+  /// pivot loop (PhaseTimes::simplex_us). Off = one pointer test per
+  /// check(); the pointee must outlive its attachment.
+  void set_phase_times(obs::PhaseTimes* phases) { phases_ = phases; }
   [[nodiscard]] const std::string& name_of(TVar v) const {
     return vars_[static_cast<std::size_t>(v)].name;
   }
@@ -132,7 +142,9 @@ class Simplex {
   std::vector<Lit> conflict_;
   std::optional<Rational> concrete_delta_;
   std::uint64_t pivots_ = 0;
+  std::uint64_t bound_flips_ = 0;
   const Interrupt* interrupt_ = nullptr;
+  obs::PhaseTimes* phases_ = nullptr;
   // False only when every variable is known to satisfy its bounds; lets
   // check() short-circuit at propagation fixpoints where no bound moved.
   bool maybe_infeasible_ = false;

@@ -2,11 +2,49 @@
 
 #include <algorithm>
 
+#include "smt/bigint.h"
 #include "smt/common.h"
 
 namespace psse::smt {
 
+namespace {
+
+// Accounts an encode span to PhaseTimes::encode_us, but only for the
+// outermost frame: encode() re-enters itself through Tseitin children and
+// through assert_term's conjunct walk, and nested spans must not double
+// count.
+class EncodeSpan {
+ public:
+  EncodeSpan(bool enabled, int& depth, std::uint64_t& slot)
+      : depth_(depth), slot_(slot), outermost_(enabled && depth == 0) {
+    ++depth_;
+    if (outermost_) start_ = obs::now_us();
+  }
+  EncodeSpan(const EncodeSpan&) = delete;
+  EncodeSpan& operator=(const EncodeSpan&) = delete;
+  ~EncodeSpan() {
+    --depth_;
+    if (outermost_) {
+      slot_ += static_cast<std::uint64_t>(obs::now_us() - start_);
+    }
+  }
+
+ private:
+  int& depth_;
+  std::uint64_t& slot_;
+  bool outermost_;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace
+
 Solver::Solver() { sat_.set_theory(this); }
+
+void Solver::enable_phase_timing(bool on) {
+  phase_timing_ = on;
+  sat_.set_phase_times(on ? &phase_times_ : nullptr);
+  simplex_.set_phase_times(on ? &phase_times_ : nullptr);
+}
 
 TVar Solver::simplex_var_for(const LinExpr& userExpr) {
   // Translate user-space real variables to simplex ids, creating on demand.
@@ -97,6 +135,7 @@ Lit Solver::encode_node(std::int32_t index) {
 
 Lit Solver::encode(TermRef t) {
   PSSE_CHECK(t.valid(), "encode: invalid term");
+  EncodeSpan span(phase_timing_, encode_depth_, phase_times_.encode_us);
   Lit l = encode_node(t.index());
   return t.negated() ? ~l : l;
 }
@@ -232,6 +271,8 @@ SolverStats Solver::stats() const {
   SolverStats st;
   st.sat = sat_.stats();
   st.pivots = simplex_.num_pivots();
+  st.bound_flips = simplex_.num_bound_flips();
+  st.bigint_promotions = bigint_promotions();
   st.num_terms = terms_.num_nodes();
   st.num_atoms = atoms_.size();
   st.num_bool_vars = static_cast<std::size_t>(sat_.num_vars());

@@ -24,21 +24,40 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/phase.h"
 #include "smt/sat_solver.h"
 #include "smt/simplex.h"
 #include "smt/term.h"
 
 namespace psse::smt {
 
-/// Aggregate statistics across the boolean and theory parts.
+/// Aggregate statistics across the boolean and theory parts. The first
+/// block (sat, pivots, bound_flips, bigint_promotions) are monotone
+/// lifetime counters; the rest are gauges describing the current problem
+/// size. since() subtracts the counters and keeps the gauges.
 struct SolverStats {
   SatStats sat;
   std::uint64_t pivots = 0;
+  std::uint64_t bound_flips = 0;
+  /// Inline->limb BigInt promotions on this solver's thread (genuine
+  /// 64-bit overflows: departures from the allocation-free fast path).
+  std::uint64_t bigint_promotions = 0;
   std::size_t num_terms = 0;
   std::size_t num_atoms = 0;
   std::size_t num_bool_vars = 0;
   std::size_t num_real_vars = 0;
   std::size_t footprint_bytes = 0;
+
+  /// Per-call effort against an earlier stats() snapshot of the same
+  /// solver: counters become deltas, gauges keep their current values.
+  [[nodiscard]] SolverStats since(const SolverStats& earlier) const {
+    SolverStats d = *this;
+    d.sat = sat.since(earlier.sat);
+    d.pivots = pivots - earlier.pivots;
+    d.bound_flips = bound_flips - earlier.bound_flips;
+    d.bigint_promotions = bigint_promotions - earlier.bigint_promotions;
+    return d;
+  }
 };
 
 class Solver final : private TheoryClient {
@@ -87,6 +106,23 @@ class Solver final : private TheoryClient {
   [[nodiscard]] Rational real_value(TVar v) const;
 
   [[nodiscard]] SolverStats stats() const;
+
+  /// Per-call effort since an earlier stats() snapshot (see
+  /// SolverStats::since). What a per-solve report should print for a
+  /// reused or incremental solver.
+  [[nodiscard]] SolverStats stats_since(const SolverStats& snapshot) const {
+    return stats().since(snapshot);
+  }
+
+  /// Enables (or disables) per-phase wall-time accounting across the whole
+  /// DPLL(T) stack: encode/propagate/simplex/theory (obs::PhaseTimes).
+  /// Off by default; when off, the hot loops pay one pointer test per
+  /// phase boundary and take no clock reads.
+  void enable_phase_timing(bool on);
+  [[nodiscard]] const obs::PhaseTimes& phase_times() const {
+    return phase_times_;
+  }
+  void reset_phase_times() { phase_times_.reset(); }
 
  private:
   struct AtomInfo {
@@ -138,6 +174,13 @@ class Solver final : private TheoryClient {
 
   std::vector<Rational> model_reals_;  // snapshot by simplex var id
   std::vector<SavePoint> save_points_;
+
+  // Phase-time accounting (see enable_phase_timing). encode_depth_ guards
+  // the encode timer against recursive re-entry (encode_node recurses
+  // through children; only the outermost frame may account the span).
+  obs::PhaseTimes phase_times_;
+  bool phase_timing_ = false;
+  int encode_depth_ = 0;
 };
 
 }  // namespace psse::smt

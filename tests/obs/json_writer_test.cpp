@@ -1,0 +1,131 @@
+#include "obs/json_writer.h"
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "json_validate.h"
+#include "obs/trace.h"
+
+namespace psse::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("ieee57_synthesis"), "ieee57_synthesis");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string("\x00", 1)), "\\u0000");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone) {
+  // Multibyte UTF-8 (here: a snowman) is legal raw inside JSON strings.
+  EXPECT_EQ(json_escape("\xe2\x98\x83"), "\xe2\x98\x83");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  EXPECT_EQ(w.str(), "{}");
+  EXPECT_TRUE(test_json::is_valid_json(w.str()));
+}
+
+TEST(JsonWriter, MixedFieldsProduceValidJson) {
+  JsonWriter w;
+  w.field("name", "ieee118");
+  w.field("ms", 53.0276);
+  w.field("pivots", std::uint64_t{123456789});
+  w.field("delta", std::int64_t{-42});
+  w.field("iters", 7);
+  w.field("sat", true);
+  w.field("cancelled", false);
+  w.field_raw("buses", "[1,2,3]");
+  const std::string out = w.str();
+  EXPECT_TRUE(test_json::is_valid_json(out)) << out;
+  EXPECT_NE(out.find("\"name\":\"ieee118\""), std::string::npos);
+  EXPECT_NE(out.find("\"delta\":-42"), std::string::npos);
+  EXPECT_NE(out.find("\"sat\":true"), std::string::npos);
+  EXPECT_NE(out.find("\"buses\":[1,2,3]"), std::string::npos);
+}
+
+// The satellite bugfix: hostile scenario names (quotes, backslashes,
+// newlines, NULs...) must still yield one parseable JSON object.
+TEST(JsonWriter, HostileStringFuzz) {
+  const std::string hostile[] = {
+      "quote\"inside",
+      "back\\slash",
+      "new\nline",
+      "tab\there",
+      "\r\n",
+      std::string("embedded\x00nul", 12),
+      "\x01\x02\x03\x1f",
+      "\"}{\"injection\":\"",
+      "\\u0041 not a real escape",
+      "mixed \" \\ \n \t end",
+      "\xe2\x98\x83 utf8 snowman",
+      std::string(1000, '"'),
+      std::string(1000, '\\'),
+  };
+  for (const std::string& s : hostile) {
+    JsonWriter w;
+    w.field("scenario", s);
+    w.field("verdict", "sat");
+    EXPECT_TRUE(test_json::is_valid_json(w.str()))
+        << "input bytes: " << testing::PrintToString(s);
+  }
+}
+
+// Deterministic pseudo-random byte strings across the whole byte range.
+TEST(JsonWriter, RandomByteFuzz) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string s;
+    const int len = static_cast<int>(next() % 64);
+    for (int k = 0; k < len; ++k) {
+      // Stay in the 0x00-0x7f range: lone bytes >= 0x80 would be invalid
+      // UTF-8, which the writer passes through by design.
+      s.push_back(static_cast<char>(next() % 0x80));
+    }
+    JsonWriter w;
+    w.field("s", s);
+    ASSERT_TRUE(test_json::is_valid_json(w.str()))
+        << "iter " << iter << ": " << testing::PrintToString(s);
+  }
+}
+
+TEST(JsonIntArray, FormatsContainers) {
+  EXPECT_EQ(json_int_array(std::vector<int>{}), "[]");
+  EXPECT_EQ(json_int_array(std::vector<int>{1, 4, 9}), "[1,4,9]");
+  JsonWriter w;
+  w.field_raw("xs", json_int_array(std::vector<int>{-1, 0, 7}));
+  EXPECT_TRUE(test_json::is_valid_json(w.str()));
+}
+
+TEST(Event, DisabledConfigIsANoOp) {
+  Config off;
+  EXPECT_FALSE(off.enabled());
+  // Emitting to a disabled config must be safe (null sink).
+  Event("solve").field("x", 1).emit(off);
+}
+
+}  // namespace
+}  // namespace psse::obs

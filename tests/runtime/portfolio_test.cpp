@@ -4,13 +4,16 @@
 // path agrees with the serial loop.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/attack_model.h"
 #include "core/scenario.h"
 #include "core/synthesis.h"
+#include "obs/trace.h"
 #include "runtime/portfolio.h"
 
 namespace psse {
@@ -88,6 +91,105 @@ TEST(Portfolio, RacingVerdictMatchesSerialOnAllScenarios) {
       ASSERT_TRUE(pr.verification.attack.has_value()) << file;
     }
   }
+}
+
+TEST(Portfolio, MemberOutcomesCarryPerSolveStats) {
+  core::Scenario sc = load_scenario("ieee30_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  runtime::PortfolioOptions opt;
+  opt.num_threads = 4;
+  opt.deterministic = true;  // every member runs to completion
+  runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+  ASSERT_EQ(pr.members.size(), 4u);
+  for (const auto& m : pr.members) {
+    // Each clone did real search work, and the stats are per-solve deltas
+    // on a fresh clone, so they must be plausible, not lifetime blowups.
+    EXPECT_GT(m.stats.sat.theory_checks, 0u) << m.label;
+    EXPECT_GT(m.stats.footprint_bytes, 0u) << m.label;
+    EXPECT_FALSE(m.cancelled) << m.label;  // nobody is cancelled here
+  }
+  // The winner's outcome mirrors the returned verification stats.
+  ASSERT_GE(pr.winner, 0);
+  const auto& w = pr.members[static_cast<std::size_t>(pr.winner)];
+  EXPECT_EQ(w.result, pr.result());
+  EXPECT_EQ(w.stats.sat.decisions, pr.verification.stats.sat.decisions);
+  EXPECT_EQ(w.stats.pivots, pr.verification.stats.pivots);
+}
+
+TEST(Portfolio, CancelledLosersAreMarked) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  runtime::PortfolioOptions opt;
+  opt.num_threads = 8;
+  runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+  ASSERT_GE(pr.winner, 0);
+  for (std::size_t i = 0; i < pr.members.size(); ++i) {
+    const auto& m = pr.members[i];
+    if (m.result == smt::SolveResult::Unknown) {
+      // No member budget is set, so the only way to finish Unknown is
+      // first-winner cancellation — exactly what `cancelled` records.
+      EXPECT_TRUE(m.cancelled) << m.label;
+    } else {
+      EXPECT_FALSE(m.cancelled) << m.label;
+    }
+  }
+  EXPECT_FALSE(pr.members[static_cast<std::size_t>(pr.winner)].cancelled);
+}
+
+TEST(Portfolio, SingleMemberWinnerAttributionMatchesAcrossModes) {
+  core::Scenario sc = load_scenario("ieee14_objective1.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  runtime::PortfolioResult byMode[2];
+  for (bool deterministic : {false, true}) {
+    runtime::PortfolioOptions opt;
+    opt.num_threads = 1;
+    opt.deterministic = deterministic;
+    byMode[deterministic ? 1 : 0] = runtime::verify_portfolio(model, opt);
+  }
+  const runtime::PortfolioResult& racing = byMode[0];
+  const runtime::PortfolioResult& det = byMode[1];
+  // With one member there is nothing to race: both modes must attribute
+  // the win to member 0 (the baseline) with the same verdict.
+  EXPECT_EQ(racing.winner, 0);
+  EXPECT_EQ(det.winner, 0);
+  EXPECT_EQ(racing.result(), det.result());
+  ASSERT_EQ(racing.members.size(), 1u);
+  ASSERT_EQ(det.members.size(), 1u);
+  EXPECT_EQ(racing.members[0].label, det.members[0].label);
+  EXPECT_FALSE(racing.members[0].cancelled);
+  EXPECT_FALSE(det.members[0].cancelled);
+}
+
+TEST(Portfolio, TraceJournalsEveryMemberAndTheWinner) {
+  const std::string path = testing::TempDir() + "portfolio_trace.jsonl";
+  core::Scenario sc = load_scenario("ieee30_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  runtime::PortfolioResult pr;
+  {
+    auto sink = obs::TraceSink::open(path);
+    runtime::PortfolioOptions opt;
+    opt.num_threads = 3;
+    opt.deterministic = true;
+    opt.trace = {sink.get()};
+    pr = runtime::verify_portfolio(model, opt);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int memberEvents = 0;
+  int doneEvents = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"ev\":\"portfolio_member\"") != std::string::npos) {
+      ++memberEvents;
+    }
+    if (line.find("\"ev\":\"portfolio_done\"") != std::string::npos) {
+      ++doneEvents;
+      EXPECT_NE(line.find("\"winner\":" + std::to_string(pr.winner)),
+                std::string::npos)
+          << line;
+    }
+  }
+  EXPECT_EQ(memberEvents, 3);
+  EXPECT_EQ(doneEvents, 1);
 }
 
 TEST(Portfolio, ExternalStopTokenCancelsTheRace) {

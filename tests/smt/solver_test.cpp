@@ -234,6 +234,54 @@ TEST(SmtSolver, StatsArePopulated) {
   EXPECT_GT(st.footprint_bytes, 0u);
 }
 
+// The snapshot/delta satellite fix: lifetime counters are monotone across
+// solve() calls, and stats_since() isolates exactly one call's effort.
+TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
+  Solver s;
+  auto& t = s.terms();
+  TVar x = s.mk_real("x");
+  TVar y = s.mk_real("y");
+  TermRef a = s.mk_bool("a");
+  s.assert_term(t.mk_or(
+      {t.mk_and({a, t.mk_ge(LinExpr::var(x), Rational(3))}),
+       t.mk_and({~a, t.mk_le(LinExpr::var(x), Rational(-3))})}));
+  s.assert_term(t.mk_ge(LinExpr::var(x) + LinExpr::var(y), Rational(1)));
+
+  std::vector<SolverStats> deltas;
+  SolverStats snapshot = s.stats();
+  for (int call = 0; call < 3; ++call) {
+    s.push();
+    s.assert_term(t.mk_ge(LinExpr::var(y), Rational(call)));
+    EXPECT_EQ(s.solve(), SolveResult::Sat);
+    s.pop();
+    SolverStats now = s.stats();
+    deltas.push_back(now.since(snapshot));
+    snapshot = now;
+  }
+
+  SolverStats total = s.stats();
+  std::uint64_t decisionSum = 0;
+  std::uint64_t checkSum = 0;
+  std::uint64_t pivotSum = 0;
+  for (const SolverStats& d : deltas) {
+    // Every call does real work, and none of the deltas can exceed the
+    // lifetime totals (the symptom of the fixed bug was per-call reports
+    // accidentally carrying the whole history).
+    EXPECT_GT(d.sat.theory_checks, 0u);
+    EXPECT_LE(d.sat.decisions, total.sat.decisions);
+    // Gauges are reported absolute, not differenced.
+    EXPECT_GT(d.num_terms, 0u);
+    EXPECT_GT(d.footprint_bytes, 0u);
+    decisionSum += d.sat.decisions;
+    checkSum += d.sat.theory_checks;
+    pivotSum += d.pivots;
+  }
+  // Counter deltas partition the lifetime exactly.
+  EXPECT_EQ(decisionSum, total.sat.decisions);
+  EXPECT_EQ(checkSum, total.sat.theory_checks);
+  EXPECT_EQ(pivotSum, total.pivots);
+}
+
 // Property: random systems of interval constraints with boolean selectors,
 // cross-checked against an exhaustive boolean enumeration + interval
 // reasoning oracle.
