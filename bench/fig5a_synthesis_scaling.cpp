@@ -25,6 +25,7 @@ double synth_seconds(const grid::Grid& g, const grid::MeasurementPlan& plan,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 5(a) - synthesis time vs problem size",
@@ -41,6 +42,14 @@ int main(int argc, char** argv) {
     double t100 = synth_seconds(g, p100, trace, &full);
     std::printf("%-10s %12.2f %12.2f %10zu %10d\n", name, t90, t100,
                 full.secured_buses.size(), full.candidates_tried);
+    bench::JsonLine(json, "fig5a", name)
+        .field("s90", t90)
+        .field("s100", t100)
+        .field("arch_size",
+               static_cast<std::uint64_t>(full.secured_buses.size()))
+        .field("candidates",
+               static_cast<std::uint64_t>(full.candidates_tried))
+        .emit();
     std::fflush(stdout);
   }
   return 0;

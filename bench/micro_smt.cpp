@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string_view>
+#include <vector>
 
 #include "core/attack_model.h"
 #include "grid/ieee_cases.h"
@@ -139,6 +141,82 @@ void BM_SimplexChain(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexChain)->Arg(50)->Arg(200);
 
+// Pivot-rule comparison on a dense feasibility problem: Arg(0) pins strict
+// Bland's rule, Arg(1) uses the default heuristic (largest violation /
+// largest coefficient magnitude with Bland fallback). The instance makes
+// every slack start violated, so check() must genuinely pivot.
+void BM_SimplexCheckFeasibility(benchmark::State& state) {
+  const bool heuristic = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::Simplex s;
+    smt::SimplexOptions opts;
+    opts.heuristic_pivoting = heuristic;
+    opts.derive_bounds = false;
+    s.set_options(opts);
+    const int n = 40;
+    std::vector<smt::TVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    std::mt19937_64 rng(7);
+    int tag = 0;
+    std::vector<smt::TVar> slacks;
+    for (int r = 0; r < n; ++r) {
+      smt::LinExpr e;
+      for (int k = 0; k < 4; ++k) {
+        e.add_term(vars[rng() % n],
+                   smt::Rational(1 + static_cast<int>(rng() % 5)));
+      }
+      if (e.is_constant()) continue;
+      slacks.push_back(s.slack_for(e));
+    }
+    for (smt::TVar v : vars) {
+      s.assert_lower(v, smt::DeltaRational(smt::Rational(1)),
+                     smt::Lit::pos(tag++));
+    }
+    state.ResumeTiming();
+    for (smt::TVar sl : slacks) {
+      s.assert_upper(sl, smt::DeltaRational(smt::Rational(40)),
+                     smt::Lit::pos(tag++));
+    }
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_SimplexCheckFeasibility)->Arg(0)->Arg(1);
+
+// End-to-end DPLL(T) solve with the theory-propagation hook off (Arg 0)
+// and on (Arg 1): guarded intervals where each asserted guard's bound
+// decides several other atoms, the shape theory propagation shortcuts.
+void BM_TheoryPropagation(benchmark::State& state) {
+  const bool propagate = state.range(0) != 0;
+  for (auto _ : state) {
+    smt::Solver s;
+    smt::SatOptions o = s.sat_options();
+    o.theory_propagation = propagate;
+    s.set_sat_options(o);
+    auto& t = s.terms();
+    smt::TVar x = s.mk_real("x");
+    smt::TVar y = s.mk_real("y");
+    const smt::LinExpr sum = smt::LinExpr::var(x) + smt::LinExpr::var(y);
+    std::vector<smt::TermRef> sel;
+    for (int i = 0; i < 24; ++i) {
+      smt::TermRef b = s.mk_bool();
+      sel.push_back(b);
+      s.assert_term(t.mk_implies(b, t.mk_ge(sum, smt::Rational(i))));
+      // Once any guard asserts sum >= i, the atoms sum >= i-10 below are
+      // implied and the escape booleans d never need exploring; without
+      // propagation each is found unusable by a theory conflict.
+      smt::TermRef d = s.mk_bool();
+      s.assert_term(t.mk_or({t.mk_ge(sum, smt::Rational(i - 10)), d}));
+      s.assert_term(t.mk_implies(
+          d, t.mk_ge(smt::LinExpr::var(y), smt::Rational(50 + i))));
+    }
+    s.assert_term(t.mk_le(smt::LinExpr::var(y), smt::Rational(40)));
+    s.add_at_least(sel, 6);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_TheoryPropagation)->Arg(0)->Arg(1);
+
 void BM_SmtGuardedIntervals(benchmark::State& state) {
   for (auto _ : state) {
     smt::Solver s;
@@ -186,4 +264,19 @@ BENCHMARK(BM_AttackVerify14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same entry-point contract as the figure benches: `--json` requests
+// machine-readable output (here google-benchmark's own JSON report, which
+// ci.sh validates). Other flags pass through to the benchmark library.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char jsonFlag[] = "--benchmark_format=json";
+  for (char*& a : args) {
+    if (std::string_view(a) == "--json") a = jsonFlag;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -63,4 +63,34 @@ print(f"ci: {n} trace events OK")
 else
   echo "== ci: trace smoke skipped (no python3) =="
 fi
+
+# Microbench smoke: the SMT microbenchmarks must still run and emit valid
+# google-benchmark JSON under --json (one object, non-empty "benchmarks").
+# A single repetition with a tiny time budget — this guards the harness and
+# the bench registrations, not the timings.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== ci: micro_smt smoke =="
+  micro=""
+  for candidate in build/bench/micro_smt build/default/bench/micro_smt; do
+    [ -x "${candidate}" ] && micro="${candidate}" && break
+  done
+  if [ -z "${micro}" ]; then
+    echo "ci: micro_smt binary not found" >&2
+    exit 1
+  fi
+  "${micro}" --json --benchmark_min_time=0.01 \
+      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation' \
+    2>/dev/null | python3 -c '
+import json, sys
+d = json.load(sys.stdin)  # exactly one JSON object on stdout
+names = [b["name"] for b in d["benchmarks"]]
+assert names, "micro_smt reported no benchmarks"
+for want in ("BM_SimplexCheckFeasibility/0", "BM_SimplexCheckFeasibility/1",
+             "BM_TheoryPropagation/0", "BM_TheoryPropagation/1"):
+    assert any(n.startswith(want) for n in names), f"missing {want}"
+print(f"ci: micro_smt JSON OK ({len(names)} benchmarks)")
+'
+else
+  echo "== ci: micro_smt smoke skipped (no python3) =="
+fi
 echo "== ci: all stages passed =="

@@ -330,12 +330,15 @@ VerificationResult UfdiAttackModel::run(
         .field("restarts", out.stats.sat.restarts)
         .field("theory_checks", out.stats.sat.theory_checks)
         .field("theory_conflicts", out.stats.sat.theory_conflicts)
+        .field("theory_propagations", out.stats.sat.theory_propagations)
         .field("pivots", out.stats.pivots)
         .field("bound_flips", out.stats.bound_flips)
+        .field("bland_fallbacks", out.stats.bland_fallbacks)
         .field("bigint_promotions", out.stats.bigint_promotions)
         .field("encode_us", out.phase_times.encode_us)
         .field("propagate_us", out.phase_times.propagate_us)
         .field("simplex_us", out.phase_times.simplex_us)
+        .field("tprop_us", out.phase_times.tprop_us)
         .field("theory_us", out.phase_times.theory_us)
         .emit(trace_);
   }

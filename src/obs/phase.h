@@ -31,8 +31,10 @@ struct PhaseTimes {
   std::uint64_t encode_us = 0;     ///< term -> CNF translation
   std::uint64_t propagate_us = 0;  ///< boolean unit propagation
   std::uint64_t simplex_us = 0;    ///< simplex feasibility restoration
+  std::uint64_t tprop_us = 0;      ///< implied-bound derivation (theory
+                                   ///< propagation back into the SAT core)
   std::uint64_t theory_us = 0;     ///< whole theory_check envelope
-                                   ///< (includes simplex_us)
+                                   ///< (includes simplex_us and tprop_us)
 
   void reset() { *this = PhaseTimes{}; }
 
@@ -41,6 +43,7 @@ struct PhaseTimes {
     d.encode_us = encode_us - earlier.encode_us;
     d.propagate_us = propagate_us - earlier.propagate_us;
     d.simplex_us = simplex_us - earlier.simplex_us;
+    d.tprop_us = tprop_us - earlier.tprop_us;
     d.theory_us = theory_us - earlier.theory_us;
     return d;
   }

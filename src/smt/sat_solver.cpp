@@ -300,16 +300,49 @@ bool SatSolver::theory_check(bool final, std::vector<Lit>& confl) {
     confl = theory_->conflict_explanation();
     return false;
   }
+  if (!final && options_.theory_propagation) {
+    // The bound set is consistent: pull implied literals and enqueue them
+    // with theory reasons, reconstructed lazily in reason_clause (the final
+    // check skips this — everything is assigned there).
+    theory_props_.clear();
+    theory_->propagate(theory_props_);
+    for (TheoryPropagation& tp : theory_props_) {
+      const LBool v = value(tp.lit);
+      if (v == LBool::True) continue;
+      if (v == LBool::False) {
+        // The premises imply tp.lit, yet it is assigned false: a theory
+        // conflict (every literal of the clause is currently false).
+        ++stats_.theory_conflicts;
+        confl.clear();
+        confl.push_back(tp.lit);
+        for (Lit pr : tp.premises) confl.push_back(~pr);
+        return false;
+      }
+      std::int32_t id = static_cast<std::int32_t>(theory_reasons_.size());
+      theory_reasons_.push_back(std::move(tp.premises));
+      bool okEnq = enqueue(tp.lit, Reason::theory(id));
+      PSSE_ASSERT(okEnq);
+      ++stats_.theory_propagations;
+    }
+  }
   return true;
 }
 
 void SatSolver::cancel_until(int level) {
   if (decision_level() <= level) return;
   std::int32_t bound = trail_lim_[static_cast<std::size_t>(level)];
+  std::int32_t minTheoryReason = -1;
   for (std::int32_t c = static_cast<std::int32_t>(trail_.size()) - 1;
        c >= bound; --c) {
     Lit p = trail_[static_cast<std::size_t>(c)];
     Var x = p.var();
+    // Theory-reason ids are trail-ordered, so the lowest retracted id
+    // truncates exactly the premise sets of the unassigned suffix.
+    const Reason& r = var_info_[static_cast<std::size_t>(x)].reason;
+    if (r.kind == Reason::Kind::Theory &&
+        (minTheoryReason < 0 || r.index < minTheoryReason)) {
+      minTheoryReason = r.index;
+    }
     // Undo cardinality counters for literals the theory of whose true form
     // was counted. The literal stored on the trail is the true one.
     if (static_cast<std::size_t>(c) < qhead_) {
@@ -326,6 +359,9 @@ void SatSolver::cancel_until(int level) {
   trail_.resize(static_cast<std::size_t>(bound));
   trail_lim_.resize(static_cast<std::size_t>(level));
   qhead_ = trail_.size();
+  if (minTheoryReason >= 0) {
+    theory_reasons_.resize(static_cast<std::size_t>(minTheoryReason));
+  }
   if (theory_qhead_ > trail_.size()) {
     // Retract theory bounds asserted beyond the new trail.
     std::size_t remaining = 0;
@@ -374,6 +410,17 @@ std::vector<Lit> SatSolver::reason_clause(Var v) {
         }
       }
       PSSE_ASSERT(found == card.bound);
+      break;
+    }
+    case Reason::Kind::Theory: {
+      // v was theory-propagated from its recorded premises: clause =
+      // implied_lit \/ ~premise_1 \/ ... \/ ~premise_n.
+      const std::vector<Lit>& premises =
+          theory_reasons_[static_cast<std::size_t>(info.reason.index)];
+      Lit implied = value(v) == LBool::True ? Lit::pos(v) : Lit::neg(v);
+      out.reserve(premises.size() + 1);
+      out.push_back(implied);
+      for (Lit pr : premises) out.push_back(~pr);
       break;
     }
   }
@@ -697,6 +744,11 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
       cancel_until(0);
       return SolveResult::Unknown;
     }
+    // Theory propagation enqueued literals past the BCP fixpoint: run
+    // boolean propagation over them before deciding (they may force clause
+    // or cardinality propagations, or a conflict). The interrupt check
+    // above keeps this from looping on a bailed-out propagate().
+    if (qhead_ < trail_.size()) continue;
     Lit next;
     // Assumption decisions come first, one per level.
     while (decision_level() < static_cast<int>(assumptions.size())) {
@@ -812,6 +864,7 @@ void SatSolver::pop() {
   qhead_ = 0;
   theory_qhead_ = 0;
   theory_assert_count_ = 0;
+  theory_reasons_.clear();  // no assigned variables reference the log now
   if (theory_ != nullptr) theory_->pop_to_assertion_count(0);
 
   assigns_.assign(static_cast<std::size_t>(sp.num_vars), LBool::Undef);
@@ -848,6 +901,7 @@ std::size_t SatSolver::footprint_bytes() const {
   bytes += var_info_.capacity() * sizeof(VarInfo);
   bytes += activity_.capacity() * sizeof(double);
   bytes += trail_.capacity() * sizeof(Lit);
+  for (const auto& r : theory_reasons_) bytes += r.capacity() * sizeof(Lit);
   bytes += heap_.capacity() * sizeof(Var);
   bytes += heap_index_.capacity() * sizeof(std::int32_t);
   return bytes;

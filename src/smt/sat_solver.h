@@ -41,6 +41,16 @@ enum class SolveResult { Sat, Unsat, Unknown };
   }
 }
 
+/// A literal the theory found implied by the current assignment: `lit`
+/// holds whenever every literal in `premises` holds (all premises must be
+/// currently true and assigned earlier than `lit` will be). The core
+/// enqueues `lit` with a lazily reconstructed reason clause
+/// (lit \/ ~premise_1 \/ ... \/ ~premise_n).
+struct TheoryPropagation {
+  Lit lit;
+  std::vector<Lit> premises;
+};
+
 /// Interface the SAT core uses to drive an attached theory solver.
 class TheoryClient {
  public:
@@ -60,6 +70,12 @@ class TheoryClient {
   /// negations of the inconsistent bound literals). Every literal in the
   /// returned clause must currently be false.
   virtual std::vector<Lit> conflict_explanation() = 0;
+
+  /// After a consistent non-final check(): literals the theory's current
+  /// bound set forces, each with its premise literals. The default theory
+  /// propagates nothing. Implied literals already true are skipped by the
+  /// core; already-false ones become theory conflicts.
+  virtual void propagate(std::vector<TheoryPropagation>& /*out*/) {}
 
   /// The boolean assignment is complete and the theory is consistent; the
   /// client may snapshot theory model values before the core backtracks.
@@ -92,6 +108,7 @@ struct SatStats {
   std::uint64_t deleted_clauses = 0;
   std::uint64_t theory_checks = 0;
   std::uint64_t theory_conflicts = 0;
+  std::uint64_t theory_propagations = 0;
 
   /// Field-wise difference against an earlier snapshot of the same solver:
   /// the cost of exactly the work done between the two reads.
@@ -105,6 +122,7 @@ struct SatStats {
     d.deleted_clauses = deleted_clauses - earlier.deleted_clauses;
     d.theory_checks = theory_checks - earlier.theory_checks;
     d.theory_conflicts = theory_conflicts - earlier.theory_conflicts;
+    d.theory_propagations = theory_propagations - earlier.theory_propagations;
     return d;
   }
 };
@@ -131,6 +149,11 @@ struct SatOptions {
   /// less simplex work; soundness is unaffected because the full check at
   /// complete assignments always runs.
   std::uint32_t theory_check_period = 1;
+  /// Ask the theory for implied literals after each consistent non-final
+  /// check and enqueue them with theory reasons (turns would-be decisions
+  /// into propagations). Off = the pre-propagation search behaviour, for
+  /// differential testing and ablation.
+  bool theory_propagation = true;
 };
 
 class SatSolver {
@@ -177,6 +200,11 @@ class SatSolver {
   /// Model value of a variable after solve() returned Sat.
   [[nodiscard]] bool model_value(Var v) const;
 
+  /// Current (possibly partial) assignment of a literal mid-solve. Theory
+  /// clients use this to skip propagating literals that are already
+  /// assigned.
+  [[nodiscard]] LBool value_of(Lit l) const { return value(l); }
+
   [[nodiscard]] const SatStats& stats() const { return stats_; }
 
   /// Per-call effort: what this solver spent since `snapshot` (a prior
@@ -213,15 +241,19 @@ class SatSolver {
     bool deleted = false;
   };
 
-  // Why a variable was assigned.
+  // Why a variable was assigned. Theory reasons index the theory_reasons_
+  // premise log; the clause is reconstructed lazily in reason_clause, like
+  // cardinality reasons.
   struct Reason {
-    enum class Kind : std::uint8_t { None, Clause, Card } kind = Kind::None;
+    enum class Kind : std::uint8_t { None, Clause, Card, Theory } kind =
+        Kind::None;
     std::int32_t index = -1;
     static Reason none() { return {}; }
     static Reason clause(std::int32_t id) {
       return {Kind::Clause, id};
     }
     static Reason card(std::int32_t id) { return {Kind::Card, id}; }
+    static Reason theory(std::int32_t id) { return {Kind::Theory, id}; }
   };
 
   struct VarInfo {
@@ -328,6 +360,13 @@ class SatSolver {
 
   // Conflict state populated by propagate() for non-clause conflicts.
   std::vector<Lit> pending_conflict_;
+
+  // Premise sets of theory-propagated literals, indexed by
+  // Reason::Kind::Theory reasons. Entries are appended in enqueue (= trail)
+  // order, so cancel_until can truncate at the lowest retracted index;
+  // pop() clears the log with the trail.
+  std::vector<std::vector<Lit>> theory_reasons_;
+  std::vector<TheoryPropagation> theory_props_;  // scratch for theory_check
 
   // Temporaries for analyze().
   std::vector<bool> seen_;

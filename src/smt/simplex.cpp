@@ -1,6 +1,7 @@
 #include "smt/simplex.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "smt/common.h"
@@ -28,7 +29,27 @@ TVar Simplex::new_var(std::string name) {
   st.name = name.empty() ? "r" + std::to_string(v) : std::move(name);
   vars_.push_back(std::move(st));
   cols_.emplace_back();
+  violated_flag_.push_back(false);
+  interesting_.push_back(false);
   return v;
+}
+
+void Simplex::set_interesting(TVar v, bool on) {
+  interesting_[static_cast<std::size_t>(v)] = on;
+}
+
+void Simplex::touch(TVar v) {
+  if (violated_flag_[static_cast<std::size_t>(v)]) return;
+  if (vars_[static_cast<std::size_t>(v)].row < 0 || in_bounds(v)) return;
+  violated_flag_[static_cast<std::size_t>(v)] = true;
+  violated_.push_back(v);
+}
+
+void Simplex::mark_row_dirty(std::int32_t rowIdx) {
+  if (!options_.derive_bounds) return;
+  if (row_dirty_[static_cast<std::size_t>(rowIdx)]) return;
+  row_dirty_[static_cast<std::size_t>(rowIdx)] = true;
+  dirty_rows_.push_back(rowIdx);
 }
 
 TVar Simplex::slack_for(const LinExpr& expr) {
@@ -63,6 +84,8 @@ TVar Simplex::slack_for(const LinExpr& expr) {
   vars_[static_cast<std::size_t>(s)].beta = val;
   vars_[static_cast<std::size_t>(s)].row = rowIdx;
   rows_.push_back(std::move(row));
+  row_dirty_.push_back(false);
+  mark_row_dirty(rowIdx);
   slack_cache_.emplace(expr, s);
   return s;
 }
@@ -106,6 +129,12 @@ bool Simplex::set_bound(TVar v, const DeltaRational& bound, Lit reason,
   mine.value = bound;
   mine.reason = reason;
   mine.active = true;
+  if (options_.derive_bounds) {
+    fresh_bounds_.emplace_back(v, is_upper);
+    for (std::int32_t r : cols_[static_cast<std::size_t>(v)]) {
+      mark_row_dirty(r);
+    }
+  }
 
   if (st.row < 0) {
     // Non-basic: keep it inside its bounds eagerly. Dependent basic
@@ -117,6 +146,7 @@ bool Simplex::set_bound(TVar v, const DeltaRational& bound, Lit reason,
     }
   } else if (is_upper ? st.beta > bound : st.beta < bound) {
     maybe_infeasible_ = true;
+    touch(v);
   }
   return true;
 }
@@ -150,12 +180,14 @@ void Simplex::update(TVar v, const DeltaRational& newVal) {
     const Rational* c = row_coeff(row, v);
     PSSE_ASSERT(c != nullptr);
     vars_[static_cast<std::size_t>(row.owner)].beta.add_mul(diff, *c);
+    touch(row.owner);
   }
   st.beta = newVal;
 }
 
 void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
   ++pivots_;
+  mark_row_dirty(rowIdx);
   Row& row = rows_[static_cast<std::size_t>(rowIdx)];
   TVar leaving = row.owner;
   const Rational* aPtr = row_coeff(row, entering);
@@ -197,6 +229,7 @@ void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
       cols_[static_cast<std::size_t>(entering)].end());
   for (std::int32_t r : dependents) {
     if (r == rowIdx) continue;
+    mark_row_dirty(r);
     Row& other = rows_[static_cast<std::size_t>(r)];
     const Rational* bPtr = row_coeff(other, entering);
     PSSE_ASSERT(bPtr != nullptr);
@@ -236,8 +269,12 @@ void Simplex::pivot_and_update(std::int32_t rowIdx, TVar entering,
     const Rational* c = row_coeff(other, entering);
     PSSE_ASSERT(c != nullptr);
     vars_[static_cast<std::size_t>(other.owner)].beta.add_mul(theta, *c);
+    touch(other.owner);
   }
   pivot(rowIdx, entering);
+  // The entering variable is basic now and may have been pushed past one of
+  // its own bounds by theta.
+  touch(entering);
 }
 
 void Simplex::build_conflict_from_row(const Row& row, bool lowerViolated) {
@@ -263,42 +300,79 @@ bool Simplex::check() {
   obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
                                                  : &phases_->simplex_us);
   concrete_delta_.reset();
+  // Heuristic pivot selection has no termination guarantee (it can cycle on
+  // degenerate tableaus); after the per-check budget it hands over to strict
+  // Bland's rule, which cannot cycle.
+  bool bland = !options_.heuristic_pivoting;
+  std::uint64_t pivotsThisCheck = 0;
   for (std::uint64_t iter = 0;; ++iter) {
     // Budgets used to be enforced only between SAT decisions, so one long
     // pivot sequence could blow far past the wall-clock limit; poll here.
     // maybe_infeasible_ stays set, so an aborted check redoes no bookkeeping
     // it shouldn't.
     if ((iter & 15) == 0 && interrupt_ != nullptr && interrupt_->triggered()) {
+      interrupted_dirty_ = true;
       return true;
     }
-    // Bland's rule: smallest-index violated basic variable.
+    if (!bland && pivotsThisCheck >= options_.bland_fallback_after) {
+      bland = true;
+      ++bland_fallbacks_;
+    }
+    // Leaving variable from the candidate worklist, compacting away entries
+    // that are back in bounds (or were pivoted non-basic): Bland takes the
+    // smallest index, the heuristic the largest violation. The heuristic
+    // scores in floating point — any pivot choice is sound, and exact
+    // delta-rational differences here would dominate the whole check on
+    // instances with hairy denominators.
     TVar violated = kNoTVar;
     bool lowerViolated = false;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      TVar owner = rows_[i].owner;
-      const VarState& st = vars_[static_cast<std::size_t>(owner)];
-      if (st.lower.active && st.beta < st.lower.value) {
-        if (violated == kNoTVar || owner < violated) {
-          violated = owner;
-          lowerViolated = true;
+    double bestViolation = -1.0;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < violated_.size(); ++i) {
+      TVar cand = violated_[i];
+      const VarState& cst = vars_[static_cast<std::size_t>(cand)];
+      const bool lowViol = cst.lower.active && cst.beta < cst.lower.value;
+      const bool upViol =
+          !lowViol && cst.upper.active && cst.beta > cst.upper.value;
+      if (cst.row < 0 || (!lowViol && !upViol)) {
+        violated_flag_[static_cast<std::size_t>(cand)] = false;
+        continue;
+      }
+      violated_[w++] = cand;
+      if (bland) {
+        if (violated == kNoTVar || cand < violated) {
+          violated = cand;
+          lowerViolated = lowViol;
         }
-      } else if (st.upper.active && st.beta > st.upper.value) {
-        if (violated == kNoTVar || owner < violated) {
-          violated = owner;
-          lowerViolated = false;
-        }
+        continue;
+      }
+      const double bound = lowViol ? cst.lower.value.real().to_double()
+                                   : cst.upper.value.real().to_double();
+      const double beta = cst.beta.real().to_double();
+      const double amount = lowViol ? bound - beta : beta - bound;
+      if (violated == kNoTVar || amount > bestViolation ||
+          (amount == bestViolation && cand < violated)) {
+        violated = cand;
+        lowerViolated = lowViol;
+        bestViolation = amount;
       }
     }
+    violated_.resize(w);
     if (violated == kNoTVar) {
       maybe_infeasible_ = false;
+      interrupted_dirty_ = false;
       return true;
     }
 
     const VarState& st = vars_[static_cast<std::size_t>(violated)];
     std::int32_t rowIdx = st.row;
     const Row& row = rows_[static_cast<std::size_t>(rowIdx)];
-    // Smallest-index suitable entering variable (Bland).
+    // Entering variable among the suitable columns: Bland takes the
+    // smallest index, the heuristic the largest coefficient magnitude
+    // (bigger steps toward the violated bound per pivot), scored in
+    // floating point for the same reason as above.
     TVar entering = kNoTVar;
+    double bestMagnitude = -1.0;
     for (const auto& [v, c] : row.expr.terms()) {
       const VarState& cv = vars_[static_cast<std::size_t>(v)];
       bool suitable;
@@ -313,15 +387,90 @@ bool Simplex::check() {
                        ? (!cv.lower.active || cv.beta > cv.lower.value)
                        : (!cv.upper.active || cv.beta < cv.upper.value);
       }
-      if (suitable && (entering == kNoTVar || v < entering)) entering = v;
+      if (!suitable) continue;
+      if (bland) {
+        if (entering == kNoTVar || v < entering) entering = v;
+        continue;
+      }
+      const double magnitude = std::fabs(c.to_double());
+      if (entering == kNoTVar || magnitude > bestMagnitude ||
+          (magnitude == bestMagnitude && v < entering)) {
+        entering = v;
+        bestMagnitude = magnitude;
+      }
     }
     if (entering == kNoTVar) {
       build_conflict_from_row(row, lowerViolated);
+      interrupted_dirty_ = false;
       return false;
     }
     pivot_and_update(rowIdx, entering,
                      lowerViolated ? st.lower.value : st.upper.value);
+    ++pivotsThisCheck;
   }
+}
+
+void Simplex::propagate_implied(std::vector<ImpliedBound>& out) {
+  // Only a feasibility-checked bound set may propagate: while
+  // maybe_infeasible_ is set (pending, conflicting, or interrupted check)
+  // the pending work simply stays queued for the next drain.
+  if (!options_.derive_bounds || maybe_infeasible_) return;
+  if (fresh_bounds_.empty() && dirty_rows_.empty()) return;
+  obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
+                                                 : &phases_->tprop_us);
+  for (const auto& [v, isUpper] : fresh_bounds_) {
+    if (!interesting_[static_cast<std::size_t>(v)]) continue;
+    const VarState& st = vars_[static_cast<std::size_t>(v)];
+    // Republish the variable's current bound on that side (the recorded
+    // assertion may have been retracted or superseded since).
+    const Bound& b = isUpper ? st.upper : st.lower;
+    if (!b.active || !b.reason.valid()) continue;
+    out.push_back({v, isUpper, b.value, {b.reason}});
+  }
+  fresh_bounds_.clear();
+  for (std::int32_t r : dirty_rows_) {
+    row_dirty_[static_cast<std::size_t>(r)] = false;
+    if (!interesting_[static_cast<std::size_t>(
+            rows_[static_cast<std::size_t>(r)].owner)]) {
+      continue;
+    }
+    derive_row_bound(r, true, out);
+    derive_row_bound(r, false, out);
+  }
+  dirty_rows_.clear();
+}
+
+void Simplex::derive_row_bound(std::int32_t rowIdx, bool upper,
+                               std::vector<ImpliedBound>& out) {
+  const Row& row = rows_[static_cast<std::size_t>(rowIdx)];
+  DeltaRational implied;
+  for (const auto& [v, c] : row.expr.terms()) {
+    const VarState& st = vars_[static_cast<std::size_t>(v)];
+    // An upper bound on the owner needs each positive column at its upper
+    // bound and each negative column at its lower (mirrored for a lower
+    // bound on the owner); one unbounded column kills the derivation.
+    const Bound& b = (upper != c.is_negative()) ? st.upper : st.lower;
+    if (!b.active) return;
+    implied.add_mul(b.value, c);
+  }
+  const VarState& owner = vars_[static_cast<std::size_t>(row.owner)];
+  const Bound& own = upper ? owner.upper : owner.lower;
+  // An asserted bound at least as tight already implies everything this
+  // derivation could.
+  if (own.active && (upper ? own.value <= implied : own.value >= implied)) {
+    return;
+  }
+  ImpliedBound ib;
+  ib.var = row.owner;
+  ib.is_upper = upper;
+  ib.bound = std::move(implied);
+  ib.premises.reserve(row.expr.terms().size());
+  for (const auto& [v, c] : row.expr.terms()) {
+    const VarState& st = vars_[static_cast<std::size_t>(v)];
+    const Bound& b = (upper != c.is_negative()) ? st.upper : st.lower;
+    if (b.reason.valid()) ib.premises.push_back(b.reason);
+  }
+  out.push_back(std::move(ib));
 }
 
 void Simplex::compute_delta() {
@@ -348,6 +497,10 @@ void Simplex::compute_delta() {
 }
 
 Rational Simplex::model_value(TVar v) {
+  // An interrupted check() left the betas mid-repair; consuming them as a
+  // model would silently return junk. Callers must re-run check() to
+  // completion first (a wrong answer is worse than a crash).
+  PSSE_ASSERT(!interrupted_dirty_);
   if (!concrete_delta_.has_value()) compute_delta();
   const VarState& st = vars_[static_cast<std::size_t>(v)];
   return st.beta.real() + st.beta.delta() * *concrete_delta_;
@@ -372,6 +525,9 @@ std::size_t Simplex::footprint_bytes() const {
     bytes += col.capacity() * sizeof(std::int32_t);  // sorted vector, no hash overhead
   }
   bytes += trail_.capacity() * sizeof(TrailEntry);
+  bytes += violated_.capacity() * sizeof(TVar);
+  bytes += fresh_bounds_.capacity() * sizeof(std::pair<TVar, bool>);
+  bytes += dirty_rows_.capacity() * sizeof(std::int32_t);
   return bytes;
 }
 

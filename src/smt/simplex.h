@@ -4,12 +4,22 @@
 // Variables carry optional lower/upper bounds, each tagged with the SAT
 // literal that asserted it; linear constraints are rows of a tableau whose
 // basic variable is a slack. check() restores bound feasibility by pivoting
-// (Bland's rule, so termination is guaranteed) and, on infeasibility,
-// produces a conflict clause over the tagging literals.
+// and, on infeasibility, produces a conflict clause over the tagging
+// literals. Pivot selection is heuristic by default (largest violation /
+// largest coefficient magnitude) with a per-check fallback to strict
+// Bland's rule, so termination stays guaranteed (see SimplexOptions).
+// Violated basic variables are tracked incrementally in a candidate
+// worklist, so a check() costs O(violated + pivots) rather than a scan of
+// every row per pivot.
 //
 // Bound assertions are trailed; pop_to() retracts to an earlier trail mark
 // in O(retracted). The tableau itself is never rolled back — any pivoted
 // tableau is an equivalent presentation of the same linear system.
+//
+// After a feasible check(), propagate_implied() derives bounds that the
+// current bound set forces on row owners (and republishes freshly asserted
+// bounds), each with the premise literals that imply it — the raw material
+// for DPLL(T) theory propagation (see DESIGN.md §6d).
 #pragma once
 
 #include <cstdint>
@@ -26,8 +36,39 @@
 
 namespace psse::smt {
 
+/// Pivot-selection and propagation configuration.
+struct SimplexOptions {
+  /// Heuristic pivot selection: leaving variable with the largest bound
+  /// violation, entering variable with the largest coefficient magnitude
+  /// among the suitable columns — both scored in floating point, because
+  /// pivot choice never affects soundness and exact delta-rational
+  /// comparisons would dominate the check on hairy-denominator instances.
+  /// false = strict Bland's rule from the first pivot (the reference
+  /// configuration the fuzz tests compare against).
+  bool heuristic_pivoting = true;
+  /// Pivot budget per check() for the heuristic rule; once spent, the
+  /// check falls back to strict Bland's rule (smallest variable index),
+  /// which cannot cycle — the heuristic alone has no termination
+  /// guarantee. Counted by num_bland_fallbacks().
+  std::uint64_t bland_fallback_after = 512;
+  /// Record freshly asserted bounds and bound-relevant row updates so
+  /// propagate_implied() can derive implied bounds. Off = no tracking
+  /// cost for standalone simplex use.
+  bool derive_bounds = true;
+};
+
 class Simplex {
  public:
+  /// A bound forced by the current bound assertions: `var <= bound` (or
+  /// `>=` when !is_upper) holds in every solution where the `premises`
+  /// literals hold. Produced by propagate_implied().
+  struct ImpliedBound {
+    TVar var = kNoTVar;
+    bool is_upper = false;
+    DeltaRational bound;
+    std::vector<Lit> premises;
+  };
+
   Simplex() = default;
   Simplex(const Simplex&) = delete;
   Simplex& operator=(const Simplex&) = delete;
@@ -72,14 +113,39 @@ class Simplex {
 
   /// After a successful check(): concrete rational value of a variable,
   /// with delta instantiated small enough to respect every strict bound.
+  /// Asserts that the last check() was not cut short by an interrupt — an
+  /// interrupted tableau has no feasible assignment to read.
   [[nodiscard]] Rational model_value(TVar v);
 
+  /// Reconfigures pivot selection / propagation. Takes effect at the next
+  /// check(); may be called at any point between checks.
+  void set_options(const SimplexOptions& options) { options_ = options; }
+  [[nodiscard]] const SimplexOptions& options() const { return options_; }
+
+  /// Marks a variable as worth deriving implied bounds for (the DPLL(T)
+  /// facade flags variables that carry atoms); rows owned by uninteresting
+  /// variables are skipped by propagate_implied().
+  void set_interesting(TVar v, bool on);
+
+  /// Appends the bounds implied by the bound assertions made since the
+  /// previous call: freshly asserted bounds themselves (premise = their own
+  /// tag literal) and bounds derived from rows all of whose column
+  /// variables are bounded on the relevant side (premises = those bounds'
+  /// tags). Only sound on a feasibility-checked state — a no-op while
+  /// feasibility is unknown (pending or interrupted check) or when
+  /// SimplexOptions::derive_bounds is off.
+  void propagate_implied(std::vector<ImpliedBound>& out);
+
   /// Diagnostics / Table IV accounting. Lifetime counters: pivots performed
-  /// by check(), and bound flips (a bound assertion moving a non-basic
+  /// by check(), bound flips (a bound assertion moving a non-basic
   /// variable onto its new bound, the cheap feasibility repair that avoids
-  /// a pivot).
+  /// a pivot), and checks that exhausted the heuristic pivot budget and
+  /// fell back to Bland's rule.
   [[nodiscard]] std::uint64_t num_pivots() const { return pivots_; }
   [[nodiscard]] std::uint64_t num_bound_flips() const { return bound_flips_; }
+  [[nodiscard]] std::uint64_t num_bland_fallbacks() const {
+    return bland_fallbacks_;
+  }
   [[nodiscard]] std::size_t footprint_bytes() const;
 
   /// Attaches (or detaches, with nullptr) wall-time accounting for the
@@ -119,6 +185,15 @@ class Simplex {
 
   bool set_bound(TVar v, const DeltaRational& bound, Lit reason,
                  bool is_upper);
+  // Enqueues a basic variable into the violated-candidate worklist if it
+  // is out of bounds and not already queued.
+  void touch(TVar v);
+  // Marks a row for implied-bound (re)derivation.
+  void mark_row_dirty(std::int32_t rowIdx);
+  // Derives the upper (or lower) bound a row forces on its owner, if every
+  // column variable is bounded on the relevant side.
+  void derive_row_bound(std::int32_t rowIdx, bool upper,
+                        std::vector<ImpliedBound>& out);
   // Moves a non-basic variable and propagates into dependent basics.
   void update(TVar v, const DeltaRational& newVal);
   // Pivots basic leaving var (by row) with entering non-basic var, setting
@@ -143,11 +218,27 @@ class Simplex {
   std::optional<Rational> concrete_delta_;
   std::uint64_t pivots_ = 0;
   std::uint64_t bound_flips_ = 0;
+  std::uint64_t bland_fallbacks_ = 0;
   const Interrupt* interrupt_ = nullptr;
   obs::PhaseTimes* phases_ = nullptr;
+  SimplexOptions options_;
+  // Violated-candidate worklist: a superset of the out-of-bounds basic
+  // variables (entries may have been repaired or pivoted non-basic since
+  // enqueue; check() filters). violated_flag_ dedupes, indexed by var.
+  std::vector<TVar> violated_;
+  std::vector<bool> violated_flag_;
+  // Implied-bound tracking (derive_bounds): bounds asserted and rows
+  // touched since the last propagate_implied() drain. row_dirty_ dedupes.
+  std::vector<std::pair<TVar, bool>> fresh_bounds_;  // (var, is_upper)
+  std::vector<std::int32_t> dirty_rows_;
+  std::vector<bool> row_dirty_;
+  std::vector<bool> interesting_;  // vars whose implied bounds have takers
   // False only when every variable is known to satisfy its bounds; lets
   // check() short-circuit at propagation fixpoints where no bound moved.
   bool maybe_infeasible_ = false;
+  // True while the last check() was cut short by an interrupt: betas are
+  // mid-repair and must not be consumed as a model.
+  bool interrupted_dirty_ = false;
 };
 
 }  // namespace psse::smt

@@ -95,6 +95,13 @@ Lit Solver::encode_node(std::int32_t index) {
       info.bound = n.bound;
       sat_to_atom_[static_cast<std::size_t>(v)] =
           static_cast<std::int32_t>(atoms_.size());
+      TVar sv = info.simplex_var;
+      if (static_cast<std::size_t>(sv) >= var_atoms_.size()) {
+        var_atoms_.resize(static_cast<std::size_t>(sv) + 1);
+      }
+      var_atoms_[static_cast<std::size_t>(sv)].push_back(
+          static_cast<std::int32_t>(atoms_.size()));
+      simplex_.set_interesting(sv, true);
       atoms_.push_back(std::move(info));
       atom_sat_vars_.push_back(v);
       break;
@@ -197,6 +204,12 @@ void Solver::pop() {
   }
   while (atom_sat_vars_.size() > sp.atom_trail) {
     atom_sat_vars_.pop_back();
+    TVar sv = atoms_.back().simplex_var;
+    auto& va = var_atoms_[static_cast<std::size_t>(sv)];
+    PSSE_ASSERT(!va.empty() && static_cast<std::size_t>(va.back()) ==
+                                   atoms_.size() - 1);
+    va.pop_back();
+    if (va.empty()) simplex_.set_interesting(sv, false);
     atoms_.pop_back();
   }
   sat_to_atom_.resize(static_cast<std::size_t>(sat_.num_vars()), -1);
@@ -272,6 +285,7 @@ SolverStats Solver::stats() const {
   st.sat = sat_.stats();
   st.pivots = simplex_.num_pivots();
   st.bound_flips = simplex_.num_bound_flips();
+  st.bland_fallbacks = simplex_.num_bland_fallbacks();
   st.bigint_promotions = bigint_promotions();
   st.num_terms = terms_.num_nodes();
   st.num_atoms = atoms_.size();
@@ -312,6 +326,36 @@ bool Solver::check(bool /*final*/) { return simplex_.check(); }
 
 std::vector<Lit> Solver::conflict_explanation() {
   return simplex_.conflict_clause();
+}
+
+void Solver::propagate(std::vector<TheoryPropagation>& out) {
+  implied_.clear();
+  simplex_.propagate_implied(implied_);
+  for (const Simplex::ImpliedBound& ib : implied_) {
+    // Translate the bound through every atom over the same simplex
+    // variable. Atom truth means expr <= c (c - delta for strict atoms):
+    // an implied upper bound B forces the atom true when B <= c, an
+    // implied lower bound B forces it false when c < B.
+    for (std::int32_t atomIdx : var_atoms_[static_cast<std::size_t>(ib.var)]) {
+      const AtomInfo& atom = atoms_[static_cast<std::size_t>(atomIdx)];
+      const Var sv = atom_sat_vars_[static_cast<std::size_t>(atomIdx)];
+      const DeltaRational atomBound =
+          atom.is_lt ? DeltaRational::minus_delta(atom.bound)
+                     : DeltaRational(atom.bound);
+      Lit forced;
+      if (ib.is_upper) {
+        if (!(ib.bound <= atomBound)) continue;
+        forced = Lit::pos(sv);
+      } else {
+        if (!(atomBound < ib.bound)) continue;
+        forced = Lit::neg(sv);
+      }
+      // Skip atoms the SAT core already assigned: the common case, and it
+      // saves copying the premise set.
+      if (sat_.value_of(forced) != LBool::Undef) continue;
+      out.push_back({forced, ib.premises});
+    }
+  }
 }
 
 void Solver::pop_to_assertion_count(std::size_t n) {

@@ -39,6 +39,9 @@ struct SolverStats {
   SatStats sat;
   std::uint64_t pivots = 0;
   std::uint64_t bound_flips = 0;
+  /// check() calls that exhausted the heuristic pivot budget and fell back
+  /// to Bland's rule (see SimplexOptions::bland_fallback_after).
+  std::uint64_t bland_fallbacks = 0;
   /// Inline->limb BigInt promotions on this solver's thread (genuine
   /// 64-bit overflows: departures from the allocation-free fast path).
   std::uint64_t bigint_promotions = 0;
@@ -55,6 +58,7 @@ struct SolverStats {
     d.sat = sat.since(earlier.sat);
     d.pivots = pivots - earlier.pivots;
     d.bound_flips = bound_flips - earlier.bound_flips;
+    d.bland_fallbacks = bland_fallbacks - earlier.bland_fallbacks;
     d.bigint_promotions = bigint_promotions - earlier.bigint_promotions;
     return d;
   }
@@ -75,6 +79,14 @@ class Solver final : private TheoryClient {
   }
   [[nodiscard]] const SatOptions& sat_options() const {
     return sat_.options();
+  }
+
+  /// Reconfigures the theory solver's pivot rule / propagation tracking.
+  void set_simplex_options(const SimplexOptions& options) {
+    simplex_.set_options(options);
+  }
+  [[nodiscard]] const SimplexOptions& simplex_options() const {
+    return simplex_.options();
   }
 
   /// Fresh boolean variable as a term.
@@ -140,6 +152,7 @@ class Solver final : private TheoryClient {
   bool on_assert(Lit lit) override;
   bool check(bool final) override;
   std::vector<Lit> conflict_explanation() override;
+  void propagate(std::vector<TheoryPropagation>& out) override;
   void pop_to_assertion_count(std::size_t n) override;
   bool is_theory_var(Var v) const override;
   void on_model() override;
@@ -165,6 +178,12 @@ class Solver final : private TheoryClient {
   std::vector<std::int32_t> sat_to_atom_;  // -1 when not a theory literal
   std::vector<AtomInfo> atoms_;
   std::vector<Var> atom_sat_vars_;  // insertion order, for pop()
+
+  // Reverse mapping: simplex var -> atoms over it, so implied simplex
+  // bounds translate back into SAT literals (theory propagation). Entries
+  // are appended in atom order; pop() peels them with atoms_.
+  std::vector<std::vector<std::int32_t>> var_atoms_;
+  std::vector<Simplex::ImpliedBound> implied_;  // scratch for propagate()
 
   // User real var -> simplex var.
   std::vector<TVar> real_to_simplex_;

@@ -1,0 +1,268 @@
+// Differential fuzz for the simplex pivot rules, plus the interrupted-check
+// contract.
+//
+// Feasibility of a bound set is a semantic property: it cannot depend on
+// which pivot rule restored it. The fuzzer drives two Simplex instances —
+// one with the default heuristic pivoting (largest violation / largest
+// coefficient magnitude, Bland fallback), one pinned to strict Bland's rule
+// — through identical random assert/retract sequences and checks that they
+// agree on every feasibility verdict. Conflict *clauses* may legitimately
+// differ between the rules (different infeasible rows can witness the same
+// conflict), but every clause must consist solely of negations of bound
+// literals that are currently asserted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "smt/simplex.h"
+
+namespace psse::smt {
+namespace {
+
+Lit tag(int i) { return Lit::pos(static_cast<Var>(i)); }
+
+// A random tableau shared by both solver instances: base variables plus
+// slack rows over random small-coefficient combinations of them.
+struct Fixture {
+  Simplex heuristic;
+  Simplex bland;
+  std::vector<TVar> vars;  // base vars then slacks; same ids in both
+
+  explicit Fixture(std::mt19937& rng, int numBase, int numRows) {
+    SimplexOptions h;
+    h.heuristic_pivoting = true;
+    heuristic.set_options(h);
+    SimplexOptions b;
+    b.heuristic_pivoting = false;
+    bland.set_options(b);
+
+    for (int i = 0; i < numBase; ++i) {
+      TVar vh = heuristic.new_var();
+      TVar vb = bland.new_var();
+      EXPECT_EQ(vh, vb);
+      vars.push_back(vh);
+    }
+    std::uniform_int_distribution<int> nTerms(2, 4);
+    std::uniform_int_distribution<int> coeff(-3, 3);
+    std::uniform_int_distribution<int> pick(0, numBase - 1);
+    for (int r = 0; r < numRows; ++r) {
+      LinExpr e;
+      const int n = nTerms(rng);
+      for (int t = 0; t < n; ++t) {
+        int c = coeff(rng);
+        if (c == 0) c = 1;
+        e.add_term(vars[static_cast<std::size_t>(pick(rng))], Rational(c));
+      }
+      if (e.is_constant()) continue;  // terms may have cancelled
+      TVar sh = heuristic.slack_for(e);
+      TVar sb = bland.slack_for(e);
+      EXPECT_EQ(sh, sb);
+      if (std::find(vars.begin(), vars.end(), sh) == vars.end()) {
+        vars.push_back(sh);
+      }
+    }
+  }
+};
+
+// One asserted bound the fuzzer knows about: the literal it tagged and the
+// simplex trail size *before* the assertion, which tells us when a pop
+// retracts it.
+struct AssertedLit {
+  Lit lit;
+  std::size_t pre_trail;
+};
+
+void expect_conflict_over_asserted(const std::vector<Lit>& clause,
+                                   const std::vector<AssertedLit>& asserted,
+                                   Lit failing) {
+  ASSERT_FALSE(clause.empty());
+  for (Lit l : clause) {
+    const Lit premise = ~l;  // conflict clauses negate their premises
+    const bool known =
+        premise == failing ||
+        std::any_of(asserted.begin(), asserted.end(),
+                    [&](const AssertedLit& a) { return a.lit == premise; });
+    EXPECT_TRUE(known) << "conflict clause mentions a bound literal that is "
+                          "not currently asserted";
+  }
+}
+
+TEST(SimplexFuzz, HeuristicAgreesWithBlandOnFeasibility) {
+  std::mt19937 seedRng(20140623);
+  for (int round = 0; round < 30; ++round) {
+    std::mt19937 rng(seedRng());
+    Fixture fx(rng, /*numBase=*/6, /*numRows=*/8);
+    ASSERT_FALSE(::testing::Test::HasFailure());
+
+    std::vector<AssertedLit> asserted;
+    std::vector<std::size_t> marks;  // snapshots both instances share
+    std::uniform_int_distribution<int> op(0, 9);
+    std::uniform_int_distribution<int> boundNum(-12, 12);
+    std::uniform_int_distribution<int> boundDen(1, 4);
+    std::uniform_int_distribution<std::size_t> pickVar(0, fx.vars.size() - 1);
+    int nextLit = 0;
+
+    for (int step = 0; step < 120; ++step) {
+      const int o = op(rng);
+      if (o <= 5) {
+        // Assert a random bound on a random variable, same on both.
+        const TVar v = fx.vars[pickVar(rng)];
+        const DeltaRational b(
+            Rational(boundNum(rng)) / Rational(boundDen(rng)));
+        const bool upper = (o & 1) != 0;
+        const Lit lit = tag(nextLit++);
+        const std::size_t pre = fx.heuristic.trail_size();
+        const bool okH = upper ? fx.heuristic.assert_upper(v, b, lit)
+                               : fx.heuristic.assert_lower(v, b, lit);
+        const bool okB = upper ? fx.bland.assert_upper(v, b, lit)
+                               : fx.bland.assert_lower(v, b, lit);
+        ASSERT_EQ(okH, okB) << "assert-time conflict detection diverged";
+        ASSERT_EQ(fx.heuristic.trail_size(), fx.bland.trail_size());
+        if (okH) {
+          asserted.push_back({lit, pre});
+        } else {
+          expect_conflict_over_asserted(fx.heuristic.conflict_clause(),
+                                        asserted, lit);
+          expect_conflict_over_asserted(fx.bland.conflict_clause(), asserted,
+                                        lit);
+          // A conflicting assertion leaves no trail entry; keep going.
+        }
+      } else if (o <= 7) {
+        const bool okH = fx.heuristic.check();
+        const bool okB = fx.bland.check();
+        ASSERT_EQ(okH, okB) << "feasibility diverged between pivot rules";
+        if (!okH) {
+          expect_conflict_over_asserted(fx.heuristic.conflict_clause(),
+                                        asserted, Lit());
+          expect_conflict_over_asserted(fx.bland.conflict_clause(), asserted,
+                                        Lit());
+          // Retract past the conflict so the run can continue.
+          const std::size_t mark =
+              marks.empty() ? 0 : marks[marks.size() / 2];
+          fx.heuristic.pop_to(mark);
+          fx.bland.pop_to(mark);
+          while (!marks.empty() && marks.back() > mark) marks.pop_back();
+          while (!asserted.empty() && asserted.back().pre_trail >= mark) {
+            asserted.pop_back();
+          }
+        }
+      } else if (o == 8) {
+        marks.push_back(fx.heuristic.trail_size());
+      } else if (!marks.empty()) {
+        const std::size_t mark = marks.back();
+        marks.pop_back();
+        fx.heuristic.pop_to(mark);
+        fx.bland.pop_to(mark);
+        while (!asserted.empty() && asserted.back().pre_trail >= mark) {
+          asserted.pop_back();
+        }
+      }
+      if (::testing::Test::HasFailure()) return;
+    }
+
+    // Final verdicts agree, and a feasible endpoint yields equal-value
+    // models of the asserted constraints in both instances (models
+    // themselves may differ; row equations must hold in each).
+    const bool okH = fx.heuristic.check();
+    const bool okB = fx.bland.check();
+    ASSERT_EQ(okH, okB);
+  }
+}
+
+TEST(SimplexFuzz, BlandFallbackFiresAndStaysCorrect) {
+  // A zero pivot budget forces every pivoting check through the fallback
+  // path, proving it live; verdicts must be unchanged.
+  std::mt19937 rng(7);
+  Fixture fx(rng, 6, 8);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  SimplexOptions opts = fx.heuristic.options();
+  opts.bland_fallback_after = 0;
+  fx.heuristic.set_options(opts);
+
+  std::uniform_int_distribution<int> boundNum(-8, 8);
+  std::uniform_int_distribution<std::size_t> pickVar(0, fx.vars.size() - 1);
+  int nextLit = 0;
+  for (int step = 0; step < 60; ++step) {
+    const TVar v = fx.vars[pickVar(rng)];
+    const DeltaRational b{Rational(boundNum(rng))};
+    const Lit lit = tag(nextLit++);
+    const bool upper = (step & 1) != 0;
+    const bool okH = upper ? fx.heuristic.assert_upper(v, b, lit)
+                           : fx.heuristic.assert_lower(v, b, lit);
+    const bool okB = upper ? fx.bland.assert_upper(v, b, lit)
+                           : fx.bland.assert_lower(v, b, lit);
+    ASSERT_EQ(okH, okB);
+    if (!okH) break;
+    ASSERT_EQ(fx.heuristic.check(), fx.bland.check());
+  }
+  EXPECT_GT(fx.heuristic.num_bland_fallbacks(), 0u)
+      << "fallback was never exercised — weaken the pivot budget";
+  EXPECT_EQ(fx.bland.num_bland_fallbacks(), 0u)
+      << "strict Bland's rule has no fallback to take";
+}
+
+TEST(SimplexFuzz, InterruptedCheckCanBeResolvedAfterDetach) {
+  // Regression for the interrupted-return contract: a check() cut short by
+  // an interrupt leaves the tableau mid-repair; detaching the interrupt and
+  // re-running check() on the same instance must still produce the right
+  // verdict (feasibility bookkeeping survives the bail-out).
+  std::atomic<bool> stop{true};  // pre-triggered: first poll bails
+  Interrupt intr;
+  intr.stop = &stop;
+
+  Simplex s;
+  TVar x = s.new_var("x");
+  TVar y = s.new_var("y");
+  LinExpr e;
+  e.add_term(x, Rational(1));
+  e.add_term(y, Rational(1));
+  TVar sum = s.slack_for(e);
+  ASSERT_TRUE(s.assert_lower(x, DeltaRational(Rational(3)), tag(0)));
+  ASSERT_TRUE(s.assert_lower(y, DeltaRational(Rational(4)), tag(1)));
+  ASSERT_TRUE(s.assert_upper(sum, DeltaRational(Rational(9)), tag(2)));
+
+  s.set_interrupt(&intr);
+  EXPECT_TRUE(s.check());  // interrupted: "true" but unusable
+  s.set_interrupt(nullptr);
+
+  ASSERT_TRUE(s.check());  // re-solve the same instance to completion
+  EXPECT_EQ(s.model_value(sum), s.model_value(x) + s.model_value(y));
+  EXPECT_LE(s.model_value(sum), Rational(9));
+
+  // And the infeasible flavour: tighten into a conflict after an
+  // interrupted check.
+  s.set_interrupt(&intr);
+  ASSERT_TRUE(s.assert_upper(sum, DeltaRational(Rational(6)), tag(3)));
+  EXPECT_TRUE(s.check());
+  s.set_interrupt(nullptr);
+  EXPECT_FALSE(s.check());
+  EXPECT_FALSE(s.conflict_clause().empty());
+}
+
+TEST(SimplexFuzzDeathTest, ModelValueOnInterruptedCheckAborts) {
+  // model_value() on a tableau whose last check() was interrupted must
+  // abort (PSSE_ASSERT is on in every build type): a wrong answer is worse
+  // than a crash.
+  std::atomic<bool> stop{true};
+  Interrupt intr;
+  intr.stop = &stop;
+
+  Simplex s;
+  TVar x = s.new_var("x");
+  TVar y = s.new_var("y");
+  LinExpr e;
+  e.add_term(x, Rational(1));
+  e.add_term(y, Rational(1));
+  TVar sum = s.slack_for(e);
+  ASSERT_TRUE(s.assert_lower(x, DeltaRational(Rational(3)), tag(0)));
+  ASSERT_TRUE(s.assert_upper(sum, DeltaRational(Rational(1)), tag(1)));
+  s.set_interrupt(&intr);
+  ASSERT_TRUE(s.check());  // interrupted mid-repair
+  EXPECT_DEATH((void)s.model_value(sum), "interrupted");
+}
+
+}  // namespace
+}  // namespace psse::smt

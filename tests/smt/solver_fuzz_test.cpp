@@ -181,5 +181,63 @@ TEST(SolverFuzz, AssumptionsMatchAssertions) {
   }
 }
 
+// Theory propagation is an optimization, never a semantic change: random
+// problems must get the same verdict with the hook on (default) and off.
+TEST(SolverFuzz, TheoryPropagationPreservesVerdicts) {
+  std::mt19937_64 rng(20250806);
+  std::uint64_t propagations = 0;
+  for (int round = 0; round < 40; ++round) {
+    RandomProblem p;
+    p.numBools = 2 + static_cast<int>(rng() % 3);
+    p.numReals = 2 + static_cast<int>(rng() % 3);
+    const int count = 8 + static_cast<int>(rng() % 12);
+    for (int i = 0; i < count; ++i) {
+      RandomProblem::Assertion a;
+      int parts = 1 + static_cast<int>(rng() % 3);
+      for (int k = 0; k < parts; ++k) {
+        switch (rng() % 3) {
+          case 0: {
+            int var = 1 + static_cast<int>(rng() % p.numBools);
+            a.boolLits.push_back((rng() & 1) ? var : -var);
+            break;
+          }
+          case 1:
+            a.bounds.emplace_back(static_cast<int>(rng() % p.numReals),
+                                  static_cast<int>(rng() % 11) - 5);
+            break;
+          default:
+            a.upperVar = static_cast<int>(rng() % p.numReals);
+            a.upperBound = static_cast<int>(rng() % 11) - 5;
+        }
+      }
+      p.assertions.push_back(std::move(a));
+    }
+
+    auto make = [&](bool propagate) {
+      auto s = std::make_unique<Solver>();
+      SatOptions o = s->sat_options();
+      o.theory_propagation = propagate;
+      s->set_sat_options(o);
+      std::vector<TermRef> bools;
+      std::vector<TVar> reals;
+      for (int i = 0; i < p.numBools; ++i) bools.push_back(s->mk_bool());
+      for (int i = 0; i < p.numReals; ++i) reals.push_back(s->mk_real());
+      for (const auto& a : p.assertions) {
+        s->assert_term(build(*s, bools, reals, a));
+      }
+      return s;
+    };
+
+    auto on = make(true);
+    auto off = make(false);
+    EXPECT_EQ(on->solve(), off->solve()) << "round " << round;
+    propagations += on->stats().sat.theory_propagations;
+    EXPECT_EQ(off->stats().sat.theory_propagations, 0u);
+  }
+  // The hook must actually fire across the corpus, or the differential
+  // check above is vacuous.
+  EXPECT_GT(propagations, 0u);
+}
+
 }  // namespace
 }  // namespace psse::smt

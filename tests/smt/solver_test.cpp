@@ -234,6 +234,43 @@ TEST(SmtSolver, StatsArePopulated) {
   EXPECT_GT(st.footprint_bytes, 0u);
 }
 
+// Theory propagation (DESIGN.md §6d): an asserted bound that decides an
+// unassigned atom must reach the SAT core as a propagation, not be left
+// for a decision. Here x >= 5 forces the atom (x >= 3) true while the
+// clause (x >= 3 \/ q) leaves it booleanly unconstrained.
+TEST(SmtSolver, TheoryPropagationDecidesImpliedAtom) {
+  Solver s;
+  auto& t = s.terms();
+  TVar x = s.mk_real("x");
+  TermRef ge3 = t.mk_ge(LinExpr::var(x), Rational(3));
+  TermRef q = s.mk_bool("q");
+  s.assert_term(t.mk_ge(LinExpr::var(x), Rational(5)));
+  s.assert_term(t.mk_or({ge3, q}));
+
+  const SolverStats before = s.stats();
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  const SolverStats d = s.stats_since(before);
+  EXPECT_GE(d.sat.theory_propagations, 1u)
+      << "the implied atom was not theory-propagated";
+  EXPECT_TRUE(s.bool_value(ge3));
+  EXPECT_GE(s.real_value(x), Rational(5));
+
+  // With propagation switched off the verdict and model constraints are
+  // identical — the hook is a speedup, never a semantic change.
+  Solver ref;
+  SatOptions noProp = ref.sat_options();
+  noProp.theory_propagation = false;
+  ref.set_sat_options(noProp);
+  auto& rt = ref.terms();
+  TVar rx = ref.mk_real("x");
+  TermRef rge3 = rt.mk_ge(LinExpr::var(rx), Rational(3));
+  ref.assert_term(rt.mk_ge(LinExpr::var(rx), Rational(5)));
+  ref.assert_term(rt.mk_or({rge3, ref.mk_bool("q")}));
+  ASSERT_EQ(ref.solve(), SolveResult::Sat);
+  EXPECT_EQ(ref.stats().sat.theory_propagations, 0u);
+  EXPECT_TRUE(ref.bool_value(rge3));
+}
+
 // The snapshot/delta satellite fix: lifetime counters are monotone across
 // solve() calls, and stats_since() isolates exactly one call's effort.
 TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
