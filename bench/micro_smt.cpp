@@ -113,6 +113,45 @@ void BM_SatRandom3Sat(benchmark::State& state) {
 }
 BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
 
+// Pure boolean-constraint-propagation throughput: one unit clause triggers
+// a cascade through binary implication chains with periodic 5-literal
+// "conjunction" links, so solve() is one long watched-literal propagation
+// pass (no decisions beyond assumptions, no conflicts). This is the
+// clause-memory-layout hot path: ns/iteration tracks pointer-chasing cost
+// per visited clause.
+void BM_Propagation(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  constexpr int kChains = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::SatSolver s;
+    smt::Var root = s.new_var();
+    std::vector<std::vector<smt::Var>> chain(kChains);
+    for (int c = 0; c < kChains; ++c) {
+      for (int i = 0; i < len; ++i) chain[c].push_back(s.new_var());
+      s.add_clause({smt::Lit::neg(root), smt::Lit::pos(chain[c][0])});
+      for (int i = 0; i + 1 < len; ++i) {
+        s.add_clause({smt::Lit::neg(chain[c][i]),
+                      smt::Lit::pos(chain[c][i + 1])});
+      }
+      // Every 4th link also follows from the conjunction of the previous
+      // four variables: these wider clauses force genuine watch scans.
+      for (int i = 4; i + 1 < len; i += 4) {
+        std::vector<smt::Lit> wide;
+        for (int k = 0; k < 4; ++k) {
+          wide.push_back(smt::Lit::neg(chain[c][i - k]));
+        }
+        wide.push_back(smt::Lit::pos(chain[c][i + 1]));
+        s.add_clause(wide);
+      }
+    }
+    s.add_clause({smt::Lit::pos(root)});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_Propagation)->Arg(256)->Arg(2048);
+
 void BM_SimplexChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {

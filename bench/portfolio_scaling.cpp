@@ -1,24 +1,25 @@
-// portfolio_scaling: portfolio verification speedup vs. member count.
+// portfolio_scaling: portfolio verification speedup vs. member count,
+// with and without learned-clause sharing.
 //
 // For the IEEE 30- and 57-bus verification scenarios, runs the serial
 // verify() baseline and then racing portfolios of 1, 2, 4 and 8 members,
-// printing one JSON line per configuration:
+// each member count once with sharing off and once with the clause channel
+// on. Speedup is serial_ms / portfolio_ms for the same scenario. Because
+// all members are sound and complete — and shared clauses are implied by
+// the common formula — the verdict column must be constant down each
+// scenario's block, a cheap cross-check that neither racing nor sharing
+// changes the answer. On a single-core host the speedup measures
+// diversification plus sharing (another member's learnt clauses pruning
+// this member's search), not parallelism; with real cores the effects
+// combine.
 //
-//   {"bench":"portfolio_scaling","scenario":"ieee57_verification",
-//    "threads":4,"ms":812.4,"speedup":1.62,"verdict":"SAT",
-//    "winner":"agile-restarts"}
-//
-// Speedup is serial_ms / portfolio_ms for the same scenario. Because all
-// members are sound and complete, the verdict column must be constant down
-// each scenario's block — a cheap cross-check that racing never changes
-// the answer. On a single-core host the speedup measures diversification
-// (a non-default configuration finding the answer in fewer steps), not
-// parallelism; with real cores both effects combine.
+// --json adds one machine-readable line per row (BENCH_smt.json keeps the
+// before/after baseline).
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/attack_model.h"
+#include "bench_util.h"
 #include "core/scenario.h"
 #include "runtime/portfolio.h"
 
@@ -49,11 +50,20 @@ smt::Budget bench_budget() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   std::string dataDir = PSSE_DATA_DIR;
-  if (argc == 2) dataDir = argv[1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") dataDir = argv[i];
+  }
   const std::vector<std::string> scenarios = {"ieee30_verification",
                                               "ieee57_verification"};
   const std::vector<std::size_t> memberCounts = {1, 2, 4, 8};
+
+  bench::header("Portfolio verification scaling",
+                "racing diversified members (and sharing their learnt "
+                "clauses) shortens wall time without changing the verdict");
+  std::printf("%-22s %8s %8s %10s %8s %8s %-18s\n", "scenario", "members",
+              "sharing", "ms", "speedup", "verdict", "winner");
 
   for (const std::string& name : scenarios) {
     core::Scenario sc;
@@ -67,29 +77,44 @@ int main(int argc, char** argv) {
 
     core::VerificationResult serial = model.verify(bench_budget());
     const double serialMs = serial.seconds * 1000.0;
-    std::printf(
-        "{\"bench\":\"portfolio_scaling\",\"scenario\":\"%s\","
-        "\"threads\":0,\"ms\":%.1f,\"speedup\":1.00,\"verdict\":\"%s\","
-        "\"winner\":\"serial\"}\n",
-        name.c_str(), serialMs, verdict_name(serial.result));
+    std::printf("%-22s %8s %8s %10.1f %8.2f %8s %-18s\n", name.c_str(),
+                "serial", "-", serialMs, 1.0, verdict_name(serial.result),
+                "serial");
+    bench::JsonLine(json, "portfolio_scaling", name)
+        .field("threads", std::uint64_t{0})
+        .field("sharing", "off")
+        .field("ms", serialMs)
+        .field("speedup", 1.0)
+        .field("verdict", verdict_name(serial.result))
+        .field("winner", "serial")
+        .emit();
 
     for (std::size_t n : memberCounts) {
-      runtime::PortfolioOptions popt;
-      popt.num_threads = n;
-      popt.budget = bench_budget();
-      runtime::PortfolioResult pr = runtime::verify_portfolio(model, popt);
-      const double ms = pr.seconds * 1000.0;
-      const std::string winner =
-          pr.winner >= 0
-              ? pr.members[static_cast<std::size_t>(pr.winner)].label
-              : "none";
-      std::printf(
-          "{\"bench\":\"portfolio_scaling\",\"scenario\":\"%s\","
-          "\"threads\":%zu,\"ms\":%.1f,\"speedup\":%.2f,"
-          "\"verdict\":\"%s\",\"winner\":\"%s\"}\n",
-          name.c_str(), n, ms, ms > 0 ? serialMs / ms : 0.0,
-          verdict_name(pr.result()), winner.c_str());
-      std::fflush(stdout);
+      for (bool sharing : {false, true}) {
+        runtime::PortfolioOptions popt;
+        popt.num_threads = n;
+        popt.budget = bench_budget();
+        popt.share_clauses = sharing;
+        runtime::PortfolioResult pr = runtime::verify_portfolio(model, popt);
+        const double ms = pr.seconds * 1000.0;
+        const std::string winner =
+            pr.winner >= 0
+                ? pr.members[static_cast<std::size_t>(pr.winner)].label
+                : "none";
+        std::printf("%-22s %8zu %8s %10.1f %8.2f %8s %-18s\n", name.c_str(),
+                    n, sharing ? "on" : "off", ms,
+                    ms > 0 ? serialMs / ms : 0.0, verdict_name(pr.result()),
+                    winner.c_str());
+        std::fflush(stdout);
+        bench::JsonLine(json, "portfolio_scaling", name)
+            .field("threads", static_cast<std::uint64_t>(n))
+            .field("sharing", sharing ? "on" : "off")
+            .field("ms", ms)
+            .field("speedup", ms > 0 ? serialMs / ms : 0.0)
+            .field("verdict", verdict_name(pr.result()))
+            .field("winner", winner)
+            .emit();
+      }
     }
   }
   return 0;

@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
                 "memory grows ~linearly with the bus count; the candidate-"
                 "selection model is orders of magnitude smaller than the "
                 "verification model");
-  std::printf("%-10s %18s %22s\n", "system", "verification(MB)",
-              "candidate-selection(MB)");
+  std::printf("%-10s %18s %22s %14s %12s\n", "system", "verification(MB)",
+              "candidate-selection(MB)", "arena-cap(MB)", "arena-live(MB)");
   for (const std::string& name : grid::cases::standard_names()) {
     grid::Grid g = grid::cases::by_name(name);
     grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
@@ -40,13 +40,23 @@ int main(int argc, char** argv) {
     core::SynthesisResult sr = syn.synthesize();
     double candMb =
         static_cast<double>(sr.candidate_footprint_bytes) / 1048576.0;
-    std::printf("%-10s %18.2f %22.4f\n", name.c_str(), verifMb, candMb);
+    // Clause-arena accounting: reserved capacity vs live clause bytes. The
+    // gap is growth headroom + not-yet-collected garbage; a capacity far
+    // above live on a big case would mean the arena over-reserves.
+    double arenaCapMb =
+        static_cast<double>(r.stats.arena_capacity_bytes) / 1048576.0;
+    double arenaLiveMb =
+        static_cast<double>(r.stats.arena_live_bytes) / 1048576.0;
+    std::printf("%-10s %18.2f %22.4f %14.4f %12.4f\n", name.c_str(), verifMb,
+                candMb, arenaCapMb, arenaLiveMb);
     std::fflush(stdout);
     bench::JsonLine(json, "table4", name)
         .field("ms", r.seconds * 1000.0)
         .field("pivots", r.stats.pivots)
         .field("verification_mb", verifMb)
         .field("candidate_mb", candMb)
+        .field("arena_capacity_mb", arenaCapMb)
+        .field("arena_live_mb", arenaLiveMb)
         .emit();
   }
   return 0;

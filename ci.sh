@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Lightweight CI: the full tier-1 suite plus both sanitizer presets.
+# Lightweight CI: the full tier-1 suite plus the sanitizer presets.
 #
-#   ./ci.sh            # default + ubsan(smt) + tsan(runtime)
+#   ./ci.sh            # default + ubsan(smt) + tsan(runtime) + asan(smt|runtime)
 #   ./ci.sh default    # just one stage
 #
 # The ubsan stage exists because the BigInt small-value representation is
 # built on overflow-checked native arithmetic — a missed signed-overflow
-# edge must fail the build, not corrupt a SAT/UNSAT verdict.
+# edge must fail the build, not corrupt a SAT/UNSAT verdict. The asan
+# stage covers the packed clause arena: raw-pointer propagation walks,
+# compacting GC relocation, and lazily dropped watchers are heap-safety
+# hazards by construction.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 4)
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(default ubsan tsan)
+  stages=(default ubsan tsan asan)
 fi
 
 for preset in "${stages[@]}"; do

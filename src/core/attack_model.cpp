@@ -335,6 +335,14 @@ VerificationResult UfdiAttackModel::run(
         .field("bound_flips", out.stats.bound_flips)
         .field("bland_fallbacks", out.stats.bland_fallbacks)
         .field("bigint_promotions", out.stats.bigint_promotions)
+        .field("arena_gcs", out.stats.sat.arena_gcs)
+        .field("arena_capacity_bytes",
+               static_cast<std::uint64_t>(out.stats.arena_capacity_bytes))
+        .field("arena_live_bytes",
+               static_cast<std::uint64_t>(out.stats.arena_live_bytes))
+        .field("clauses_exported", out.stats.sat.clauses_exported)
+        .field("clauses_imported", out.stats.sat.clauses_imported)
+        .field("clauses_accepted", out.stats.sat.clauses_accepted)
         .field("encode_us", out.phase_times.encode_us)
         .field("propagate_us", out.phase_times.propagate_us)
         .field("simplex_us", out.phase_times.simplex_us)

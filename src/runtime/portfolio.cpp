@@ -5,6 +5,7 @@
 #include <future>
 #include <mutex>
 
+#include "runtime/clause_channel.h"
 #include "runtime/thread_pool.h"
 #include "smt/common.h"
 
@@ -85,6 +86,16 @@ PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
   PSSE_CHECK(!members.empty(), "verify_portfolio: no portfolio members");
   const std::size_t n = members.size();
 
+  // Learnt-clause sharing: one channel, one endpoint per member. The
+  // channel owns the endpoints and is declared before the pool, so it
+  // outlives every worker.
+  ClauseChannel channel;
+  if (options.share_clauses && n > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      members[i].options.exchange = channel.make_endpoint();
+    }
+  }
+
   PortfolioResult out;
   out.members.resize(n);
   for (std::size_t i = 0; i < n; ++i) out.members[i].label = members[i].label;
@@ -130,6 +141,9 @@ PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
             .field("conflicts", v.stats.sat.conflicts)
             .field("restarts", v.stats.sat.restarts)
             .field("pivots", v.stats.pivots)
+            .field("clauses_exported", v.stats.sat.clauses_exported)
+            .field("clauses_imported", v.stats.sat.clauses_imported)
+            .field("clauses_accepted", v.stats.sat.clauses_accepted)
             .emit(options.trace);
       }
       results[i] = std::move(v);

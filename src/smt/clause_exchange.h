@@ -1,0 +1,65 @@
+// Learned-clause sharing interface between CDCL solvers.
+//
+// A ClauseExchange is the solver-side view of a sharing channel: the CDCL
+// core publishes short/low-LBD learnt clauses through export_clause() and
+// pulls clauses learnt by sibling solvers through import_clauses() at
+// restart boundaries and at the start of each solve. The concrete channel
+// (a bounded thread-safe ring shared by portfolio members or parallel
+// CEGIS workers) lives in src/runtime/clause_channel.h — this header keeps
+// the smt layer free of any runtime dependency.
+//
+// Soundness contract: every solver attached to one exchange must operate
+// on the *same* constraint database with the *same* variable numbering
+// (clones of one model). Learnt clauses — including clauses learnt under
+// assumptions, whose derivations never resolve on assumption decisions —
+// are implied by that shared database alone, so importing them preserves
+// the SAT/UNSAT verdict. Attaching solvers over different formulas, or
+// exchanging clauses across a push/pop boundary that changed the shared
+// database, voids this guarantee.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/literal.h"
+
+namespace psse::smt {
+
+/// Solver-side endpoint of a learned-clause sharing channel. All calls are
+/// made from the owning solver's thread; implementations must be safe
+/// against concurrent calls from *other* endpoints of the same channel.
+class ClauseExchange {
+ public:
+  virtual ~ClauseExchange() = default;
+
+  /// Publishes a clause this solver just learnt. The literals are valid
+  /// (implied) for the shared constraint database; `lbd` is the literal
+  /// block distance at learning time (1 for units).
+  virtual void export_clause(const std::vector<Lit>& lits,
+                             std::uint32_t lbd) = 0;
+
+  /// True when a sibling has published clauses this endpoint has not yet
+  /// imported. Cheap; the solver polls it at restart boundaries to decide
+  /// whether backtracking to level 0 for an import is worth it.
+  [[nodiscard]] virtual bool has_pending() const = 0;
+
+  /// Drains all not-yet-seen sibling clauses into `out` (cleared first).
+  /// Clauses this endpoint exported itself are never returned.
+  virtual void import_clauses(std::vector<std::vector<Lit>>& out) = 0;
+};
+
+/// Factory for the endpoints of one sharing channel. Lets layers that may
+/// not depend on the concrete channel (the core CEGIS loop hands one
+/// endpoint to each parallel worker) stay decoupled from src/runtime/,
+/// where the channel lives.
+class ClauseExchangeHub {
+ public:
+  virtual ~ClauseExchangeHub() = default;
+
+  /// Creates a new endpoint attached to this hub. The hub retains
+  /// ownership; the pointer stays valid for the hub's lifetime. Safe to
+  /// call concurrently.
+  [[nodiscard]] virtual ClauseExchange* make_endpoint() = 0;
+};
+
+}  // namespace psse::smt

@@ -1,6 +1,7 @@
 #include "smt/sat_solver.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "smt/common.h"
@@ -8,8 +9,11 @@
 namespace psse::smt {
 
 namespace {
-constexpr std::int32_t kNoConflict = -2;
-constexpr std::int32_t kExplicitConflict = -1;  // pending_conflict_ holds lits
+// propagate() sentinels: no conflict found, and "conflict is not a clause"
+// (cardinality or theory — the literals are in pending_conflict_ / the
+// caller's buffer). Real refs stay below both: alloc_clause caps the arena.
+constexpr ClauseRef kNoConflictRef = kClauseRefUndef;     // 0xFFFFFFFF
+constexpr ClauseRef kExplicitConflictRef = 0xFFFFFFFEu;
 
 // Luby restart sequence: 1,1,2,1,1,2,4,...
 std::uint64_t luby(std::uint64_t i) {
@@ -32,6 +36,7 @@ void SatSolver::set_options(const SatOptions& options) {
   PSSE_CHECK(options.restart_base > 0, "set_options: restart_base == 0");
   PSSE_CHECK(options.theory_check_period > 0,
              "set_options: theory_check_period == 0");
+  PSSE_CHECK(options.reduce_db_base > 0, "set_options: reduce_db_base == 0");
   options_ = options;
   rng_state_ = options.seed == 0 ? 0x9e3779b97f4a7c15ull : options.seed;
   // Saved phases are a pure heuristic; re-seeding them with the configured
@@ -65,16 +70,49 @@ Var SatSolver::new_var() {
   return v;
 }
 
-void SatSolver::attach_clause(std::int32_t id) {
-  Clause& c = clauses_[static_cast<std::size_t>(id)];
-  PSSE_ASSERT(c.lits.size() >= 2);
-  watches_[static_cast<std::size_t>(c.lits[0].code())].push_back(
-      {id, c.lits[1]});
-  watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(
-      {id, c.lits[0]});
+ClauseRef SatSolver::alloc_clause(const std::vector<Lit>& lits, bool learned,
+                                  std::uint32_t lbd, std::uint32_t depth) {
+  PSSE_ASSERT(lits.size() >= 2);
+  PSSE_ASSERT(depth <= 0xFFFFu);
+  // Keep every valid ref below the propagate() sentinels.
+  PSSE_CHECK(arena_.size() + kHeaderWords + lits.size() < kExplicitConflictRef,
+             "alloc_clause: clause arena full");
+  ClauseRef r = static_cast<ClauseRef>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << kSizeShift) |
+                   (learned ? kLearnedBit : 0u));
+  arena_.push_back(std::min<std::uint32_t>(lbd, 0xFFFFu) | (depth << 16));
+  arena_.push_back(std::bit_cast<std::uint32_t>(0.0f));
+  for (Lit l : lits) {
+    arena_.push_back(static_cast<std::uint32_t>(l.code()));
+  }
+  return r;
 }
 
-void SatSolver::attach_card(std::int32_t id) {
+float SatSolver::clause_activity(ClauseRef r) const {
+  return std::bit_cast<float>(arena_[r + 2]);
+}
+
+void SatSolver::set_clause_activity(ClauseRef r, float a) {
+  arena_[r + 2] = std::bit_cast<std::uint32_t>(a);
+}
+
+void SatSolver::delete_clause(ClauseRef r) {
+  PSSE_ASSERT(!clause_deleted(r));
+  arena_[r] |= kDeletedBit;
+  // The words stay in place (watchers may still reference them lazily) but
+  // count as reclaimable; garbage_collect() drops them.
+  wasted_words_ += kHeaderWords + clause_size(r);
+}
+
+void SatSolver::attach_clause(ClauseRef r) {
+  PSSE_ASSERT(clause_size(r) >= 2);
+  Lit l0 = clause_lit(r, 0);
+  Lit l1 = clause_lit(r, 1);
+  watches_[static_cast<std::size_t>(l0.code())].push_back({r, l1});
+  watches_[static_cast<std::size_t>(l1.code())].push_back({r, l0});
+}
+
+void SatSolver::attach_card(std::uint32_t id) {
   Card& c = cards_[static_cast<std::size_t>(id)];
   for (Lit l : c.lits) {
     card_occs_[static_cast<std::size_t>(l.code())].push_back(id);
@@ -108,9 +146,9 @@ void SatSolver::add_clause(std::vector<Lit> lits) {
     if (!enqueue(kept[0], Reason::none())) ok_ = false;
     return;
   }
-  std::int32_t id = static_cast<std::int32_t>(clauses_.size());
-  clauses_.push_back(Clause{std::move(kept), 0.0, 0, false, false});
-  attach_clause(id);
+  ClauseRef r = alloc_clause(kept, /*learned=*/false, 0, push_depth());
+  attach_clause(r);
+  ++num_problem_clauses_;
 }
 
 void SatSolver::add_at_most(std::vector<Lit> lits, std::uint32_t bound) {
@@ -144,7 +182,7 @@ void SatSolver::add_at_most(std::vector<Lit> lits, std::uint32_t bound) {
     }
     return;
   }
-  std::int32_t id = static_cast<std::int32_t>(cards_.size());
+  std::uint32_t id = static_cast<std::uint32_t>(cards_.size());
   cards_.push_back(Card{std::move(kept), bound, 0, false});
   attach_card(id);
 }
@@ -175,7 +213,7 @@ bool SatSolver::enqueue(Lit l, Reason reason) {
   return true;
 }
 
-std::int32_t SatSolver::propagate() {
+ClauseRef SatSolver::propagate() {
   obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
                                                  : &phases_->propagate_us);
   while (qhead_ < trail_.size()) {
@@ -188,13 +226,13 @@ std::int32_t SatSolver::propagate() {
     // assignment, so it can never conclude Sat from a partial propagation.
     if ((stats_.propagations & 4095) == 0 && interrupt_ != nullptr &&
         interrupt_->triggered()) {
-      return kNoConflict;
+      return kNoConflictRef;
     }
     Lit p = trail_[qhead_++];
     ++stats_.propagations;
 
     // Cardinality bookkeeping: p just became true.
-    for (std::int32_t cid : card_occs_[static_cast<std::size_t>(p.code())]) {
+    for (std::uint32_t cid : card_occs_[static_cast<std::size_t>(p.code())]) {
       Card& card = cards_[static_cast<std::size_t>(cid)];
       if (card.deleted) continue;
       if (++card.num_true > card.bound) {
@@ -209,7 +247,7 @@ std::int32_t SatSolver::propagate() {
           }
         }
         PSSE_ASSERT(pending_conflict_.size() == card.bound + 1);
-        return kExplicitConflict;
+        return kExplicitConflictRef;
       }
       if (card.num_true == card.bound) {
         // All other literals become false.
@@ -222,8 +260,13 @@ std::int32_t SatSolver::propagate() {
       }
     }
 
-    // Watched-literal propagation over clauses watching ~p.
-    std::vector<Watcher>& ws = watches_[static_cast<std::size_t>((~p).code())];
+    // Watched-literal propagation over clauses watching ~p. No arena
+    // allocation happens inside this loop, so raw pointers into arena_
+    // stay valid across iterations.
+    const Lit falseLit = ~p;
+    const std::uint32_t falseCode = static_cast<std::uint32_t>(falseLit.code());
+    std::vector<Watcher>& ws =
+        watches_[static_cast<std::size_t>(falseLit.code())];
     std::size_t i = 0, j = 0;
     while (i < ws.size()) {
       Watcher w = ws[i];
@@ -231,27 +274,30 @@ std::int32_t SatSolver::propagate() {
         ws[j++] = ws[i++];
         continue;
       }
-      Clause& c = clauses_[static_cast<std::size_t>(w.clause_id)];
-      if (c.deleted) {
+      std::uint32_t* const base = arena_.data() + w.cref;
+      if ((base[0] & kDeletedBit) != 0) {
+        // Lazily drop watchers of clauses reduce_db deleted.
         ++i;
         continue;
       }
-      Lit falseLit = ~p;
-      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
-      PSSE_ASSERT(c.lits[1] == falseLit);
-      Lit first = c.lits[0];
+      const std::uint32_t size = base[0] >> kSizeShift;
+      std::uint32_t* const lits = base + kHeaderWords;
+      if (lits[0] == falseCode) std::swap(lits[0], lits[1]);
+      PSSE_ASSERT(lits[1] == falseCode);
+      const Lit first = Lit::from_code(static_cast<std::int32_t>(lits[0]));
       if (value(first) == LBool::True) {
-        ws[j++] = {w.clause_id, first};
+        ws[j++] = {w.cref, first};
         ++i;
         continue;
       }
       // Look for a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != LBool::False) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(
-              {w.clause_id, first});
+      for (std::uint32_t k = 2; k < size; ++k) {
+        const Lit lk = Lit::from_code(static_cast<std::int32_t>(lits[k]));
+        if (value(lk) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>(lk.code())].push_back(
+              {w.cref, first});
           moved = true;
           break;
         }
@@ -261,7 +307,7 @@ std::int32_t SatSolver::propagate() {
         continue;
       }
       // Clause is unit or conflicting.
-      ws[j++] = {w.clause_id, first};
+      ws[j++] = {w.cref, first};
       ++i;
       if (value(first) == LBool::False) {
         // Conflict: copy the remaining watchers and bail out. qhead_ is
@@ -269,14 +315,14 @@ std::int32_t SatSolver::propagate() {
         // dequeued prefix, and cancel_until relies on that.
         while (i < ws.size()) ws[j++] = ws[i++];
         ws.resize(j);
-        return w.clause_id;
+        return w.cref;
       }
-      bool okEnq = enqueue(first, Reason::clause(w.clause_id));
+      bool okEnq = enqueue(first, Reason::clause(w.cref));
       PSSE_ASSERT(okEnq);
     }
     ws.resize(j);
   }
-  return kNoConflict;
+  return kNoConflictRef;
 }
 
 bool SatSolver::theory_check(bool final, std::vector<Lit>& confl) {
@@ -318,7 +364,7 @@ bool SatSolver::theory_check(bool final, std::vector<Lit>& confl) {
         for (Lit pr : tp.premises) confl.push_back(~pr);
         return false;
       }
-      std::int32_t id = static_cast<std::int32_t>(theory_reasons_.size());
+      std::uint32_t id = static_cast<std::uint32_t>(theory_reasons_.size());
       theory_reasons_.push_back(std::move(tp.premises));
       bool okEnq = enqueue(tp.lit, Reason::theory(id));
       PSSE_ASSERT(okEnq);
@@ -340,13 +386,14 @@ void SatSolver::cancel_until(int level) {
     // truncates exactly the premise sets of the unassigned suffix.
     const Reason& r = var_info_[static_cast<std::size_t>(x)].reason;
     if (r.kind == Reason::Kind::Theory &&
-        (minTheoryReason < 0 || r.index < minTheoryReason)) {
-      minTheoryReason = r.index;
+        (minTheoryReason < 0 ||
+         static_cast<std::int32_t>(r.index) < minTheoryReason)) {
+      minTheoryReason = static_cast<std::int32_t>(r.index);
     }
     // Undo cardinality counters for literals the theory of whose true form
     // was counted. The literal stored on the trail is the true one.
     if (static_cast<std::size_t>(c) < qhead_) {
-      for (std::int32_t cid :
+      for (std::uint32_t cid :
            card_occs_[static_cast<std::size_t>(p.code())]) {
         Card& card = cards_[static_cast<std::size_t>(cid)];
         if (!card.deleted) --card.num_true;
@@ -383,8 +430,10 @@ std::vector<Lit> SatSolver::reason_clause(Var v) {
     case Reason::Kind::None:
       break;
     case Reason::Kind::Clause: {
-      const Clause& c = clauses_[static_cast<std::size_t>(info.reason.index)];
-      out = c.lits;
+      const ClauseRef r = info.reason.index;
+      const std::uint32_t n = clause_size(r);
+      out.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) out.push_back(clause_lit(r, i));
       // Put the implied literal first.
       for (std::size_t i = 0; i < out.size(); ++i) {
         if (out[i].var() == v) {
@@ -438,16 +487,19 @@ std::uint32_t SatSolver::compute_lbd(const std::vector<Lit>& lits) {
   return static_cast<std::uint32_t>(levels.size());
 }
 
-void SatSolver::analyze(std::int32_t confl_clause,
+void SatSolver::analyze(ClauseRef confl_clause,
                         const std::vector<Lit>& confl_lits_in,
                         std::vector<Lit>& out_learnt, int& out_btlevel) {
   out_learnt.clear();
   out_learnt.push_back(Lit());  // placeholder for the asserting literal
   std::vector<Lit> conflLits;
-  if (confl_clause >= 0) {
-    Clause& c = clauses_[static_cast<std::size_t>(confl_clause)];
-    if (c.learned) clause_bump(c);
-    conflLits = c.lits;
+  if (confl_clause < kExplicitConflictRef) {
+    if (clause_learned(confl_clause)) clause_bump(confl_clause);
+    const std::uint32_t n = clause_size(confl_clause);
+    conflLits.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      conflLits.push_back(clause_lit(confl_clause, i));
+    }
   } else {
     conflLits = confl_lits_in;
   }
@@ -546,11 +598,14 @@ void SatSolver::var_bump(Var v) {
 
 void SatSolver::var_decay() { var_inc_ /= options_.var_decay; }
 
-void SatSolver::clause_bump(Clause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (std::int32_t id : learned_ids_) {
-      clauses_[static_cast<std::size_t>(id)].activity *= 1e-20;
+void SatSolver::clause_bump(ClauseRef r) {
+  // Clause activities are packed floats; the increment stays a double and
+  // the sum is rounded once per bump.
+  float a = static_cast<float>(clause_activity(r) + clause_inc_);
+  set_clause_activity(r, a);
+  if (a > 1e20f) {
+    for (ClauseRef lr : learned_refs_) {
+      set_clause_activity(lr, clause_activity(lr) * 1e-20f);
     }
     clause_inc_ *= 1e-20;
   }
@@ -581,32 +636,80 @@ Lit SatSolver::pick_branch() {
 void SatSolver::reduce_db() {
   // Keep glue clauses (lbd <= 2) and clauses locked as reasons; drop the
   // least active half of the rest.
-  std::vector<std::int32_t> candidates;
-  std::vector<bool> locked(clauses_.size(), false);
+  std::vector<ClauseRef> locked;
   for (Lit l : trail_) {
     const VarInfo& info = var_info_[static_cast<std::size_t>(l.var())];
     if (info.reason.kind == Reason::Kind::Clause) {
-      locked[static_cast<std::size_t>(info.reason.index)] = true;
+      locked.push_back(info.reason.index);
     }
   }
-  for (std::int32_t id : learned_ids_) {
-    Clause& c = clauses_[static_cast<std::size_t>(id)];
-    if (!c.deleted && c.lbd > 2 && !locked[static_cast<std::size_t>(id)]) {
-      candidates.push_back(id);
+  std::sort(locked.begin(), locked.end());
+  std::vector<ClauseRef> candidates;
+  for (ClauseRef r : learned_refs_) {
+    if (!clause_deleted(r) && clause_lbd(r) > 2 &&
+        !std::binary_search(locked.begin(), locked.end(), r)) {
+      candidates.push_back(r);
     }
   }
   std::sort(candidates.begin(), candidates.end(),
-            [&](std::int32_t a, std::int32_t b) {
-              return clauses_[static_cast<std::size_t>(a)].activity <
-                     clauses_[static_cast<std::size_t>(b)].activity;
+            [&](ClauseRef a, ClauseRef b) {
+              return clause_activity(a) < clause_activity(b);
             });
   std::size_t toDelete = candidates.size() / 2;
   for (std::size_t i = 0; i < toDelete; ++i) {
-    clauses_[static_cast<std::size_t>(candidates[i])].deleted = true;
-    clauses_[static_cast<std::size_t>(candidates[i])].lits.clear();
-    clauses_[static_cast<std::size_t>(candidates[i])].lits.shrink_to_fit();
+    delete_clause(candidates[i]);
     ++stats_.deleted_clauses;
   }
+  // Purge dead refs so learned_refs_.size() is the live learnt count (the
+  // reduction trigger and num_learned_clauses() rely on that).
+  learned_refs_.erase(
+      std::remove_if(learned_refs_.begin(), learned_refs_.end(),
+                     [&](ClauseRef r) { return clause_deleted(r); }),
+      learned_refs_.end());
+  // Compact once a quarter of the arena is dead weight.
+  if (wasted_words_ * 4 >= arena_.size()) garbage_collect();
+}
+
+ClauseRef SatSolver::relocate(ClauseRef r, std::vector<std::uint32_t>& to) {
+  if ((arena_[r] & kRelocBit) != 0) return arena_[r + 1];
+  PSSE_ASSERT(!clause_deleted(r));
+  const ClauseRef nr = static_cast<ClauseRef>(to.size());
+  const std::uint32_t words = kHeaderWords + clause_size(r);
+  for (std::uint32_t i = 0; i < words; ++i) to.push_back(arena_[r + i]);
+  // Leave a forwarding header behind: later references to the old ref
+  // resolve to the new location without a lookup table.
+  arena_[r] |= kRelocBit;
+  arena_[r + 1] = nr;
+  return nr;
+}
+
+void SatSolver::garbage_collect() {
+  std::vector<std::uint32_t> to;
+  to.reserve(arena_.size() - wasted_words_);
+  // Every live clause (size >= 2 by construction) sits in exactly two watch
+  // lists, so walking the watches relocates all of them; trail reasons and
+  // learned_refs_ then resolve through the forwarding headers. Watchers of
+  // deleted clauses are dropped here (propagate skips them lazily until a
+  // GC happens).
+  for (std::vector<Watcher>& ws : watches_) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      Watcher w = ws[i];
+      if ((arena_[w.cref] & kRelocBit) == 0 && clause_deleted(w.cref)) {
+        continue;
+      }
+      ws[j++] = {relocate(w.cref, to), w.blocker};
+    }
+    ws.resize(j);
+  }
+  for (Lit l : trail_) {
+    Reason& r = var_info_[static_cast<std::size_t>(l.var())].reason;
+    if (r.kind == Reason::Kind::Clause) r.index = relocate(r.index, to);
+  }
+  for (ClauseRef& r : learned_refs_) r = relocate(r, to);
+  arena_.swap(to);
+  wasted_words_ = 0;
+  ++stats_.arena_gcs;
 }
 
 void SatSolver::rebuild_order_heap() {
@@ -617,6 +720,77 @@ void SatSolver::rebuild_order_heap() {
   }
 }
 
+void SatSolver::record_learnt(const std::vector<Lit>& lits,
+                              std::uint32_t lbd) {
+  if (options_.exchange == nullptr) return;
+  if (lits.size() > options_.share_max_size || lbd > options_.share_max_lbd) {
+    return;
+  }
+  options_.exchange->export_clause(lits, lbd);
+  ++stats_.clauses_exported;
+}
+
+bool SatSolver::install_implied_clause(const std::vector<Lit>& lits_in,
+                                       std::uint32_t lbd,
+                                       std::uint32_t depth) {
+  PSSE_ASSERT(decision_level() == 0);
+  if (!ok_) return false;
+  // Same normalisation as add_clause, but nothing is logged to the pristine
+  // database: the clause is implied by it, not part of it.
+  std::vector<Lit> lits = lits_in;
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    Lit l = lits[i];
+    PSSE_CHECK(l.var() >= 0 && l.var() < num_vars(),
+               "install_implied_clause: unknown variable");
+    if (i + 1 < lits.size() && lits[i + 1] == ~l) return false;  // tautology
+    LBool v = value(l);
+    if (v == LBool::True) return false;  // already satisfied at level 0
+    if (v == LBool::False) continue;
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    ok_ = false;  // the implied clause is falsified at level 0: UNSAT
+    return true;
+  }
+  if (kept.size() == 1) {
+    if (!enqueue(kept[0], Reason::none())) {
+      ok_ = false;
+      return true;
+    }
+    learnt_units_.push_back({kept[0], depth});
+    return true;
+  }
+  ClauseRef r = alloc_clause(kept, /*learned=*/true,
+                             std::min<std::uint32_t>(lbd, 0xFFFFu), depth);
+  attach_clause(r);
+  learned_refs_.push_back(r);
+  return true;
+}
+
+void SatSolver::import_shared_clauses() {
+  if (options_.exchange == nullptr || !options_.exchange->has_pending()) {
+    return;
+  }
+  PSSE_ASSERT(decision_level() == 0);
+  options_.exchange->import_clauses(import_buf_);
+  for (const std::vector<Lit>& lits : import_buf_) {
+    ++stats_.clauses_imported;
+    if (!ok_) break;
+    // The sender's LBD is not meaningful under this solver's levels; a
+    // size-based pessimistic glue score keeps imports reducible.
+    const std::uint32_t lbd =
+        static_cast<std::uint32_t>(std::min<std::size_t>(lits.size(), 0xFFFF));
+    if (install_implied_clause(lits, lbd, push_depth())) {
+      ++stats_.clauses_accepted;
+    }
+  }
+  import_buf_.clear();
+}
+
 SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
                              const Budget& budget) {
   if (!ok_) return SolveResult::Unsat;
@@ -625,6 +799,9 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
     PSSE_CHECK(a.var() >= 0 && a.var() < num_vars(),
                "solve: unknown assumption variable");
   }
+  // Pick up clauses sibling solvers learned since the last call.
+  import_shared_clauses();
+  if (!ok_) return SolveResult::Unsat;
   const std::uint64_t conflictLimit =
       budget.max_conflicts == 0 ? UINT64_MAX
                                 : stats_.conflicts + budget.max_conflicts;
@@ -655,33 +832,63 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
   std::vector<Lit> learnt;
   std::vector<Lit> theoryConfl;
 
+  // Install a freshly learnt clause (from either conflict-analysis site) and
+  // assert its first literal, which analyze() made asserting at the current
+  // (post-backjump) level.
+  auto learn_clause = [&](const std::vector<Lit>& lits) {
+    if (lits.size() == 1) {
+      bool okEnq = enqueue(lits[0], Reason::none());
+      PSSE_ASSERT(okEnq);
+      // A learnt unit is a level-0 fact; remember its push depth so pop()
+      // can replay it if its derivation survives.
+      learnt_units_.push_back({lits[0], push_depth()});
+      record_learnt(lits, 1);
+    } else {
+      const std::uint32_t lbd = compute_lbd(lits);
+      ClauseRef r = alloc_clause(lits, /*learned=*/true, lbd, push_depth());
+      attach_clause(r);
+      learned_refs_.push_back(r);
+      ++stats_.learned_clauses;
+      bool okEnq = enqueue(lits[0], Reason::clause(r));
+      PSSE_ASSERT(okEnq);
+      record_learnt(lits, lbd);
+    }
+  };
+
   for (;;) {
-    std::int32_t confl = propagate();
+    ClauseRef confl = propagate();
     std::vector<Lit> conflLits;
-    if (confl == kNoConflict) {
+    if (confl == kNoConflictRef) {
       // Propagation fixpoint: consult the theory (lazier configurations
       // skip some fixpoints; the final check below never is).
       if (++fixpointsSinceTheory >= options_.theory_check_period) {
         fixpointsSinceTheory = 0;
         if (!theory_check(false, theoryConfl)) {
-          confl = kExplicitConflict;
+          confl = kExplicitConflictRef;
           conflLits = theoryConfl;
         }
       }
-    } else if (confl == kExplicitConflict) {
+    } else if (confl == kExplicitConflictRef) {
       conflLits = pending_conflict_;
     }
 
-    if (confl != kNoConflict) {
+    if (confl != kNoConflictRef) {
       ++stats_.conflicts;
       ++conflictsSinceRestart;
-      const std::vector<Lit>& cl =
-          confl >= 0 ? clauses_[static_cast<std::size_t>(confl)].lits
-                     : conflLits;
       int conflLevel = 0;
-      for (Lit l : cl) {
-        const int lv = var_info_[static_cast<std::size_t>(l.var())].level;
-        if (lv > conflLevel) conflLevel = lv;
+      if (confl < kExplicitConflictRef) {
+        const std::uint32_t n = clause_size(confl);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const int lv =
+              var_info_[static_cast<std::size_t>(clause_lit(confl, i).var())]
+                  .level;
+          if (lv > conflLevel) conflLevel = lv;
+        }
+      } else {
+        for (Lit l : conflLits) {
+          const int lv = var_info_[static_cast<std::size_t>(l.var())].level;
+          if (lv > conflLevel) conflLevel = lv;
+        }
       }
       // A conflict entirely at level 0 closes the instance.
       if (decision_level() == 0 || conflLevel == 0) {
@@ -693,28 +900,13 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
       // every literal in it below the current decision level. analyze()
       // needs a current-level literal, so first backjump to the conflict's
       // own level (all its literals stay falsified there).
-      if (confl == kExplicitConflict && conflLevel < decision_level()) {
+      if (confl == kExplicitConflictRef && conflLevel < decision_level()) {
         cancel_until(conflLevel);
       }
       int btlevel = 0;
       analyze(confl, conflLits, learnt, btlevel);
       cancel_until(btlevel);
-      if (learnt.size() == 1) {
-        bool okEnq = enqueue(learnt[0], Reason::none());
-        PSSE_ASSERT(okEnq);
-      } else {
-        std::int32_t id = static_cast<std::int32_t>(clauses_.size());
-        Clause c;
-        c.lits = learnt;
-        c.learned = true;
-        c.lbd = compute_lbd(learnt);
-        clauses_.push_back(std::move(c));
-        attach_clause(id);
-        learned_ids_.push_back(id);
-        ++stats_.learned_clauses;
-        bool okEnq = enqueue(learnt[0], Reason::clause(id));
-        PSSE_ASSERT(okEnq);
-      }
+      learn_clause(learnt);
       var_decay();
       clause_inc_ /= 0.999;
 
@@ -722,7 +914,8 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
         cancel_until(0);
         return SolveResult::Unknown;
       }
-      if (learned_ids_.size() > 8000 + 2 * clauses_.size() / 3) {
+      if (learned_refs_.size() >
+          options_.reduce_db_base + 2 * num_problem_clauses_ / 3) {
         reduce_db();
       }
       if (conflictsSinceRestart >= conflictsUntilRestart) {
@@ -730,9 +923,21 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
         ++restartCount;
         conflictsSinceRestart = 0;
         conflictsUntilRestart = options_.restart_base * luby(restartCount);
-        cancel_until(static_cast<int>(assumptions.size()) <= decision_level()
-                         ? static_cast<int>(assumptions.size())
-                         : 0);
+        int restartLevel =
+            static_cast<int>(assumptions.size()) <= decision_level()
+                ? static_cast<int>(assumptions.size())
+                : 0;
+        // Sibling clauses can only be installed at level 0; when some are
+        // waiting, spend this restart going all the way down to fetch them
+        // (assumptions are simply re-decided afterwards).
+        if (options_.exchange != nullptr && options_.exchange->has_pending()) {
+          restartLevel = 0;
+        }
+        cancel_until(restartLevel);
+        if (restartLevel == 0) {
+          import_shared_clauses();
+          if (!ok_) return SolveResult::Unsat;
+        }
       }
       continue;
     }
@@ -789,24 +994,9 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
         if (conflLevel < decision_level()) cancel_until(conflLevel);
         ++stats_.conflicts;
         int btlevel = 0;
-        analyze(kExplicitConflict, theoryConfl, learnt, btlevel);
+        analyze(kExplicitConflictRef, theoryConfl, learnt, btlevel);
         cancel_until(btlevel);
-        if (learnt.size() == 1) {
-          bool okEnq = enqueue(learnt[0], Reason::none());
-          PSSE_ASSERT(okEnq);
-        } else {
-          std::int32_t id = static_cast<std::int32_t>(clauses_.size());
-          Clause c;
-          c.lits = learnt;
-          c.learned = true;
-          c.lbd = compute_lbd(learnt);
-          clauses_.push_back(std::move(c));
-          attach_clause(id);
-          learned_ids_.push_back(id);
-          ++stats_.learned_clauses;
-          bool okEnq = enqueue(learnt[0], Reason::clause(id));
-          PSSE_ASSERT(okEnq);
-        }
+        learn_clause(learnt);
         continue;
       }
       // An interrupted theory check may report "consistent" without having
@@ -838,6 +1028,8 @@ bool SatSolver::model_value(Var v) const {
 
 void SatSolver::push() {
   PSSE_CHECK(decision_level() == 0, "push: not at decision level 0");
+  // Learnt clauses carry their push depth in a 16-bit header field.
+  PSSE_CHECK(save_points_.size() < 0xFFFF, "push: nesting too deep");
   save_points_.push_back(
       {num_vars(), pristine_clauses_.size(), pristine_cards_.size()});
 }
@@ -846,18 +1038,47 @@ void SatSolver::pop() {
   PSSE_CHECK(!save_points_.empty(), "pop without matching push");
   PSSE_CHECK(decision_level() == 0, "pop: not at decision level 0");
   SavePoint sp = save_points_.back();
+  const std::uint32_t oldDepth = push_depth();
   save_points_.pop_back();
 
   pristine_clauses_.resize(sp.num_pristine_clauses);
   pristine_cards_.resize(sp.num_pristine_cards);
 
-  // Rebuild the entire database from the pristine constraints: learned
-  // clauses and level-0 facts derived after the push may depend on popped
-  // constraints, so discarding everything and replaying is the only simple
-  // sound option.
-  stats_.deleted_clauses += learned_ids_.size();
-  learned_ids_.clear();
-  clauses_.clear();
+  // Learnt clauses tagged with a surviving depth d < oldDepth were derived
+  // from constraints (and variables) that all predate the popped push, so
+  // they remain implied by the restored database and are kept. Everything
+  // learnt at the popped depth may depend on popped constraints and is
+  // discarded with the rest of the derived state.
+  struct RetainedClause {
+    std::vector<Lit> lits;
+    std::uint32_t lbd;
+    std::uint32_t depth;
+  };
+  std::vector<RetainedClause> retained;
+  for (ClauseRef r : learned_refs_) {
+    if (clause_deleted(r) || clause_depth(r) >= oldDepth) continue;
+    RetainedClause rc;
+    rc.lbd = clause_lbd(r);
+    rc.depth = clause_depth(r);
+    const std::uint32_t n = clause_size(r);
+    rc.lits.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) rc.lits.push_back(clause_lit(r, i));
+    retained.push_back(std::move(rc));
+  }
+  std::vector<std::pair<Lit, std::uint32_t>> retainedUnits;
+  for (const auto& [l, d] : learnt_units_) {
+    if (d < oldDepth) retainedUnits.push_back({l, d});
+  }
+  stats_.deleted_clauses += learned_refs_.size() - retained.size();
+
+  // Rebuild the database from the pristine constraints: level-0 facts
+  // derived after the push may depend on popped constraints, so the trail
+  // and all simplifications are replayed from scratch.
+  learned_refs_.clear();
+  learnt_units_.clear();
+  arena_.clear();
+  wasted_words_ = 0;
+  num_problem_clauses_ = 0;
   cards_.clear();
   trail_.clear();
   trail_lim_.clear();
@@ -882,20 +1103,33 @@ void SatSolver::pop() {
   for (const auto& lits : pristine_clauses_) add_clause(lits);
   for (const auto& card : pristine_cards_) add_at_most(card.lits, card.bound);
   replaying_ = false;
+
+  // Reinstall the surviving learnt facts and clauses on top of the rebuilt
+  // database. Units are re-logged even when the replay already derived
+  // them, so a later pop can still retain them.
+  for (const auto& [l, d] : retainedUnits) {
+    if (!ok_) break;
+    if (!enqueue(l, Reason::none())) {
+      ok_ = false;
+      break;
+    }
+    learnt_units_.push_back({l, d});
+  }
+  for (const RetainedClause& rc : retained) {
+    if (!ok_) break;
+    install_implied_clause(rc.lits, rc.lbd, rc.depth);
+  }
   rebuild_order_heap();
 }
 
 std::size_t SatSolver::footprint_bytes() const {
-  std::size_t bytes = 0;
-  for (const Clause& c : clauses_) {
-    bytes += sizeof(Clause) + c.lits.capacity() * sizeof(Lit);
-  }
+  std::size_t bytes = arena_.capacity() * sizeof(std::uint32_t);
   for (const Card& c : cards_) {
     bytes += sizeof(Card) + c.lits.capacity() * sizeof(Lit);
   }
   for (const auto& w : watches_) bytes += w.capacity() * sizeof(Watcher);
   for (const auto& o : card_occs_) {
-    bytes += o.capacity() * sizeof(std::int32_t);
+    bytes += o.capacity() * sizeof(std::uint32_t);
   }
   bytes += assigns_.capacity() * sizeof(LBool);
   bytes += var_info_.capacity() * sizeof(VarInfo);
@@ -904,6 +1138,8 @@ std::size_t SatSolver::footprint_bytes() const {
   for (const auto& r : theory_reasons_) bytes += r.capacity() * sizeof(Lit);
   bytes += heap_.capacity() * sizeof(Var);
   bytes += heap_index_.capacity() * sizeof(std::int32_t);
+  bytes += learned_refs_.capacity() * sizeof(ClauseRef);
+  bytes += learnt_units_.capacity() * sizeof(std::pair<Lit, std::uint32_t>);
   return bytes;
 }
 

@@ -1,12 +1,24 @@
 // CDCL SAT solver with native cardinality constraints and a DPLL(T) theory
 // hook.
 //
-// Features: two-watched-literal propagation, first-UIP conflict analysis
-// with clause minimisation, exponential VSIDS activities, phase saving,
-// Luby restarts, LBD-based learned-clause reduction, solving under
-// assumptions, push/pop of the constraint database, and counter-based
-// AtMost-K constraints with lazily reconstructed reasons (no exponential
-// CNF encodings).
+// Features: two-watched-literal propagation over an arena-packed clause
+// database, first-UIP conflict analysis with clause minimisation,
+// exponential VSIDS activities, phase saving, Luby restarts, LBD-based
+// learned-clause reduction with compacting garbage collection, solving
+// under assumptions, push/pop of the constraint database with learnt-clause
+// retention, learned-clause sharing across sibling solvers, and
+// counter-based AtMost-K constraints with lazily reconstructed reasons (no
+// exponential CNF encodings).
+//
+// Clause storage (MiniSat/CaDiCaL-style arena): all clauses live in one
+// contiguous uint32 buffer. A clause is identified by a 32-bit word offset
+// (ClauseRef) and laid out as three header words — flags+size, LBD+push-
+// depth, activity — followed by its literals inline, so propagation walks
+// a flat array instead of chasing per-clause heap nodes. Watchers carry a
+// blocker literal, so most watch-list visits never touch the clause at
+// all. reduce_db() marks victims and, once a quarter of the arena is dead,
+// compacts it in watch-list order, rewriting watcher and reason references
+// through forwarding headers.
 //
 // The theory client (the simplex LRA solver) is attached via TheoryClient;
 // the SAT core notifies it of assignments to theory-mapped literals and asks
@@ -22,6 +34,7 @@
 
 #include "obs/phase.h"
 #include "smt/budget.h"
+#include "smt/clause_exchange.h"
 #include "smt/literal.h"
 
 namespace psse::smt {
@@ -40,6 +53,10 @@ enum class SolveResult { Sat, Unsat, Unknown };
       return "unknown";
   }
 }
+
+/// Word offset of a clause in the arena (see file comment).
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kClauseRefUndef = 0xFFFFFFFFu;
 
 /// A literal the theory found implied by the current assignment: `lit`
 /// holds whenever every literal in `premises` holds (all premises must be
@@ -109,6 +126,16 @@ struct SatStats {
   std::uint64_t theory_checks = 0;
   std::uint64_t theory_conflicts = 0;
   std::uint64_t theory_propagations = 0;
+  /// Compacting arena collections (see reduce_db).
+  std::uint64_t arena_gcs = 0;
+  /// Learnt clauses published to the attached ClauseExchange.
+  std::uint64_t clauses_exported = 0;
+  /// Sibling clauses received from the exchange (before simplification).
+  std::uint64_t clauses_imported = 0;
+  /// Imported clauses actually installed (attached or enqueued as level-0
+  /// facts) after level-0 simplification; the rest were already satisfied
+  /// or vacuous.
+  std::uint64_t clauses_accepted = 0;
 
   /// Field-wise difference against an earlier snapshot of the same solver:
   /// the cost of exactly the work done between the two reads.
@@ -123,6 +150,10 @@ struct SatStats {
     d.theory_checks = theory_checks - earlier.theory_checks;
     d.theory_conflicts = theory_conflicts - earlier.theory_conflicts;
     d.theory_propagations = theory_propagations - earlier.theory_propagations;
+    d.arena_gcs = arena_gcs - earlier.arena_gcs;
+    d.clauses_exported = clauses_exported - earlier.clauses_exported;
+    d.clauses_imported = clauses_imported - earlier.clauses_imported;
+    d.clauses_accepted = clauses_accepted - earlier.clauses_accepted;
     return d;
   }
 };
@@ -154,6 +185,20 @@ struct SatOptions {
   /// into propagations). Off = the pre-propagation search behaviour, for
   /// differential testing and ablation.
   bool theory_propagation = true;
+  /// Learned-DB reduction trigger: reduce once the live learnt count
+  /// exceeds base + 2/3 of the live problem-clause count. Small values
+  /// force frequent reduction + arena GC (stress testing); the default
+  /// reproduces the historical threshold.
+  std::uint32_t reduce_db_base = 8000;
+  /// Learned-clause sharing endpoint; nullptr (the default) disables
+  /// sharing entirely and keeps the serial search bit-identical. The
+  /// pointee must outlive every solve call made with it attached. See
+  /// smt/clause_exchange.h for the soundness contract.
+  ClauseExchange* exchange = nullptr;
+  /// Export filters: only learnt clauses at most this long and with LBD at
+  /// most this are published to the exchange.
+  std::uint32_t share_max_size = 30;
+  std::uint32_t share_max_lbd = 4;
 };
 
 class SatSolver {
@@ -190,7 +235,10 @@ class SatSolver {
   /// Saves the sizes of the constraint database.
   void push();
   /// Restores the previous save point: constraints and variables created
-  /// since the matching push are discarded, as are all learned clauses.
+  /// since the matching push are discarded. Learnt clauses derived at
+  /// surviving depths — whose derivations used only constraints that
+  /// survive the pop — are retained, so incremental callers do not
+  /// re-learn after every checkpoint.
   void pop();
 
   /// Decides satisfiability under the given assumption literals.
@@ -222,17 +270,38 @@ class SatSolver {
   void set_phase_times(obs::PhaseTimes* phases) { phases_ = phases; }
 
   /// Approximate heap footprint of the clause/watch/card databases in
-  /// bytes (Table IV accounting).
+  /// bytes (Table IV accounting). Counts the arena's *capacity*.
   [[nodiscard]] std::size_t footprint_bytes() const;
 
+  /// Arena accounting (Table IV / obs): bytes reserved by the clause arena
+  /// vs bytes occupied by live (non-deleted) clauses. capacity >= used >=
+  /// live; used - live is what the next GC reclaims.
+  [[nodiscard]] std::size_t arena_capacity_bytes() const {
+    return arena_.capacity() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t arena_live_bytes() const {
+    return (arena_.size() - wasted_words_) * sizeof(std::uint32_t);
+  }
+
+  /// Live learnt clauses currently attached (multi-literal ones; learnt
+  /// level-0 units are not counted).
+  [[nodiscard]] std::size_t num_learned_clauses() const {
+    return learned_refs_.size();
+  }
+
  private:
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    std::uint32_t lbd = 0;
-    bool learned = false;
-    bool deleted = false;
-  };
+  // --- Arena clause layout -------------------------------------------------
+  // word 0: flags (bit0 learned, bit1 deleted, bit2 relocated) | size << 3
+  // word 1: lbd (low 16 bits) | push-depth at learning time (high 16 bits);
+  //         holds the forwarding ClauseRef while bit2 of word 0 is set
+  //         (only during garbage_collect()).
+  // word 2: activity (IEEE-754 float bits)
+  // word 3..3+size: literal codes
+  static constexpr std::uint32_t kLearnedBit = 1u;
+  static constexpr std::uint32_t kDeletedBit = 2u;
+  static constexpr std::uint32_t kRelocBit = 4u;
+  static constexpr std::uint32_t kSizeShift = 3u;
+  static constexpr std::uint32_t kHeaderWords = 3u;
 
   struct Card {
     std::vector<Lit> lits;  // at most `bound` of these may be true
@@ -241,19 +310,19 @@ class SatSolver {
     bool deleted = false;
   };
 
-  // Why a variable was assigned. Theory reasons index the theory_reasons_
-  // premise log; the clause is reconstructed lazily in reason_clause, like
-  // cardinality reasons.
+  // Why a variable was assigned. Clause reasons hold an arena ClauseRef
+  // (rewritten by garbage_collect when the clause moves); card reasons
+  // index cards_; theory reasons index the theory_reasons_ premise log.
+  // Card and theory reason clauses are reconstructed lazily in
+  // reason_clause.
   struct Reason {
     enum class Kind : std::uint8_t { None, Clause, Card, Theory } kind =
         Kind::None;
-    std::int32_t index = -1;
+    std::uint32_t index = kClauseRefUndef;
     static Reason none() { return {}; }
-    static Reason clause(std::int32_t id) {
-      return {Kind::Clause, id};
-    }
-    static Reason card(std::int32_t id) { return {Kind::Card, id}; }
-    static Reason theory(std::int32_t id) { return {Kind::Theory, id}; }
+    static Reason clause(ClauseRef ref) { return {Kind::Clause, ref}; }
+    static Reason card(std::uint32_t id) { return {Kind::Card, id}; }
+    static Reason theory(std::uint32_t id) { return {Kind::Theory, id}; }
   };
 
   struct VarInfo {
@@ -263,7 +332,7 @@ class SatSolver {
   };
 
   struct Watcher {
-    std::int32_t clause_id;
+    ClauseRef cref;
     Lit blocker;
   };
 
@@ -286,29 +355,72 @@ class SatSolver {
   [[nodiscard]] int decision_level() const {
     return static_cast<int>(trail_lim_.size());
   }
+  [[nodiscard]] std::uint32_t push_depth() const {
+    return static_cast<std::uint32_t>(save_points_.size());
+  }
 
-  void attach_clause(std::int32_t id);
-  void attach_card(std::int32_t id);
+  // Arena accessors. Refs stay valid across allocations (offsets into a
+  // growing buffer); raw pointers into the arena do not survive alloc_.
+  ClauseRef alloc_clause(const std::vector<Lit>& lits, bool learned,
+                         std::uint32_t lbd, std::uint32_t depth);
+  [[nodiscard]] std::uint32_t clause_size(ClauseRef r) const {
+    return arena_[r] >> kSizeShift;
+  }
+  [[nodiscard]] bool clause_learned(ClauseRef r) const {
+    return (arena_[r] & kLearnedBit) != 0;
+  }
+  [[nodiscard]] bool clause_deleted(ClauseRef r) const {
+    return (arena_[r] & kDeletedBit) != 0;
+  }
+  [[nodiscard]] std::uint32_t clause_lbd(ClauseRef r) const {
+    return arena_[r + 1] & 0xFFFFu;
+  }
+  [[nodiscard]] std::uint32_t clause_depth(ClauseRef r) const {
+    return arena_[r + 1] >> 16;
+  }
+  [[nodiscard]] Lit clause_lit(ClauseRef r, std::uint32_t i) const {
+    return Lit::from_code(
+        static_cast<std::int32_t>(arena_[r + kHeaderWords + i]));
+  }
+  [[nodiscard]] float clause_activity(ClauseRef r) const;
+  void set_clause_activity(ClauseRef r, float a);
+  void delete_clause(ClauseRef r);
+
+  void attach_clause(ClauseRef r);
+  void attach_card(std::uint32_t id);
   bool enqueue(Lit l, Reason reason);
-  // Returns conflicting clause id, or -1 and fills card/theory conflict
-  // state. kNoConflict when propagation reached a fixpoint.
-  std::int32_t propagate();
+  // Returns conflicting clause ref, kExplicitConflictRef with
+  // pending_conflict_ filled for card/theory conflicts, or kNoConflictRef
+  // when propagation reached a fixpoint.
+  ClauseRef propagate();
   void cancel_until(int level);
-  void analyze(std::int32_t confl_clause,
-               const std::vector<Lit>& confl_lits_in,
+  void analyze(ClauseRef confl_clause, const std::vector<Lit>& confl_lits_in,
                std::vector<Lit>& out_learnt, int& out_btlevel);
   // The clause (implied lit first) justifying an assignment.
   std::vector<Lit> reason_clause(Var v);
   void var_bump(Var v);
   void var_decay();
-  void clause_bump(Clause& c);
+  void clause_bump(ClauseRef r);
   Lit pick_branch();
   std::uint64_t next_rand();
   void reduce_db();
+  ClauseRef relocate(ClauseRef r, std::vector<std::uint32_t>& to);
+  void garbage_collect();
   void rebuild_order_heap();
   std::uint32_t compute_lbd(const std::vector<Lit>& lits);
   bool theory_check(bool final, std::vector<Lit>& confl);
-  void remove_learned_clauses();
+  // Publishes a just-learnt clause to the exchange when the export filters
+  // (share_max_size / share_max_lbd) pass. No-op without an exchange.
+  void record_learnt(const std::vector<Lit>& lits, std::uint32_t lbd);
+  // Installs a clause implied by the current constraint database at
+  // decision level 0, simplifying against the level-0 assignment. Used by
+  // the sharing import path and by pop()'s learnt retention. Updates
+  // clause/unit bookkeeping but no stats counters; returns true if the
+  // clause was installed (attached or enqueued) rather than discarded as
+  // satisfied/vacuous.
+  bool install_implied_clause(const std::vector<Lit>& lits,
+                              std::uint32_t lbd, std::uint32_t depth);
+  void import_shared_clauses();
 
   // Heap-backed VSIDS order (simple binary heap keyed by activity).
   void heap_insert(Var v);
@@ -319,10 +431,15 @@ class SatSolver {
 
   TheoryClient* theory_ = nullptr;
 
-  std::deque<Clause> clauses_;
+  // Clause arena (see layout above) and the words dead clauses occupy;
+  // garbage_collect() compacts once a quarter of the arena is dead.
+  std::vector<std::uint32_t> arena_;
+  std::size_t wasted_words_ = 0;
+  std::size_t num_problem_clauses_ = 0;  // live non-learnt clauses
+
   std::deque<Card> cards_;
   std::vector<std::vector<Watcher>> watches_;     // indexed by lit code
-  std::vector<std::vector<std::int32_t>> card_occs_;  // lit code -> card ids
+  std::vector<std::vector<std::uint32_t>> card_occs_;  // lit code -> card ids
 
   std::vector<LBool> assigns_;
   std::vector<VarInfo> var_info_;
@@ -348,7 +465,12 @@ class SatSolver {
 
   bool ok_ = true;  // false once UNSAT at level 0
   std::vector<bool> model_;
-  std::vector<std::int32_t> learned_ids_;
+  // Live learnt clauses (multi-literal), in learning/import order; purged
+  // of deleted entries at the end of each reduce_db.
+  std::vector<ClauseRef> learned_refs_;
+  // Learnt level-0 unit facts with the push-depth they were derived at, so
+  // pop() can replay the ones whose derivations survive.
+  std::vector<std::pair<Lit, std::uint32_t>> learnt_units_;
   std::vector<SavePoint> save_points_;
 
   // Constraints exactly as the user gave them, so pop() can rebuild the
@@ -367,6 +489,7 @@ class SatSolver {
   // pop() clears the log with the trail.
   std::vector<std::vector<Lit>> theory_reasons_;
   std::vector<TheoryPropagation> theory_props_;  // scratch for theory_check
+  std::vector<std::vector<Lit>> import_buf_;     // scratch for imports
 
   // Temporaries for analyze().
   std::vector<bool> seen_;

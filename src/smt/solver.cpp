@@ -293,6 +293,8 @@ SolverStats Solver::stats() const {
   st.num_real_vars = static_cast<std::size_t>(simplex_.num_vars());
   st.footprint_bytes = sat_.footprint_bytes() + simplex_.footprint_bytes() +
                        terms_.footprint_bytes();
+  st.arena_capacity_bytes = sat_.arena_capacity_bytes();
+  st.arena_live_bytes = sat_.arena_live_bytes();
   return st;
 }
 

@@ -50,6 +50,11 @@ struct SolverStats {
   std::size_t num_bool_vars = 0;
   std::size_t num_real_vars = 0;
   std::size_t footprint_bytes = 0;
+  /// Clause-arena accounting (gauges): bytes the arena has reserved vs
+  /// bytes occupied by live clauses. The gap is fragmentation the next
+  /// compacting GC reclaims (see SatStats::arena_gcs).
+  std::size_t arena_capacity_bytes = 0;
+  std::size_t arena_live_bytes = 0;
 
   /// Per-call effort against an earlier stats() snapshot of the same
   /// solver: counters become deltas, gauges keep their current values.

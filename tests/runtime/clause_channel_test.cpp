@@ -1,0 +1,270 @@
+// The learned-clause sharing channel: single-thread ring semantics (no
+// self-import, drop-oldest bounding, late-joiner backlog, has_pending
+// accounting), multi-threaded export/import races (run under TSan by the
+// tsan preset), and end-to-end sharing through real solvers — raw CDCL
+// pairs, the verification portfolio, and parallel CEGIS.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "core/scenario.h"
+#include "core/synthesis.h"
+#include "runtime/clause_channel.h"
+#include "runtime/portfolio.h"
+#include "smt/sat_solver.h"
+
+namespace psse {
+namespace {
+
+using smt::Lit;
+using smt::SatOptions;
+using smt::SatSolver;
+using smt::SolveResult;
+using smt::Var;
+
+std::vector<Lit> unit(Var v) { return {Lit::pos(v)}; }
+
+TEST(ClauseChannel, NoSelfImportAndCursorAdvance) {
+  runtime::ClauseChannel channel;
+  smt::ClauseExchange* a = channel.make_endpoint();
+  smt::ClauseExchange* b = channel.make_endpoint();
+
+  EXPECT_FALSE(a->has_pending());
+  EXPECT_FALSE(b->has_pending());
+
+  a->export_clause(unit(1), 1);
+  a->export_clause(unit(2), 1);
+  // Own exports are not pending for the exporter, but are for siblings.
+  EXPECT_FALSE(a->has_pending());
+  EXPECT_TRUE(b->has_pending());
+
+  std::vector<std::vector<Lit>> got;
+  b->import_clauses(got);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], unit(1));
+  EXPECT_EQ(got[1], unit(2));
+  EXPECT_FALSE(b->has_pending());
+  b->import_clauses(got);
+  EXPECT_TRUE(got.empty());
+
+  // Traffic flows both ways; an import drains only sibling clauses.
+  b->export_clause(unit(3), 1);
+  a->export_clause(unit(4), 1);
+  EXPECT_TRUE(a->has_pending());
+  a->import_clauses(got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], unit(3));
+  EXPECT_EQ(channel.published(), 4u);
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(ClauseChannel, BoundedRingDropsOldest) {
+  runtime::ClauseChannel channel(4);
+  smt::ClauseExchange* a = channel.make_endpoint();
+  smt::ClauseExchange* b = channel.make_endpoint();
+  for (Var v = 0; v < 6; ++v) a->export_clause(unit(v), 1);
+  EXPECT_EQ(channel.published(), 6u);
+  EXPECT_EQ(channel.dropped(), 2u);
+
+  std::vector<std::vector<Lit>> got;
+  EXPECT_TRUE(b->has_pending());
+  b->import_clauses(got);
+  // The two oldest were evicted; the survivors arrive in publish order.
+  ASSERT_EQ(got.size(), 4u);
+  for (Var v = 2; v < 6; ++v) EXPECT_EQ(got[static_cast<std::size_t>(v - 2)], unit(v));
+  EXPECT_FALSE(b->has_pending());
+}
+
+TEST(ClauseChannel, LateJoinerSeesBacklog) {
+  runtime::ClauseChannel channel;
+  smt::ClauseExchange* a = channel.make_endpoint();
+  a->export_clause(unit(0), 1);
+  a->export_clause(unit(1), 1);
+
+  smt::ClauseExchange* late = channel.make_endpoint();
+  EXPECT_TRUE(late->has_pending());
+  std::vector<std::vector<Lit>> got;
+  late->import_clauses(got);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+// Four producer/consumer threads racing on one channel. Capacity is large
+// enough that nothing is dropped, so every endpoint must end up with
+// exactly the other threads' clauses — and never one of its own. TSan
+// checks the locking discipline.
+TEST(ClauseChannel, ConcurrentExportImport) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  runtime::ClauseChannel channel(8192);
+  std::vector<smt::ClauseExchange*> endpoints;
+  for (int t = 0; t < kThreads; ++t) {
+    endpoints.push_back(channel.make_endpoint());
+  }
+
+  std::vector<std::size_t> received(kThreads, 0);
+  std::vector<bool> sawOwn(kThreads, false);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::vector<Lit>> got;
+      for (int i = 0; i < kPerThread; ++i) {
+        // The clause encodes its producer, so importers can detect
+        // self-import. Var = thread id.
+        endpoints[static_cast<std::size_t>(t)]->export_clause(
+            unit(static_cast<Var>(t)), 1);
+        if (i % 16 == 0 &&
+            endpoints[static_cast<std::size_t>(t)]->has_pending()) {
+          endpoints[static_cast<std::size_t>(t)]->import_clauses(got);
+          for (const auto& cl : got) {
+            if (cl[0].var() == t) sawOwn[static_cast<std::size_t>(t)] = true;
+            ++received[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Final drain after the join (the join's happens-before hands each
+  // endpoint back to this thread): now every sibling clause must be there.
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<std::vector<Lit>> got;
+    endpoints[static_cast<std::size_t>(t)]->import_clauses(got);
+    for (const auto& cl : got) {
+      if (cl[0].var() == t) sawOwn[static_cast<std::size_t>(t)] = true;
+      ++received[static_cast<std::size_t>(t)];
+    }
+  }
+
+  EXPECT_EQ(channel.published(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(channel.dropped(), 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_FALSE(sawOwn[static_cast<std::size_t>(t)]) << t;
+    EXPECT_EQ(received[static_cast<std::size_t>(t)],
+              static_cast<std::size_t>((kThreads - 1) * kPerThread))
+        << t;
+  }
+}
+
+// Pigeonhole: n+1 pigeons in n holes (UNSAT, learning-heavy).
+void add_pigeonhole(SatSolver& s, int holes) {
+  int pigeons = holes + 1;
+  std::vector<std::vector<Var>> p(pigeons);
+  for (int i = 0; i < pigeons; ++i) {
+    for (int h = 0; h < holes; ++h) p[i].push_back(s.new_var());
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit::pos(p[i][h]));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int i = 0; i < pigeons; ++i) {
+      for (int j = i + 1; j < pigeons; ++j) {
+        s.add_clause({Lit::neg(p[i][h]), Lit::neg(p[j][h])});
+      }
+    }
+  }
+}
+
+// Two solvers over clones of one formula: the second solve starts by
+// importing everything the first learnt and must reach the same verdict.
+TEST(ClauseSharing, SequentialSolversImportSiblingClauses) {
+  runtime::ClauseChannel channel;
+  SatSolver first, second;
+  SatOptions opts;
+  opts.exchange = channel.make_endpoint();
+  first.set_options(opts);
+  opts.exchange = channel.make_endpoint();
+  second.set_options(opts);
+  add_pigeonhole(first, 5);
+  add_pigeonhole(second, 5);
+
+  EXPECT_EQ(first.solve(), SolveResult::Unsat);
+  EXPECT_GT(first.stats().clauses_exported, 0u);
+
+  EXPECT_EQ(second.solve(), SolveResult::Unsat);
+  EXPECT_GT(second.stats().clauses_imported, 0u);
+  EXPECT_GT(second.stats().clauses_accepted, 0u);
+}
+
+// The same pair racing on two threads: imports happen at restart
+// boundaries mid-search. Both must still answer UNSAT. (TSan coverage for
+// the full export/import path through real solvers.)
+TEST(ClauseSharing, ConcurrentSolversAgree) {
+  runtime::ClauseChannel channel;
+  SatSolver a, b;
+  SatOptions opts;
+  opts.restart_base = 3;  // frequent restarts = frequent import points
+  opts.exchange = channel.make_endpoint();
+  a.set_options(opts);
+  opts.default_phase = true;  // diversify so the race is a real race
+  opts.exchange = channel.make_endpoint();
+  b.set_options(opts);
+  add_pigeonhole(a, 6);
+  add_pigeonhole(b, 6);
+
+  SolveResult ra = SolveResult::Unknown, rb = SolveResult::Unknown;
+  std::thread ta([&] { ra = a.solve(); });
+  std::thread tb([&] { rb = b.solve(); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(ra, SolveResult::Unsat);
+  EXPECT_EQ(rb, SolveResult::Unsat);
+  EXPECT_GT(channel.published(), 0u);
+}
+
+core::Scenario load_scenario(const char* name) {
+  return core::Scenario::load(std::string(PSSE_DATA_DIR) + "/" + name);
+}
+
+// Sharing is an accelerator, never an answer-changer: the portfolio with
+// clause sharing on must return the serial verdict.
+TEST(ClauseSharing, PortfolioVerdictUnchangedBySharing) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  core::VerificationResult serial = model.verify();
+
+  runtime::PortfolioOptions opt;
+  opt.num_threads = 2;
+  opt.share_clauses = true;
+  runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+  EXPECT_EQ(pr.result(), serial.result);
+  if (pr.result() == smt::SolveResult::Sat) {
+    ASSERT_TRUE(pr.verification.attack.has_value());
+  }
+}
+
+// Parallel CEGIS with a sharing hub: same status as the serial loop, and
+// the returned architecture genuinely blocks every attack.
+TEST(ClauseSharing, ParallelCegisWithSharingAgreesWithSerial) {
+  core::Scenario sc = load_scenario("ieee57_synthesis.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  core::SynthesisOptions opt = sc.synthesis;
+  if (opt.max_secured_buses == 0) {
+    opt.max_secured_buses = sc.grid.num_buses();
+  }
+
+  core::SecurityArchitectureSynthesizer serial(model, opt);
+  core::SynthesisResult serialResult = serial.synthesize();
+
+  runtime::ClauseChannel channel;
+  opt.parallel_candidates = 3;
+  opt.share_clauses = &channel;
+  core::SecurityArchitectureSynthesizer shared(model, opt);
+  core::SynthesisResult sharedResult = shared.synthesize();
+
+  ASSERT_EQ(serialResult.status, core::SynthesisResult::Status::Found);
+  EXPECT_EQ(sharedResult.status, serialResult.status);
+  core::VerificationResult check =
+      model.verify_with_secured_buses(sharedResult.secured_buses);
+  EXPECT_EQ(check.result, smt::SolveResult::Unsat);
+}
+
+}  // namespace
+}  // namespace psse
