@@ -1,0 +1,165 @@
+// service_throughput: warm delta-solve sweeps through the analytics
+// service vs. cold per-point re-encoding.
+//
+// The workload is the IEEE 57-bus verification scenario's resource sweep
+// (T_CZ = 4..28, the fig. 4(c) axis): the question a long-lived analytics
+// deployment answers all day. "cold" rebuilds a full UfdiAttackModel per
+// point, the pre-service workflow; "warm" routes one server-side sweep
+// through AnalyticsService, so every point after the first runs as a
+// push/pop delta on one persistent kBase session that keeps its learnt
+// clauses (and its phase saving) across queries. Encode reuse is worth a
+// few ms; the learnt-clause carry-over is the headline — hard mid-range
+// points (T_CZ 16, 20 cold-solve in the hundreds of ms) collapse to
+// sub-ms once earlier points have seeded the clause database.
+//
+// Verdicts must be identical down both columns — a speedup that changes
+// an answer is a bug, and the bench exits nonzero on any mismatch.
+//
+// --json emits one line per mode (run "pr6_service", modes cold/warm)
+// with total ms, qps, the warm service's p50/p95/p99 solve latencies, and
+// the warm row's speedup; BENCH_smt.json keeps the recorded runs.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "service/analytics_service.h"
+
+using namespace psse;
+
+namespace {
+
+constexpr double kTimeLimitSeconds = 300;
+
+const char* verdict_name(smt::SolveResult r) {
+  switch (r) {
+    case smt::SolveResult::Sat:
+      return "SAT";
+    case smt::SolveResult::Unsat:
+      return "UNSAT";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+double now_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
+  std::string dataDir = PSSE_DATA_DIR;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") dataDir = argv[i];
+  }
+  core::Scenario sc;
+  try {
+    sc = core::Scenario::load(dataDir + "/ieee57_verification.scn");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::vector<double> caps;
+  for (int cap = 4; cap <= 28; cap += 2) caps.push_back(cap);
+
+  bench::header("Service throughput (ieee57 resource sweep)",
+                "a warm kBase session answering T_CZ deltas beats "
+                "per-point re-encoding by >=3x with identical verdicts");
+
+  // Cold: the pre-service workflow — fresh full encode per point.
+  std::vector<smt::SolveResult> coldVerdicts;
+  std::vector<double> coldMs;
+  const auto coldStart = std::chrono::steady_clock::now();
+  for (double cap : caps) {
+    core::AttackSpec spec = sc.spec;
+    spec.max_altered_measurements = static_cast<int>(cap);
+    const auto pointStart = std::chrono::steady_clock::now();
+    const core::VerificationResult r =
+        bench::verify_run(sc.grid, sc.plan, spec, kTimeLimitSeconds);
+    coldMs.push_back(now_ms(pointStart));
+    coldVerdicts.push_back(r.result);
+  }
+  const double coldTotalMs = now_ms(coldStart);
+
+  // Warm: one server-side sweep; a single worker keeps the comparison
+  // sequential-vs-sequential (the speedup measures solver reuse, not
+  // parallelism), and the memo is off so every point really solves.
+  service::ServiceOptions options;
+  options.threads = 1;
+  options.default_time_limit_seconds = kTimeLimitSeconds;
+  service::AnalyticsService svc(options);
+  service::SweepRequest sweep;
+  sweep.id = "tcz";
+  sweep.scenario = sc;
+  sweep.axis = service::SweepAxis::kMaxMeasurements;
+  sweep.values = caps;
+  sweep.use_memo = false;
+  const auto warmStart = std::chrono::steady_clock::now();
+  std::vector<std::future<service::ServiceResponse>> futures =
+      svc.submit_sweep(sweep);
+  std::vector<service::ServiceResponse> warm;
+  warm.reserve(futures.size());
+  for (auto& f : futures) warm.push_back(f.get());
+  const double warmTotalMs = now_ms(warmStart);
+  const service::ServiceStats stats = svc.stats();
+
+  std::printf("%-8s %10s %10s %8s %8s %12s\n", "T_CZ", "cold_ms", "warm_ms",
+              "cold", "warm", "session");
+  bool mismatch = false;
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    if (!warm[k].ok()) {
+      std::fprintf(stderr, "error: point %zu: %s\n", k,
+                   warm[k].error.c_str());
+      return 1;
+    }
+    if (warm[k].verdict != coldVerdicts[k]) mismatch = true;
+    std::printf("%-8.0f %10.1f %10.1f %8s %8s %12s\n", caps[k], coldMs[k],
+                warm[k].solve_seconds * 1000.0,
+                verdict_name(coldVerdicts[k]),
+                verdict_name(warm[k].verdict),
+                warm[k].session_hit ? "hit" : "miss");
+  }
+  const double speedup = warmTotalMs > 0 ? coldTotalMs / warmTotalMs : 0;
+  std::printf("\ntotal: cold %.1f ms, warm %.1f ms, speedup %.2fx\n",
+              coldTotalMs, warmTotalMs, speedup);
+  std::printf("warm service: session hits %llu/%llu, solve p50/p95/p99 = "
+              "%llu/%llu/%llu us\n",
+              static_cast<unsigned long long>(stats.sessions.hits),
+              static_cast<unsigned long long>(stats.sessions.hits +
+                                              stats.sessions.misses),
+              static_cast<unsigned long long>(stats.solve_p50_us),
+              static_cast<unsigned long long>(stats.solve_p95_us),
+              static_cast<unsigned long long>(stats.solve_p99_us));
+  if (mismatch) {
+    std::fprintf(stderr, "error: warm/cold verdict mismatch\n");
+    return 1;
+  }
+
+  const double n = static_cast<double>(caps.size());
+  bench::JsonLine(json, "service_throughput", "ieee57_resource_sweep")
+      .field("run", "pr6_service")
+      .field("mode", "cold")
+      .field("points", static_cast<std::uint64_t>(caps.size()))
+      .field("ms", coldTotalMs)
+      .field("qps", 1000.0 * n / coldTotalMs)
+      .emit();
+  bench::JsonLine(json, "service_throughput", "ieee57_resource_sweep")
+      .field("run", "pr6_service")
+      .field("mode", "warm")
+      .field("points", static_cast<std::uint64_t>(caps.size()))
+      .field("ms", warmTotalMs)
+      .field("qps", 1000.0 * n / warmTotalMs)
+      .field("solve_p50_us", stats.solve_p50_us)
+      .field("solve_p95_us", stats.solve_p95_us)
+      .field("solve_p99_us", stats.solve_p99_us)
+      .field("speedup", speedup)
+      .emit();
+  return 0;
+}

@@ -67,6 +67,76 @@ else
   echo "== ci: trace smoke skipped (no python3) =="
 fi
 
+# Service smoke: pipe a 20-request mixed workload (verify, server-side
+# sweeps, interleaved stats) through the analytics server and validate
+# every response line with an independent JSON parser. Catches protocol
+# regressions — escaping, response ordering, in-band errors — that the
+# unit tests' hand-built requests might miss, because the requests here
+# are generated from the shipped data/ scenarios.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== ci: analytics_server smoke =="
+  server=""
+  for candidate in build/examples/analytics_server \
+                   build/default/examples/analytics_server; do
+    [ -x "${candidate}" ] && server="${candidate}" && break
+  done
+  if [ -z "${server}" ]; then
+    echo "ci: analytics_server binary not found" >&2
+    exit 1
+  fi
+  python3 -c '
+import json, os
+reqs = []
+scns = sorted(f for f in os.listdir("data") if f.endswith(".scn"))
+# 8 file-backed verifies (one per shipped scenario)...
+for i, name in enumerate(scns):
+    reqs.append({"op": "verify", "id": f"v{i}",
+                 "scenario_file": os.path.join("data", name)})
+# ...two 4-point server-side sweeps (resource + secured axes)...
+reqs.append({"op": "sweep", "id": "s0",
+             "scenario_file": "data/ieee14_objective2.scn",
+             "axis": "max-measurements", "values": [2, 4, 5, 8]})
+reqs.append({"op": "sweep", "id": "s1",
+             "scenario_file": "data/ieee14_objective2.scn",
+             "axis": "secure-measurement", "values": [46, 1, 32, 12]})
+# ...a repeat (must hit the result memo), an inline scenario, one
+# in-band parse error, and a stats probe: 20 response lines total.
+reqs.append({"op": "verify", "id": "rep",
+             "scenario_file": "data/ieee14_objective2.scn"})
+reqs.append({"op": "verify", "id": "inl",
+             "scenario": "case ieee14\ntarget-only 12\n"
+                         "max-measurements 6\n"})
+reqs.append({"op": "verify", "id": "bad", "scenario": "caze nope\n"})
+reqs.append({"op": "stats"})
+print("\n".join(json.dumps(r) for r in reqs))
+' | "${server}" --threads "${jobs}" | python3 -c '
+import json, sys
+lines = [json.loads(l) for l in sys.stdin]   # every line must parse
+assert len(lines) == 20, f"expected 20 response lines, got {len(lines)}"
+for l in lines:
+    json.dumps(l)  # and re-serialise
+    assert ("verdict" in l) or (l.get("ok") is False) or ("requests" in l), l
+errors = [l for l in lines if l.get("ok") is False]
+# The malformed scenario fails at parse time, before it has an id or
+# reaches the service: one in-band error line, id empty.
+assert len(errors) == 1 and errors[0]["id"] == "", errors
+sweep0 = {l["sweep_index"]: l["verdict"]
+          for l in lines if l.get("id", "").startswith("s0[")}
+assert sweep0 == {0: "unsat", 1: "unsat", 2: "sat", 3: "sat"}, sweep0
+rep = [l for l in lines if l.get("id") == "rep"]
+assert len(rep) == 1 and rep[0]["memo_hit"], rep
+# 9 verifies + inline + 2x4 sweep points reached the service; the parse
+# error did not.
+stats = lines[-1]
+assert stats["requests"] == 18 and stats["errors"] == 0, stats
+p99, hits = stats["solve_p99_us"], stats["session_hits"]
+print(f"ci: analytics_server {len(lines)} response lines OK "
+      f"(p99 solve {p99} us, session hits {hits})")
+'
+else
+  echo "== ci: analytics_server smoke skipped (no python3) =="
+fi
+
 # Microbench smoke: the SMT microbenchmarks must still run and emit valid
 # google-benchmark JSON under --json (one object, non-empty "benchmarks").
 # A single repetition with a tiny time budget — this guards the harness and

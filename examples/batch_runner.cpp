@@ -1,39 +1,44 @@
-// batch_runner: fan a directory of scenario files across the thread pool.
+// batch_runner: fan a directory of scenario files across the analytics
+// service.
 //
 //   batch_runner [--threads N] [--portfolio M] [--time-limit S]
 //                [--trace FILE] <dir>
 //
 // Every `.scn` file under <dir> (sorted, non-recursive) becomes one
-// verification job on the pool; each job prints exactly one JSON line to
-// stdout, so the output is directly `jq`-able:
+// service request; each prints exactly one JSON line to stdout, in file
+// order, so the output is directly `jq`-able:
 //
 //   {"scenario":"ieee14_verification","verdict":"SAT","seconds":0.012,
-//    "decisions":1201,"conflicts":54,"pivots":3310}
+//    "decisions":1201,"conflicts":54,"pivots":3310,
+//    "fingerprint":"91c5ad3e2f08b1d4"}
 //
-// With --portfolio M each job races an M-member diversified portfolio
-// (runtime::verify_portfolio) instead of a single serial solve, and the
-// line additionally reports the winning configuration. With --trace FILE
-// every solve additionally journals structured events (obs::TraceSink,
-// one JSON object per line) to FILE — the sink is thread-safe, so all
-// pool workers share it. Scenarios that fail to parse produce an "error"
-// line instead of aborting the batch.
+// Routing through service::AnalyticsService means scenarios sharing a
+// family (same grid/plan/base spec, different resource caps or secured
+// sets) reuse one warm solver session, and repeated scenarios answer from
+// the result memo. With --portfolio M each request races an M-member
+// diversified portfolio (runtime::verify_portfolio) on fresh clones
+// instead, and the line additionally reports the winning configuration.
+// With --trace FILE the service journals one "service_request" event per
+// scenario plus a closing "service_stats" event to FILE.
+//
+// Scenarios that fail to parse or solve produce an "error" line instead of
+// aborting the batch; the exit status is 1 when *any* line carried an
+// error, so CI pipelines fail loudly instead of trusting a half-empty
+// batch.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "core/attack_model.h"
 #include "core/scenario.h"
 #include "obs/json_writer.h"
 #include "obs/trace.h"
-#include "runtime/portfolio.h"
-#include "runtime/thread_pool.h"
+#include "service/analytics_service.h"
 
 using namespace psse;
 
@@ -52,7 +57,7 @@ const char* verdict_name(smt::SolveResult r) {
 
 struct Config {
   std::size_t threads = 4;
-  std::size_t portfolio = 0;  // 0 = plain serial verify per scenario
+  std::size_t portfolio = 0;  // 0 = warm single-session verify per scenario
   double time_limit_seconds = 0;
   std::string trace_path;
   std::string dir;
@@ -64,6 +69,13 @@ int usage(const char* argv0) {
                "[--trace FILE] <scenario-dir>\n",
                argv0);
   return 2;
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
 }
 
 }  // namespace
@@ -116,12 +128,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  smt::Budget budget;
-  if (cfg.time_limit_seconds > 0) {
-    budget.max_time = std::chrono::milliseconds(
-        static_cast<long>(cfg.time_limit_seconds * 1000));
-  }
-
   std::unique_ptr<obs::TraceSink> sink;
   if (!cfg.trace_path.empty()) {
     try {
@@ -131,69 +137,62 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  const obs::Config trace{sink.get()};
 
-  // One scenario per pool task; stdout is the shared resource, so each
-  // task formats its whole line first and prints it under the mutex.
-  std::mutex outMu;
-  bool anyError = false;
-  runtime::ThreadPool pool(cfg.threads);
-  std::vector<std::future<void>> jobs;
+  service::ServiceOptions options;
+  options.threads = cfg.threads;
+  options.default_time_limit_seconds = cfg.time_limit_seconds;
+  options.trace = obs::Config{sink.get()};
+  service::AnalyticsService svc(options);
+
+  // Load + submit everything first (parse failures become error lines with
+  // no service round-trip), then print responses in file order.
+  struct Job {
+    std::string name;
+    std::string parse_error;
+    std::future<service::ServiceResponse> response;
+  };
+  std::vector<Job> jobs;
   jobs.reserve(files.size());
   for (const std::filesystem::path& path : files) {
-    jobs.push_back(pool.submit([&, path] {
-      const std::string name = path.stem().string();
-      std::string line;
-      bool failed = false;
-      try {
-        core::Scenario sc = core::Scenario::load(path.string());
-        core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
-        model.set_trace(trace);
-        core::VerificationResult r;
-        std::string winner;
-        if (cfg.portfolio > 0) {
-          runtime::PortfolioOptions popt;
-          popt.num_threads = cfg.portfolio;
-          popt.budget = budget;
-          popt.trace = trace;
-          runtime::PortfolioResult pr =
-              runtime::verify_portfolio(model, popt);
-          r = std::move(pr.verification);
-          r.seconds = pr.seconds;
-          if (pr.winner >= 0) {
-            winner = pr.members[static_cast<std::size_t>(pr.winner)].label;
-          }
-        } else {
-          r = model.verify(budget);
-        }
-        obs::JsonWriter w;
-        w.field("scenario", name);
-        w.field("verdict", verdict_name(r.result));
-        w.field("seconds", r.seconds);
-        w.field("decisions", r.stats.sat.decisions);
-        w.field("conflicts", r.stats.sat.conflicts);
-        w.field("pivots", r.stats.pivots);
-        if (!winner.empty()) w.field("winner", winner);
-        line = w.str();
-        if (trace.enabled()) {
-          obs::Event("batch_scenario")
-              .field("scenario", name)
-              .field("verdict", verdict_name(r.result))
-              .field("seconds", r.seconds)
-              .emit(trace);
-        }
-      } catch (const std::exception& e) {
-        obs::JsonWriter w;
-        w.field("scenario", name);
-        w.field("error", std::string_view(e.what()));
-        line = w.str();
-        failed = true;
-      }
-      std::lock_guard<std::mutex> lock(outMu);
-      std::puts(line.c_str());
-      if (failed) anyError = true;
-    }));
+    Job job;
+    job.name = path.stem().string();
+    try {
+      service::ServiceRequest req;
+      req.id = job.name;
+      req.scenario = core::Scenario::load(path.string());
+      req.time_limit_seconds = cfg.time_limit_seconds;
+      req.portfolio = cfg.portfolio;
+      job.response = svc.submit(std::move(req));
+    } catch (const std::exception& e) {
+      job.parse_error = e.what();
+    }
+    jobs.push_back(std::move(job));
   }
-  for (std::future<void>& j : jobs) j.wait();
+
+  bool anyError = false;
+  for (Job& job : jobs) {
+    obs::JsonWriter w;
+    w.field("scenario", job.name);
+    if (!job.parse_error.empty()) {
+      w.field("error", std::string_view(job.parse_error));
+      anyError = true;
+    } else {
+      const service::ServiceResponse r = job.response.get();
+      if (!r.ok()) {
+        w.field("error", std::string_view(r.error));
+        anyError = true;
+      } else {
+        w.field("verdict", verdict_name(r.verdict));
+        w.field("seconds", r.solve_seconds);
+        w.field("decisions", r.decisions);
+        w.field("conflicts", r.conflicts);
+        w.field("pivots", r.pivots);
+        if (!r.winner.empty()) w.field("winner", r.winner);
+        w.field("fingerprint", fp_hex(r.fingerprint));
+      }
+    }
+    std::puts(w.str().c_str());
+  }
+  svc.emit_stats();
   return anyError ? 1 : 0;
 }

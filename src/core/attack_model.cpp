@@ -27,8 +27,14 @@ Rational to_rational(double v) {
 
 UfdiAttackModel::UfdiAttackModel(const grid::Grid& grid,
                                  const grid::MeasurementPlan& plan,
-                                 AttackSpec spec)
-    : grid_(grid), plan_(plan), spec_(std::move(spec)) {
+                                 AttackSpec spec, EncodeMode mode)
+    : grid_(grid),
+      plan_(plan),
+      // A base-mode model ignores the delta axes by construction, so strip
+      // them up front: clone() then reproduces the same base encoding and
+      // the session-cache key need not normalise the spec itself.
+      spec_(mode == EncodeMode::kBase ? strip_delta(spec) : std::move(spec)),
+      mode_(mode) {
   PSSE_CHECK(plan_.num_lines() == grid_.num_lines() &&
                  plan_.num_buses() == grid_.num_buses(),
              "UfdiAttackModel: plan does not match grid");
@@ -87,7 +93,7 @@ void UfdiAttackModel::encode() {
   te_.assign(static_cast<std::size_t>(l), smt::kNoTVar);
   tot_.resize(static_cast<std::size_t>(l));
   tot_is_var_.assign(static_cast<std::size_t>(l), false);
-  std::vector<TermRef> topologyVars;
+  topology_vars_.clear();
   for (LineId i = 0; i < l; ++i) {
     const grid::Line& line = grid_.line(i);
     Rational y = to_rational(line.admittance);
@@ -130,18 +136,13 @@ void UfdiAttackModel::encode() {
       solver_.assert_term(
           t.mk_implies(~attackVar, t.mk_eq(totE, Rational(0))));
     }
-    topologyVars.push_back(attackVar);
+    topology_vars_.push_back(attackVar);
     // Under attack, the delta is the free topology term, forced nonzero
     // (exclusion must hide a real flow; inclusion must fake one).
     solver_.assert_term(
         t.mk_implies(attackVar, t.mk_eq(totE - teE, Rational(0))));
     solver_.assert_term(t.mk_implies(attackVar, t.mk_ne(teE, Rational(0))));
     solver_.assert_term(t.mk_implies(~attackVar, t.mk_eq(teE, Rational(0))));
-  }
-  if (spec_.max_topology_changes > 0 && !topologyVars.empty()) {
-    solver_.add_at_most(
-        topologyVars,
-        static_cast<std::uint32_t>(spec_.max_topology_changes));
   }
 
   // --- Injection deltas (Eq. (14)) ---
@@ -201,12 +202,12 @@ void UfdiAttackModel::encode() {
 
   // --- Accessibility / static security (Eqs. (19)-(21)) and the dynamic
   //     secured-bus / secured-measurement closures (Eq. (28)) ---
-  std::vector<TermRef> czVars;
+  cz_valid_.clear();
   szv_.resize(static_cast<std::size_t>(plan_.num_potential()));
   for (MeasId m = 0; m < plan_.num_potential(); ++m) {
     TermRef cz = cz_[static_cast<std::size_t>(m)];
     if (!cz.valid()) continue;
-    czVars.push_back(cz);
+    cz_valid_.push_back(cz);
     if (!plan_.accessible(m) || plan_.secured(m)) {
       solver_.assert_term(~cz);
       continue;
@@ -241,58 +242,78 @@ void UfdiAttackModel::encode() {
     }
   }
 
-  // --- Resource limits (Eqs. (22)-(24)) ---
-  if (spec_.max_altered_measurements > 0 && !czVars.empty()) {
-    solver_.add_at_most(
-        czVars, static_cast<std::uint32_t>(spec_.max_altered_measurements));
-  }
+  // --- Residence closure (Eq. (23)): altering a measurement compromises
+  //     its substation. Structural — the T_CZ/T_CB caps themselves are
+  //     delta axes asserted below (kFull) or per verify_delta (kBase). ---
   for (MeasId m = 0; m < plan_.num_potential(); ++m) {
     TermRef cz = cz_[static_cast<std::size_t>(m)];
     if (!cz.valid()) continue;
     BusId res = plan_.residence_bus(m, grid_);
     solver_.assert_term(t.mk_or({~cz, cb_[static_cast<std::size_t>(res)]}));
   }
-  if (spec_.max_compromised_buses > 0) {
+
+  if (mode_ == EncodeMode::kFull) {
+    assert_delta(ScenarioDelta::of(spec_));
+  }
+}
+
+void UfdiAttackModel::assert_delta(const ScenarioDelta& delta) {
+  auto& t = solver_.terms();
+  const int b = grid_.num_buses();
+  const int l = grid_.num_lines();
+
+  // --- Resource limits (Eqs. (22)-(24)) ---
+  if (delta.max_topology_changes > 0 && !topology_vars_.empty()) {
     solver_.add_at_most(
-        cb_, static_cast<std::uint32_t>(spec_.max_compromised_buses));
+        topology_vars_,
+        static_cast<std::uint32_t>(delta.max_topology_changes));
+  }
+  if (delta.max_altered_measurements > 0 && !cz_valid_.empty()) {
+    solver_.add_at_most(
+        cz_valid_,
+        static_cast<std::uint32_t>(delta.max_altered_measurements));
+  }
+  if (delta.max_compromised_buses > 0) {
+    solver_.add_at_most(
+        cb_, static_cast<std::uint32_t>(delta.max_compromised_buses));
   }
 
   // --- Attack goal (Eqs. (25),(26)) ---
-  for (BusId target : spec_.target_states) {
+  for (BusId target : delta.target_states) {
     solver_.assert_term(cx_[static_cast<std::size_t>(target)]);
   }
-  if (spec_.attack_only_targets) {
+  if (delta.attack_only_targets) {
     for (BusId j = 0; j < b; ++j) {
-      if (std::find(spec_.target_states.begin(), spec_.target_states.end(),
-                    j) == spec_.target_states.end()) {
+      if (std::find(delta.target_states.begin(), delta.target_states.end(),
+                    j) == delta.target_states.end()) {
         solver_.assert_term(~cx_[static_cast<std::size_t>(j)]);
       }
     }
   }
-  for (auto [a, bb] : spec_.distinct_changes) {
+  for (auto [a, bb] : delta.distinct_changes) {
     LinExpr diff = LinExpr::var(dtheta_[static_cast<std::size_t>(a)]) -
                    LinExpr::var(dtheta_[static_cast<std::size_t>(bb)]);
     solver_.assert_term(t.mk_ne(diff, Rational(0)));
   }
-  if (spec_.target_states.empty() && spec_.require_any_state_attack) {
+  if (delta.target_states.empty() && delta.require_any_state_attack) {
     solver_.add_at_least(cx_, 1);
   }
 
   // --- Magnitude constraints (extension; see attack_spec.h) ---
-  if (spec_.min_target_shift > 0.0) {
-    Rational eps = to_rational(spec_.min_target_shift);
-    for (BusId target : spec_.target_states) {
+  if (delta.min_target_shift > 0.0) {
+    Rational eps = to_rational(delta.min_target_shift);
+    for (BusId target : delta.target_states) {
       LinExpr dth = LinExpr::var(dtheta_[static_cast<std::size_t>(target)]);
       solver_.assert_term(
           t.mk_or({t.mk_ge(dth, eps), t.mk_le(dth, -eps)}));
     }
   }
-  if (spec_.max_measurement_delta > 0.0) {
-    Rational cap = to_rational(spec_.max_measurement_delta);
-    auto bound_delta = [&](MeasId m, const LinExpr& delta) {
-      if (!plan_.taken(m) || delta.is_constant()) return;
-      solver_.assert_term(t.mk_le(delta, cap));
-      solver_.assert_term(t.mk_ge(delta, -cap));
+  if (delta.max_measurement_delta > 0.0) {
+    Rational cap = to_rational(delta.max_measurement_delta);
+    auto bound_delta = [&](MeasId m, const LinExpr& deltaExpr) {
+      if (!plan_.taken(m) || deltaExpr.is_constant()) return;
+      solver_.assert_term(t.mk_le(deltaExpr, cap));
+      solver_.assert_term(t.mk_ge(deltaExpr, -cap));
     };
     for (LineId i = 0; i < l; ++i) {
       bound_delta(plan_.forward_flow(i), tot_[static_cast<std::size_t>(i)]);
@@ -353,39 +374,90 @@ VerificationResult UfdiAttackModel::run(
   return out;
 }
 
-VerificationResult UfdiAttackModel::verify(const smt::Budget& budget) {
-  // No candidate countermeasures: all sb_j / szv_m assumed off.
+std::vector<TermRef> UfdiAttackModel::secured_assumptions(
+    const std::vector<BusId>& securedBuses,
+    const std::vector<MeasId>& securedMeasurements) const {
+  std::vector<bool> busOn(static_cast<std::size_t>(grid_.num_buses()), false);
+  for (BusId j : securedBuses) {
+    PSSE_CHECK(j >= 0 && j < grid_.num_buses(),
+               "secured_assumptions: bus out of range");
+    busOn[static_cast<std::size_t>(j)] = true;
+  }
+  std::vector<bool> measOn(static_cast<std::size_t>(plan_.num_potential()),
+                           false);
+  for (MeasId m : securedMeasurements) {
+    PSSE_CHECK(m >= 0 && m < plan_.num_potential(),
+               "secured_assumptions: measurement id out of range");
+    // Untaken, inaccessible, or statically secured measurements have no
+    // szv variable; they are already unalterable, so securing them is a
+    // no-op rather than an error (scenario sweeps toggle freely).
+    measOn[static_cast<std::size_t>(m)] = true;
+  }
   std::vector<TermRef> assumptions;
   assumptions.reserve(sb_.size() + szv_.size());
-  for (TermRef s : sb_) assumptions.push_back(~s);
-  for (TermRef s : szv_) {
-    if (s.valid()) assumptions.push_back(~s);
+  for (BusId j = 0; j < grid_.num_buses(); ++j) {
+    assumptions.push_back(busOn[static_cast<std::size_t>(j)]
+                              ? sb_[static_cast<std::size_t>(j)]
+                              : ~sb_[static_cast<std::size_t>(j)]);
   }
-  return run(assumptions, budget);
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    TermRef s = szv_[static_cast<std::size_t>(m)];
+    if (!s.valid()) continue;
+    assumptions.push_back(measOn[static_cast<std::size_t>(m)] ? s : ~s);
+  }
+  return assumptions;
+}
+
+VerificationResult UfdiAttackModel::verify(const smt::Budget& budget) {
+  // No candidate countermeasures: all sb_j / szv_m assumed off.
+  return run(secured_assumptions({}, {}), budget);
 }
 
 VerificationResult UfdiAttackModel::verify_with_secured_measurements(
     const std::vector<MeasId>& securedMeasurements,
     const smt::Budget& budget) {
-  std::vector<bool> on(static_cast<std::size_t>(plan_.num_potential()),
-                       false);
   for (MeasId m : securedMeasurements) {
     PSSE_CHECK(m >= 0 && m < plan_.num_potential(),
                "verify_with_secured_measurements: id out of range");
     PSSE_CHECK(szv_[static_cast<std::size_t>(m)].valid(),
                "verify_with_secured_measurements: measurement is untaken, "
                "inaccessible, or already statically secured");
-    on[static_cast<std::size_t>(m)] = true;
   }
-  std::vector<TermRef> assumptions;
-  assumptions.reserve(sb_.size() + szv_.size());
-  for (TermRef s : sb_) assumptions.push_back(~s);
-  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
-    TermRef s = szv_[static_cast<std::size_t>(m)];
-    if (!s.valid()) continue;
-    assumptions.push_back(on[static_cast<std::size_t>(m)] ? s : ~s);
+  return run(secured_assumptions({}, securedMeasurements), budget);
+}
+
+VerificationResult UfdiAttackModel::verify_delta(const ScenarioDelta& delta,
+                                                 const smt::Budget& budget) {
+  PSSE_CHECK(mode_ == EncodeMode::kBase,
+             "verify_delta: model was not constructed in EncodeMode::kBase");
+  for (BusId t : delta.target_states) {
+    PSSE_CHECK(t >= 0 && t < grid_.num_buses(),
+               "verify_delta: target state out of range");
+    PSSE_CHECK(t != spec_.reference_bus,
+               "verify_delta: the reference state cannot be attacked");
   }
-  return run(assumptions, budget);
+  for (auto [a, bb] : delta.distinct_changes) {
+    PSSE_CHECK(a >= 0 && a < grid_.num_buses() && bb >= 0 &&
+                   bb < grid_.num_buses(),
+               "verify_delta: distinct-change bus out of range");
+  }
+  // The delta lives in its own push frame: pop() retracts its constraints
+  // but keeps the learnt-clause database (clauses tagged at or below the
+  // base frame survive — DESIGN.md §6e), which is what makes the next
+  // delta of the family start warm.
+  solver_.push();
+  VerificationResult out;
+  try {
+    assert_delta(delta);
+    out = run(
+        secured_assumptions(delta.secured_buses, delta.secured_measurements),
+        budget);
+  } catch (...) {
+    solver_.pop();
+    throw;
+  }
+  solver_.pop();
+  return out;
 }
 
 std::vector<grid::MeasId> UfdiAttackModel::attackable_measurements() const {
@@ -398,23 +470,7 @@ std::vector<grid::MeasId> UfdiAttackModel::attackable_measurements() const {
 
 VerificationResult UfdiAttackModel::verify_with_secured_buses(
     const std::vector<BusId>& securedBuses, const smt::Budget& budget) {
-  std::vector<bool> on(static_cast<std::size_t>(grid_.num_buses()), false);
-  for (BusId j : securedBuses) {
-    PSSE_CHECK(j >= 0 && j < grid_.num_buses(),
-               "verify_with_secured_buses: bus out of range");
-    on[static_cast<std::size_t>(j)] = true;
-  }
-  std::vector<TermRef> assumptions;
-  assumptions.reserve(sb_.size() + szv_.size());
-  for (BusId j = 0; j < grid_.num_buses(); ++j) {
-    assumptions.push_back(on[static_cast<std::size_t>(j)]
-                              ? sb_[static_cast<std::size_t>(j)]
-                              : ~sb_[static_cast<std::size_t>(j)]);
-  }
-  for (TermRef s : szv_) {
-    if (s.valid()) assumptions.push_back(~s);
-  }
-  return run(assumptions, budget);
+  return run(secured_assumptions(securedBuses, {}), budget);
 }
 
 Rational UfdiAttackModel::line_total_delta(LineId i) const {

@@ -56,11 +56,26 @@ struct VerificationResult {
   }
 };
 
+/// How much of the spec the constructor encodes.
+enum class EncodeMode {
+  /// Everything: structural constraints plus the spec's resource limits,
+  /// attack goal, and magnitude constraints. One-shot models.
+  kFull,
+  /// Structure only (flow semantics, knowledge, accessibility, residence
+  /// closure). The ScenarioDelta axes — resource caps, goal, magnitudes,
+  /// dynamically secured sets — are supplied per verify_delta() call under
+  /// a push frame, so one warm solver serves a whole scenario family.
+  kBase,
+};
+
 class UfdiAttackModel {
  public:
-  /// Builds the full constraint system once; verify calls are incremental.
+  /// Builds the constraint system once; verify calls are incremental. In
+  /// kBase mode the ScenarioDelta axes of `spec` are ignored (the base of
+  /// `spec` is encoded — pass `strip_delta(spec)` to make that explicit)
+  /// and queries go through verify_delta().
   UfdiAttackModel(const grid::Grid& grid, const grid::MeasurementPlan& plan,
-                  AttackSpec spec);
+                  AttackSpec spec, EncodeMode mode = EncodeMode::kFull);
   UfdiAttackModel(const UfdiAttackModel&) = delete;
   UfdiAttackModel& operator=(const UfdiAttackModel&) = delete;
 
@@ -71,7 +86,7 @@ class UfdiAttackModel {
   /// solver instances are not thread-safe, but independent clones solving
   /// the same question concurrently are.
   [[nodiscard]] std::unique_ptr<UfdiAttackModel> clone() const {
-    return std::make_unique<UfdiAttackModel>(grid_, plan_, spec_);
+    return std::make_unique<UfdiAttackModel>(grid_, plan_, spec_, mode_);
   }
 
   /// Reconfigures the underlying CDCL heuristics (portfolio
@@ -92,6 +107,17 @@ class UfdiAttackModel {
 
   /// Is the specified attack feasible with no extra countermeasures?
   [[nodiscard]] VerificationResult verify(const smt::Budget& budget = {});
+
+  /// One query of a scenario family against a kBase-mode model: asserts
+  /// the delta's resource caps, goal, and magnitude constraints under a
+  /// push frame, solves with the secured sets as assumptions, and pops.
+  /// The verdict (and witness feasibility) matches a fresh kFull encode of
+  /// the combined spec, but a warm session skips re-encoding and keeps the
+  /// learnt-clause database across pops, so running a family of related
+  /// deltas on one model is far cheaper than one cold solve each (the
+  /// analytics service's whole reason to exist — DESIGN.md §6f).
+  [[nodiscard]] VerificationResult verify_delta(const ScenarioDelta& delta,
+                                                const smt::Budget& budget = {});
 
   /// Is it feasible when additionally the given buses are secured (all
   /// their resident measurements integrity-protected, Eq. (28))? This is
@@ -123,6 +149,15 @@ class UfdiAttackModel {
 
  private:
   void encode();
+  /// Asserts a delta's resource/goal/magnitude constraints at the solver's
+  /// current assertion level (level 0 for kFull construction, a push frame
+  /// for verify_delta).
+  void assert_delta(const ScenarioDelta& delta);
+  /// Assumption literals for the dynamically secured sets (every sb_j and
+  /// valid szv_m appears, positively iff listed).
+  [[nodiscard]] std::vector<smt::TermRef> secured_assumptions(
+      const std::vector<grid::BusId>& securedBuses,
+      const std::vector<grid::MeasId>& securedMeasurements) const;
   [[nodiscard]] VerificationResult run(
       const std::vector<smt::TermRef>& assumptions, const smt::Budget& budget);
   [[nodiscard]] AttackVector extract_model() const;
@@ -131,6 +166,7 @@ class UfdiAttackModel {
   const grid::Grid& grid_;
   grid::MeasurementPlan plan_;
   AttackSpec spec_;
+  EncodeMode mode_;
   smt::Solver solver_;
   obs::Config trace_;
 
@@ -147,6 +183,12 @@ class UfdiAttackModel {
   std::vector<smt::LinExpr> tot_;                // per line: total flow delta
   std::vector<smt::LinExpr> dpb_;                // per bus: injection delta
   std::vector<bool> tot_is_var_;                 // per line
+
+  // Constraint-bearing variable lists retained for assert_delta: the valid
+  // cz terms (T_CZ cardinality) and the el/il attack variables (topology
+  // cap).
+  std::vector<smt::TermRef> cz_valid_;
+  std::vector<smt::TermRef> topology_vars_;
 };
 
 }  // namespace psse::core

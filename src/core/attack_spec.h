@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "grid/grid.h"
+#include "grid/measurement.h"
 
 namespace psse::core {
 
@@ -83,5 +84,77 @@ struct AttackSpec {
     admittance_known[static_cast<std::size_t>(i)] = false;
   }
 };
+
+/// The *sweepable* axes of an attack scenario — everything a family of
+/// related queries varies while the structural encoding (grid topology,
+/// measurement layout, knowledge, topology-attack capability) stays fixed.
+/// These are exactly the fig4/fig5 sweep axes: resource limits T_CZ/T_CB,
+/// the attack goal (targets / distinctness / magnitude), and the
+/// dynamically secured sets.
+///
+/// A delta splits off an AttackSpec: `strip_delta(spec)` is the base spec
+/// a warm solver session encodes once, and `ScenarioDelta::of(spec)` is the
+/// per-query remainder asserted under a push frame (see
+/// UfdiAttackModel::verify_delta). The secured sets have no AttackSpec
+/// counterpart — statically secured measurements live on the
+/// MeasurementPlan; here they are solver *assumptions*, so toggling them
+/// costs nothing.
+struct ScenarioDelta {
+  /// T_CZ / T_CB / topology-change caps; 0 = unlimited (Eqs. (22)-(24)).
+  int max_altered_measurements = 0;
+  int max_compromised_buses = 0;
+  int max_topology_changes = 0;
+
+  /// Attack goal (Eqs. (25),(26)) — see the AttackSpec fields of the same
+  /// names.
+  std::vector<grid::BusId> target_states;
+  bool attack_only_targets = false;
+  std::vector<std::pair<grid::BusId, grid::BusId>> distinct_changes;
+  bool require_any_state_attack = true;
+
+  /// Magnitude extension (see AttackSpec).
+  double min_target_shift = 0.0;
+  double max_measurement_delta = 0.0;
+
+  /// Dynamically secured buses (Eq. (28)) and individual measurements,
+  /// applied via assumption literals. Ids that are untaken, inaccessible,
+  /// or statically secured in the plan are already unalterable and are
+  /// skipped silently.
+  std::vector<grid::BusId> secured_buses;
+  std::vector<grid::MeasId> secured_measurements;
+
+  /// The delta portion of `spec` (secured sets empty — those have no
+  /// AttackSpec representation).
+  [[nodiscard]] static ScenarioDelta of(const AttackSpec& spec) {
+    ScenarioDelta d;
+    d.max_altered_measurements = spec.max_altered_measurements;
+    d.max_compromised_buses = spec.max_compromised_buses;
+    d.max_topology_changes = spec.max_topology_changes;
+    d.target_states = spec.target_states;
+    d.attack_only_targets = spec.attack_only_targets;
+    d.distinct_changes = spec.distinct_changes;
+    d.require_any_state_attack = spec.require_any_state_attack;
+    d.min_target_shift = spec.min_target_shift;
+    d.max_measurement_delta = spec.max_measurement_delta;
+    return d;
+  }
+};
+
+/// `spec` with every ScenarioDelta axis reset: the base problem a solver
+/// session encodes once per family. Applying `ScenarioDelta::of(spec)` on
+/// top of `strip_delta(spec)` reproduces the original scenario's verdict.
+[[nodiscard]] inline AttackSpec strip_delta(const AttackSpec& spec) {
+  AttackSpec base = spec;
+  base.max_altered_measurements = 0;
+  base.max_compromised_buses = 0;
+  base.max_topology_changes = 0;
+  base.target_states.clear();
+  base.attack_only_targets = false;
+  base.distinct_changes.clear();
+  base.require_any_state_attack = false;
+  base.min_target_shift = 0.0;
+  base.max_measurement_delta = 0.0;
+  return base;
+}
 
 }  // namespace psse::core

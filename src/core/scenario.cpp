@@ -1,5 +1,7 @@
 #include "core/scenario.h"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -244,6 +246,167 @@ Scenario Scenario::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw ScenarioError("cannot open scenario file: " + path);
   return parse(in, path);
+}
+
+namespace {
+
+// splitmix64 finalizer: the per-element mixer for the fingerprints below.
+// Chosen for stability (pure arithmetic, no platform dependence), not
+// cryptographic strength — these hashes key caches and join trace events.
+std::uint64_t fp_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Ordered accumulator over 64-bit words; set-like fields are canonicalised
+/// (sorted, deduplicated, pairs normalised) before they reach it, which is
+/// what makes the fingerprint order-independent where order has no
+/// semantics.
+struct Fingerprinter {
+  std::uint64_t h;
+
+  explicit Fingerprinter(std::uint64_t domainTag)
+      : h(fp_mix(domainTag ^ kScenarioFingerprintVersion)) {}
+
+  void put(std::uint64_t x) { h = fp_mix(h ^ fp_mix(x)); }
+  void put(int x) { put(static_cast<std::uint64_t>(static_cast<std::int64_t>(x))); }
+  void put(bool x) { put(static_cast<std::uint64_t>(x ? 1 : 2)); }
+  void put(double d) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof d);
+    std::memcpy(&bits, &d, sizeof bits);
+    put(bits);
+  }
+  /// Canonicalised id set: sorted and deduplicated (duplicates and order
+  /// carry no meaning for secured/target/unknown lists).
+  void put_id_set(std::vector<int> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    put(static_cast<std::uint64_t>(ids.size()));
+    for (int id : ids) put(id);
+  }
+};
+
+// Bus injections are deliberately excluded: the UFDI verification problem
+// is defined by topology, admittances, and the measurement configuration
+// alone (the attack reasons about *deltas*, Eq. (14)), and Scenario text
+// files do not carry an operating point — including injections would make
+// a scenario fingerprint differ from its own to_string() round trip.
+void fingerprint_grid(Fingerprinter& fp, const grid::Grid& g) {
+  fp.put(g.num_buses());
+  fp.put(g.num_lines());
+  for (grid::LineId i = 0; i < g.num_lines(); ++i) {
+    const grid::Line& l = g.line(i);
+    fp.put(l.from);
+    fp.put(l.to);
+    fp.put(l.admittance);
+    fp.put(l.in_service);
+    fp.put(l.fixed);
+    fp.put(l.status_secured);
+  }
+}
+
+void fingerprint_plan(Fingerprinter& fp, const grid::MeasurementPlan& plan) {
+  fp.put(plan.num_potential());
+  for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+    std::uint64_t bits = (plan.taken(m) ? 1u : 0u) |
+                         (plan.secured(m) ? 2u : 0u) |
+                         (plan.accessible(m) ? 4u : 0u);
+    fp.put(bits);
+  }
+}
+
+void fingerprint_spec(Fingerprinter& fp, const grid::Grid& g,
+                      const AttackSpec& spec) {
+  // Knowledge, normalised: an empty admittance_known equals all-true.
+  std::vector<int> unknown;
+  for (grid::LineId i = 0; i < g.num_lines(); ++i) {
+    if (!spec.knows(i)) unknown.push_back(i);
+  }
+  fp.put_id_set(std::move(unknown));
+  fp.put(spec.max_altered_measurements);
+  fp.put(spec.max_compromised_buses);
+  fp.put(spec.max_topology_changes);
+  fp.put_id_set(spec.target_states);
+  fp.put(spec.attack_only_targets);
+  fp.put(spec.require_any_state_attack);
+  std::vector<std::uint64_t> packed;  // normalised (min,max) pairs, order-free
+  for (auto [a, b] : spec.distinct_changes) {
+    packed.push_back((static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                     static_cast<std::uint32_t>(std::max(a, b)));
+  }
+  std::sort(packed.begin(), packed.end());
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+  fp.put(static_cast<std::uint64_t>(packed.size()));
+  for (std::uint64_t p : packed) fp.put(p);
+  fp.put(spec.allow_topology_attacks);
+  fp.put(spec.knowledge_gates_topology_lines);
+  fp.put(spec.excluded_meters_must_read_zero);
+  fp.put(spec.reference_bus);
+  fp.put(spec.min_target_shift);
+  fp.put(spec.max_measurement_delta);
+}
+
+}  // namespace
+
+std::uint64_t scenario_fingerprint(const grid::Grid& grid,
+                                   const grid::MeasurementPlan& plan,
+                                   const AttackSpec& spec) {
+  Fingerprinter fp(0x5343454e5f465031ULL);  // "SCEN_FP1"
+  fingerprint_grid(fp, grid);
+  fingerprint_plan(fp, plan);
+  fingerprint_spec(fp, grid, spec);
+  return fp.h;
+}
+
+std::uint64_t scenario_fingerprint(const Scenario& sc) {
+  // The *verification* problem only: synthesis options do not change what a
+  // verify call answers, so they stay out of the key.
+  return scenario_fingerprint(sc.grid, sc.plan, sc.spec);
+}
+
+std::uint64_t delta_fingerprint(const ScenarioDelta& delta) {
+  Fingerprinter fp(0x44454c54415f4650ULL);  // "DELTA_FP"
+  fp.put(delta.max_altered_measurements);
+  fp.put(delta.max_compromised_buses);
+  fp.put(delta.max_topology_changes);
+  fp.put_id_set(delta.target_states);
+  fp.put(delta.attack_only_targets);
+  fp.put(delta.require_any_state_attack);
+  std::vector<std::uint64_t> packed;
+  for (auto [a, b] : delta.distinct_changes) {
+    packed.push_back((static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                     static_cast<std::uint32_t>(std::max(a, b)));
+  }
+  std::sort(packed.begin(), packed.end());
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+  fp.put(static_cast<std::uint64_t>(packed.size()));
+  for (std::uint64_t p : packed) fp.put(p);
+  fp.put(delta.min_target_shift);
+  fp.put(delta.max_measurement_delta);
+  fp.put_id_set(delta.secured_buses);
+  fp.put_id_set(delta.secured_measurements);
+  return fp.h;
+}
+
+std::uint64_t family_fingerprint(const grid::Grid& grid,
+                                 const grid::MeasurementPlan& plan,
+                                 const AttackSpec& spec) {
+  // Dynamic securing is a delta axis, so the family key clears the plan's
+  // secured bits: a scenario with statically secured measurements belongs
+  // to the same warm-solver family as its unsecured sibling.
+  grid::MeasurementPlan base = plan;
+  for (grid::MeasId m = 0; m < base.num_potential(); ++m) {
+    base.set_secured(m, false);
+  }
+  return scenario_fingerprint(grid, base, strip_delta(spec));
+}
+
+std::uint64_t combine_fingerprints(std::uint64_t family,
+                                   std::uint64_t delta) {
+  return fp_mix(family ^ fp_mix(delta ^ 0xd1b54a32d192ed03ULL));
 }
 
 std::string Scenario::to_string() const {

@@ -19,6 +19,7 @@
 // [open] [switchable] [status-secured]` entries.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -51,5 +52,43 @@ struct Scenario {
   /// Serialises back to the file format (round-trips through parse()).
   [[nodiscard]] std::string to_string() const;
 };
+
+/// Bumped whenever the fingerprint recipe changes, so persisted fingerprints
+/// (result memos, trace joins) can never silently collide across versions.
+inline constexpr std::uint32_t kScenarioFingerprintVersion = 1;
+
+/// Canonical 64-bit hash of a verification problem: grid topology and
+/// admittances, the measurement configuration (taken/secured/accessible
+/// bits), and every AttackSpec attribute. Bus injections stay out — the
+/// UFDI problem reasons about measurement *deltas*, so the operating
+/// point does not change any verdict. Stable across processes and
+/// order-independent over set-like fields (target states, distinct-change
+/// pairs, secured/untaken id lists reach it positionally), so two
+/// scenarios describing the same problem in different directive orders
+/// fingerprint identically. Version-tagged via
+/// kScenarioFingerprintVersion. Not cryptographic — it keys caches and
+/// joins trace events across tools, nothing adversarial.
+[[nodiscard]] std::uint64_t scenario_fingerprint(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const AttackSpec& spec);
+[[nodiscard]] std::uint64_t scenario_fingerprint(const Scenario& sc);
+
+/// Order-independent hash of a ScenarioDelta (the sweep axes), combined
+/// with a family fingerprint to key result memos:
+///   memo key = family_fingerprint ^ mix(delta_fingerprint).
+[[nodiscard]] std::uint64_t delta_fingerprint(const ScenarioDelta& delta);
+
+/// The session-cache key: the fingerprint of the *base* problem — the
+/// grid, the plan with its secured bits cleared (dynamic securing is a
+/// delta axis), and strip_delta(spec). Scenarios differing only in
+/// ScenarioDelta axes share a family, and therefore a warm solver session.
+[[nodiscard]] std::uint64_t family_fingerprint(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const AttackSpec& spec);
+
+/// Combines a family fingerprint with a delta fingerprint into the full
+/// scenario key used by the result memo and the service trace events.
+[[nodiscard]] std::uint64_t combine_fingerprints(std::uint64_t family,
+                                                 std::uint64_t delta);
 
 }  // namespace psse::core

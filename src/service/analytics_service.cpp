@@ -1,0 +1,280 @@
+#include "service/analytics_service.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "runtime/portfolio.h"
+
+namespace psse::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::uint64_t us_between(Clock::time_point from, Clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+/// Fingerprints travel as fixed-width hex strings: JSON numbers above 2^53
+/// lose precision in double-based consumers, and hex matches how the fps
+/// read in trace greps.
+std::string fp_hex(std::uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
+  return buf;
+}
+
+/// 1-based sorted measurement ids of a witness (the external id convention
+/// of scenario files and batch_runner output).
+std::vector<int> witness_measurements(const core::AttackVector& attack) {
+  std::vector<int> ids;
+  ids.reserve(attack.altered_measurements.size());
+  for (grid::MeasId m : attack.altered_measurements) ids.push_back(m + 1);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+AnalyticsService::AnalyticsService(const ServiceOptions& options)
+    : options_(options),
+      sessions_(SolverSessionCache::Options{
+          options.max_sessions == 0 ? 1 : options.max_sessions}),
+      memo_(options.memo_capacity),
+      pool_(std::make_unique<runtime::ThreadPool>(
+          options.threads == 0 ? 1 : options.threads)) {}
+
+AnalyticsService::~AnalyticsService() {
+  // Drain workers before the caches they lease from go down.
+  pool_.reset();
+}
+
+std::future<ServiceResponse> AnalyticsService::submit(
+    ServiceRequest request) {
+  const Clock::time_point enqueued = Clock::now();
+  runtime::CancellationToken token = cancel_token();
+  auto shared =
+      std::make_shared<ServiceRequest>(std::move(request));
+  return pool_->submit([this, shared, enqueued,
+                        token]() -> ServiceResponse {
+    return process(*shared, enqueued, token);
+  });
+}
+
+std::vector<std::future<ServiceResponse>> AnalyticsService::submit_sweep(
+    const SweepRequest& sweep) {
+  std::vector<ServiceRequest> points = expand_sweep(sweep);
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(points.size());
+  for (ServiceRequest& point : points) {
+    futures.push_back(submit(std::move(point)));
+  }
+  return futures;
+}
+
+void AnalyticsService::cancel_all() {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  cancel_.cancel();
+  // Fresh flag for later submissions; in-flight tokens keep the cancelled
+  // one alive.
+  cancel_ = runtime::CancellationSource();
+}
+
+ServiceResponse AnalyticsService::process(
+    const ServiceRequest& request, Clock::time_point enqueued,
+    runtime::CancellationToken cancel) {
+  const Clock::time_point started = Clock::now();
+  ServiceResponse resp;
+  resp.id = request.id;
+  resp.sweep_index = request.sweep_index;
+  resp.queue_seconds = seconds_between(enqueued, started);
+
+  try {
+    const core::Scenario& sc = request.scenario;
+
+    // Canonical split: the family base is the scenario with every
+    // ScenarioDelta axis removed — including the plan's secured bits, which
+    // become assumption-applied delta.secured_measurements. Scenarios that
+    // differ only in sweep axes thus share one warm session.
+    core::ScenarioDelta delta = core::ScenarioDelta::of(sc.spec);
+    core::Scenario base = sc;
+    for (grid::MeasId m = 0; m < base.plan.num_potential(); ++m) {
+      if (base.plan.secured(m)) {
+        base.plan.set_secured(m, false);
+        delta.secured_measurements.push_back(m);
+      }
+    }
+    base.spec = core::strip_delta(sc.spec);
+
+    resp.family = core::family_fingerprint(sc.grid, sc.plan, sc.spec);
+    resp.fingerprint = core::combine_fingerprints(
+        resp.family, core::delta_fingerprint(delta));
+
+    if (request.use_memo && options_.memo_capacity > 0) {
+      if (std::optional<MemoEntry> memo = memo_.lookup(resp.fingerprint)) {
+        resp.memo_hit = true;
+        resp.verdict = memo->verdict;
+        resp.altered_measurements = memo->altered_measurements;
+      }
+    }
+
+    if (!resp.memo_hit) {
+      smt::Budget budget;
+      const double limit = request.time_limit_seconds > 0
+                               ? request.time_limit_seconds
+                               : options_.default_time_limit_seconds;
+      if (limit > 0) {
+        budget.max_time = std::chrono::milliseconds(
+            static_cast<std::int64_t>(limit * 1000.0));
+      }
+      budget.stop = cancel.raw();
+
+      if (request.portfolio > 0) {
+        // Hard single queries trade warm reuse for a race on fresh clones.
+        core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+        runtime::PortfolioOptions popts;
+        popts.num_threads = request.portfolio;
+        popts.budget = budget;
+        popts.trace = options_.trace;
+        runtime::PortfolioResult port =
+            runtime::verify_portfolio(model, popts);
+        resp.verdict = port.result();
+        if (port.winner >= 0) {
+          resp.winner =
+              port.members[static_cast<std::size_t>(port.winner)].label;
+        }
+        if (port.verification.attack) {
+          resp.altered_measurements =
+              witness_measurements(*port.verification.attack);
+        }
+        resp.decisions = port.verification.stats.sat.decisions;
+        resp.conflicts = port.verification.stats.sat.conflicts;
+        resp.pivots = port.verification.stats.pivots;
+      } else {
+        SolverSessionCache::Lease lease =
+            sessions_.acquire(resp.family, base);
+        resp.session_hit = lease.hit();
+        core::VerificationResult result =
+            lease.model().verify_delta(delta, budget);
+        resp.verdict = result.result;
+        if (result.attack) {
+          resp.altered_measurements = witness_measurements(*result.attack);
+        }
+        resp.decisions = result.stats.sat.decisions;
+        resp.conflicts = result.stats.sat.conflicts;
+        resp.pivots = result.stats.pivots;
+      }
+
+      if (request.use_memo && options_.memo_capacity > 0) {
+        MemoEntry entry;
+        entry.verdict = resp.verdict;
+        entry.altered_measurements = resp.altered_measurements;
+        entry.solve_seconds = seconds_between(started, Clock::now());
+        memo_.insert(resp.fingerprint, entry);
+      }
+    }
+  } catch (const std::exception& e) {
+    resp.error = e.what();
+  }
+
+  const Clock::time_point finished = Clock::now();
+  resp.solve_seconds = seconds_between(started, finished);
+
+  queue_hist_.record(us_between(enqueued, started));
+  solve_hist_.record(us_between(started, finished));
+  total_hist_.record(us_between(enqueued, finished));
+  ++requests_;
+  if (!resp.ok()) {
+    ++errors_;
+  } else if (resp.verdict == smt::SolveResult::Sat) {
+    ++sat_;
+  } else if (resp.verdict == smt::SolveResult::Unsat) {
+    ++unsat_;
+  } else {
+    ++unknown_;
+  }
+
+  if (options_.trace.enabled()) {
+    obs::Event ev("service_request");
+    ev.field("id", resp.id)
+        .field("verdict", smt::to_cstring(resp.verdict))
+        .field("queue_us", us_between(enqueued, started))
+        .field("solve_us", us_between(started, finished))
+        .field("session_hit", resp.session_hit)
+        .field("memo_hit", resp.memo_hit)
+        .field("portfolio", static_cast<std::uint64_t>(request.portfolio))
+        .field("family", fp_hex(resp.family))
+        .field("fp", fp_hex(resp.fingerprint));
+    if (resp.sweep_index >= 0) ev.field("sweep_index", resp.sweep_index);
+    if (!resp.winner.empty()) ev.field("winner", resp.winner);
+    if (!resp.ok()) ev.field("error", resp.error);
+    ev.emit(options_.trace);
+  }
+  return resp;
+}
+
+runtime::CancellationToken AnalyticsService::cancel_token() {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  return cancel_.token();
+}
+
+ServiceStats AnalyticsService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.sat = sat_.load(std::memory_order_relaxed);
+  s.unsat = unsat_.load(std::memory_order_relaxed);
+  s.unknown = unknown_.load(std::memory_order_relaxed);
+  s.sessions = sessions_.stats();
+  s.memo = memo_.stats();
+  s.queue_p50_us = queue_hist_.quantile_us(0.50);
+  s.queue_p95_us = queue_hist_.quantile_us(0.95);
+  s.queue_p99_us = queue_hist_.quantile_us(0.99);
+  s.solve_p50_us = solve_hist_.quantile_us(0.50);
+  s.solve_p95_us = solve_hist_.quantile_us(0.95);
+  s.solve_p99_us = solve_hist_.quantile_us(0.99);
+  s.total_p50_us = total_hist_.quantile_us(0.50);
+  s.total_p95_us = total_hist_.quantile_us(0.95);
+  s.total_p99_us = total_hist_.quantile_us(0.99);
+  return s;
+}
+
+void AnalyticsService::emit_stats() {
+  if (!options_.trace.enabled()) return;
+  const ServiceStats s = stats();
+  obs::Event ev("service_stats");
+  ev.field("requests", s.requests)
+      .field("errors", s.errors)
+      .field("sat", s.sat)
+      .field("unsat", s.unsat)
+      .field("unknown", s.unknown)
+      .field("session_hits", s.sessions.hits)
+      .field("session_misses", s.sessions.misses)
+      .field("session_evictions", s.sessions.evictions)
+      .field("families", static_cast<std::uint64_t>(s.sessions.families))
+      .field("memo_hits", s.memo.hits)
+      .field("memo_misses", s.memo.misses)
+      .field("memo_size", static_cast<std::uint64_t>(s.memo.size))
+      .field("queue_p50_us", s.queue_p50_us)
+      .field("queue_p95_us", s.queue_p95_us)
+      .field("queue_p99_us", s.queue_p99_us)
+      .field("solve_p50_us", s.solve_p50_us)
+      .field("solve_p95_us", s.solve_p95_us)
+      .field("solve_p99_us", s.solve_p99_us)
+      .field("total_p50_us", s.total_p50_us)
+      .field("total_p95_us", s.total_p95_us)
+      .field("total_p99_us", s.total_p99_us);
+  ev.emit(options_.trace);
+}
+
+}  // namespace psse::service

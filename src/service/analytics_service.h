@@ -1,0 +1,130 @@
+// AnalyticsService: the long-lived attack-analytics engine (DESIGN.md §6f).
+//
+// Callers submit ServiceRequests (full scenarios) or SweepRequests
+// (scenario + axis + values) and get std::futures for ServiceResponses; a
+// runtime::ThreadPool drains the queue. Per request the service
+//
+//   1. canonicalises: splits the scenario into its family base (grid, plan
+//      with secured bits cleared, strip_delta(spec)) and a ScenarioDelta
+//      (the sweep axes + the plan's secured set as assumptions), and
+//      fingerprints both;
+//   2. consults the ResultMemo under the combined fingerprint — an exact
+//      repeat answers without touching a solver;
+//   3. otherwise leases a warm kBase session from the SolverSessionCache
+//      and runs verify_delta (push, assert delta, solve under secured
+//      assumptions, pop — learnt clauses survive), or, for
+//      portfolio requests, races fresh clones via verify_portfolio;
+//   4. records queue-wait / solve / total latency into histograms and
+//      emits a "service_request" trace event.
+//
+// stats() aggregates cache hit rates and p50/p95/p99 latencies;
+// emit_stats() writes them as one "service_stats" trace event.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "runtime/cancellation.h"
+#include "runtime/thread_pool.h"
+#include "service/request.h"
+#include "service/result_memo.h"
+#include "service/session_cache.h"
+
+namespace psse::service {
+
+struct ServiceOptions {
+  /// Worker threads draining the request queue.
+  std::size_t threads = 4;
+  /// Idle warm sessions kept across requests (see SolverSessionCache).
+  std::size_t max_sessions = 32;
+  /// Result-memo capacity in entries; 0 disables memoisation.
+  std::size_t memo_capacity = 4096;
+  /// Applied to requests whose own time_limit_seconds is 0; 0 = unlimited.
+  double default_time_limit_seconds = 0;
+  /// Structured tracing for request/stats events; also handed to portfolio
+  /// runs. The sink must outlive the service.
+  obs::Config trace;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t unknown = 0;
+  SolverSessionCache::Stats sessions;
+  ResultMemo::Stats memo;
+  /// Microsecond latency percentiles (bucket upper bounds, see
+  /// obs::LatencyHistogram).
+  std::uint64_t queue_p50_us = 0, queue_p95_us = 0, queue_p99_us = 0;
+  std::uint64_t solve_p50_us = 0, solve_p95_us = 0, solve_p99_us = 0;
+  std::uint64_t total_p50_us = 0, total_p95_us = 0, total_p99_us = 0;
+};
+
+class AnalyticsService {
+ public:
+  explicit AnalyticsService(const ServiceOptions& options = {});
+  AnalyticsService(const AnalyticsService&) = delete;
+  AnalyticsService& operator=(const AnalyticsService&) = delete;
+  /// Drains in-flight requests (pool shutdown), then tears down the caches.
+  ~AnalyticsService();
+
+  /// Enqueues one request. The future never throws for scenario/solve
+  /// problems — failures come back as ServiceResponse::error — only for
+  /// internal misuse (broken promise).
+  [[nodiscard]] std::future<ServiceResponse> submit(ServiceRequest request);
+
+  /// Expands the sweep (expand_sweep) and enqueues every point. Points of
+  /// one sweep share a family, so after the first miss they all run as
+  /// deltas on warm sessions. Throws what expand_sweep throws on malformed
+  /// axis values; once enqueued, per-point failures come back in-band.
+  [[nodiscard]] std::vector<std::future<ServiceResponse>> submit_sweep(
+      const SweepRequest& sweep);
+
+  /// Requests cancellation of every request submitted so far — in-flight
+  /// solves return Unknown promptly, queued ones observe the flag when a
+  /// worker picks them up (they still produce responses). Requests
+  /// submitted afterwards run normally on a fresh flag.
+  void cancel_all();
+
+  [[nodiscard]] ServiceStats stats() const;
+  /// Emits stats() as one "service_stats" trace event (no-op untraced).
+  void emit_stats();
+
+  [[nodiscard]] std::size_t threads() const { return pool_->size(); }
+
+ private:
+  [[nodiscard]] ServiceResponse process(const ServiceRequest& request,
+                                        std::chrono::steady_clock::time_point
+                                            enqueued,
+                                        runtime::CancellationToken cancel);
+  /// Snapshot of the current cancellation flag (taken at submit time, so
+  /// cancel_all covers everything already enqueued).
+  [[nodiscard]] runtime::CancellationToken cancel_token();
+
+  ServiceOptions options_;
+  SolverSessionCache sessions_;
+  ResultMemo memo_;
+  std::mutex cancel_mu_;
+  runtime::CancellationSource cancel_;
+  obs::LatencyHistogram queue_hist_;
+  obs::LatencyHistogram solve_hist_;
+  obs::LatencyHistogram total_hist_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> sat_{0};
+  std::atomic<std::uint64_t> unsat_{0};
+  std::atomic<std::uint64_t> unknown_{0};
+  /// Last member: workers must die before the state they touch.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+};
+
+}  // namespace psse::service

@@ -1,0 +1,62 @@
+// Line-oriented JSON protocol of the analytics server: one request object
+// per input line, one response object per output line (JSONL both ways).
+//
+// Requests ("op" selects the shape):
+//
+//   {"op":"verify","id":"q1","scenario":"case ieee14\n...","time_limit":5}
+//   {"op":"verify","id":"q2","scenario_file":"data/ieee14_objective2.scn",
+//    "portfolio":4,"memo":false}
+//   {"op":"sweep","id":"s1","scenario_file":"...","axis":"max-measurements",
+//    "values":[4,8,12,16],"time_limit":5}
+//   {"op":"stats"}
+//
+// `scenario` embeds scenario-file text verbatim (newlines escaped per
+// JSON); `scenario_file` loads from disk server-side. Responses are
+// encode_response()/encode_stats() lines; a request that cannot be parsed
+// at all yields encode_error() with whatever id could be salvaged.
+//
+// The parser is a self-contained recursive-descent JSON reader (RFC 8259
+// subset: no duplicate-key policing, \uXXXX decoded to UTF-8, numbers as
+// double) — deliberately minimal, matching the writer-side JsonWriter.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "service/analytics_service.h"
+#include "service/request.h"
+
+namespace psse::service {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ParsedRequest {
+  enum class Op { kVerify, kSweep, kStats };
+  Op op = Op::kVerify;
+  std::string id;
+  ServiceRequest verify;  // populated when op == kVerify
+  SweepRequest sweep;     // populated when op == kSweep
+};
+
+/// Parses one request line. Throws ProtocolError on malformed JSON or a
+/// missing/mistyped field, core::ScenarioError on bad scenario text, and
+/// std::invalid_argument on an unknown sweep axis.
+[[nodiscard]] ParsedRequest parse_request(const std::string& line);
+
+/// One response line (no trailing newline). Fingerprints render as
+/// fixed-width hex strings — double-based JSON consumers cannot hold a
+/// 64-bit integer.
+[[nodiscard]] std::string encode_response(const ServiceResponse& response);
+
+/// The "stats" op's response line.
+[[nodiscard]] std::string encode_stats(const ServiceStats& stats);
+
+/// An in-band failure line for requests that never reached the service.
+[[nodiscard]] std::string encode_error(const std::string& id,
+                                       const std::string& message);
+
+}  // namespace psse::service

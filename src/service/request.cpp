@@ -1,0 +1,141 @@
+#include "service/request.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace psse::service {
+
+namespace {
+
+/// Axis values that denote counts or 1-based ids must be integral; a sweep
+/// over "T_CZ = 4.5" is a typo, not a scenario.
+int integral_value(SweepAxis axis, double v, std::size_t index) {
+  if (!(std::floor(v) == v) || v < -2147483648.0 || v > 2147483647.0) {
+    throw core::ScenarioError(
+        std::string("sweep axis ") + sweep_axis_name(axis) + " value #" +
+        std::to_string(index) + " (" + std::to_string(v) +
+        ") must be an integer");
+  }
+  return static_cast<int>(v);
+}
+
+int id_value(SweepAxis axis, double v, std::size_t index, int limit,
+             const char* what) {
+  const int id = integral_value(axis, v, index);
+  if (id < 1 || id > limit) {
+    throw core::ScenarioError(
+        std::string("sweep axis ") + sweep_axis_name(axis) + " value #" +
+        std::to_string(index) + ": " + what + " id " + std::to_string(id) +
+        " out of range 1.." + std::to_string(limit));
+  }
+  return id;
+}
+
+}  // namespace
+
+SweepAxis parse_sweep_axis(const std::string& name) {
+  if (name == "max-measurements") return SweepAxis::kMaxMeasurements;
+  if (name == "max-buses") return SweepAxis::kMaxBuses;
+  if (name == "max-topology-changes") return SweepAxis::kMaxTopologyChanges;
+  if (name == "secure-measurement") return SweepAxis::kSecureMeasurement;
+  if (name == "secure-bus") return SweepAxis::kSecureBus;
+  if (name == "target") return SweepAxis::kTarget;
+  if (name == "min-target-shift") return SweepAxis::kMinTargetShift;
+  throw std::invalid_argument("unknown sweep axis: " + name);
+}
+
+const char* sweep_axis_name(SweepAxis axis) {
+  switch (axis) {
+    case SweepAxis::kMaxMeasurements:
+      return "max-measurements";
+    case SweepAxis::kMaxBuses:
+      return "max-buses";
+    case SweepAxis::kMaxTopologyChanges:
+      return "max-topology-changes";
+    case SweepAxis::kSecureMeasurement:
+      return "secure-measurement";
+    case SweepAxis::kSecureBus:
+      return "secure-bus";
+    case SweepAxis::kTarget:
+      return "target";
+    case SweepAxis::kMinTargetShift:
+      return "min-target-shift";
+  }
+  return "?";
+}
+
+std::vector<ServiceRequest> expand_sweep(const SweepRequest& sweep) {
+  std::vector<ServiceRequest> out;
+  out.reserve(sweep.values.size());
+  for (std::size_t k = 0; k < sweep.values.size(); ++k) {
+    const double v = sweep.values[k];
+    ServiceRequest req;
+    req.id = sweep.id + "[" + std::to_string(k) + "]";
+    req.scenario = sweep.scenario;
+    req.time_limit_seconds = sweep.time_limit_seconds;
+    req.use_memo = sweep.use_memo;
+    req.sweep_index = static_cast<int>(k);
+    core::Scenario& sc = req.scenario;
+    switch (sweep.axis) {
+      case SweepAxis::kMaxMeasurements: {
+        const int cap = integral_value(sweep.axis, v, k);
+        if (cap < 0) {
+          throw core::ScenarioError("sweep axis max-measurements value #" +
+                                    std::to_string(k) + " is negative");
+        }
+        sc.spec.max_altered_measurements = cap;
+        break;
+      }
+      case SweepAxis::kMaxBuses: {
+        const int cap = integral_value(sweep.axis, v, k);
+        if (cap < 0) {
+          throw core::ScenarioError("sweep axis max-buses value #" +
+                                    std::to_string(k) + " is negative");
+        }
+        sc.spec.max_compromised_buses = cap;
+        break;
+      }
+      case SweepAxis::kMaxTopologyChanges: {
+        const int cap = integral_value(sweep.axis, v, k);
+        if (cap < 0) {
+          throw core::ScenarioError(
+              "sweep axis max-topology-changes value #" + std::to_string(k) +
+              " is negative");
+        }
+        sc.spec.max_topology_changes = cap;
+        break;
+      }
+      case SweepAxis::kSecureMeasurement: {
+        const int id = id_value(sweep.axis, v, k, sc.plan.num_potential(),
+                                "measurement");
+        sc.plan.set_secured(id - 1, true);
+        break;
+      }
+      case SweepAxis::kSecureBus: {
+        const int id =
+            id_value(sweep.axis, v, k, sc.grid.num_buses(), "bus");
+        sc.plan.secure_bus(id - 1, sc.grid);
+        break;
+      }
+      case SweepAxis::kTarget: {
+        const int id =
+            id_value(sweep.axis, v, k, sc.grid.num_buses(), "bus");
+        sc.spec.target_states.assign(1, id - 1);
+        break;
+      }
+      case SweepAxis::kMinTargetShift: {
+        if (v < 0) {
+          throw core::ScenarioError("sweep axis min-target-shift value #" +
+                                    std::to_string(k) + " is negative");
+        }
+        sc.spec.min_target_shift = v;
+        break;
+      }
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace psse::service

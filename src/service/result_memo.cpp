@@ -1,0 +1,48 @@
+#include "service/result_memo.h"
+
+namespace psse::service {
+
+std::optional<MemoEntry> ResultMemo::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->entry;
+}
+
+void ResultMemo::insert(std::uint64_t key, const MemoEntry& entry) {
+  if (entry.verdict == smt::SolveResult::Unknown) return;
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, entry});
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultMemo::Stats ResultMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  return s;
+}
+
+}  // namespace psse::service

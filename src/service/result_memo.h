@@ -1,0 +1,73 @@
+// ResultMemo: LRU memoisation of verification verdicts keyed by canonical
+// scenario fingerprint (combine_fingerprints(family, delta)).
+//
+// Only *definitive* verdicts (Sat/Unsat) are stored — an Unknown produced
+// by a budget cutoff says nothing about the scenario, and caching it would
+// pin a transient timeout forever. Sat entries keep the witness's altered
+// measurement set so replayed requests still answer "which meters". The
+// fingerprint is a 64-bit non-cryptographic hash, so a collision is
+// astronomically unlikely but not impossible; the memo is an
+// accelerator for repeated identical queries (sweep re-runs, synthesis
+// inner loops), not a proof archive.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/solver.h"
+
+namespace psse::service {
+
+struct MemoEntry {
+  smt::SolveResult verdict = smt::SolveResult::Unknown;
+  /// Altered measurement ids (1-based, sorted) when verdict is Sat.
+  std::vector<int> altered_measurements;
+  /// What the original solve cost — reported alongside hits so clients can
+  /// see what the memo saved them.
+  double solve_seconds = 0;
+};
+
+class ResultMemo {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+  };
+
+  explicit ResultMemo(std::size_t capacity = 4096) : capacity_(capacity) {}
+  ResultMemo(const ResultMemo&) = delete;
+  ResultMemo& operator=(const ResultMemo&) = delete;
+
+  /// Looks up a scenario fingerprint, refreshing its LRU position on hit.
+  [[nodiscard]] std::optional<MemoEntry> lookup(std::uint64_t key);
+
+  /// Stores a definitive verdict; Unknown entries are ignored. Re-inserting
+  /// an existing key refreshes it (last write wins).
+  void insert(std::uint64_t key, const MemoEntry& entry);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    MemoEntry entry;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Node> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Node>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace psse::service

@@ -1,0 +1,188 @@
+// Canonical scenario fingerprints: stability, order-independence over
+// set-like fields, sensitivity to every axis, and the family/delta split
+// that keys the analytics service's caches.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "grid/ieee_cases.h"
+
+namespace psse::core {
+namespace {
+
+using grid::cases::ieee14;
+using grid::cases::paper_plan14;
+
+Scenario objective2() {
+  Scenario sc;
+  sc.grid = ieee14();
+  sc.plan = paper_plan14(sc.grid);
+  sc.spec.target_states = {11};
+  sc.spec.attack_only_targets = true;
+  return sc;
+}
+
+TEST(Fingerprint, DeterministicAcrossCopies) {
+  const Scenario a = objective2();
+  const Scenario b = objective2();
+  EXPECT_EQ(scenario_fingerprint(a), scenario_fingerprint(b));
+}
+
+TEST(Fingerprint, OrderIndependentSetFields) {
+  Scenario a = objective2();
+  Scenario b = objective2();
+  a.spec.target_states = {2, 5, 9};
+  b.spec.target_states = {9, 2, 5};
+  a.spec.distinct_changes = {{1, 3}, {4, 2}};
+  // Reordered *and* flipped pair orientation: (i,j) means the same
+  // constraint as (j,i).
+  b.spec.distinct_changes = {{2, 4}, {3, 1}};
+  EXPECT_EQ(scenario_fingerprint(a), scenario_fingerprint(b));
+}
+
+TEST(Fingerprint, DuplicateIdsCollapse) {
+  Scenario a = objective2();
+  Scenario b = objective2();
+  a.spec.target_states = {11};
+  b.spec.target_states = {11, 11};
+  EXPECT_EQ(scenario_fingerprint(a), scenario_fingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToEveryAxis) {
+  const Scenario base = objective2();
+  const std::uint64_t fp = scenario_fingerprint(base);
+
+  Scenario v = base;
+  v.spec.max_altered_measurements = 5;
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.spec.max_compromised_buses = 3;
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.spec.target_states = {10};
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.spec.attack_only_targets = false;
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.spec.allow_topology_attacks = true;
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.spec.min_target_shift = 0.01;
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.spec.set_unknown(3, v.grid.num_lines());
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.plan.set_secured(45, true);
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.plan.set_taken(0, false);
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.plan.set_accessible(7, false);
+  EXPECT_NE(scenario_fingerprint(v), fp);
+
+  v = base;
+  v.grid.line(0).admittance *= 2.0;
+  EXPECT_NE(scenario_fingerprint(v), fp);
+}
+
+TEST(Fingerprint, FamilyInvariantUnderDeltaAxes) {
+  const Scenario base = objective2();
+  const std::uint64_t family =
+      family_fingerprint(base.grid, base.plan, base.spec);
+
+  // Every ScenarioDelta axis — resource caps, goal, magnitudes, secured
+  // bits — leaves the family untouched...
+  Scenario v = base;
+  v.spec.max_altered_measurements = 7;
+  v.spec.max_compromised_buses = 2;
+  v.spec.target_states = {3, 8};
+  v.spec.attack_only_targets = false;
+  v.spec.distinct_changes = {{1, 2}};
+  v.spec.min_target_shift = 0.05;
+  v.plan.set_secured(45, true);
+  v.plan.set_secured(12, true);
+  EXPECT_EQ(family_fingerprint(v.grid, v.plan, v.spec), family);
+
+  // ...while the full scenario fingerprint moves.
+  EXPECT_NE(scenario_fingerprint(v), scenario_fingerprint(base));
+
+  // Structural attributes break the family: knowledge, accessibility,
+  // taken set, topology capability, grid data.
+  v = base;
+  v.spec.allow_topology_attacks = true;
+  EXPECT_NE(family_fingerprint(v.grid, v.plan, v.spec), family);
+
+  v = base;
+  v.spec.set_unknown(2, v.grid.num_lines());
+  EXPECT_NE(family_fingerprint(v.grid, v.plan, v.spec), family);
+
+  v = base;
+  v.plan.set_taken(0, false);  // meas 0 is taken in the paper plan
+  EXPECT_NE(family_fingerprint(v.grid, v.plan, v.spec), family);
+
+  v = base;
+  v.plan.set_accessible(0, false);
+  EXPECT_NE(family_fingerprint(v.grid, v.plan, v.spec), family);
+}
+
+TEST(Fingerprint, DeltaFingerprintSeparatesAndCombines) {
+  ScenarioDelta d1;
+  d1.max_altered_measurements = 4;
+  ScenarioDelta d2;
+  d2.max_altered_measurements = 5;
+  EXPECT_NE(delta_fingerprint(d1), delta_fingerprint(d2));
+
+  // Secured sets are order-independent and deduplicated.
+  ScenarioDelta a;
+  a.secured_measurements = {45, 12, 45};
+  a.secured_buses = {3, 1};
+  ScenarioDelta b;
+  b.secured_measurements = {12, 45};
+  b.secured_buses = {1, 3};
+  EXPECT_EQ(delta_fingerprint(a), delta_fingerprint(b));
+
+  const std::uint64_t family = 0x1234567890abcdefULL;
+  EXPECT_NE(combine_fingerprints(family, delta_fingerprint(d1)),
+            combine_fingerprints(family, delta_fingerprint(d2)));
+  EXPECT_NE(combine_fingerprints(family, delta_fingerprint(d1)), family);
+}
+
+TEST(Fingerprint, SpecSplitRoundTrips) {
+  // strip_delta + ScenarioDelta::of partition the spec: the stripped base
+  // of any two same-family variants is identical, and the full scenario
+  // fingerprint of (base ∘ delta) equals the original's.
+  Scenario a = objective2();
+  a.spec.max_altered_measurements = 6;
+  Scenario b = objective2();
+  b.spec.target_states = {5};
+  EXPECT_EQ(scenario_fingerprint(a.grid, a.plan, strip_delta(a.spec)),
+            scenario_fingerprint(b.grid, b.plan, strip_delta(b.spec)));
+}
+
+// Golden pin: fails loudly when the recipe changes without bumping
+// kScenarioFingerprintVersion (persisted fingerprints would silently stop
+// matching otherwise).
+TEST(Fingerprint, GoldenValue) {
+  EXPECT_EQ(kScenarioFingerprintVersion, 1u);
+  const Scenario sc = objective2();
+  EXPECT_EQ(scenario_fingerprint(sc), 0xfe3c9e7094a53c73ULL)
+      << std::hex << scenario_fingerprint(sc);
+}
+
+}  // namespace
+}  // namespace psse::core

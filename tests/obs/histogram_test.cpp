@@ -1,0 +1,98 @@
+// LatencyHistogram: bucket geometry, quantile semantics, and concurrent
+// recording.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+
+namespace psse::obs {
+namespace {
+
+TEST(LatencyHistogram, ExactBelowLinearRange) {
+  for (std::uint64_t us = 0; us < LatencyHistogram::kLinearBuckets; ++us) {
+    const int idx = LatencyHistogram::bucket_index(us);
+    EXPECT_EQ(idx, static_cast<int>(us));
+    EXPECT_EQ(LatencyHistogram::bucket_upper_bound(idx), us);
+  }
+}
+
+TEST(LatencyHistogram, BucketsMonotoneAndCovering) {
+  // Index is non-decreasing in the value, and every value is <= the upper
+  // bound of its own bucket (quantiles never under-report).
+  int prev = -1;
+  for (std::uint64_t us = 0; us < (1ULL << 22); us = us * 2 + 1) {
+    const int idx = LatencyHistogram::bucket_index(us);
+    EXPECT_GE(idx, prev) << "us=" << us;
+    EXPECT_LE(us, LatencyHistogram::bucket_upper_bound(idx)) << "us=" << us;
+    EXPECT_LT(idx, LatencyHistogram::kNumBuckets);
+    prev = idx;
+  }
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedAboveLinearRange) {
+  // Log-spaced buckets with 8 sub-buckets per octave: the upper bound
+  // overshoots the value by at most one sub-bucket width (12.5% + 1).
+  for (std::uint64_t us = LatencyHistogram::kLinearBuckets;
+       us < (1ULL << 30); us = us * 5 / 4 + 3) {
+    const std::uint64_t ub = LatencyHistogram::bucket_upper_bound(
+        LatencyHistogram::bucket_index(us));
+    EXPECT_GE(ub, us);
+    EXPECT_LE(ub, us + us / 8 + 1) << "us=" << us;
+  }
+}
+
+TEST(LatencyHistogram, HugeValuesClampToLastBucket) {
+  const int last = LatencyHistogram::kNumBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_index(UINT64_MAX), last);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1ULL << 62), last);
+}
+
+TEST(LatencyHistogram, QuantilesOnKnownDistribution) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_us(0.5), 0u);  // empty
+  // 100 observations: 1..100 us (all in the exact range).
+  for (std::uint64_t us = 1; us <= 100; ++us) h.record(us);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.quantile_us(0.5), 50u);
+  EXPECT_EQ(h.quantile_us(0.95), 95u);
+  EXPECT_EQ(h.quantile_us(0.99), 99u);
+  EXPECT_EQ(h.quantile_us(1.0), 100u);
+  EXPECT_EQ(h.quantile_us(0.0), 1u);
+  // Monotone in q by construction.
+  EXPECT_LE(h.quantile_us(0.5), h.quantile_us(0.95));
+  EXPECT_LE(h.quantile_us(0.95), h.quantile_us(0.99));
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_us(0.99), 0u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>((t * 37 + i) % 1000));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(h.quantile_us(0.99), h.quantile_us(0.01));
+}
+
+}  // namespace
+}  // namespace psse::obs
