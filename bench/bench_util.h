@@ -60,9 +60,19 @@ inline core::VerificationResult verify_run(const grid::Grid& g,
                                            const grid::MeasurementPlan& p,
                                            const core::AttackSpec& spec,
                                            double timeLimitSeconds = 600,
-                                           const obs::Config& trace = {}) {
+                                           const obs::Config& trace = {},
+                                           bool exactSimplex = false) {
   core::UfdiAttackModel model(g, p, spec);
   model.set_trace(trace);
+  // Phase timing stays on regardless of tracing: the --json rows report the
+  // encode/simplex/tprop split, so a filter regression is attributable
+  // without a separate trace pass.
+  model.enable_phase_timing(true);
+  if (exactSimplex) {
+    smt::SimplexOptions so = model.simplex_options();
+    so.float_filter = false;
+    model.set_simplex_options(so);
+  }
   smt::Budget budget;
   budget.max_time = std::chrono::milliseconds(
       static_cast<long>(timeLimitSeconds * 1000));
@@ -73,8 +83,10 @@ inline core::VerificationResult verify_run(const grid::Grid& g,
 inline double verify_ms(const grid::Grid& g, const grid::MeasurementPlan& p,
                         const core::AttackSpec& spec,
                         double timeLimitSeconds = 600,
-                        const obs::Config& trace = {}) {
-  return verify_run(g, p, spec, timeLimitSeconds, trace).seconds * 1000.0;
+                        const obs::Config& trace = {},
+                        bool exactSimplex = false) {
+  return verify_run(g, p, spec, timeLimitSeconds, trace, exactSimplex)
+             .seconds * 1000.0;
 }
 
 /// True when the bench was invoked with `--json`: each case then emits one
@@ -125,6 +137,37 @@ class JsonLine {
   bool enabled_;
   obs::JsonWriter writer_;
 };
+
+/// True when invoked with `--exact-simplex`: the fig4 benches then disable
+/// the theory solver's float filter (SimplexOptions::float_filter) — ci.sh
+/// runs the fig4a smoke both ways and asserts verdict equality.
+inline bool exact_simplex_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--exact-simplex") return true;
+  }
+  return false;
+}
+
+/// Accumulates one run's phase split into a cell aggregate (for benches
+/// whose JSON rows summarise several runs).
+inline void accumulate_phases(obs::PhaseTimes& into,
+                              const obs::PhaseTimes& run) {
+  into.encode_us += run.encode_us;
+  into.propagate_us += run.propagate_us;
+  into.simplex_us += run.simplex_us;
+  into.tprop_us += run.tprop_us;
+  into.theory_us += run.theory_us;
+}
+
+/// Appends the per-phase wall-time split of one verification run to a JSON
+/// row (microseconds; zero when the phase never ran).
+inline JsonLine& phase_fields(JsonLine& line, const obs::PhaseTimes& pt) {
+  line.field("encode_us", static_cast<std::uint64_t>(pt.encode_us))
+      .field("simplex_us", static_cast<std::uint64_t>(pt.simplex_us))
+      .field("tprop_us", static_cast<std::uint64_t>(pt.tprop_us))
+      .field("theory_us", static_cast<std::uint64_t>(pt.theory_us));
+  return line;
+}
 
 /// `--trace <file>` support for the benches: returns an open sink when the
 /// flag is present (nullptr otherwise). Callers hold the unique_ptr for the

@@ -3,13 +3,16 @@
 // Three experiments per IEEE system (different attacked states) plus the
 // average — the series the paper plots as bars + line. With --json each
 // experiment additionally emits one machine-readable line carrying the
-// verdict and simplex pivot count.
+// verdict, the simplex pivot/filter counters, and the per-phase wall-time
+// split. --exact-simplex disables the float filter (ci.sh cross-checks the
+// two modes for verdict equality).
 #include "bench_util.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  const bool exact = bench::exact_simplex_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(a) - verification time vs problem size",
@@ -23,13 +26,18 @@ int main(int argc, char** argv) {
     std::vector<double> times;
     int exp = 0;
     for (const core::AttackSpec& spec : bench::standard_targets(g)) {
-      core::VerificationResult r = bench::verify_run(g, plan, spec, 600, trace);
+      core::VerificationResult r =
+          bench::verify_run(g, plan, spec, 600, trace, exact);
       times.push_back(r.seconds * 1000.0);
-      bench::JsonLine(json, "fig4a", name + "/exp" + std::to_string(++exp))
-          .field("ms", r.seconds * 1000.0)
+      bench::JsonLine line(json, "fig4a",
+                           name + "/exp" + std::to_string(++exp));
+      line.field("ms", r.seconds * 1000.0)
           .field("pivots", r.stats.pivots)
-          .field("verdict", r.feasible() ? "sat" : "unsat")
-          .emit();
+          .field("float_pivots", r.stats.float_pivots)
+          .field("exact_recomputes", r.stats.exact_recomputes)
+          .field("filter_fallbacks", r.stats.filter_fallbacks)
+          .field("verdict", r.feasible() ? "sat" : "unsat");
+      bench::phase_fields(line, r.phase_times).emit();
     }
     std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
                 times[0], times[1], times[2], bench::mean(times));

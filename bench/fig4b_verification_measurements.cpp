@@ -1,10 +1,14 @@
 // Fig. 4(b): verification time vs the number of taken measurements
-// (percentage of the 2l+b potential set), IEEE 30- and 57-bus.
+// (percentage of the 2l+b potential set), IEEE 30- and 57-bus. With
+// --json each (system, percentage) cell also emits one machine-readable
+// line: the median plus the per-phase wall-time split summed over the
+// cell's runs, so filter regressions are attributable per workload.
 #include "bench_util.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(b) - verification time vs taken measurements",
@@ -15,22 +19,35 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (int pct : {70, 75, 80, 85, 90, 95, 100}) {
     std::printf("%-10d", pct);
+    std::vector<std::tuple<std::string, double, obs::PhaseTimes>> cells;
     for (const char* name : {"ieee30", "ieee57"}) {
       grid::Grid g = grid::cases::by_name(name);
       // Median over several measurement draws and targets: CDCL search
       // time on SAT instances is heavy-tailed, and the paper's trend is
       // about the typical cost.
       std::vector<double> ts;
+      obs::PhaseTimes phases;
       for (std::uint64_t seed : {7u, 21u, 35u}) {
         grid::MeasurementPlan plan =
             bench::observable_fraction_plan(g, pct / 100.0, seed);
         for (const core::AttackSpec& spec : bench::standard_targets(g)) {
-          ts.push_back(bench::verify_ms(g, plan, spec, 600, trace));
+          core::VerificationResult r =
+              bench::verify_run(g, plan, spec, 600, trace);
+          ts.push_back(r.seconds * 1000.0);
+          bench::accumulate_phases(phases, r.phase_times);
         }
       }
       std::printf(" %12.1f", bench::median(ts));
+      cells.emplace_back(name, bench::median(ts), phases);
     }
     std::printf("\n");
+    // JSON after the table row so the two output styles never interleave.
+    for (const auto& [name, medianMs, phases] : cells) {
+      bench::JsonLine line(json, "fig4b",
+                           name + "/p" + std::to_string(pct));
+      line.field("ms", medianMs);
+      bench::phase_fields(line, phases).emit();
+    }
     std::fflush(stdout);
   }
   return 0;

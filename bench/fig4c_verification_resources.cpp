@@ -1,10 +1,13 @@
 // Fig. 4(c): verification time vs the attacker's resource limit T_CZ
-// (max simultaneously altered measurements), IEEE 14- and 30-bus.
+// (max simultaneously altered measurements), IEEE 14- and 30-bus. With
+// --json each cell emits one machine-readable line with the verdict and
+// the per-phase wall-time split.
 #include "bench_util.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(c) - verification time vs attacker resource limit",
@@ -14,19 +17,28 @@ int main(int argc, char** argv) {
               "ieee30(ms)", "sat?");
   for (int tcz : {4, 6, 8, 10, 12, 14, 16, 20, 24, 28}) {
     std::printf("%-8d", tcz);
+    std::vector<std::pair<std::string, core::VerificationResult>> cells;
     for (const char* name : {"ieee14", "ieee30"}) {
       grid::Grid g = grid::cases::by_name(name);
       grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
       core::AttackSpec spec;
       spec.target_states = {g.num_buses() - 1};
       spec.max_altered_measurements = tcz;
-      core::UfdiAttackModel model(g, plan, spec);
-      model.set_trace(trace);
-      core::VerificationResult r = model.verify();
+      core::VerificationResult r =
+          bench::verify_run(g, plan, spec, 600, trace);
       std::printf(" %14.1f %6s", r.seconds * 1000.0,
                   r.feasible() ? "sat" : "unsat");
+      cells.emplace_back(name, std::move(r));
     }
     std::printf("\n");
+    // JSON after the table row so the two output styles never interleave.
+    for (const auto& [name, r] : cells) {
+      bench::JsonLine line(json, "fig4c",
+                           name + "/t" + std::to_string(tcz));
+      line.field("ms", r.seconds * 1000.0)
+          .field("verdict", r.feasible() ? "sat" : "unsat");
+      bench::phase_fields(line, r.phase_times).emit();
+    }
     std::fflush(stdout);
   }
   return 0;

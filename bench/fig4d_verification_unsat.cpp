@@ -3,11 +3,14 @@
 // SAT: an unconstrained attack on a mid-grid state. UNSAT: the same goal
 // under a resource limit below the cheapest stealthy attack (4
 // measurements are always necessary), forcing exhaustion of the space.
+// With --json the sat and unsat runs each emit one machine-readable line
+// with the verdict and the per-phase wall-time split.
 #include "bench_util.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(d) - satisfiable vs unsatisfiable verification",
@@ -23,10 +26,23 @@ int main(int argc, char** argv) {
     sat.target_states = {g.num_buses() / 2};
     core::AttackSpec unsat = sat;
     unsat.max_altered_measurements = 3;  // below the 4-measurement floor
-    double satMs = bench::verify_ms(g, plan, sat, 600, trace);
-    double unsatMs = bench::verify_ms(g, plan, unsat, 600, trace);
+    core::VerificationResult satR = bench::verify_run(g, plan, sat, 600, trace);
+    core::VerificationResult unsatR =
+        bench::verify_run(g, plan, unsat, 600, trace);
+    const double satMs = satR.seconds * 1000.0;
+    const double unsatMs = unsatR.seconds * 1000.0;
     std::printf("%-10s %12.1f %12.1f %8.2f\n", name, satMs, unsatMs,
                 unsatMs / satMs);
+    for (const auto& [label, r] :
+         {std::pair<const char*, const core::VerificationResult*>{"sat",
+                                                                  &satR},
+          {"unsat", &unsatR}}) {
+      bench::JsonLine line(json, "fig4d",
+                           std::string(name) + "/" + label);
+      line.field("ms", r->seconds * 1000.0)
+          .field("verdict", r->feasible() ? "sat" : "unsat");
+      bench::phase_fields(line, r->phase_times).emit();
+    }
     std::fflush(stdout);
   }
   return 0;

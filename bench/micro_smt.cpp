@@ -80,6 +80,23 @@ void BM_BigIntSmallGcd(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntSmallGcd);
 
+// Multi-limb gcd: the Rational::normalize hot path once numerators
+// outgrow the inline form. Arg(0) runs the reference divmod-based Euclid
+// chain (the pre-filter implementation, kept as the differential-test
+// oracle), Arg(1) the production binary Stein gcd (shift/subtract only).
+void BM_BigIntBigGcd(benchmark::State& state) {
+  const bool production = state.range(0) != 0;
+  const smt::BigInt a = smt::BigInt::from_string(
+      "340282366920938463463374607431768211457340282366920938463");
+  const smt::BigInt b = smt::BigInt::from_string(
+      "618970019642690137449562111987654321123456789");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(production ? smt::BigInt::gcd(a, b)
+                                        : smt::BigInt::reference_gcd(a, b));
+  }
+}
+BENCHMARK(BM_BigIntBigGcd)->Arg(0)->Arg(1);
+
 void BM_BigIntSmallMulAdd(benchmark::State& state) {
   const smt::BigInt a(774747);
   const smt::BigInt b(-12345);
@@ -221,6 +238,88 @@ void BM_SimplexCheckFeasibility(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexCheckFeasibility)->Arg(0)->Arg(1);
+
+// The float filter's effect in isolation: the same pivot-heavy instance as
+// BM_SimplexCheckFeasibility (heuristic rule in both arms), Arg(0) with the
+// filter off (pure exact solver), Arg(1) with the default filtered
+// configuration. Verdicts are identical by construction; the delta is the
+// cost of exact DeltaRational bookkeeping the filter avoids until a
+// verdict depends on it.
+void BM_SimplexFloatFilter(benchmark::State& state) {
+  const bool filtered = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::Simplex s;
+    smt::SimplexOptions opts;
+    opts.float_filter = filtered;
+    opts.derive_bounds = false;
+    s.set_options(opts);
+    const int n = 40;
+    std::vector<smt::TVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    std::mt19937_64 rng(7);
+    int tag = 0;
+    std::vector<smt::TVar> slacks;
+    for (int r = 0; r < n; ++r) {
+      smt::LinExpr e;
+      for (int k = 0; k < 4; ++k) {
+        e.add_term(vars[rng() % n],
+                   smt::Rational(1 + static_cast<int>(rng() % 5)));
+      }
+      if (e.is_constant()) continue;
+      slacks.push_back(s.slack_for(e));
+    }
+    for (smt::TVar v : vars) {
+      s.assert_lower(v, smt::DeltaRational(smt::Rational(1)),
+                     smt::Lit::pos(tag++));
+    }
+    state.ResumeTiming();
+    for (smt::TVar sl : slacks) {
+      s.assert_upper(sl, smt::DeltaRational(smt::Rational(40)),
+                     smt::Lit::pos(tag++));
+    }
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_SimplexFloatFilter)->Arg(0)->Arg(1);
+
+// Sparse-tableau scaling: fixed row count, Arg = non-zero terms per row.
+// Rows are (index, coeff) pair vectors, so pivot cost should track the
+// non-zero count, not the column count — the curve over Arg is the check
+// that no dense O(columns) pass crept back into the pivot loop.
+void BM_SimplexRowDensity(benchmark::State& state) {
+  const int termsPerRow = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::Simplex s;
+    const int n = 96;
+    std::vector<smt::TVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+    std::mt19937_64 rng(11);
+    int tag = 0;
+    std::vector<smt::TVar> slacks;
+    for (int r = 0; r < 24; ++r) {
+      smt::LinExpr e;
+      for (int k = 0; k < termsPerRow; ++k) {
+        e.add_term(vars[rng() % n],
+                   smt::Rational(1 + static_cast<int>(rng() % 5)));
+      }
+      if (e.is_constant()) continue;
+      slacks.push_back(s.slack_for(e));
+    }
+    for (smt::TVar v : vars) {
+      s.assert_lower(v, smt::DeltaRational(smt::Rational(1)),
+                     smt::Lit::pos(tag++));
+    }
+    state.ResumeTiming();
+    for (smt::TVar sl : slacks) {
+      s.assert_upper(sl, smt::DeltaRational(smt::Rational(60)),
+                     smt::Lit::pos(tag++));
+    }
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_SimplexRowDensity)->Arg(4)->Arg(16)->Arg(48);
 
 // End-to-end DPLL(T) solve with the theory-propagation hook off (Arg 0)
 // and on (Arg 1): guarded intervals where each asserted guard's bound

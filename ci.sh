@@ -152,18 +152,60 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   fi
   "${micro}" --json --benchmark_min_time=0.01 \
-      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation' \
+      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation|BM_SimplexFloatFilter' \
     2>/dev/null | python3 -c '
 import json, sys
 d = json.load(sys.stdin)  # exactly one JSON object on stdout
 names = [b["name"] for b in d["benchmarks"]]
 assert names, "micro_smt reported no benchmarks"
 for want in ("BM_SimplexCheckFeasibility/0", "BM_SimplexCheckFeasibility/1",
-             "BM_TheoryPropagation/0", "BM_TheoryPropagation/1"):
+             "BM_TheoryPropagation/0", "BM_TheoryPropagation/1",
+             "BM_SimplexFloatFilter/0", "BM_SimplexFloatFilter/1"):
     assert any(n.startswith(want) for n in names), f"missing {want}"
 print(f"ci: micro_smt JSON OK ({len(names)} benchmarks)")
 '
 else
   echo "== ci: micro_smt smoke skipped (no python3) =="
+fi
+
+# Float-filter cross-check: the full fig4a suite once with the
+# double-precision filter (default) and once exact-only, asserting the
+# verdict of every experiment is bit-identical. The filter certifies every
+# visible verdict on the exact DeltaRational state, so ANY divergence here
+# is a soundness bug, not a tolerance issue.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== ci: fig4a float-filter cross-check =="
+  fig4a=""
+  for candidate in build/bench/fig4a_verification_scaling \
+                   build/default/bench/fig4a_verification_scaling; do
+    [ -x "${candidate}" ] && fig4a="${candidate}" && break
+  done
+  if [ -z "${fig4a}" ]; then
+    echo "ci: fig4a_verification_scaling binary not found" >&2
+    exit 1
+  fi
+  { "${fig4a}" --json; echo "===SPLIT==="; "${fig4a}" --json --exact-simplex; } \
+    | python3 -c '
+import json, sys
+filtered, exact, cur = {}, {}, None
+side = filtered
+for line in sys.stdin:
+    line = line.strip()
+    if line == "===SPLIT===":
+        side = exact
+        continue
+    if not line.startswith("{"):
+        continue
+    row = json.loads(line)
+    if row.get("bench") == "fig4a" and "verdict" in row:
+        side[row["case"]] = row["verdict"]
+assert filtered and set(filtered) == set(exact), "case sets diverged"
+for case, verdict in sorted(filtered.items()):
+    assert verdict == exact[case], \
+        f"{case}: filtered={verdict} exact={exact[case]}"
+print(f"ci: fig4a verdicts identical across {len(filtered)} experiments")
+'
+else
+  echo "== ci: fig4a cross-check skipped (no python3) =="
 fi
 echo "== ci: all stages passed =="

@@ -355,6 +355,10 @@ VerificationResult UfdiAttackModel::run(
         .field("pivots", out.stats.pivots)
         .field("bound_flips", out.stats.bound_flips)
         .field("bland_fallbacks", out.stats.bland_fallbacks)
+        .field("float_pivots", out.stats.float_pivots)
+        .field("exact_recomputes", out.stats.exact_recomputes)
+        .field("filter_disagreements", out.stats.filter_disagreements)
+        .field("filter_fallbacks", out.stats.filter_fallbacks)
         .field("bigint_promotions", out.stats.bigint_promotions)
         .field("arena_gcs", out.stats.sat.arena_gcs)
         .field("arena_capacity_bytes",

@@ -105,6 +105,22 @@ class UfdiAttackModel {
   }
   [[nodiscard]] const obs::Config& trace() const { return trace_; }
 
+  /// Reconfigures the theory solver (pivot rule, float filter). Affects
+  /// subsequent verify calls only — the ci.sh cross-check runs the same
+  /// scenarios with the filter on and off through this knob.
+  void set_simplex_options(const smt::SimplexOptions& options) {
+    solver_.set_simplex_options(options);
+  }
+  [[nodiscard]] const smt::SimplexOptions& simplex_options() const {
+    return solver_.simplex_options();
+  }
+
+  /// Enables per-phase wall-time accounting independently of tracing, so
+  /// bench --json rows can report the encode/propagate/simplex/tprop split
+  /// without a trace sink attached. set_trace also toggles this; call this
+  /// after set_trace to keep timing on with tracing off.
+  void enable_phase_timing(bool on) { solver_.enable_phase_timing(on); }
+
   /// Is the specified attack feasible with no extra countermeasures?
   [[nodiscard]] VerificationResult verify(const smt::Budget& budget = {});
 

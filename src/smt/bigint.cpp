@@ -1,6 +1,7 @@
 #include "smt/bigint.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -473,15 +474,98 @@ std::strong_ordering BigInt::cmp_slow(const BigInt& a, const BigInt& b) {
   return std::strong_ordering::equal;
 }
 
-BigInt BigInt::gcd_slow(const BigInt& a, const BigInt& b) {
-  BigInt x = a.abs();
-  BigInt y = b.abs();
-  while (!y.is_zero()) {
-    BigInt r = x % y;
-    x = std::move(y);
-    y = std::move(r);
+namespace {
+
+// Bit position of the lowest set bit of a non-zero magnitude.
+std::size_t trailing_zero_bits(const std::vector<u64>& v) {
+  std::size_t i = 0;
+  while (v[i] == 0) ++i;  // non-zero magnitude: terminates
+  return i * 64 + static_cast<std::size_t>(std::countr_zero(v[i]));
+}
+
+// In-place logical right shift of a magnitude by `bits`.
+void shr_bits(std::vector<u64>& v, std::size_t bits) {
+  const std::size_t limbShift = bits / 64;
+  const unsigned bitShift = static_cast<unsigned>(bits % 64);
+  if (limbShift >= v.size()) {
+    v.clear();
+    return;
+  }
+  if (limbShift != 0) {
+    v.erase(v.begin(),
+            v.begin() + static_cast<std::ptrdiff_t>(limbShift));
+  }
+  if (bitShift != 0) {
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+      v[i] = (v[i] >> bitShift) | (v[i + 1] << (64 - bitShift));
+    }
+    v.back() >>= bitShift;
+  }
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+// In-place left shift of a magnitude by `bits`.
+void shl_bits(std::vector<u64>& v, std::size_t bits) {
+  if (v.empty() || bits == 0) return;
+  const std::size_t limbShift = bits / 64;
+  const unsigned bitShift = static_cast<unsigned>(bits % 64);
+  if (bitShift != 0) {
+    u64 carry = 0;
+    for (u64& limb : v) {
+      const u64 next = limb >> (64 - bitShift);
+      limb = (limb << bitShift) | carry;
+      carry = next;
+    }
+    if (carry != 0) v.push_back(carry);
+  }
+  if (limbShift != 0) {
+    v.insert(v.begin(), limbShift, 0);
+  }
+}
+
+// Binary GCD of two odd 64-bit values.
+u64 gcd_odd_u64(u64 x, u64 y) {
+  while (x != y) {
+    if (x > y) std::swap(x, y);
+    y -= x;  // even and non-zero
+    y >>= std::countr_zero(y);
   }
   return x;
+}
+
+}  // namespace
+
+BigInt BigInt::gcd_slow(const BigInt& a, const BigInt& b) {
+  // Binary (Stein) GCD on the limb magnitudes: shift/subtract only. The
+  // Euclid chain this replaces spent most of its time in divmod_mag —
+  // including the u64<->u32 limb conversions long division needs — which
+  // profiles as the single hottest block under Rational::normalize.
+  std::vector<u64> x, y;
+  {
+    const MagView ma(a), mb(b);
+    x = ma.mag();
+    y = mb.mag();
+  }
+  if (x.empty()) return from_mag(std::move(y), false);
+  if (y.empty()) return from_mag(std::move(x), false);
+  const std::size_t zx = trailing_zero_bits(x);
+  const std::size_t zy = trailing_zero_bits(y);
+  shr_bits(x, zx);
+  shr_bits(y, zy);
+  // Both odd from here on; the loop keeps them that way.
+  while (true) {
+    if (x.size() == 1 && y.size() == 1) {
+      x[0] = gcd_odd_u64(x[0], y[0]);
+      break;
+    }
+    const int cmp = cmp_mag(x, y);
+    if (cmp == 0) break;
+    if (cmp < 0) x.swap(y);
+    sub_mag(x, y);  // even, non-zero
+    shr_bits(x, trailing_zero_bits(x));
+  }
+  shl_bits(x, std::min(zx, zy));  // restore the shared power of two
+  return from_mag(std::move(x), false);
 }
 
 BigInt BigInt::pow10(unsigned exp) {

@@ -23,6 +23,7 @@
 // and are exposed as reference_* entry points for differential testing.
 #pragma once
 
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
@@ -175,16 +176,23 @@ class BigInt {
   }
 
   /// Greatest common divisor; result is non-negative. gcd(0,0) == 0.
+  /// Binary (Stein) algorithm on both paths: shift/subtract beats the
+  /// division-based Euclid chain even at u64 width, and gcd dominates
+  /// Rational::normalize on the pivot hot path.
   static BigInt gcd(const BigInt& a, const BigInt& b) {
     if (a.inline_ && b.inline_) {
       std::uint64_t x = mag64(a.small_);
       std::uint64_t y = mag64(b.small_);
+      if (x == 0) return from_u64_mag(y);
+      if (y == 0) return from_u64_mag(x);
+      const int shift = std::countr_zero(x | y);
+      x >>= std::countr_zero(x);
       while (y != 0) {
-        std::uint64_t t = x % y;
-        x = y;
-        y = t;
+        y >>= std::countr_zero(y);
+        if (x > y) std::swap(x, y);
+        y -= x;
       }
-      return from_u64_mag(x);
+      return from_u64_mag(x << shift);
     }
     return gcd_slow(a, b);
   }

@@ -82,6 +82,33 @@ void LinExpr::add_scaled(const LinExpr& rhs, const Rational& k) {
   constant_.add_mul(rhs.constant_, k);
 }
 
+void LinExpr::add_scaled(const LinExpr& rhs, const Rational& k,
+                         std::vector<std::pair<TVar, Rational>>& scratch) {
+  if (k.is_zero()) return;
+  PSSE_ASSERT(&rhs != this);
+  scratch.clear();
+  scratch.reserve(terms_.size() + rhs.terms_.size());
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() || j < rhs.terms_.size()) {
+    if (j == rhs.terms_.size() ||
+        (i < terms_.size() && terms_[i].first < rhs.terms_[j].first)) {
+      scratch.push_back(std::move(terms_[i++]));
+    } else if (i == terms_.size() || rhs.terms_[j].first < terms_[i].first) {
+      // k and the coefficient are both nonzero, so the product is nonzero.
+      scratch.emplace_back(rhs.terms_[j].first, rhs.terms_[j].second * k);
+      ++j;
+    } else {
+      Rational sum = std::move(terms_[i].second);
+      sum.add_mul(rhs.terms_[j].second, k);
+      if (!sum.is_zero()) scratch.emplace_back(terms_[i].first, std::move(sum));
+      ++i;
+      ++j;
+    }
+  }
+  terms_.swap(scratch);  // old vector's capacity becomes next call's scratch
+  constant_.add_mul(rhs.constant_, k);
+}
+
 LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
   LinExpr neg = rhs;
   neg *= Rational(-1);

@@ -61,6 +61,12 @@ class LinExpr {
   /// (Rational::add_mul) — the simplex row-elimination step, with no
   /// per-term temporaries.
   void add_scaled(const LinExpr& rhs, const Rational& k);
+  /// add_scaled merging into a caller-owned scratch buffer whose capacity
+  /// is recycled across calls (the displaced term vector swaps into
+  /// `scratch`), so a pivot's row-elimination loop allocates only on
+  /// high-water growth. Requires &rhs != this.
+  void add_scaled(const LinExpr& rhs, const Rational& k,
+                  std::vector<std::pair<TVar, Rational>>& scratch);
 
   LinExpr& operator+=(const LinExpr& rhs);
   LinExpr& operator-=(const LinExpr& rhs);

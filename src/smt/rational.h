@@ -20,6 +20,59 @@
 
 namespace psse::smt {
 
+/// A double approximation of an exact value together with a rigorous bound
+/// on its absolute error: |value - exact| <= error always holds (error may
+/// be +inf, and value NaN, for overflowed conversions — every consumer
+/// treats "not provably ordered" as "decide exactly", so a degenerate
+/// approximation only costs speed, never soundness). This is the carrier of
+/// the simplex float filter (DESIGN.md §6g): comparisons are decided in
+/// doubles only when the interval [value-error, value+error] clears the
+/// other side's interval.
+struct DoubleApprox {
+  double value = 0.0;
+  double error = 0.0;
+
+  /// Unit roundoff envelope per operation (2^-52 covers the <= 0.5 ulp
+  /// rounding of every IEEE op with slack) and an absolute floor that
+  /// covers subnormal rounding, where the relative model fails.
+  static constexpr double kEps = 2.220446049250313e-16;
+  static constexpr double kEta = 1e-290;
+
+  static DoubleApprox exact(double v) { return {v, 0.0}; }
+
+  [[nodiscard]] DoubleApprox operator+(const DoubleApprox& o) const {
+    const double v = value + o.value;
+    return {v, error + o.error + kEps * abs_(v) + kEta};
+  }
+  [[nodiscard]] DoubleApprox operator-(const DoubleApprox& o) const {
+    const double v = value - o.value;
+    return {v, error + o.error + kEps * abs_(v) + kEta};
+  }
+  [[nodiscard]] DoubleApprox operator*(const DoubleApprox& o) const {
+    const double v = value * o.value;
+    return {v, abs_(value) * o.error + abs_(o.value) * error +
+                   error * o.error + kEps * abs_(v) + kEta};
+  }
+  void add_mul(const DoubleApprox& x, const DoubleApprox& k) {
+    *this = *this + x * k;
+  }
+
+  /// True iff the exact value this approximates is provably > the exact
+  /// value `o` approximates. NaN/inf poison every comparison to false, so
+  /// a degenerate approximation falls through to the exact path.
+  [[nodiscard]] bool definitely_greater(const DoubleApprox& o) const {
+    return value - o.value > error + o.error + kEps * (abs_(value) + abs_(o.value)) + kEta;
+  }
+  [[nodiscard]] bool definitely_less(const DoubleApprox& o) const {
+    return o.definitely_greater(*this);
+  }
+
+ private:
+  // std::fabs without <cmath> in this header; also NaN-safe (returns NaN,
+  // which poisons comparisons to false as intended).
+  static double abs_(double v) { return v < 0 ? -v : v; }
+};
+
 class Rational {
  public:
   /// Zero.
@@ -48,6 +101,21 @@ class Rational {
 
   [[nodiscard]] double to_double() const {
     return num_.to_double() / den_.to_double();
+  }
+
+  /// to_double() plus a rigorous error bound. BigInt::to_double() folds L
+  /// limbs with one multiply-add each (<= 2L+1 roundings, each <= eps/2
+  /// relative), inline values cast in one rounding, and the final division
+  /// adds one more — so relative error <= (4 + 2*(Ln+Ld)) * eps is a safe
+  /// envelope on both components and the quotient. Overflow to inf yields
+  /// an inf error bound, which consumers read as "never provably ordered".
+  [[nodiscard]] DoubleApprox approx() const {
+    const double v = to_double();
+    const double limbs = static_cast<double>(
+        (num_.heap_bytes() + den_.heap_bytes()) / sizeof(std::uint64_t));
+    const double rel = DoubleApprox::kEps * (4.0 + 2.0 * limbs);
+    const double mag = v < 0 ? -v : v;
+    return {v, mag * rel + DoubleApprox::kEta};
   }
   [[nodiscard]] std::string to_string() const;
 

@@ -1,5 +1,6 @@
 // Linear real arithmetic theory solver: the "general simplex" of
-// Dutertre & de Moura (CAV 2006), over exact delta-rationals.
+// Dutertre & de Moura (CAV 2006), over exact delta-rationals — run
+// float-first with exact certification (DESIGN.md §6g).
 //
 // Variables carry optional lower/upper bounds, each tagged with the SAT
 // literal that asserted it; linear constraints are rows of a tableau whose
@@ -12,6 +13,19 @@
 // worklist, so a check() costs O(violated + pivots) rather than a scan of
 // every row per pivot.
 //
+// Float filter: every bound, row coefficient, and assignment carries a
+// double shadow (DoubleApprox: value + rigorous error bound). Basic-variable
+// assignments are updated only in doubles during pivoting; the exact
+// delta-rational assignment is recomputed from the (always exact) tableau
+// row on demand — when a comparison lands inside the error budget, or
+// before a conflict is emitted. Non-basic assignments and the tableau rows
+// themselves stay exact at all times, so every certification is one sparse
+// exact dot product. Verdicts are decided either by an exact comparison or
+// by a float comparison whose error interval clears the other side, so they
+// are identical to the exact-only configuration by construction; a
+// per-check budget of float/exact disagreements drops the check back to the
+// fully exact path (which itself still falls back to Bland's rule).
+//
 // Bound assertions are trailed; pop_to() retracts to an earlier trail mark
 // in O(retracted). The tableau itself is never rolled back — any pivoted
 // tableau is an equivalent presentation of the same linear system.
@@ -19,7 +33,9 @@
 // After a feasible check(), propagate_implied() derives bounds that the
 // current bound set forces on row owners (and republishes freshly asserted
 // bounds), each with the premise literals that imply it — the raw material
-// for DPLL(T) theory propagation (see DESIGN.md §6d).
+// for DPLL(T) theory propagation (see DESIGN.md §6d). Derivations are
+// float-screened: a row whose implied bound provably cannot beat the
+// owner's asserted bound is skipped without exact arithmetic.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +71,20 @@ struct SimplexOptions {
   /// propagate_implied() can derive implied bounds. Off = no tracking
   /// cost for standalone simplex use.
   bool derive_bounds = true;
+  /// Float-first mode: basic-variable assignments are maintained in
+  /// doubles during pivoting and recomputed exactly only where a verdict
+  /// depends on them; implied-bound derivations are float-screened.
+  /// false = the fully exact path of PR 4 (the reference configuration the
+  /// float-filter fuzz tests and ci.sh cross-check compare against).
+  /// Toggling it between checks is safe: turning it off restores every
+  /// shadowed assignment exactly first.
+  bool float_filter = true;
+  /// Per-check budget of float/exact disagreements (a certification whose
+  /// exact outcome contradicts the float point estimate). Exceeding it
+  /// abandons the filter for the remainder of the check: every shadowed
+  /// assignment is restored exactly and the check continues on the exact
+  /// path. Counted by num_filter_fallbacks().
+  std::uint32_t filter_disagreement_budget = 16;
 };
 
 class Simplex {
@@ -118,8 +148,10 @@ class Simplex {
   [[nodiscard]] Rational model_value(TVar v);
 
   /// Reconfigures pivot selection / propagation. Takes effect at the next
-  /// check(); may be called at any point between checks.
-  void set_options(const SimplexOptions& options) { options_ = options; }
+  /// check(); may be called at any point between checks. Turning the float
+  /// filter off restores every float-shadowed assignment exactly, so the
+  /// instance continues as a purely exact solver.
+  void set_options(const SimplexOptions& options);
   [[nodiscard]] const SimplexOptions& options() const { return options_; }
 
   /// Marks a variable as worth deriving implied bounds for (the DPLL(T)
@@ -133,7 +165,9 @@ class Simplex {
   /// variables are bounded on the relevant side (premises = those bounds'
   /// tags). Only sound on a feasibility-checked state — a no-op while
   /// feasibility is unknown (pending or interrupted check) or when
-  /// SimplexOptions::derive_bounds is off.
+  /// SimplexOptions::derive_bounds is off. Emitted bounds are always exact
+  /// delta-rationals; the float screen only skips derivations that provably
+  /// cannot tighten anything.
   void propagate_implied(std::vector<ImpliedBound>& out);
 
   /// Diagnostics / Table IV accounting. Lifetime counters: pivots performed
@@ -145,6 +179,24 @@ class Simplex {
   [[nodiscard]] std::uint64_t num_bound_flips() const { return bound_flips_; }
   [[nodiscard]] std::uint64_t num_bland_fallbacks() const {
     return bland_fallbacks_;
+  }
+  /// Float-filter accounting. float_pivots: pivots whose assignment
+  /// updates ran in doubles only (<= num_pivots; the remainder ran on the
+  /// exact path). exact_recomputes: assignments or implied-bound rows
+  /// recomputed exactly because a verdict depended on them (certification
+  /// points). filter_disagreements: certifications whose exact outcome
+  /// contradicted the float point estimate. filter_fallbacks: checks that
+  /// exceeded the per-check disagreement budget and finished on the exact
+  /// path.
+  [[nodiscard]] std::uint64_t num_float_pivots() const { return float_pivots_; }
+  [[nodiscard]] std::uint64_t num_exact_recomputes() const {
+    return exact_recomputes_;
+  }
+  [[nodiscard]] std::uint64_t num_filter_disagreements() const {
+    return filter_disagreements_;
+  }
+  [[nodiscard]] std::uint64_t num_filter_fallbacks() const {
+    return filter_fallbacks_;
   }
   [[nodiscard]] std::size_t footprint_bytes() const;
 
@@ -159,6 +211,14 @@ class Simplex {
  private:
   struct Bound {
     DeltaRational value;
+    /// Shadow of value.real() (the delta part is symbolic: lexicographic
+    /// order means a float comparison can only decide when the real parts
+    /// are strictly apart, and then the delta parts are irrelevant).
+    DoubleApprox approx;
+    /// Unique id of this assignment (global monotone counter; pop restores
+    /// the old id with the old value, so equal revisions imply equal
+    /// values). Fast path for the derivation caches' change detection.
+    std::uint64_t revision = 0;
     Lit reason;
     bool active = false;
   };
@@ -167,8 +227,14 @@ class Simplex {
     std::string name;
     Bound lower;
     Bound upper;
-    DeltaRational beta;        // current assignment
-    std::int32_t row = -1;     // row index if basic, -1 if non-basic
+    DeltaRational beta;  // exact assignment; lags the shadow when stale
+    DoubleApprox beta_f;  // shadow of beta.real()
+    std::int32_t row = -1;  // row index if basic, -1 if non-basic
+    /// True while beta (exact) lags behind beta_f: the variable is basic
+    /// and its assignment has only been updated in doubles since the last
+    /// exact recompute. Non-basic variables are never stale — they are
+    /// only ever assigned exactly representable values (their bounds).
+    bool stale = false;
   };
 
   struct TrailEntry {
@@ -177,33 +243,79 @@ class Simplex {
     Bound previous;
   };
 
-  // Row: owner = expr (a zero-constant LinExpr; terms sorted by var id).
+  // Memoized implied-bound derivation for one side of a row: the exact
+  // implied value last computed plus, aligned term-for-term with the row's
+  // expr, the input bound value each term contributed (invariant:
+  // implied == sum(vals[i] * coeff[i])). A re-derivation patches only the
+  // terms whose input bound *value* differs — one add_mul on the (usually
+  // tiny) difference — and replays with no exact arithmetic when nothing
+  // differs, the dominant case: rows are re-dirtied on any column bound
+  // event, and both backtracking and re-assertion overwhelmingly restore
+  // the exact value already cached (which is why change detection is by
+  // value, not by assertion identity). The revision stamps make the
+  // comparison cheap: equal stamps short-circuit as equal values, and a
+  // stamp mismatch with an equal value (re-assertion) just refreshes the
+  // stamp. Every exact tie (owner bound == implied bound, undecidable by
+  // any float margin) is disposed of here after its first exact pass.
+  // Invalidated whenever the terms change (pivot).
+  struct DeriveCache {
+    DeltaRational implied;
+    std::vector<DeltaRational> vals;
+    std::vector<std::uint64_t> revs;
+    bool valid = false;
+  };
+
+  // Row: owner = expr (a zero-constant LinExpr; terms sorted by var id),
+  // plus the sparse double mirror aligned term-for-term with expr.terms()
+  // — the float tableau shares the exact tableau's sparsity pattern — and
+  // the two per-side derivation caches (invalidated when the terms change).
   struct Row {
     TVar owner;
     LinExpr expr;
+    std::vector<DoubleApprox> mirror;
+    DeriveCache derive[2];  // [0] = lower, [1] = upper
   };
 
   bool set_bound(TVar v, const DeltaRational& bound, Lit reason,
                  bool is_upper);
-  // Enqueues a basic variable into the violated-candidate worklist if it
-  // is out of bounds and not already queued.
+  // Enqueues a basic variable into the violated-candidate worklist unless
+  // it is provably within bounds (exactly for fresh variables, by float
+  // margin for stale ones) or already queued.
   void touch(TVar v);
-  // Marks a row for implied-bound (re)derivation.
-  void mark_row_dirty(std::int32_t rowIdx);
+  // Marks one side of a row for implied-bound (re)derivation.
+  void mark_row_dirty(std::int32_t rowIdx, bool upper);
   // Derives the upper (or lower) bound a row forces on its owner, if every
-  // column variable is bounded on the relevant side.
+  // column variable is bounded on the relevant side. Float-screened: rows
+  // that provably cannot tighten the owner's bound are skipped.
   void derive_row_bound(std::int32_t rowIdx, bool upper,
                         std::vector<ImpliedBound>& out);
-  // Moves a non-basic variable and propagates into dependent basics.
-  void update(TVar v, const DeltaRational& newVal);
+  // Moves a non-basic variable and propagates into dependent basics (in
+  // doubles when the filter is live, exactly otherwise).
+  void update(TVar v, const DeltaRational& newVal,
+              const DoubleApprox& newApprox);
   // Pivots basic leaving var (by row) with entering non-basic var, setting
-  // the leaving var's value to `target`.
+  // the leaving var's value to `target` (whose shadow is `targetApprox`).
   void pivot_and_update(std::int32_t rowIdx, TVar entering,
-                        const DeltaRational& target);
+                        const DeltaRational& target,
+                        const DoubleApprox& targetApprox);
   void pivot(std::int32_t rowIdx, TVar entering);
+  // Rebuilds a row's double mirror from its exact terms.
+  void refresh_mirror(Row& row);
   [[nodiscard]] const Rational* row_coeff(const Row& row, TVar v) const;
+  // Index of v's term in row.expr (and row.mirror), or -1.
+  [[nodiscard]] std::ptrdiff_t row_term_index(const Row& row, TVar v) const;
   void build_conflict_from_row(const Row& row, bool lowerViolated);
   [[nodiscard]] bool in_bounds(TVar v) const;
+  // Certification point: recomputes a stale basic variable's exact
+  // assignment from its row (one sparse exact dot product over the
+  // always-exact non-basic assignments).
+  void restore_beta(TVar v);
+  // Restores every stale assignment; the instance is fully exact after.
+  void restore_all_betas();
+  // Whether assignment updates may run in doubles right now.
+  [[nodiscard]] bool float_mode() const {
+    return options_.float_filter && !check_exact_fallback_;
+  }
   void compute_delta();
 
   std::vector<VarState> vars_;
@@ -219,6 +331,10 @@ class Simplex {
   std::uint64_t pivots_ = 0;
   std::uint64_t bound_flips_ = 0;
   std::uint64_t bland_fallbacks_ = 0;
+  std::uint64_t float_pivots_ = 0;
+  std::uint64_t exact_recomputes_ = 0;
+  std::uint64_t filter_disagreements_ = 0;
+  std::uint64_t filter_fallbacks_ = 0;
   const Interrupt* interrupt_ = nullptr;
   obs::PhaseTimes* phases_ = nullptr;
   SimplexOptions options_;
@@ -231,8 +347,22 @@ class Simplex {
   // touched since the last propagate_implied() drain. row_dirty_ dedupes.
   std::vector<std::pair<TVar, bool>> fresh_bounds_;  // (var, is_upper)
   std::vector<std::int32_t> dirty_rows_;
-  std::vector<bool> row_dirty_;
+  // Per-row bitmask of sides needing re-derivation: bit 0 = lower, bit 1 =
+  // upper (a column bound event only perturbs the side that consumes it).
+  std::vector<std::uint8_t> row_dirty_;
   std::vector<bool> interesting_;  // vars whose implied bounds have takers
+  // Scratch for pivot's row elimination (recycles merge capacity).
+  std::vector<std::pair<TVar, Rational>> merge_scratch_;
+  // Scratch holding a row's pre-substitution var set so pivot can patch the
+  // column index by set difference instead of erase-all/insert-all.
+  std::vector<TVar> col_vars_scratch_;
+  // Number of stale assignments (restore_all_betas short-circuit).
+  std::size_t stale_count_ = 0;
+  // Bound-assignment revision counter (see Bound::revision).
+  std::uint64_t bound_revision_ = 0;
+  // Set when a check exceeds the disagreement budget: the rest of that
+  // check (and any assert-time updates until the next check) runs exactly.
+  bool check_exact_fallback_ = false;
   // False only when every variable is known to satisfy its bounds; lets
   // check() short-circuit at propagation fixpoints where no bound moved.
   bool maybe_infeasible_ = false;

@@ -286,6 +286,10 @@ SolverStats Solver::stats() const {
   st.pivots = simplex_.num_pivots();
   st.bound_flips = simplex_.num_bound_flips();
   st.bland_fallbacks = simplex_.num_bland_fallbacks();
+  st.float_pivots = simplex_.num_float_pivots();
+  st.exact_recomputes = simplex_.num_exact_recomputes();
+  st.filter_disagreements = simplex_.num_filter_disagreements();
+  st.filter_fallbacks = simplex_.num_filter_fallbacks();
   st.bigint_promotions = bigint_promotions();
   st.num_terms = terms_.num_nodes();
   st.num_atoms = atoms_.size();

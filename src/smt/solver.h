@@ -45,6 +45,14 @@ struct SolverStats {
   /// Inline->limb BigInt promotions on this solver's thread (genuine
   /// 64-bit overflows: departures from the allocation-free fast path).
   std::uint64_t bigint_promotions = 0;
+  /// Float-filter accounting (see Simplex): pivots whose assignment updates
+  /// ran in doubles only, exact recomputations forced by a verdict-bearing
+  /// comparison, certifications where float and exact disagreed, and checks
+  /// that exceeded the disagreement budget and finished on the exact path.
+  std::uint64_t float_pivots = 0;
+  std::uint64_t exact_recomputes = 0;
+  std::uint64_t filter_disagreements = 0;
+  std::uint64_t filter_fallbacks = 0;
   std::size_t num_terms = 0;
   std::size_t num_atoms = 0;
   std::size_t num_bool_vars = 0;
@@ -65,6 +73,11 @@ struct SolverStats {
     d.bound_flips = bound_flips - earlier.bound_flips;
     d.bland_fallbacks = bland_fallbacks - earlier.bland_fallbacks;
     d.bigint_promotions = bigint_promotions - earlier.bigint_promotions;
+    d.float_pivots = float_pivots - earlier.float_pivots;
+    d.exact_recomputes = exact_recomputes - earlier.exact_recomputes;
+    d.filter_disagreements =
+        filter_disagreements - earlier.filter_disagreements;
+    d.filter_fallbacks = filter_fallbacks - earlier.filter_fallbacks;
     return d;
   }
 };

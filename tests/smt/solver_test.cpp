@@ -300,6 +300,10 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
   std::uint64_t decisionSum = 0;
   std::uint64_t checkSum = 0;
   std::uint64_t pivotSum = 0;
+  std::uint64_t floatPivotSum = 0;
+  std::uint64_t recomputeSum = 0;
+  std::uint64_t disagreeSum = 0;
+  std::uint64_t fallbackSum = 0;
   for (const SolverStats& d : deltas) {
     // Every call does real work, and none of the deltas can exceed the
     // lifetime totals (the symptom of the fixed bug was per-call reports
@@ -312,11 +316,23 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
     decisionSum += d.sat.decisions;
     checkSum += d.sat.theory_checks;
     pivotSum += d.pivots;
+    floatPivotSum += d.float_pivots;
+    recomputeSum += d.exact_recomputes;
+    disagreeSum += d.filter_disagreements;
+    fallbackSum += d.filter_fallbacks;
   }
-  // Counter deltas partition the lifetime exactly.
+  // Counter deltas partition the lifetime exactly — including the float
+  // filter's counters, which reuse the same snapshot/delta mechanics.
   EXPECT_EQ(decisionSum, total.sat.decisions);
   EXPECT_EQ(checkSum, total.sat.theory_checks);
   EXPECT_EQ(pivotSum, total.pivots);
+  EXPECT_EQ(floatPivotSum, total.float_pivots);
+  EXPECT_EQ(recomputeSum, total.exact_recomputes);
+  EXPECT_EQ(disagreeSum, total.filter_disagreements);
+  EXPECT_EQ(fallbackSum, total.filter_fallbacks);
+  // The filter actually ran: certification work is non-zero on a workload
+  // with theory conflicts and implied bounds.
+  EXPECT_GT(total.exact_recomputes, 0u);
 }
 
 // Property: random systems of interval constraints with boolean selectors,
