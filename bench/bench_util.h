@@ -22,6 +22,7 @@
 #include "grid/measurement.h"
 #include "obs/json_writer.h"
 #include "obs/trace.h"
+#include "screen/lp_screen.h"
 
 namespace psse::bench {
 
@@ -146,6 +147,36 @@ inline bool exact_simplex_enabled(int argc, char** argv) {
     if (std::string_view(argv[i]) == "--exact-simplex") return true;
   }
   return false;
+}
+
+/// True when invoked with `--no-screen`: benches and tools that run the
+/// LP-relaxation screen in front of verification then skip it (the escape
+/// hatch ci.sh uses for the screened-vs-unscreened verdict cross-check).
+inline bool no_screen_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--no-screen") return true;
+  }
+  return false;
+}
+
+/// Runs the LP-relaxation screen over one experiment and appends its
+/// verdict and cost to the row ("screened" = the screen alone proved the
+/// scenario unsat; the SMT verdict in the same row must then agree).
+/// `enabled` false records screened=false at zero cost.
+inline JsonLine& screen_fields(JsonLine& line, const grid::Grid& g,
+                               const grid::MeasurementPlan& p,
+                               const core::AttackSpec& spec, bool enabled) {
+  bool screened = false;
+  double us = 0;
+  if (enabled) {
+    screen::LpScreen s(g, p, spec);
+    const screen::ScreenResult r = s.screen(core::ScenarioDelta::of(spec));
+    screened = r.verdict == screen::ScreenVerdict::kInfeasible;
+    us = r.seconds * 1e6;
+  }
+  line.field("screened", screened ? std::uint64_t{1} : std::uint64_t{0})
+      .field("screen_us", static_cast<std::uint64_t>(us));
+  return line;
 }
 
 /// Accumulates one run's phase split into a cell aggregate (for benches

@@ -13,6 +13,7 @@ using namespace psse;
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
   const bool exact = bench::exact_simplex_enabled(argc, argv);
+  const bool screen = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(a) - verification time vs problem size",
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
           .field("exact_recomputes", r.stats.exact_recomputes)
           .field("filter_fallbacks", r.stats.filter_fallbacks)
           .field("verdict", r.feasible() ? "sat" : "unsat");
+      bench::screen_fields(line, g, plan, spec, screen && json);
       bench::phase_fields(line, r.phase_times).emit();
     }
     std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),

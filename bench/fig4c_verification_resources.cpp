@@ -8,6 +8,7 @@ using namespace psse;
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  const bool screen = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(c) - verification time vs attacker resource limit",
@@ -33,10 +34,16 @@ int main(int argc, char** argv) {
     std::printf("\n");
     // JSON after the table row so the two output styles never interleave.
     for (const auto& [name, r] : cells) {
+      grid::Grid g = grid::cases::by_name(name.c_str());
+      grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+      core::AttackSpec spec;
+      spec.target_states = {g.num_buses() - 1};
+      spec.max_altered_measurements = tcz;
       bench::JsonLine line(json, "fig4c",
                            name + "/t" + std::to_string(tcz));
       line.field("ms", r.seconds * 1000.0)
           .field("verdict", r.feasible() ? "sat" : "unsat");
+      bench::screen_fields(line, g, plan, spec, screen && json);
       bench::phase_fields(line, r.phase_times).emit();
     }
     std::fflush(stdout);

@@ -11,6 +11,7 @@ using namespace psse;
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  const bool screen = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 4(d) - satisfiable vs unsatisfiable verification",
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
                            std::string(name) + "/" + label);
       line.field("ms", r->seconds * 1000.0)
           .field("verdict", r->feasible() ? "sat" : "unsat");
+      const core::AttackSpec& spec =
+          std::string_view(label) == "sat" ? sat : unsat;
+      bench::screen_fields(line, g, plan, spec, screen && json);
       bench::phase_fields(line, r->phase_times).emit();
     }
     std::fflush(stdout);

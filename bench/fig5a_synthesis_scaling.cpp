@@ -7,7 +7,7 @@ using namespace psse;
 namespace {
 
 double synth_seconds(const grid::Grid& g, const grid::MeasurementPlan& plan,
-                     const obs::Config& trace,
+                     const obs::Config& trace, bool seeding,
                      core::SynthesisResult* out = nullptr) {
   core::AttackSpec spec;  // worst-case adversary, as in Section IV-E scen. 2
   core::UfdiAttackModel model(g, plan, spec);
@@ -15,6 +15,7 @@ double synth_seconds(const grid::Grid& g, const grid::MeasurementPlan& plan,
   opt.max_secured_buses = g.num_buses();
   opt.must_secure = {0};
   opt.time_limit_seconds = 600;
+  opt.graph_seeding = seeding;
   opt.trace = trace;
   core::SecurityArchitectureSynthesizer syn(model, opt);
   core::SynthesisResult r = syn.synthesize();
@@ -26,6 +27,7 @@ double synth_seconds(const grid::Grid& g, const grid::MeasurementPlan& plan,
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  const bool seeding = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 5(a) - synthesis time vs problem size",
@@ -37,9 +39,9 @@ int main(int argc, char** argv) {
     grid::Grid g = grid::cases::by_name(name);
     grid::MeasurementPlan p90 = bench::observable_fraction_plan(g, 0.9, 5);
     grid::MeasurementPlan p100(g.num_lines(), g.num_buses());
-    double t90 = synth_seconds(g, p90, trace);
+    double t90 = synth_seconds(g, p90, trace, seeding);
     core::SynthesisResult full;
-    double t100 = synth_seconds(g, p100, trace, &full);
+    double t100 = synth_seconds(g, p100, trace, seeding, &full);
     std::printf("%-10s %12.2f %12.2f %10zu %10d\n", name, t90, t100,
                 full.secured_buses.size(), full.candidates_tried);
     bench::JsonLine(json, "fig5a", name)

@@ -5,6 +5,7 @@
 using namespace psse;
 
 int main(int argc, char** argv) {
+  const bool seeding = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 5(b) - synthesis time vs taken measurements",
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
         opt.max_secured_buses = g.num_buses();
         opt.must_secure = {0};
         opt.time_limit_seconds = 600;
+        opt.graph_seeding = seeding;
         opt.trace = trace;
         core::SecurityArchitectureSynthesizer syn(model, opt);
         ts.push_back(syn.synthesize().seconds);

@@ -5,6 +5,7 @@
 using namespace psse;
 
 int main(int argc, char** argv) {
+  const bool seeding = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 5(c) - synthesis time vs attacker resource limit",
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     opt.max_secured_buses = g.num_buses();
     opt.must_secure = {0};
     opt.time_limit_seconds = 600;
+    opt.graph_seeding = seeding;
     opt.trace = trace;
     core::SecurityArchitectureSynthesizer syn(model, opt);
     core::SynthesisResult r = syn.synthesize();

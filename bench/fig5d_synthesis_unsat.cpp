@@ -23,6 +23,7 @@ int find_minimum(core::UfdiAttackModel& model) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool seeding = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
   bench::header("Fig. 5(d) - synthesis time in unsatisfiable cases",
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
       opt.max_secured_buses = budget;
       opt.must_secure = {0};
       opt.time_limit_seconds = 600;
+      opt.graph_seeding = seeding;
       opt.trace = trace;
       core::SecurityArchitectureSynthesizer syn(model, opt);
       core::SynthesisResult r = syn.synthesize();

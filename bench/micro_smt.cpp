@@ -9,6 +9,7 @@
 
 #include "core/attack_model.h"
 #include "grid/ieee_cases.h"
+#include "screen/lp_screen.h"
 #include "smt/solver.h"
 
 using namespace psse;
@@ -282,6 +283,31 @@ void BM_SimplexFloatFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexFloatFilter)->Arg(0)->Arg(1);
+
+// LP-relaxation screen (screen::LpScreen): one warm per-family screen
+// queried per delta — the analytics service's front-end hot path. Arg 0:
+// an open goal the screen cannot refute (falls through to SMT); Arg 1:
+// every taken measurement secured, so the relaxation pins the target and
+// the screen answers Unsat by itself.
+void BM_LpScreen(benchmark::State& state) {
+  const bool secured = state.range(0) != 0;
+  grid::Grid g = grid::cases::by_name("ieee57");
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  core::AttackSpec spec;
+  screen::LpScreen lp(g, plan, spec);
+  core::ScenarioDelta delta;
+  delta.target_states = {g.num_buses() - 1};
+  if (secured) {
+    for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+      if (plan.taken(m)) delta.secured_measurements.push_back(m);
+    }
+  }
+  for (auto _ : state) {
+    screen::ScreenResult r = lp.screen(delta);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LpScreen)->Arg(0)->Arg(1);
 
 // Sparse-tableau scaling: fixed row count, Arg = non-zero terms per row.
 // Rows are (index, coeff) pair vectors, so pivot cost should track the

@@ -1,0 +1,152 @@
+// Screened vs unscreened service sweep: single-line poisoning x T_CZ on
+// the IEEE 300-bus system (the PR 8 acceptance experiment).
+//
+// Each family point secures every taken measurement EXCEPT the two flow
+// meters of one "poisoned" line, and asks whether the mid-grid state can
+// still be stealthily shifted under a T_CZ cap. The rest of the plan pins
+// the whole state estimate, so every point is UNSAT — exactly the workload
+// the LP-relaxation screen is built for: one warm LP query per secured
+// set (shared across all T_CZ values via the cap-free screen memo) versus
+// one full SMT solve per point.
+//
+// The bench runs the identical request list twice through
+// service::AnalyticsService — screening on, then off — asserts the
+// verdicts are bit-identical, and reports the wall-clock ratio. Exit
+// status 1 on any verdict mismatch, so CI can use it as a soundness
+// check. Default is a line subsample (every 8th line); --full sweeps all
+// lines. With --json one machine-readable summary line is emitted
+// (recorded as the pr8_* rows of BENCH_smt.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/analytics_service.h"
+
+using namespace psse;
+
+namespace {
+
+struct RunStats {
+  std::vector<smt::SolveResult> verdicts;
+  double wall_seconds = 0;
+  std::uint64_t screened = 0;
+  double screen_seconds = 0;
+};
+
+RunStats run_suite(const std::vector<service::ServiceRequest>& requests,
+                   bool screen) {
+  service::ServiceOptions opt;
+  opt.threads = 1;  // serial: wall-clock compares solver work, not cores
+  opt.memo_capacity = 0;  // every point must be solved, not memoised
+  opt.screen = screen;
+  service::AnalyticsService svc(opt);
+  RunStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<service::ServiceResponse>> futures;
+  futures.reserve(requests.size());
+  for (const service::ServiceRequest& req : requests) {
+    futures.push_back(svc.submit(req));
+  }
+  for (std::future<service::ServiceResponse>& f : futures) {
+    service::ServiceResponse r = f.get();
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", r.id.c_str(),
+                   r.error.c_str());
+      std::exit(1);
+    }
+    stats.verdicts.push_back(r.verdict);
+    if (r.screened) ++stats.screened;
+    stats.screen_seconds += r.screen_seconds;
+  }
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::json_enabled(argc, argv);
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  bench::header("screen sweep - single-line poisoning x T_CZ (ieee300)",
+                "LP screening answers the all-UNSAT sweep >=3x faster than "
+                "per-point SMT solves, with bit-identical verdicts");
+
+  grid::Grid g = grid::cases::by_name("ieee300");
+  grid::MeasurementPlan fullPlan(g.num_lines(), g.num_buses());
+  const int target = g.num_buses() / 2;
+  const int stride = full ? 1 : 8;
+  const std::vector<int> tcz = {2, 4, 6, 8};
+
+  std::vector<service::ServiceRequest> requests;
+  for (int line = 0; line < g.num_lines(); line += stride) {
+    // Secure everything except the poisoned line's two flow meters; the
+    // remaining plan still pins the whole estimate, so no cap admits an
+    // attack.
+    grid::MeasurementPlan plan = fullPlan;
+    for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+      if (plan.taken(m)) plan.set_secured(m, true);
+    }
+    plan.set_secured(plan.forward_flow(line), false);
+    plan.set_secured(plan.backward_flow(line), false);
+    for (int cap : tcz) {
+      service::ServiceRequest req;
+      req.id = "l" + std::to_string(line) + "/t" + std::to_string(cap);
+      req.scenario.case_name = "ieee300";
+      req.scenario.grid = g;
+      req.scenario.plan = plan;
+      req.scenario.spec.target_states = {target};
+      req.scenario.spec.max_altered_measurements = cap;
+      req.use_memo = false;
+      requests.push_back(std::move(req));
+    }
+  }
+
+  std::printf("suite: %zu requests (%d lines x %zu caps)\n",
+              requests.size(),
+              (g.num_lines() + stride - 1) / stride, tcz.size());
+  const RunStats screened = run_suite(requests, /*screen=*/true);
+  const RunStats unscreened = run_suite(requests, /*screen=*/false);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (screened.verdicts[i] != unscreened.verdicts[i]) {
+      std::fprintf(stderr,
+                   "VERDICT MISMATCH at %s: screened=%s unscreened=%s\n",
+                   requests[i].id.c_str(),
+                   smt::to_cstring(screened.verdicts[i]),
+                   smt::to_cstring(unscreened.verdicts[i]));
+      return 1;
+    }
+  }
+
+  const double speedup =
+      screened.wall_seconds > 0
+          ? unscreened.wall_seconds / screened.wall_seconds
+          : 0;
+  std::printf("screened:   %8.1f ms (%llu/%zu answered by screen, "
+              "%.1f ms in LP)\n",
+              screened.wall_seconds * 1000.0,
+              static_cast<unsigned long long>(screened.screened),
+              requests.size(), screened.screen_seconds * 1000.0);
+  std::printf("unscreened: %8.1f ms\n", unscreened.wall_seconds * 1000.0);
+  std::printf("speedup: %.2fx, verdicts identical across %zu requests\n",
+              speedup, requests.size());
+
+  bench::JsonLine line(json, "screen_sweep", "ieee300");
+  line.field("requests", static_cast<std::uint64_t>(requests.size()))
+      .field("screened", screened.screened)
+      .field("screened_ms", screened.wall_seconds * 1000.0)
+      .field("unscreened_ms", unscreened.wall_seconds * 1000.0)
+      .field("speedup", speedup)
+      .field("verdicts_identical", std::uint64_t{1});
+  line.emit();
+  return 0;
+}

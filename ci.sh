@@ -152,7 +152,7 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   fi
   "${micro}" --json --benchmark_min_time=0.01 \
-      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation|BM_SimplexFloatFilter' \
+      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation|BM_SimplexFloatFilter|BM_LpScreen' \
     2>/dev/null | python3 -c '
 import json, sys
 d = json.load(sys.stdin)  # exactly one JSON object on stdout
@@ -160,7 +160,8 @@ names = [b["name"] for b in d["benchmarks"]]
 assert names, "micro_smt reported no benchmarks"
 for want in ("BM_SimplexCheckFeasibility/0", "BM_SimplexCheckFeasibility/1",
              "BM_TheoryPropagation/0", "BM_TheoryPropagation/1",
-             "BM_SimplexFloatFilter/0", "BM_SimplexFloatFilter/1"):
+             "BM_SimplexFloatFilter/0", "BM_SimplexFloatFilter/1",
+             "BM_LpScreen/0", "BM_LpScreen/1"):
     assert any(n.startswith(want) for n in names), f"missing {want}"
 print(f"ci: micro_smt JSON OK ({len(names)} benchmarks)")
 '
@@ -168,13 +169,17 @@ else
   echo "== ci: micro_smt smoke skipped (no python3) =="
 fi
 
-# Float-filter cross-check: the full fig4a suite once with the
-# double-precision filter (default) and once exact-only, asserting the
-# verdict of every experiment is bit-identical. The filter certifies every
-# visible verdict on the exact DeltaRational state, so ANY divergence here
-# is a soundness bug, not a tolerance issue.
+# Float-filter + screen cross-check: the full fig4a suite once with the
+# double-precision filter (default, LP screen annotating each row), once
+# exact-only, and once with --no-screen, asserting the verdict of every
+# experiment is bit-identical across all three runs. The filter certifies
+# every visible verdict on the exact DeltaRational state and the screen is
+# a pure front-end that may only prove Unsat, so ANY divergence here is a
+# soundness bug, not a tolerance issue. The screened run additionally
+# proves the screen's Infeasible claims agree with the solver: every row
+# it marks screened=1 must carry an unsat verdict.
 if command -v python3 >/dev/null 2>&1; then
-  echo "== ci: fig4a float-filter cross-check =="
+  echo "== ci: fig4a float-filter/screen cross-check =="
   fig4a=""
   for candidate in build/bench/fig4a_verification_scaling \
                    build/default/bench/fig4a_verification_scaling; do
@@ -184,28 +189,52 @@ if command -v python3 >/dev/null 2>&1; then
     echo "ci: fig4a_verification_scaling binary not found" >&2
     exit 1
   fi
-  { "${fig4a}" --json; echo "===SPLIT==="; "${fig4a}" --json --exact-simplex; } \
+  { "${fig4a}" --json; echo "===SPLIT==="; "${fig4a}" --json --exact-simplex; \
+    echo "===SPLIT==="; "${fig4a}" --json --no-screen; } \
     | python3 -c '
 import json, sys
-filtered, exact, cur = {}, {}, None
-side = filtered
+runs = [{}]
+screened = 0
 for line in sys.stdin:
     line = line.strip()
     if line == "===SPLIT===":
-        side = exact
+        runs.append({})
         continue
     if not line.startswith("{"):
         continue
     row = json.loads(line)
     if row.get("bench") == "fig4a" and "verdict" in row:
-        side[row["case"]] = row["verdict"]
-assert filtered and set(filtered) == set(exact), "case sets diverged"
+        runs[-1][row["case"]] = row["verdict"]
+        if len(runs) == 1 and row.get("screened"):
+            screened += 1
+            assert row["verdict"] == "unsat", \
+                f"screen claimed infeasible on a sat case: {row}"
+filtered, exact, unscreened = runs
+assert filtered and set(filtered) == set(exact) == set(unscreened), \
+    "case sets diverged"
 for case, verdict in sorted(filtered.items()):
-    assert verdict == exact[case], \
-        f"{case}: filtered={verdict} exact={exact[case]}"
-print(f"ci: fig4a verdicts identical across {len(filtered)} experiments")
+    assert verdict == exact[case] == unscreened[case], \
+        f"{case}: filtered={verdict} exact={exact[case]} " \
+        f"unscreened={unscreened[case]}"
+print(f"ci: fig4a verdicts identical across {len(filtered)} experiments "
+      f"x 3 modes ({screened} screen-proved)")
 '
 else
   echo "== ci: fig4a cross-check skipped (no python3) =="
 fi
+
+# Screen soundness gate: screen_sweep replays the ieee300 secured sweep
+# with the LP screen on and off and exits nonzero if any verdict differs
+# (or if the screened pass fails to be faster). This is the sweep where
+# the screen actually fires — fig4a above covers the all-feasible side.
+echo "== ci: screen_sweep soundness gate =="
+sweep=""
+for candidate in build/bench/screen_sweep build/default/bench/screen_sweep; do
+  [ -x "${candidate}" ] && sweep="${candidate}" && break
+done
+if [ -z "${sweep}" ]; then
+  echo "ci: screen_sweep binary not found" >&2
+  exit 1
+fi
+"${sweep}"
 echo "== ci: all stages passed =="

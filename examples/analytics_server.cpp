@@ -46,12 +46,14 @@ struct Config {
   double time_limit_seconds = 0;
   std::string trace_path;
   bool stats_json = false;
+  bool screen = true;  // LP-relaxation screen in front of each solve
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--max-sessions K] [--memo N] "
-               "[--time-limit S] [--trace FILE] [--stats-json]\n",
+               "[--time-limit S] [--trace FILE] [--stats-json] "
+               "[--no-screen]\n",
                argv0);
   return 2;
 }
@@ -129,6 +131,8 @@ int main(int argc, char** argv) {
       cfg.trace_path = argv[++i];
     } else if (arg == "--stats-json") {
       cfg.stats_json = true;
+    } else if (arg == "--no-screen") {
+      cfg.screen = false;
     } else {
       return usage(argv[0]);
     }
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
   options.max_sessions = cfg.max_sessions;
   options.memo_capacity = cfg.memo;
   options.default_time_limit_seconds = cfg.time_limit_seconds;
+  options.screen = cfg.screen;
   options.trace = obs::Config{sink.get()};
   service::AnalyticsService svc(options);
 

@@ -61,12 +61,13 @@ struct Config {
   double time_limit_seconds = 0;
   std::string trace_path;
   std::string dir;
+  bool screen = true;  // LP-relaxation screen in front of each solve
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--portfolio M] [--time-limit S] "
-               "[--trace FILE] <scenario-dir>\n",
+               "[--trace FILE] [--no-screen] <scenario-dir>\n",
                argv0);
   return 2;
 }
@@ -99,6 +100,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace") {
       if (i + 1 >= argc) return usage(argv[0]);
       cfg.trace_path = argv[++i];
+    } else if (arg == "--no-screen") {
+      cfg.screen = false;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (cfg.dir.empty()) {
@@ -141,6 +144,7 @@ int main(int argc, char** argv) {
   service::ServiceOptions options;
   options.threads = cfg.threads;
   options.default_time_limit_seconds = cfg.time_limit_seconds;
+  options.screen = cfg.screen;
   options.trace = obs::Config{sink.get()};
   service::AnalyticsService svc(options);
 
@@ -184,6 +188,7 @@ int main(int argc, char** argv) {
       } else {
         w.field("verdict", verdict_name(r.verdict));
         w.field("seconds", r.solve_seconds);
+        if (r.screened) w.field("screened", true);
         w.field("decisions", r.decisions);
         w.field("conflicts", r.conflicts);
         w.field("pivots", r.pivots);

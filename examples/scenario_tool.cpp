@@ -6,29 +6,49 @@
 //
 // An optional `--trace FILE` (after the scenario file) journals structured
 // solver/CEGIS events to FILE, one JSON object per line (see obs/trace.h).
+// `--no-screen` disables the LP-relaxation front-end (the screen that can
+// answer UNSAT without an SMT solve in verify mode, and the graph-seeded
+// candidate order in synthesize mode); verdicts are identical either way.
 // Scenario files live in data/ (see data/README for the format).
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/attack_model.h"
 #include "core/scenario.h"
 #include "core/synthesis.h"
 #include "obs/trace.h"
+#include "screen/lp_screen.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
   std::string trace_path;
-  if (argc == 5 && std::strcmp(argv[3], "--trace") == 0) {
-    trace_path = argv[4];
-    argc = 3;
+  bool screen = true;
+  {
+    std::vector<char*> args(argv, argv + argc);
+    for (std::size_t i = 1; i < args.size();) {
+      if (std::strcmp(args[i], "--no-screen") == 0) {
+        screen = false;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (std::strcmp(args[i], "--trace") == 0 &&
+                 i + 1 < args.size()) {
+        trace_path = args[i + 1];
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      } else {
+        ++i;
+      }
+    }
+    argc = static_cast<int>(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) argv[i] = args[i];
   }
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s verify|synthesize|print <scenario-file> "
-                 "[--trace FILE]\n",
+                 "[--trace FILE] [--no-screen]\n",
                  argv[0]);
     return 2;
   }
@@ -60,6 +80,26 @@ int main(int argc, char** argv) {
   core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
   model.set_trace(trace);
   if (mode == "verify") {
+    if (screen) {
+      // LP-relaxation front-end: a provably infeasible relaxation means no
+      // attack exists under ANY resource caps, so the SMT solve is skipped
+      // outright. Anything else (feasible, inconclusive, or a scenario the
+      // screen cannot model) falls through to the full verification.
+      try {
+        screen::LpScreen lp(sc.grid, sc.plan, sc.spec);
+        const screen::ScreenResult sr =
+            lp.screen(core::ScenarioDelta::of(sc.spec));
+        if (sr.verdict == screen::ScreenVerdict::kInfeasible) {
+          std::printf(
+              "UNSAT: no attack satisfies the scenario "
+              "(LP screen, %.3fs)\n",
+              sr.seconds);
+          return 0;
+        }
+      } catch (const std::exception&) {
+        // Not screenable -> verify normally.
+      }
+    }
     core::VerificationResult r = model.verify();
     switch (r.result) {
       case smt::SolveResult::Sat:
@@ -81,6 +121,7 @@ int main(int argc, char** argv) {
       opt.max_secured_buses = sc.grid.num_buses();
     }
     opt.trace = trace;
+    opt.graph_seeding = screen;
     core::SecurityArchitectureSynthesizer syn(model, opt);
     core::SynthesisResult r = syn.synthesize();
     switch (r.status) {

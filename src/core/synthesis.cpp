@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "screen/defense_seeder.h"
 #include "smt/common.h"
 
 namespace psse::core {
@@ -89,13 +90,15 @@ const char* SecurityArchitectureSynthesizer::blocking_kind(
 
 void SecurityArchitectureSynthesizer::trace_iteration(
     int iter, const std::vector<BusId>& candidate,
-    const VerificationResult& v, const smt::SatStats& candidateEffort) const {
+    const VerificationResult& v, const smt::SatStats& candidateEffort,
+    bool seed) const {
   if (!options_.trace.enabled()) return;
   obs::Event("cegis_iter")
       .field("iter", iter)
       .field_raw("candidate", obs::json_int_array(candidate))
       .field("verdict", smt::to_cstring(v.result))
       .field("blocking", blocking_kind(v))
+      .field("seed", seed)
       .field("seconds", v.seconds)
       .field("decisions", v.stats.sat.decisions)
       .field("conflicts", v.stats.sat.conflicts)
@@ -103,6 +106,63 @@ void SecurityArchitectureSynthesizer::trace_iteration(
       .field("cand_decisions", candidateEffort.decisions)
       .field("cand_conflicts", candidateEffort.conflicts)
       .emit(options_.trace);
+}
+
+bool SecurityArchitectureSynthesizer::try_seeds(
+    SatSolver& candidates, const std::vector<Var>& sbVars,
+    const std::function<double()>& elapsed, SynthesisResult& out) {
+  if (!options_.graph_seeding || options_.max_seed_candidates == 0) {
+    return false;
+  }
+  screen::SeedOptions so;
+  so.max_secured_buses = options_.max_secured_buses;
+  so.must_secure = options_.must_secure;
+  so.cannot_secure = options_.cannot_secure;
+  so.adjacency_pruning = options_.adjacency_pruning;
+  so.target_states = attackModel_.spec().target_states;
+  so.max_candidates = options_.max_seed_candidates;
+  const std::vector<std::vector<BusId>> seeds =
+      screen::seed_candidates(attackModel_.grid(), attackModel_.plan(), so);
+  // Seeds are ranked by graph promise; two consecutive misses mean the
+  // ranking is wrong for this instance, so stop paying a verification per
+  // seed and let the model enumerate (which inherits the misses' blocking
+  // clauses — the spent iterations still prune).
+  int misses = 0;
+  for (const std::vector<BusId>& S : seeds) {
+    if (misses >= 2) break;
+    if (options_.time_limit_seconds > 0 &&
+        elapsed() > options_.time_limit_seconds) {
+      out.status = SynthesisResult::Status::Timeout;
+      return true;
+    }
+    smt::Budget vb = options_.verification_budget;
+    if (options_.time_limit_seconds > 0) {
+      auto remaining = std::chrono::milliseconds(static_cast<long>(
+          1000 * std::max(0.1, options_.time_limit_seconds - elapsed())));
+      if (vb.max_time.count() == 0 || vb.max_time > remaining) {
+        vb.max_time = remaining;
+      }
+    }
+    ++out.candidates_tried;
+    VerificationResult v = attackModel_.verify_with_secured_buses(S, vb);
+    trace_iteration(out.candidates_tried, S, v, smt::SatStats{},
+                    /*seed=*/true);
+    if (v.result == smt::SolveResult::Unsat) {
+      out.status = SynthesisResult::Status::Found;
+      out.secured_buses = S;
+      return true;
+    }
+    if (v.result == smt::SolveResult::Unknown) {
+      out.status = SynthesisResult::Status::Timeout;
+      return true;
+    }
+    // A failed seed prunes the model's enumeration exactly like a failed
+    // enumerated candidate (the counterexample clause excludes the seed
+    // itself: an attack's compromised buses are never secured buses).
+    candidates.add_clause(failure_blocking_clause(sbVars, S, v));
+    ++misses;
+  }
+  return false;
 }
 
 std::vector<Lit> SecurityArchitectureSynthesizer::failure_blocking_clause(
@@ -150,7 +210,8 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize() {
   build_candidate_model(candidates, sb, options_.max_secured_buses);
 
   const int b = attackModel_.grid().num_buses();
-  for (;;) {
+  bool done = try_seeds(candidates, sb, elapsed, out);
+  while (!done) {
     if (options_.time_limit_seconds > 0 &&
         elapsed() > options_.time_limit_seconds) {
       out.status = SynthesisResult::Status::Timeout;
@@ -238,25 +299,30 @@ SynthesisResult SecurityArchitectureSynthesizer::synthesize_parallel() {
   const int b = attackModel_.grid().num_buses();
   const std::size_t slots =
       static_cast<std::size_t>(options_.parallel_candidates);
+  // Seeds are evaluated serially up front (they are few and usually
+  // decisive); the parallel machinery only spins up for the model loop.
+  bool done = try_seeds(candidates, sb, elapsed, out);
 
   // One attack-model clone per evaluation slot, built up front and reused
   // every round — re-encoding per candidate would dominate the loop.
   std::vector<std::unique_ptr<UfdiAttackModel>> workers;
-  workers.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) {
-    workers.push_back(attackModel_.clone());
-    if (options_.share_clauses != nullptr && slots > 1) {
-      // Workers persist across rounds, so clauses learnt while verifying
-      // one candidate prune every sibling's search on later rounds (the
-      // shared base formula is what they constrain; candidates are pure
-      // assumptions).
-      smt::SatOptions o;
-      o.exchange = options_.share_clauses->make_endpoint();
-      workers.back()->set_solver_options(o);
+  if (!done) {
+    workers.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      workers.push_back(attackModel_.clone());
+      if (options_.share_clauses != nullptr && slots > 1) {
+        // Workers persist across rounds, so clauses learnt while verifying
+        // one candidate prune every sibling's search on later rounds (the
+        // shared base formula is what they constrain; candidates are pure
+        // assumptions).
+        smt::SatOptions o;
+        o.exchange = options_.share_clauses->make_endpoint();
+        workers.back()->set_solver_options(o);
+      }
     }
   }
 
-  for (;;) {
+  while (!done) {
     if (options_.time_limit_seconds > 0 &&
         elapsed() > options_.time_limit_seconds) {
       out.status = SynthesisResult::Status::Timeout;

@@ -1,0 +1,196 @@
+#include "screen/defense_seeder.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace psse::screen {
+
+namespace {
+
+using grid::BusId;
+using grid::LineId;
+using grid::MeasId;
+
+/// One greedy build shared by every generator: starting from `must`, add
+/// the admissible bus with the best score until the budget is full or no
+/// bus scores positive. `score(bus, coveredMeasurements)` returns <= 0 to
+/// reject; ties resolve by lower bus id so generation is deterministic.
+template <typename Score>
+std::vector<BusId> greedy_build(const grid::Grid& g,
+                                const grid::MeasurementPlan& plan,
+                                const SeedOptions& opts,
+                                const std::vector<bool>& admissible,
+                                const std::vector<std::vector<MeasId>>& covers,
+                                Score&& score) {
+  const int b = g.num_buses();
+  std::vector<BusId> out = opts.must_secure;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (static_cast<int>(out.size()) > opts.max_secured_buses) return {};
+
+  std::vector<bool> picked(static_cast<std::size_t>(b), false);
+  std::vector<bool> covered(
+      static_cast<std::size_t>(plan.num_potential()), false);
+  for (BusId j : out) {
+    picked[static_cast<std::size_t>(j)] = true;
+    for (MeasId m : covers[static_cast<std::size_t>(j)]) {
+      covered[static_cast<std::size_t>(m)] = true;
+    }
+  }
+
+  // Eq. (30) exclusions relative to the picked set: endpoints across a
+  // flow-measured line.
+  auto conflicts = [&](BusId j) {
+    if (!opts.adjacency_pruning) return false;
+    for (LineId i : g.lines_at(j)) {
+      const grid::Line& line = g.line(i);
+      const BusId other = line.from == j ? line.to : line.from;
+      if (!picked[static_cast<std::size_t>(other)]) continue;
+      if (plan.taken(plan.forward_flow(i)) ||
+          plan.taken(plan.backward_flow(i))) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (static_cast<int>(out.size()) < opts.max_secured_buses) {
+    BusId best = -1;
+    double bestScore = 0.0;
+    for (BusId j = 0; j < b; ++j) {
+      if (picked[static_cast<std::size_t>(j)] ||
+          !admissible[static_cast<std::size_t>(j)] || conflicts(j)) {
+        continue;
+      }
+      const double s = score(j, covered);
+      if (s > bestScore) {
+        bestScore = s;
+        best = j;
+      }
+    }
+    if (best < 0) break;
+    picked[static_cast<std::size_t>(best)] = true;
+    out.push_back(best);
+    for (MeasId m : covers[static_cast<std::size_t>(best)]) {
+      covered[static_cast<std::size_t>(m)] = true;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<BusId>> seed_candidates(
+    const grid::Grid& g, const grid::MeasurementPlan& plan,
+    const SeedOptions& opts) {
+  const int b = g.num_buses();
+  if (opts.max_secured_buses <= 0 || b == 0) return {};
+  if (static_cast<int>(opts.must_secure.size()) > opts.max_secured_buses) {
+    return {};
+  }
+
+  std::vector<bool> admissible(static_cast<std::size_t>(b), true);
+  for (BusId j : opts.cannot_secure) {
+    admissible[static_cast<std::size_t>(j)] = false;
+  }
+  for (BusId j : opts.must_secure) {
+    if (!admissible[static_cast<std::size_t>(j)]) return {};
+  }
+
+  // covers[j] — the attackable measurements (taken, adversary-accessible,
+  // not already secured) that securing bus j removes from the attack
+  // surface. This is the measurement-bus incidence graph restricted to
+  // what an attack could actually touch.
+  std::vector<std::vector<MeasId>> covers(static_cast<std::size_t>(b));
+  for (MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (!plan.taken(m) || !plan.accessible(m) || plan.secured(m)) continue;
+    covers[static_cast<std::size_t>(plan.residence_bus(m, g))].push_back(m);
+  }
+
+  // BFS hop distance from the target set over in-service lines; buses in
+  // unreachable islands get a large sentinel (their meters cannot sense a
+  // target under the DC model, so they are poor seeds).
+  constexpr int kFar = 1 << 20;
+  std::vector<int> dist(static_cast<std::size_t>(b), kFar);
+  if (!opts.target_states.empty()) {
+    std::deque<BusId> queue;
+    for (BusId t : opts.target_states) {
+      if (t >= 0 && t < b && dist[static_cast<std::size_t>(t)] == kFar) {
+        dist[static_cast<std::size_t>(t)] = 0;
+        queue.push_back(t);
+      }
+    }
+    while (!queue.empty()) {
+      const BusId j = queue.front();
+      queue.pop_front();
+      for (LineId i : g.lines_at(j)) {
+        const grid::Line& line = g.line(i);
+        if (!line.in_service) continue;
+        const BusId other = line.from == j ? line.to : line.from;
+        if (dist[static_cast<std::size_t>(other)] == kFar) {
+          dist[static_cast<std::size_t>(other)] =
+              dist[static_cast<std::size_t>(j)] + 1;
+          queue.push_back(other);
+        }
+      }
+    }
+  }
+
+  auto fresh_coverage = [&](BusId j, const std::vector<bool>& covered) {
+    double n = 0.0;
+    for (MeasId m : covers[static_cast<std::size_t>(j)]) {
+      if (!covered[static_cast<std::size_t>(m)]) n += 1.0;
+    }
+    return n;
+  };
+
+  std::vector<std::vector<BusId>> out;
+  std::set<std::vector<BusId>> seen;
+  auto add = [&](std::vector<BusId> cand) {
+    if (cand.empty() || out.size() >= opts.max_candidates) return;
+    if (seen.insert(cand).second) out.push_back(std::move(cand));
+  };
+
+  // 1. Target-cut: restrict to the measurement cut around the targets —
+  // the targets themselves plus every bus hosting a meter that senses a
+  // target's angle (flow meters of incident lines and neighbour
+  // injections all reside within one hop).
+  if (!opts.target_states.empty()) {
+    add(greedy_build(g, plan, opts, admissible, covers,
+                     [&](BusId j, const std::vector<bool>& covered) {
+                       if (dist[static_cast<std::size_t>(j)] > 1) return 0.0;
+                       return fresh_coverage(j, covered);
+                     }));
+    // Distance-weighted: same bias, but allowed to spill past the one-hop
+    // cut once it is exhausted (or over-constrained by Eq. (30)).
+    add(greedy_build(g, plan, opts, admissible, covers,
+                     [&](BusId j, const std::vector<bool>& covered) {
+                       const int d = dist[static_cast<std::size_t>(j)];
+                       if (d >= kFar) return 0.0;
+                       return fresh_coverage(j, covered) / (1.0 + d);
+                     }));
+  }
+
+  // 2. Global greedy max-coverage of the attackable measurement set.
+  add(greedy_build(g, plan, opts, admissible, covers,
+                   [&](BusId j, const std::vector<bool>& covered) {
+                     return fresh_coverage(j, covered);
+                   }));
+
+  // 3. Degree-flavoured variant: raw incidence (lines at the bus) breaks
+  // coverage ties differently, yielding a structurally distinct seed on
+  // meshed grids.
+  add(greedy_build(g, plan, opts, admissible, covers,
+                   [&](BusId j, const std::vector<bool>& covered) {
+                     const double f = fresh_coverage(j, covered);
+                     if (f <= 0.0) return 0.0;
+                     return f + static_cast<double>(g.lines_at(j).size()) /
+                                    (1.0 + static_cast<double>(b));
+                   }));
+
+  return out;
+}
+
+}  // namespace psse::screen

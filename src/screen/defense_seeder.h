@@ -1,0 +1,64 @@
+// Graph-based defense seeding (Bi & Zhang, "Graphical Methods for Defense
+// Against False-data Injection Attacks", arXiv:1304.4151).
+//
+// Countermeasure synthesis (Algorithm 1) enumerates candidate secured-bus
+// sets from a SAT model, which starts blind: early candidates carry no
+// information about *where* attacks actually live. But the attack surface
+// has graph structure — an attack on target t must alter measurements in a
+// neighbourhood of t, and every altered measurement resides at a bus. A
+// vertex set that covers the measurement boundary of the targets therefore
+// blocks whole families of attacks at once. This module turns that
+// observation into candidate generators over the measurement-bus incidence
+// graph:
+//
+//   * target-cut  — the residence buses of every measurement that can sense
+//                   a target's angle (the measurement cut isolating it);
+//   * greedy max-coverage — buses covering the most attackable
+//                   measurements (the classic hitting-set greedy);
+//   * distance-weighted coverage — coverage discounted by BFS distance
+//                   from the target set, biasing towards the region attacks
+//                   must pass through.
+//
+// The candidates are *seeds*, not answers: core::synthesize verifies each
+// one exactly before trusting it, and failed seeds feed the same blocking
+// clauses as model-enumerated candidates, so seeding never changes the
+// outcome status — only how fast the loop converges (the `cegis_iter`
+// journal measures it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/grid.h"
+#include "grid/measurement.h"
+
+namespace psse::screen {
+
+struct SeedOptions {
+  /// T_SB — maximum buses per candidate. <= 0 yields no candidates.
+  int max_secured_buses = 0;
+  /// Operator constraints (Eq. (29)): every candidate contains all of
+  /// `must_secure` and none of `cannot_secure`.
+  std::vector<grid::BusId> must_secure;
+  std::vector<grid::BusId> cannot_secure;
+  /// Honour the Eq. (30) search-space reduction: never pick both endpoints
+  /// of a line whose near-end flow measurement is taken, so seeds stay
+  /// inside the same candidate space as the SAT model's enumeration.
+  bool adjacency_pruning = true;
+  /// Attack targets the architecture must defend (may be empty — then only
+  /// the global coverage generators run).
+  std::vector<grid::BusId> target_states;
+  /// Cap on the number of distinct candidates returned.
+  std::size_t max_candidates = 6;
+};
+
+/// Candidate secured-bus sets, most promising first, each sorted by bus id.
+/// Deduplicated; every candidate satisfies the budget / must / cannot /
+/// adjacency constraints of `opts`. Returns an empty vector when the
+/// constraints are unsatisfiable at the seeding level (e.g. must_secure
+/// exceeds the budget) — synthesis then proceeds exactly as without seeds.
+[[nodiscard]] std::vector<std::vector<grid::BusId>> seed_candidates(
+    const grid::Grid& grid, const grid::MeasurementPlan& plan,
+    const SeedOptions& opts);
+
+}  // namespace psse::screen

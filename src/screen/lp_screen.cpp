@@ -1,0 +1,506 @@
+#include "screen/lp_screen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "smt/budget.h"
+#include "smt/common.h"
+
+namespace psse::screen {
+
+namespace {
+
+using grid::BusId;
+using grid::LineId;
+using grid::MeasId;
+using smt::DeltaRational;
+using smt::LinExpr;
+using smt::Lit;
+using smt::Rational;
+using smt::TVar;
+
+/// Same quantisation as core/attack_model.cpp's to_rational: the screen's
+/// equality rows must pin exactly the subspace the SMT encoding pins, or
+/// the Infeasible side stops being a proof about the SMT problem.
+Rational to_rational(double v) {
+  return Rational(static_cast<std::int64_t>(std::llround(v * 1e6)), 1000000);
+}
+
+/// Angle-term view of one line / meter row for the contraction phase.
+using AngleTerms = std::vector<std::pair<BusId, Rational>>;
+
+/// Sorts by bus, sums duplicates, drops zero coefficients.
+AngleTerms aggregate(AngleTerms t) {
+  std::sort(t.begin(), t.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  AngleTerms out;
+  for (auto& [bus, c] : t) {
+    if (!out.empty() && out.back().first == bus) {
+      out.back().second += c;
+    } else {
+      out.emplace_back(bus, std::move(c));
+    }
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const auto& p) { return p.second.is_zero(); }),
+            out.end());
+  return out;
+}
+
+}  // namespace
+
+const char* to_cstring(ScreenVerdict v) {
+  switch (v) {
+    case ScreenVerdict::kInfeasible:
+      return "infeasible";
+    case ScreenVerdict::kFeasible:
+      return "feasible";
+    default:
+      return "inconclusive";
+  }
+}
+
+LpScreen::LpScreen(grid::Grid grid, grid::MeasurementPlan plan,
+                   core::AttackSpec base)
+    : grid_(std::move(grid)), plan_(std::move(plan)), base_(std::move(base)) {
+  smt::SimplexOptions opts;
+  opts.derive_bounds = false;  // nobody consumes implied bounds here
+  simplex_.set_options(opts);
+
+  const int b = grid_.num_buses();
+  const int l = grid_.num_lines();
+  theta_.reserve(static_cast<std::size_t>(b));
+  for (BusId j = 0; j < b; ++j) {
+    theta_.push_back(simplex_.new_var("dth" + std::to_string(j)));
+  }
+  // The reference angle change is pinned (attack_model asserts dtheta_ref
+  // = 0 and ~cx_ref).
+  const DeltaRational zero;
+  const BusId ref = base_.reference_bus;
+  bool ok = simplex_.assert_upper(theta_[static_cast<std::size_t>(ref)], zero,
+                                  Lit()) &&
+            simplex_.assert_lower(theta_[static_cast<std::size_t>(ref)], zero,
+                                  Lit());
+  PSSE_ASSERT(ok);
+
+  // Per-line total-flow expressions, mirroring encode(): a line the
+  // adversary can switch (exclude or include) has *free* total flow in
+  // some SMT branch, so the relaxation gives it an unconstrained variable;
+  // a fixed in-service line's flow is the state expression; a fixed open
+  // line carries nothing.
+  std::vector<LinExpr> tot(static_cast<std::size_t>(l));
+  std::vector<AngleTerms> totTerms(static_cast<std::size_t>(l));
+  std::vector<bool> excludable(static_cast<std::size_t>(l), false);
+  std::vector<bool> attackable(static_cast<std::size_t>(l), false);
+  for (LineId i = 0; i < l; ++i) {
+    const grid::Line& line = grid_.line(i);
+    const bool ex = base_.allow_topology_attacks && line.in_service &&
+                    !line.fixed && !line.status_secured;
+    const bool in = base_.allow_topology_attacks && !line.in_service &&
+                    !line.status_secured;
+    excludable[static_cast<std::size_t>(i)] = ex;
+    attackable[static_cast<std::size_t>(i)] = ex || in;
+    if (ex || in) {
+      tot[static_cast<std::size_t>(i)] =
+          LinExpr::var(simplex_.new_var("tot" + std::to_string(i)));
+    } else if (line.in_service) {
+      const Rational y = to_rational(line.admittance);
+      LinExpr e = LinExpr::var(theta_[static_cast<std::size_t>(line.from)]) -
+                  LinExpr::var(theta_[static_cast<std::size_t>(line.to)]);
+      e *= y;
+      tot[static_cast<std::size_t>(i)] = std::move(e);
+      totTerms[static_cast<std::size_t>(i)] = {{line.from, y}, {line.to, -y}};
+    }  // fixed open line: constant zero
+  }
+
+  // One row per taken measurement whose delta expression is non-constant.
+  // Meters the adversary can never alter are pinned to zero once, here;
+  // meters that per-query secured sets may pin go on the dynamic list.
+  for (MeasId m = 0; m < plan_.num_potential(); ++m) {
+    if (!plan_.taken(m)) continue;
+    const grid::MeasInfo info = plan_.decode(m);
+    LinExpr expr;
+    AngleTerms terms;      // contraction view — valid only while !freeFlow
+    bool freeFlow = false;  // row references an unconstrained topology flow
+    bool pinned = !plan_.accessible(m) || plan_.secured(m);
+    if (info.type != grid::MeasType::Injection) {
+      const LineId i = info.line;
+      // Discard semantics: an excluded line's meters leave the estimator's
+      // scope, so the adversary need not alter them and *no* security
+      // attribute can pin them — they never constrain the subspace.
+      if (excludable[static_cast<std::size_t>(i)] &&
+          !base_.excluded_meters_must_read_zero) {
+        continue;
+      }
+      // Both flow meters bind to the same total-flow expression, exactly
+      // as bind_cz does (delta != 0 is sign-independent), so they share
+      // one slack row here.
+      expr = tot[static_cast<std::size_t>(i)];
+      terms = totTerms[static_cast<std::size_t>(i)];
+      freeFlow = attackable[static_cast<std::size_t>(i)];
+      // Eq. (17): altering a flow meter requires knowing the line's
+      // admittance. An unknown line's meters are alterable only as part of
+      // a topology change, and only when knowledge does not gate those.
+      if (!base_.knows(i) &&
+          (base_.knowledge_gates_topology_lines ||
+           !attackable[static_cast<std::size_t>(i)])) {
+        pinned = true;
+      }
+    } else {
+      for (LineId i : grid_.lines_at(info.bus)) {
+        const Rational sign(grid_.line(i).to == info.bus ? 1 : -1);
+        expr.add_scaled(tot[static_cast<std::size_t>(i)], sign);
+        freeFlow = freeFlow || attackable[static_cast<std::size_t>(i)];
+        for (const auto& [bus, c] : totTerms[static_cast<std::size_t>(i)]) {
+          terms.emplace_back(bus, c * sign);
+        }
+      }
+    }
+    if (expr.is_constant()) continue;  // structurally zero delta
+    // Rows free of topology-flow variables get an angle-terms twin for the
+    // contraction phase; rows referencing a free flow never pin angles.
+    int pinRow = -1;
+    if (!freeFlow) {
+      PinTerms pt{aggregate(std::move(terms))};
+      if (!pt.terms.empty()) {
+        pinRow = static_cast<int>(pin_rows_.size());
+        pin_rows_.push_back(std::move(pt));
+      }
+    }
+    // Normalizing shares one slack among proportional deltas; a scaled row
+    // pins (and frees) exactly the same subspace.
+    const TVar s = simplex_.slack_for(expr.normalized().expr);
+    if (std::find(meter_slacks_.begin(), meter_slacks_.end(), s) ==
+        meter_slacks_.end()) {
+      meter_slacks_.push_back(s);  // fwd/bwd meters share a row; count once
+    }
+    if (pinned) {
+      ok = simplex_.assert_upper(s, zero, Lit()) &&
+           simplex_.assert_lower(s, zero, Lit());
+      PSSE_ASSERT(ok);
+      if (pinRow >= 0) static_pins_.push_back(pinRow);
+    } else {
+      dynamic_.push_back({m, s, plan_.residence_bus(m, grid_), pinRow});
+    }
+  }
+}
+
+ScreenResult LpScreen::screen(const core::ScenarioDelta& delta) {
+  const auto start = std::chrono::steady_clock::now();
+  ScreenResult out;
+  ++screens_;
+  auto finish = [&](ScreenVerdict v) {
+    out.verdict = v;
+    if (v == ScreenVerdict::kInfeasible) ++infeasible_;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return out;
+  };
+
+  const int b = grid_.num_buses();
+  const BusId ref = base_.reference_bus;
+  // Queries verify_delta would reject (or whose goals we cannot express)
+  // are deferred to the SMT path untouched, keeping verdicts — and errors
+  // — bit-identical to an unscreened run.
+  for (BusId t : delta.target_states) {
+    if (t < 0 || t >= b || t == ref) return finish(ScreenVerdict::kInconclusive);
+  }
+  for (auto [a, bb] : delta.distinct_changes) {
+    if (a < 0 || a >= b || bb < 0 || bb >= b || a == bb) {
+      return finish(ScreenVerdict::kInconclusive);
+    }
+  }
+  for (BusId j : delta.secured_buses) {
+    if (j < 0 || j >= b) return finish(ScreenVerdict::kInconclusive);
+  }
+  for (MeasId m : delta.secured_measurements) {
+    if (m < 0 || m >= plan_.num_potential()) {
+      return finish(ScreenVerdict::kInconclusive);
+    }
+  }
+  const bool anyState =
+      delta.target_states.empty() && delta.require_any_state_attack;
+  if (delta.target_states.empty() && delta.distinct_changes.empty() &&
+      !anyState) {
+    return finish(ScreenVerdict::kInconclusive);  // nothing to prove
+  }
+
+  // Per-query pins: dynamically secured meters and, under "attack only the
+  // targets", every untargeted state.
+  std::vector<bool> busSecured(static_cast<std::size_t>(b), false);
+  for (BusId j : delta.secured_buses) {
+    busSecured[static_cast<std::size_t>(j)] = true;
+  }
+  std::vector<bool> measSecured(
+      static_cast<std::size_t>(plan_.num_potential()), false);
+  for (MeasId m : delta.secured_measurements) {
+    measSecured[static_cast<std::size_t>(m)] = true;
+  }
+
+  // ---- Phase 1: combinatorial contraction (see the header comment).
+  // Weighted union-find over the pinned angle-only rows: theta_x =
+  // ratio[x] * theta_root(x), with zeroed[] marking classes proved
+  // identically zero. Uses a subset of the LP's equalities, so its
+  // solution space contains V — a functional identically zero here is
+  // identically zero on V, and the Infeasible conclusion transfers.
+  const std::size_t nb = static_cast<std::size_t>(b);
+  std::vector<int> parent(nb);
+  for (std::size_t j = 0; j < nb; ++j) parent[j] = static_cast<int>(j);
+  std::vector<Rational> ratio(nb, Rational(1));
+  std::vector<char> zeroed(nb, 0);
+  std::vector<int> path;
+  auto find = [&](BusId x0) {
+    int x = static_cast<int>(x0);
+    path.clear();
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      path.push_back(x);
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    Rational acc(1);  // cumulative ratio to the root, compressed in place
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      acc = ratio[static_cast<std::size_t>(*it)] * acc;
+      ratio[static_cast<std::size_t>(*it)] = acc;
+      parent[static_cast<std::size_t>(*it)] = x;
+    }
+    return x;
+  };
+  auto ratio_of = [&](BusId x, int root) {
+    return static_cast<int>(x) == root ? Rational(1)
+                                       : ratio[static_cast<std::size_t>(x)];
+  };
+  bool changed = false;
+  auto mark_zero = [&](BusId x) {
+    const int r = find(x);
+    if (!zeroed[static_cast<std::size_t>(r)]) {
+      zeroed[static_cast<std::size_t>(r)] = 1;
+      changed = true;
+    }
+  };
+  // Record theta_a = c * theta_b (c != 0). Same class: a mismatched ratio
+  // forces the class to zero. Distinct classes: merge at the implied root
+  // ratio; zero-ness propagates both ways because c is invertible.
+  auto relate = [&](BusId a2, BusId b2, const Rational& c) {
+    const int ra = find(a2);
+    const int rb = find(b2);
+    const Rational k = c * ratio_of(b2, rb) / ratio_of(a2, ra);
+    if (ra == rb) {
+      if (!(k == Rational(1))) mark_zero(a2);
+      return;
+    }
+    parent[static_cast<std::size_t>(ra)] = rb;
+    ratio[static_cast<std::size_t>(ra)] = k;
+    if (zeroed[static_cast<std::size_t>(ra)] ||
+        zeroed[static_cast<std::size_t>(rb)]) {
+      zeroed[static_cast<std::size_t>(rb)] = 1;
+    }
+    changed = true;
+  };
+
+  mark_zero(ref);
+  if (delta.attack_only_targets) {
+    std::vector<bool> isTarget(nb, false);
+    for (BusId t : delta.target_states) {
+      isTarget[static_cast<std::size_t>(t)] = true;
+    }
+    for (BusId j = 0; j < b; ++j) {
+      if (!isTarget[static_cast<std::size_t>(j)]) mark_zero(j);
+    }
+  }
+  std::vector<const PinTerms*> active;
+  active.reserve(static_pins_.size() + dynamic_.size());
+  for (int idx : static_pins_) {
+    active.push_back(&pin_rows_[static_cast<std::size_t>(idx)]);
+  }
+  for (const MeterRow& row : dynamic_) {
+    if (row.pin_row < 0) continue;
+    if (busSecured[static_cast<std::size_t>(row.residence)] ||
+        measSecured[static_cast<std::size_t>(row.id)]) {
+      active.push_back(&pin_rows_[static_cast<std::size_t>(row.pin_row)]);
+    }
+  }
+  // Fixpoint: rows with >= 3 surviving classes are retried after merges
+  // shrink them; rows resolved to <= 2 classes are consumed exactly once.
+  std::vector<char> consumed(active.size(), 0);
+  std::vector<std::pair<int, Rational>> agg;
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t r = 0; r < active.size(); ++r) {
+      if (consumed[r]) continue;
+      agg.clear();
+      for (const auto& [bus, coeff] : active[r]->terms) {
+        const int root = find(bus);
+        if (zeroed[static_cast<std::size_t>(root)]) continue;
+        const Rational c = coeff * ratio_of(bus, root);
+        bool merged = false;
+        for (auto& [aroot, acoeff] : agg) {
+          if (aroot == root) {
+            acoeff += c;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) agg.emplace_back(root, std::move(c));
+      }
+      agg.erase(
+          std::remove_if(agg.begin(), agg.end(),
+                         [](const auto& p) { return p.second.is_zero(); }),
+          agg.end());
+      if (agg.size() > 2) continue;
+      consumed[r] = 1;
+      if (agg.size() == 1) {
+        mark_zero(static_cast<BusId>(agg[0].first));
+      } else if (agg.size() == 2) {
+        relate(static_cast<BusId>(agg[0].first),
+               static_cast<BusId>(agg[1].first),
+               -(agg[1].second / agg[0].second));
+      }
+      // agg empty: the row is identically satisfied — no information.
+    }
+  }
+
+  auto contraction_zero = [&](BusId t) {
+    return zeroed[static_cast<std::size_t>(find(t))] != 0;
+  };
+  for (BusId t : delta.target_states) {
+    if (contraction_zero(t)) {
+      ++out.functionals_checked;
+      out.pinned = "dtheta[" + std::to_string(t + 1) + "]";
+      return finish(ScreenVerdict::kInfeasible);
+    }
+  }
+  for (auto [a, bb] : delta.distinct_changes) {
+    const int ra = find(a);
+    const int rb = find(bb);
+    const bool equal =
+        zeroed[static_cast<std::size_t>(ra)]
+            ? zeroed[static_cast<std::size_t>(rb)] != 0
+            : ra == rb && ratio_of(a, ra) == ratio_of(bb, rb);
+    if (equal) {
+      ++out.functionals_checked;
+      out.pinned = "dtheta[" + std::to_string(a + 1) + "]-dtheta[" +
+                   std::to_string(bb + 1) + "]";
+      return finish(ScreenVerdict::kInfeasible);
+    }
+  }
+  if (anyState) {
+    bool someFree = false;
+    for (BusId j = 0; j < b && !someFree; ++j) {
+      someFree = j != ref && !contraction_zero(j);
+    }
+    if (!someFree) {
+      ++out.functionals_checked;
+      out.pinned = "every state";
+      return finish(ScreenVerdict::kInfeasible);
+    }
+  }
+
+  // ---- Phase 2: exact simplex on goals the contraction left open (it
+  // only sees <= 2-class rows; denser pinned structure needs the tableau).
+  // Wall-clock bounded: an interrupted check() reports "feasible", which
+  // this screen treats as "no claim" — soundness is unaffected.
+  const std::size_t mark = simplex_.trail_size();
+  const DeltaRational zero;
+  smt::Interrupt budgetInterrupt;
+  if (max_seconds_ > 0) {
+    smt::Budget budget;
+    budget.max_time = std::chrono::milliseconds(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(max_seconds_ * 1000.0)));
+    budgetInterrupt = smt::Interrupt::from(budget);
+    simplex_.set_interrupt(&budgetInterrupt);
+  }
+  struct ClearInterrupt {
+    smt::Simplex& simplex;
+    ~ClearInterrupt() { simplex.set_interrupt(nullptr); }
+  } clearInterrupt{simplex_};
+  bool ok = true;
+  for (const MeterRow& row : dynamic_) {
+    if (!busSecured[static_cast<std::size_t>(row.residence)] &&
+        !measSecured[static_cast<std::size_t>(row.id)]) {
+      continue;
+    }
+    ok = ok && simplex_.assert_upper(row.slack, zero, Lit()) &&
+         simplex_.assert_lower(row.slack, zero, Lit());
+  }
+  if (delta.attack_only_targets) {
+    std::vector<bool> isTarget(static_cast<std::size_t>(b), false);
+    for (BusId t : delta.target_states) {
+      isTarget[static_cast<std::size_t>(t)] = true;
+    }
+    for (BusId j = 0; j < b; ++j) {
+      if (isTarget[static_cast<std::size_t>(j)] || j == ref) continue;
+      ok = ok && simplex_.assert_upper(theta_[static_cast<std::size_t>(j)],
+                                       zero, Lit()) &&
+           simplex_.assert_lower(theta_[static_cast<std::size_t>(j)], zero,
+                                 Lit());
+    }
+  }
+  // The all-zero vector satisfies every homogeneous equality, so the pin
+  // phase cannot make the system infeasible.
+  PSSE_ASSERT(ok);
+
+  auto capture_hint = [&]() {
+    if (out.hint_altered > 0) return;
+    int n = 0;
+    for (TVar s : meter_slacks_) {
+      if (!simplex_.model_value(s).is_zero()) ++n;
+    }
+    out.hint_altered = n;
+  };
+  // Homogeneity: the equalities define a linear subspace V, so a
+  // functional f takes a nonzero value on V iff {V, f = 1} is feasible
+  // (scale any witness by 1/f(x), sign included).
+  auto goal_nonzero = [&](TVar v) {
+    const std::size_t m2 = simplex_.trail_size();
+    const DeltaRational one{Rational(1)};
+    const bool feasible = simplex_.assert_lower(v, one, Lit()) &&
+                          simplex_.assert_upper(v, one, Lit()) &&
+                          simplex_.check();
+    // A budget-interrupted check reports feasible but has no model; the
+    // hint is best-effort, so skip it rather than read a dirty tableau.
+    if (feasible && !budgetInterrupt.triggered()) capture_hint();
+    simplex_.pop_to(m2);
+    return feasible;
+  };
+
+  for (BusId t : delta.target_states) {
+    ++out.functionals_checked;
+    if (!goal_nonzero(theta_[static_cast<std::size_t>(t)])) {
+      out.pinned = "dtheta[" + std::to_string(t + 1) + "]";
+      simplex_.pop_to(mark);
+      return finish(ScreenVerdict::kInfeasible);
+    }
+  }
+  for (auto [a, bb] : delta.distinct_changes) {
+    ++out.functionals_checked;
+    LinExpr diff = LinExpr::var(theta_[static_cast<std::size_t>(a)]) -
+                   LinExpr::var(theta_[static_cast<std::size_t>(bb)]);
+    if (!goal_nonzero(simplex_.slack_for(diff))) {
+      out.pinned = "dtheta[" + std::to_string(a + 1) + "]-dtheta[" +
+                   std::to_string(bb + 1) + "]";
+      simplex_.pop_to(mark);
+      return finish(ScreenVerdict::kInfeasible);
+    }
+  }
+  if (anyState) {
+    bool some = false;
+    for (BusId j = 0; j < b && !some; ++j) {
+      if (j == ref) continue;
+      ++out.functionals_checked;
+      some = goal_nonzero(theta_[static_cast<std::size_t>(j)]);
+    }
+    if (!some) {
+      out.pinned = "every state";
+      simplex_.pop_to(mark);
+      return finish(ScreenVerdict::kInfeasible);
+    }
+  }
+
+  simplex_.pop_to(mark);
+  return finish(ScreenVerdict::kFeasible);
+}
+
+}  // namespace psse::screen

@@ -1,0 +1,142 @@
+// LP-relaxation screening of UFDI attack feasibility (after Chu et al.,
+// "Evaluating Power System Vulnerability to False Data Injection Attacks
+// via Scalable Optimization", arXiv:1605.06557).
+//
+// The full SMT encoding (core/attack_model.cpp) decides attack existence
+// exactly but pays a CDCL(T) search per scenario. Most of that search is
+// spent on the *combinatorial* attributes — resource caps T_CZ/T_CB,
+// topology-change budgets, magnitude bounds. Dropping them leaves a pure
+// linear system over the state-change variables dtheta_j:
+//
+//   * every taken measurement the adversary cannot alter pins its delta
+//     expression to zero (secured / inaccessible / knowledge-gated meters);
+//   * the reference angle change is zero;
+//   * "attack only the targets" pins every non-target state to zero;
+//   * attackable topology lines contribute a free flow variable (the SMT
+//     model lets an excluded/included line's total flow float).
+//
+// Every SMT-feasible attack satisfies these equalities, so the solution
+// subspace V of the LP *contains* the projection of every attack. The
+// attack goals are nonzero-ness functionals: target t needs dtheta_t != 0,
+// a distinct-change pair needs dtheta_a - dtheta_b != 0. Because the
+// system is homogeneous, a functional f is nonzero somewhere on V iff
+// {V, f = 1} is feasible — one simplex feasibility check each. If any
+// goal functional vanishes identically on V, no attack exists: the
+// scenario is UNSAT, certified without touching the SMT solver. The
+// converse does NOT hold (the dropped caps may still bite), so a feasible
+// relaxation only yields a hint, never a verdict — that asymmetry is the
+// conservativeness contract: verdicts with screening are bit-identical to
+// unscreened runs, screening can only skip work on the side it proves.
+//
+// Proving a functional pinned runs in two phases. A *contraction* phase
+// exploits the grid structure of the rows: a pinned flow meter's row
+// y(dtheta_f - dtheta_t) = 0 merges its endpoints, and more generally any
+// pinned row that reduces to <= 2 angle classes either zero-pins a class
+// or merges two at a fixed ratio (weighted union-find, exact rational
+// ratios, iterated to fixpoint). On well-secured scenarios this alone
+// pins the goal — in microseconds, because no tableau pivoting happens.
+// Only goals the contraction cannot decide fall through to the
+// exact-rational smt::Simplex (float-first filtered, exactly certified),
+// under a wall-clock budget: dense exact pivoting can blow up on
+// Laplacian-like pinned systems, and an expired budget simply downgrades
+// the answer to kFeasible, which claims nothing. Either way an Infeasible
+// answer is a proof, not a numeric guess. One LpScreen instance serves a
+// whole scenario *family*: the equality rows for statically unalterable
+// meters are asserted once at construction, per-query secured sets and
+// goals are trail-marked and popped, mirroring the warm solver sessions
+// of the analytics service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/attack_spec.h"
+#include "grid/grid.h"
+#include "grid/measurement.h"
+#include "smt/simplex.h"
+
+namespace psse::screen {
+
+enum class ScreenVerdict : std::uint8_t {
+  /// Provably no attack: some goal functional is identically zero on the
+  /// relaxation subspace. Exact — safe to report Unsat without SMT.
+  kInfeasible,
+  /// The relaxation admits every goal; the SMT search is still needed for
+  /// the dropped resource/magnitude constraints.
+  kFeasible,
+  /// The screen has nothing to prove (no targets, no distinctness, no
+  /// any-state demand) — run SMT as usual.
+  kInconclusive,
+};
+
+[[nodiscard]] const char* to_cstring(ScreenVerdict v);
+
+struct ScreenResult {
+  ScreenVerdict verdict = ScreenVerdict::kInconclusive;
+  double seconds = 0.0;
+  /// Goal functionals tested (targets + distinct pairs, or the per-state
+  /// scan of the any-state demand).
+  int functionals_checked = 0;
+  /// kInfeasible only: human-readable name of the goal that vanished.
+  std::string pinned;
+  /// kFeasible only: number of meter deltas nonzero in the relaxation's
+  /// witness — a (heuristic) lower-bound hint for T_CZ-style sweeps.
+  int hint_altered = 0;
+
+  [[nodiscard]] bool decided() const {
+    return verdict == ScreenVerdict::kInfeasible;
+  }
+};
+
+class LpScreen {
+ public:
+  /// Builds the family-level relaxation for `base` (a strip_delta()-style
+  /// spec: targets and resource caps live in the per-query delta). The
+  /// grid/plan/spec are copied; the screen owns everything it needs.
+  LpScreen(grid::Grid grid, grid::MeasurementPlan plan,
+           core::AttackSpec base);
+
+  /// Screens one query. Not thread-safe — callers serialize per instance.
+  [[nodiscard]] ScreenResult screen(const core::ScenarioDelta& delta);
+
+  /// Wall-clock ceiling for the simplex fallback of one screen() call
+  /// (the contraction phase is never bounded — it is microseconds). An
+  /// expired budget returns kFeasible, i.e. "no claim"; 0 = unlimited.
+  void set_max_seconds(double s) { max_seconds_ = s; }
+
+  [[nodiscard]] std::uint64_t num_screens() const { return screens_; }
+  [[nodiscard]] std::uint64_t num_infeasible() const { return infeasible_; }
+  /// Underlying tableau, for diagnostics (pivot counters in tests/benches).
+  [[nodiscard]] const smt::Simplex& simplex() const { return simplex_; }
+
+ private:
+  struct MeterRow {
+    grid::MeasId id = -1;
+    smt::TVar slack = smt::kNoTVar;
+    grid::BusId residence = -1;
+    /// Index into pin_rows_ when the row is expressible over angles alone
+    /// (no free topology-flow variable); -1 otherwise.
+    int pin_row = -1;
+  };
+  /// One pinnable row as angle terms (bus, coefficient), aggregated — the
+  /// contraction phase's view of "this delta expression equals zero".
+  struct PinTerms {
+    std::vector<std::pair<grid::BusId, smt::Rational>> terms;
+  };
+
+  grid::Grid grid_;
+  grid::MeasurementPlan plan_;
+  core::AttackSpec base_;
+  smt::Simplex simplex_;
+  std::vector<smt::TVar> theta_;       // per-bus state-change variable
+  std::vector<MeterRow> dynamic_;      // rows pinned per-query by secured sets
+  std::vector<smt::TVar> meter_slacks_;  // all meter rows, for the hint
+  std::vector<PinTerms> pin_rows_;     // angle-only rows, by index
+  std::vector<int> static_pins_;       // pin_rows_ pinned in every query
+  double max_seconds_ = 0.25;
+  std::uint64_t screens_ = 0;
+  std::uint64_t infeasible_ = 0;
+};
+
+}  // namespace psse::screen

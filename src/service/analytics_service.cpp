@@ -7,8 +7,22 @@
 #include <utility>
 
 #include "runtime/portfolio.h"
+#include "screen/lp_screen.h"
 
 namespace psse::service {
+
+/// Warm LP screen for one family, plus a memo of screen verdicts keyed by
+/// the *cap-free* delta fingerprint: the relaxation drops the resource
+/// caps and magnitude thresholds entirely, so every point of a T_CZ/T_CB/
+/// topology/magnitude sweep shares one screen verdict. The entry mutex
+/// serialises the underlying simplex (LpScreen is not thread-safe).
+struct AnalyticsService::ScreenEntry {
+  explicit ScreenEntry(const core::Scenario& base)
+      : screen(base.grid, base.plan, base.spec) {}
+  std::mutex mu;
+  screen::LpScreen screen;
+  std::unordered_map<std::uint64_t, screen::ScreenResult> verdicts;
+};
 
 namespace {
 
@@ -32,6 +46,20 @@ std::string fp_hex(std::uint64_t fp) {
   char buf[20];
   std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
   return buf;
+}
+
+/// The part of a delta the LP screen can actually see: caps and magnitude
+/// thresholds are dropped by the relaxation, so they are zeroed out of the
+/// screen-memo key and sweep points along those axes hit one cached
+/// verdict.
+std::uint64_t screen_key(const core::ScenarioDelta& delta) {
+  core::ScenarioDelta relaxed = delta;
+  relaxed.max_altered_measurements = 0;
+  relaxed.max_compromised_buses = 0;
+  relaxed.max_topology_changes = 0;
+  relaxed.min_target_shift = 0.0;
+  relaxed.max_measurement_delta = 0.0;
+  return core::delta_fingerprint(relaxed);
 }
 
 /// 1-based sorted measurement ids of a witness (the external id convention
@@ -128,7 +156,31 @@ ServiceResponse AnalyticsService::process(
       }
     }
 
-    if (!resp.memo_hit) {
+    if (!resp.memo_hit && options_.screen && options_.max_screens > 0 &&
+        request.use_screen) {
+      const Clock::time_point screen_start = Clock::now();
+      if (std::shared_ptr<ScreenEntry> entry =
+              screen_for(resp.family, base)) {
+        const std::uint64_t key = screen_key(delta);
+        std::lock_guard<std::mutex> lock(entry->mu);
+        auto it = entry->verdicts.find(key);
+        if (it == entry->verdicts.end()) {
+          it = entry->verdicts.emplace(key, entry->screen.screen(delta))
+                   .first;
+        }
+        if (it->second.verdict == screen::ScreenVerdict::kInfeasible) {
+          // The relaxation has no nonzero unobservable injection reaching
+          // the goal, so no SMT model exists either — answer Unsat
+          // without dispatching. Sat can never be screened away, so the
+          // verdict matches the unscreened run bit for bit.
+          resp.screened = true;
+          resp.verdict = smt::SolveResult::Unsat;
+        }
+      }
+      resp.screen_seconds = seconds_between(screen_start, Clock::now());
+    }
+
+    if (!resp.memo_hit && !resp.screened) {
       smt::Budget budget;
       const double limit = request.time_limit_seconds > 0
                                ? request.time_limit_seconds
@@ -174,14 +226,16 @@ ServiceResponse AnalyticsService::process(
         resp.conflicts = result.stats.sat.conflicts;
         resp.pivots = result.stats.pivots;
       }
+    }
 
-      if (request.use_memo && options_.memo_capacity > 0) {
-        MemoEntry entry;
-        entry.verdict = resp.verdict;
-        entry.altered_measurements = resp.altered_measurements;
-        entry.solve_seconds = seconds_between(started, Clock::now());
-        memo_.insert(resp.fingerprint, entry);
-      }
+    // Screened verdicts are memoised too: an exact repeat then skips even
+    // the (cheap) screen lookup.
+    if (!resp.memo_hit && request.use_memo && options_.memo_capacity > 0) {
+      MemoEntry entry;
+      entry.verdict = resp.verdict;
+      entry.altered_measurements = resp.altered_measurements;
+      entry.solve_seconds = seconds_between(started, Clock::now());
+      memo_.insert(resp.fingerprint, entry);
     }
   } catch (const std::exception& e) {
     resp.error = e.what();
@@ -194,6 +248,7 @@ ServiceResponse AnalyticsService::process(
   solve_hist_.record(us_between(started, finished));
   total_hist_.record(us_between(enqueued, finished));
   ++requests_;
+  if (resp.screened) ++screened_;
   if (!resp.ok()) {
     ++errors_;
   } else if (resp.verdict == smt::SolveResult::Sat) {
@@ -212,6 +267,9 @@ ServiceResponse AnalyticsService::process(
         .field("solve_us", us_between(started, finished))
         .field("session_hit", resp.session_hit)
         .field("memo_hit", resp.memo_hit)
+        .field("screened", resp.screened)
+        .field("screen_us",
+               static_cast<std::uint64_t>(resp.screen_seconds * 1e6))
         .field("portfolio", static_cast<std::uint64_t>(request.portfolio))
         .field("family", fp_hex(resp.family))
         .field("fp", fp_hex(resp.fingerprint));
@@ -221,6 +279,39 @@ ServiceResponse AnalyticsService::process(
     ev.emit(options_.trace);
   }
   return resp;
+}
+
+std::shared_ptr<AnalyticsService::ScreenEntry> AnalyticsService::screen_for(
+    std::uint64_t family, const core::Scenario& base) {
+  {
+    std::lock_guard<std::mutex> lock(screens_mu_);
+    auto it = screens_.find(family);
+    if (it != screens_.end()) return it->second;
+  }
+  // Build outside the map lock — construction walks the whole measurement
+  // model. A lost race just drops the duplicate.
+  std::shared_ptr<ScreenEntry> built;
+  try {
+    built = std::make_shared<ScreenEntry>(base);
+  } catch (const std::exception&) {
+    // A scenario the screen cannot model is not an error — the request
+    // simply takes the unscreened path.
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(screens_mu_);
+  auto [it, inserted] = screens_.emplace(family, std::move(built));
+  if (inserted && screens_.size() > options_.max_screens) {
+    // Evict an arbitrary other family; shared_ptr keeps any in-flight
+    // users of the evicted entry alive.
+    for (auto victim = screens_.begin(); victim != screens_.end();
+         ++victim) {
+      if (victim->first != family) {
+        screens_.erase(victim);
+        break;
+      }
+    }
+  }
+  return it->second;
 }
 
 runtime::CancellationToken AnalyticsService::cancel_token() {
@@ -235,6 +326,7 @@ ServiceStats AnalyticsService::stats() const {
   s.sat = sat_.load(std::memory_order_relaxed);
   s.unsat = unsat_.load(std::memory_order_relaxed);
   s.unknown = unknown_.load(std::memory_order_relaxed);
+  s.screened = screened_.load(std::memory_order_relaxed);
   s.sessions = sessions_.stats();
   s.memo = memo_.stats();
   s.queue_p50_us = queue_hist_.quantile_us(0.50);
@@ -258,6 +350,7 @@ void AnalyticsService::emit_stats() {
       .field("sat", s.sat)
       .field("unsat", s.unsat)
       .field("unknown", s.unknown)
+      .field("screened", s.screened)
       .field("session_hits", s.sessions.hits)
       .field("session_misses", s.sessions.misses)
       .field("session_evictions", s.sessions.evictions)

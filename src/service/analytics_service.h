@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/histogram.h"
@@ -49,6 +50,16 @@ struct ServiceOptions {
   std::size_t memo_capacity = 4096;
   /// Applied to requests whose own time_limit_seconds is 0; 0 = unlimited.
   double default_time_limit_seconds = 0;
+  /// LP-relaxation screening (screen::LpScreen, DESIGN.md §6h): before a
+  /// request reaches a solver, a warm per-family LP over the exact
+  /// rational simplex decides whether *any* unobservable injection can
+  /// reach the request's goal. Infeasible relaxation => Unsat, no SMT
+  /// call; anything else falls through to the normal dispatch, so
+  /// verdicts are bit-identical with screening on or off.
+  bool screen = true;
+  /// Warm per-family screens kept alive (each holds one simplex tableau
+  /// sized like the DC model); 0 disables screening outright.
+  std::size_t max_screens = 32;
   /// Structured tracing for request/stats events; also handed to portfolio
   /// runs. The sink must outlive the service.
   obs::Config trace;
@@ -60,6 +71,8 @@ struct ServiceStats {
   std::uint64_t sat = 0;
   std::uint64_t unsat = 0;
   std::uint64_t unknown = 0;
+  /// Requests answered Unsat by the LP screen alone (no SMT dispatch).
+  std::uint64_t screened = 0;
   SolverSessionCache::Stats sessions;
   ResultMemo::Stats memo;
   /// Microsecond latency percentiles (bucket upper bounds, see
@@ -102,10 +115,20 @@ class AnalyticsService {
   [[nodiscard]] std::size_t threads() const { return pool_->size(); }
 
  private:
+  /// One per family: a warm screen::LpScreen plus a per-delta verdict memo
+  /// (defined in the .cpp; shared_ptr keeps evicted entries alive for
+  /// in-flight users).
+  struct ScreenEntry;
+
   [[nodiscard]] ServiceResponse process(const ServiceRequest& request,
                                         std::chrono::steady_clock::time_point
                                             enqueued,
                                         runtime::CancellationToken cancel);
+  /// Looks up (or builds) the warm screen for `family`; returns nullptr
+  /// when the screen could not be constructed (screening then simply
+  /// doesn't apply — never an error).
+  [[nodiscard]] std::shared_ptr<ScreenEntry> screen_for(
+      std::uint64_t family, const core::Scenario& base);
   /// Snapshot of the current cancellation flag (taken at submit time, so
   /// cancel_all covers everything already enqueued).
   [[nodiscard]] runtime::CancellationToken cancel_token();
@@ -113,6 +136,8 @@ class AnalyticsService {
   ServiceOptions options_;
   SolverSessionCache sessions_;
   ResultMemo memo_;
+  std::mutex screens_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ScreenEntry>> screens_;
   std::mutex cancel_mu_;
   runtime::CancellationSource cancel_;
   obs::LatencyHistogram queue_hist_;
@@ -123,6 +148,7 @@ class AnalyticsService {
   std::atomic<std::uint64_t> sat_{0};
   std::atomic<std::uint64_t> unsat_{0};
   std::atomic<std::uint64_t> unknown_{0};
+  std::atomic<std::uint64_t> screened_{0};
   /// Last member: workers must die before the state they touch.
   std::unique_ptr<runtime::ThreadPool> pool_;
 };

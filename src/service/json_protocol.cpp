@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -277,6 +278,10 @@ class JsonParser {
     char* end = nullptr;
     const double d = std::strtod(tok.c_str(), &end);
     if (end == nullptr || *end != '\0') fail("bad number: " + tok);
+    // strtod accepts overflowing literals ("1e999" -> +-HUGE_VAL) without
+    // complaint; a non-finite value entering the request pipeline turns
+    // into NaN-poisoned limits downstream, so reject it here, in band.
+    if (!std::isfinite(d)) fail("number out of range: " + tok);
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
     v.number = d;
@@ -329,6 +334,16 @@ bool optional_bool(const JsonValue& obj, const std::string& key,
   return v->boolean;
 }
 
+/// Deadlines must be finite and non-negative; number() already rejects the
+/// non-finite literals, this catches "-5".
+double time_limit_field(const JsonValue& obj) {
+  const double limit = optional_number(obj, "time_limit", 0);
+  if (limit < 0) {
+    throw ProtocolError("field \"time_limit\" must be non-negative");
+  }
+  return limit;
+}
+
 core::Scenario load_request_scenario(const JsonValue& obj) {
   const std::string text = optional_string(obj, "scenario");
   const std::string file = optional_string(obj, "scenario_file");
@@ -369,14 +384,21 @@ ParsedRequest parse_request(const std::string& line) {
     out.op = ParsedRequest::Op::kVerify;
     out.verify.id = out.id;
     out.verify.scenario = load_request_scenario(root);
-    out.verify.time_limit_seconds = optional_number(root, "time_limit", 0);
+    out.verify.time_limit_seconds = time_limit_field(root);
     const double portfolio = optional_number(root, "portfolio", 0);
-    if (portfolio < 0 || portfolio != static_cast<double>(
-                                          static_cast<std::size_t>(portfolio))) {
-      throw ProtocolError("field \"portfolio\" must be a non-negative integer");
+    // Range-check before the size_t cast: converting an out-of-range
+    // double (say 1e300) to an integer is undefined behaviour, so the old
+    // "cast and compare" integrality test was itself the bug for the very
+    // inputs it should have rejected.
+    constexpr double kMaxPortfolio = 4096;
+    if (!(portfolio >= 0) || portfolio > kMaxPortfolio ||
+        std::floor(portfolio) != portfolio) {
+      throw ProtocolError(
+          "field \"portfolio\" must be an integer in 0..4096");
     }
     out.verify.portfolio = static_cast<std::size_t>(portfolio);
     out.verify.use_memo = optional_bool(root, "memo", true);
+    out.verify.use_screen = optional_bool(root, "screen", true);
     return out;
   }
   if (op == "sweep") {
@@ -386,19 +408,41 @@ ParsedRequest parse_request(const std::string& line) {
     out.sweep.axis = parse_sweep_axis(
         require(root, "axis", JsonValue::Type::kString, "a string \"axis\"")
             .string);
-    const JsonValue& values = require(
-        root, "values", JsonValue::Type::kArray, "an array \"values\"");
-    if (values.array.empty()) {
-      throw ProtocolError("field \"values\" must be non-empty");
+    const JsonValue* values = root.find("values");
+    const bool has_range = root.find("from") != nullptr ||
+                           root.find("to") != nullptr ||
+                           root.find("step") != nullptr;
+    if ((values != nullptr) == has_range) {
+      throw ProtocolError(
+          "sweep needs exactly one of \"values\" or \"from\"/\"to\"/"
+          "\"step\"");
     }
-    for (const JsonValue& v : values.array) {
-      if (v.type != JsonValue::Type::kNumber) {
-        throw ProtocolError("field \"values\" must contain only numbers");
+    if (values != nullptr) {
+      if (values->type != JsonValue::Type::kArray || values->array.empty()) {
+        throw ProtocolError("field \"values\" must be a non-empty array");
       }
-      out.sweep.values.push_back(v.number);
+      for (const JsonValue& v : values->array) {
+        if (v.type != JsonValue::Type::kNumber) {
+          throw ProtocolError("field \"values\" must contain only numbers");
+        }
+        out.sweep.values.push_back(v.number);
+      }
+    } else {
+      if (root.find("from") == nullptr || root.find("to") == nullptr ||
+          root.find("step") == nullptr) {
+        throw ProtocolError(
+            "sweep range needs all of \"from\", \"to\", and \"step\"");
+      }
+      out.sweep.has_range = true;
+      out.sweep.range_from = optional_number(root, "from", 0);
+      out.sweep.range_to = optional_number(root, "to", 0);
+      out.sweep.range_step = optional_number(root, "step", 0);
+      // Degenerate ranges (zero step, step away from "to") are validated
+      // by expand_sweep, whose errors come back in band per sweep.
     }
-    out.sweep.time_limit_seconds = optional_number(root, "time_limit", 0);
+    out.sweep.time_limit_seconds = time_limit_field(root);
     out.sweep.use_memo = optional_bool(root, "memo", true);
+    out.sweep.use_screen = optional_bool(root, "screen", true);
     return out;
   }
   throw ProtocolError("unknown op \"" + op +
@@ -421,6 +465,8 @@ std::string encode_response(const ServiceResponse& response) {
       .field("queue_s", response.queue_seconds)
       .field("session_hit", response.session_hit)
       .field("memo_hit", response.memo_hit)
+      .field("screened", response.screened)
+      .field("screen_s", response.screen_seconds)
       .field("family", fp_hex(response.family))
       .field("fp", fp_hex(response.fingerprint));
   if (!response.winner.empty()) w.field("winner", response.winner);
@@ -442,6 +488,7 @@ std::string encode_stats(const ServiceStats& stats) {
       .field("sat", stats.sat)
       .field("unsat", stats.unsat)
       .field("unknown", stats.unknown)
+      .field("screened", stats.screened)
       .field("session_hits", stats.sessions.hits)
       .field("session_misses", stats.sessions.misses)
       .field("session_evictions", stats.sessions.evictions)

@@ -65,16 +65,69 @@ const char* sweep_axis_name(SweepAxis axis) {
   return "?";
 }
 
+namespace {
+
+/// Materialises the range form into explicit axis values. Every degenerate
+/// axis — non-finite endpoints or step, zero step, a step walking away from
+/// `to` — is an in-band ScenarioError; before this check a reversed range
+/// silently expanded to an empty sweep that answered nothing.
+std::vector<double> range_values(const SweepRequest& sweep) {
+  const double from = sweep.range_from;
+  const double to = sweep.range_to;
+  const double step = sweep.range_step;
+  if (!std::isfinite(from) || !std::isfinite(to) || !std::isfinite(step)) {
+    throw core::ScenarioError("sweep range from/to/step must be finite");
+  }
+  if (step == 0) {
+    throw core::ScenarioError("sweep range step must be nonzero");
+  }
+  if ((to - from) * step < 0) {
+    throw core::ScenarioError(
+        "sweep range is reversed: step " + std::to_string(step) +
+        " never reaches " + std::to_string(to) + " from " +
+        std::to_string(from));
+  }
+  // Index-based generation avoids accumulation drift; the epsilon keeps
+  // the endpoint inclusive when (to-from)/step is integral up to rounding.
+  const double span = (to - from) / step;
+  constexpr double kMaxPoints = 1u << 20;
+  if (span > kMaxPoints) {
+    throw core::ScenarioError("sweep range expands to more than " +
+                              std::to_string(static_cast<int>(kMaxPoints)) +
+                              " points");
+  }
+  const std::size_t n = static_cast<std::size_t>(span * (1 + 1e-12)) + 1;
+  std::vector<double> vals;
+  vals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vals.push_back(from + static_cast<double>(i) * step);
+  }
+  return vals;
+}
+
+}  // namespace
+
 std::vector<ServiceRequest> expand_sweep(const SweepRequest& sweep) {
+  if (sweep.has_range && !sweep.values.empty()) {
+    throw core::ScenarioError(
+        "sweep cannot combine explicit values with a from/to/step range");
+  }
+  const std::vector<double> values =
+      sweep.has_range ? range_values(sweep) : sweep.values;
+  if (values.empty()) {
+    throw core::ScenarioError("sweep \"" + sweep.id +
+                              "\" expands to no values");
+  }
   std::vector<ServiceRequest> out;
-  out.reserve(sweep.values.size());
-  for (std::size_t k = 0; k < sweep.values.size(); ++k) {
-    const double v = sweep.values[k];
+  out.reserve(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    const double v = values[k];
     ServiceRequest req;
     req.id = sweep.id + "[" + std::to_string(k) + "]";
     req.scenario = sweep.scenario;
     req.time_limit_seconds = sweep.time_limit_seconds;
     req.use_memo = sweep.use_memo;
+    req.use_screen = sweep.use_screen;
     req.sweep_index = static_cast<int>(k);
     core::Scenario& sc = req.scenario;
     switch (sweep.axis) {
@@ -125,6 +178,10 @@ std::vector<ServiceRequest> expand_sweep(const SweepRequest& sweep) {
         break;
       }
       case SweepAxis::kMinTargetShift: {
+        if (!std::isfinite(v)) {
+          throw core::ScenarioError("sweep axis min-target-shift value #" +
+                                    std::to_string(k) + " is not finite");
+        }
         if (v < 0) {
           throw core::ScenarioError("sweep axis min-target-shift value #" +
                                     std::to_string(k) + " is negative");

@@ -33,6 +33,11 @@ struct ServiceRequest {
   std::size_t portfolio = 0;
   /// Consult/populate the result memo for this request.
   bool use_memo = true;
+  /// Run the LP-relaxation screen (screen::LpScreen) before dispatching to
+  /// a solver; a provably infeasible relaxation answers Unsat without an
+  /// SMT call. Verdicts are identical either way — this is the per-request
+  /// form of the service-wide ServiceOptions::screen switch.
+  bool use_screen = true;
   /// Position within an expanded sweep; -1 for standalone requests.
   int sweep_index = -1;
 };
@@ -62,15 +67,27 @@ struct SweepRequest {
   core::Scenario scenario;
   SweepAxis axis = SweepAxis::kMaxMeasurements;
   /// Axis values; for the id-valued axes these are 1-based ids (matching
-  /// the scenario file format) and must be integral.
+  /// the scenario file format) and must be integral. Mutually exclusive
+  /// with the range form below.
   std::vector<double> values;
+  /// Range form: values from, from+step, ... up to and including `to`
+  /// (inclusive whenever it lands exactly). expand_sweep validates the
+  /// axis: a zero step, a step pointing away from `to`, or a non-finite
+  /// endpoint is an error, never a silently empty sweep.
+  bool has_range = false;
+  double range_from = 0;
+  double range_to = 0;
+  double range_step = 0;
   double time_limit_seconds = 0;
   bool use_memo = true;
+  bool use_screen = true;
 };
 
 /// Expands a sweep into per-value requests (ids "<id>[<k>]", sweep_index
-/// k). Id-valued axes are range-checked here; a bad value throws
-/// core::ScenarioError naming the offending entry.
+/// k). Id-valued axes are range-checked here; a bad value, a degenerate
+/// range, or an expansion with no points throws core::ScenarioError naming
+/// the problem — callers see an in-band error instead of a sweep that
+/// quietly answers nothing.
 [[nodiscard]] std::vector<ServiceRequest> expand_sweep(
     const SweepRequest& sweep);
 
@@ -87,6 +104,11 @@ struct ServiceResponse {
   /// Warm-session reuse and memoisation attribution for this request.
   bool session_hit = false;
   bool memo_hit = false;
+  /// True when the LP-relaxation screen proved the scenario Unsat and the
+  /// SMT solve was skipped; screen_seconds is the screening cost either
+  /// way (0 when screening was off or the memo answered first).
+  bool screened = false;
+  double screen_seconds = 0;
   /// Family (session-cache key) and full scenario fingerprint — the same
   /// values emitted into trace events, so service responses join against
   /// traces from any tool.

@@ -499,6 +499,25 @@ bool Simplex::check() {
     }
   };
 
+  // A non-finite pivot score — an overflowed mirror coefficient, or an
+  // inf-inf NaN in a violation amount — is float state the error envelope
+  // cannot even describe, so the float path is abandoned for the rest of
+  // the check on first sight (no budget: one inf means every later score
+  // is suspect). The candidate keeps a zero score rather than being
+  // skipped: dropping it could turn a poisoned mirror into a fabricated
+  // "no entering variable" conflict, and conflicts must only ever come
+  // from the exact tableau.
+  auto finite_or_zero = [&](double score) -> double {
+    if (std::isfinite(score)) return score;
+    ++filter_disagreements_;
+    if (!check_exact_fallback_) {
+      check_exact_fallback_ = true;
+      ++filter_fallbacks_;
+      restore_all_betas();
+    }
+    return 0.0;
+  };
+
   // Classifies a basic candidate's bound violation. Float margins decide
   // when they provably clear the error envelope (lexicographic
   // delta-rational order: a strict real-part margin decides regardless of
@@ -591,7 +610,8 @@ bool Simplex::check() {
       const double bound =
           lowViol ? cst.lower.approx.value : cst.upper.approx.value;
       const double beta = cst.beta_f.value;
-      const double amount = lowViol ? bound - beta : beta - bound;
+      const double amount =
+          finite_or_zero(lowViol ? bound - beta : beta - bound);
       if (violated == kNoTVar || amount > bestViolation ||
           (amount == bestViolation && cand < violated)) {
         violated = cand;
@@ -642,7 +662,7 @@ bool Simplex::check() {
         if (entering == kNoTVar || v < entering) entering = v;
         continue;
       }
-      const double magnitude = std::fabs(row.mirror[ti].value);
+      const double magnitude = finite_or_zero(std::fabs(row.mirror[ti].value));
       if (entering == kNoTVar || magnitude > bestMagnitude ||
           (magnitude == bestMagnitude && v < entering)) {
         entering = v;

@@ -1,0 +1,256 @@
+// LP-relaxation screen: differential soundness against the exact SMT
+// verifier. The contract under test is one-directional — whenever the
+// screen says Infeasible the SMT verdict must be Unsat; the screen may
+// say Feasible on anything — plus directed coverage of the contraction
+// phase (zero-pinning, ratio merges, pivot-free decisions) and the
+// conservative deferrals.
+#include "screen/lp_screen.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/attack_model.h"
+#include "grid/ieee_cases.h"
+#include "smt/common.h"
+
+namespace psse::screen {
+namespace {
+
+using core::AttackSpec;
+using core::ScenarioDelta;
+using core::UfdiAttackModel;
+using grid::cases::ieee14;
+using grid::cases::paper_plan14;
+using smt::SolveResult;
+
+/// Screens `delta` against the family base and cross-checks the one
+/// claiming side against a warm SMT session of the same family.
+void expect_sound(const grid::Grid& g, const grid::MeasurementPlan& plan,
+                  const AttackSpec& base, const ScenarioDelta& delta,
+                  const std::string& what) {
+  LpScreen lp(g, plan, base);
+  const ScreenResult sr = lp.screen(delta);
+  UfdiAttackModel session(g, plan, base, core::EncodeMode::kBase);
+  const SolveResult exact = session.verify_delta(delta).result;
+  if (sr.verdict == ScreenVerdict::kInfeasible) {
+    EXPECT_EQ(exact, SolveResult::Unsat)
+        << what << ": screen claimed Infeasible (pinned " << sr.pinned
+        << ") but SMT found an attack";
+  }
+}
+
+// --- directed: the paper's Objective 2 family (fig4/fig5 style) ---
+
+TEST(LpScreen, PaperObjective2SecuredMeterIsProvedBlocked) {
+  // Securing measurement 46 blocks "attack state 12 only" (the SMT test
+  // suite proves Unsat); the blockage is purely linear, so the screen must
+  // find it — and must NOT claim anything on the unsecured Sat variant.
+  grid::Grid g = ieee14();
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+
+  grid::MeasurementPlan blocked = paper_plan14(g);
+  blocked.set_secured(45, true);
+  LpScreen lp(g, blocked, spec);
+  const ScreenResult sr = lp.screen(ScenarioDelta::of(spec));
+  EXPECT_EQ(sr.verdict, ScreenVerdict::kInfeasible);
+  EXPECT_EQ(sr.pinned, "dtheta[12]");
+  EXPECT_EQ(lp.num_infeasible(), 1u);
+
+  grid::MeasurementPlan open = paper_plan14(g);
+  LpScreen lpOpen(g, open, spec);
+  EXPECT_EQ(lpOpen.screen(ScenarioDelta::of(spec)).verdict,
+            ScreenVerdict::kFeasible);
+}
+
+TEST(LpScreen, DifferentialEveryTargetIeee14) {
+  // Every single-target scenario, with and without target-only, with and
+  // without a tight T_CZ cap: the screen must never contradict SMT.
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  plan.set_secured(45, true);  // makes some targets genuinely blocked
+  for (int t = 1; t < g.num_buses(); ++t) {
+    for (const bool only : {true, false}) {
+      AttackSpec base;
+      ScenarioDelta delta;
+      delta.target_states = {t};
+      delta.attack_only_targets = only;
+      expect_sound(g, plan, base, delta,
+                   "target " + std::to_string(t + 1) +
+                       (only ? " only" : ""));
+      delta.max_altered_measurements = 2;  // caps: screen must stay sound
+      expect_sound(g, plan, base, delta,
+                   "target " + std::to_string(t + 1) + " capped");
+    }
+  }
+}
+
+TEST(LpScreen, DifferentialRandomSecuredSetsIeee14) {
+  // Randomized sparse instances: random secured-measurement sets of
+  // varying density, random goals, random caps — the fuzz face of the
+  // soundness contract, exercised through the *dynamic* (per-delta) pins.
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  std::mt19937 rng(20260808);
+  for (int iter = 0; iter < 24; ++iter) {
+    ScenarioDelta delta;
+    const double density =
+        std::uniform_real_distribution<double>(0.5, 1.0)(rng);
+    for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+      if (plan.taken(m) &&
+          std::bernoulli_distribution(density)(rng)) {
+        delta.secured_measurements.push_back(m);
+      }
+    }
+    const int t = std::uniform_int_distribution<int>(
+        1, g.num_buses() - 1)(rng);
+    delta.target_states = {t};
+    delta.attack_only_targets = std::bernoulli_distribution(0.5)(rng);
+    delta.max_altered_measurements =
+        std::uniform_int_distribution<int>(0, 6)(rng);
+    expect_sound(g, plan, AttackSpec{}, delta,
+                 "random iter " + std::to_string(iter));
+  }
+}
+
+TEST(LpScreen, DifferentialRandomSecuredBusesIeee57) {
+  grid::Grid g = grid::cases::by_name("ieee57");
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  std::mt19937 rng(57);
+  for (int iter = 0; iter < 4; ++iter) {
+    ScenarioDelta delta;
+    for (int j = 1; j < g.num_buses(); ++j) {
+      if (std::bernoulli_distribution(0.8)(rng)) {
+        delta.secured_buses.push_back(j);
+      }
+    }
+    delta.target_states = {std::uniform_int_distribution<int>(
+        1, g.num_buses() - 1)(rng)};
+    expect_sound(g, plan, AttackSpec{}, delta,
+                 "ieee57 iter " + std::to_string(iter));
+  }
+}
+
+// --- contraction phase ---
+
+TEST(LpScreen, FullySecuredPlanDecidesWithoutPivoting) {
+  // Securing every taken meter pins the whole estimate. The contraction
+  // phase alone must prove it — the exact tableau (whose dense Laplacian
+  // fill-in is why the contraction exists) must never run a pivot.
+  grid::Grid g = grid::cases::by_name("ieee57");
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec spec;
+  LpScreen lp(g, plan, spec);
+  ScenarioDelta delta;
+  delta.target_states = {g.num_buses() - 1};
+  for (grid::MeasId m = 0; m < plan.num_potential(); ++m) {
+    if (plan.taken(m)) delta.secured_measurements.push_back(m);
+  }
+  const ScreenResult sr = lp.screen(delta);
+  EXPECT_EQ(sr.verdict, ScreenVerdict::kInfeasible);
+  EXPECT_EQ(lp.simplex().num_pivots(), 0u);
+}
+
+TEST(LpScreen, RatioMergesPropagateThroughChains) {
+  // 0 -ref- 1 - 2 - 3 chain with distinct admittances. Securing the flow
+  // meters of lines (0,1) and (1,2) merges {0,1,2} into the zero class;
+  // bus 3 stays free through the unsecured line (2,3).
+  grid::Grid g(4);
+  g.add_line(0, 1, 2.0);
+  g.add_line(1, 2, 3.0);
+  g.add_line(2, 3, 5.0);
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec spec;
+  LpScreen lp(g, plan, spec);
+
+  ScenarioDelta delta;
+  delta.secured_measurements = {plan.forward_flow(0), plan.forward_flow(1)};
+  delta.target_states = {2};
+  EXPECT_EQ(lp.screen(delta).verdict, ScreenVerdict::kInfeasible);
+
+  delta.target_states = {3};
+  EXPECT_EQ(lp.screen(delta).verdict, ScreenVerdict::kFeasible);
+
+  // Distinct-change goal: dtheta[2] and dtheta[3] both pinned to zero once
+  // line (2,3) is secured too, so "change them differently" is hopeless.
+  delta.target_states.clear();
+  delta.require_any_state_attack = false;
+  delta.distinct_changes = {{2, 3}};
+  delta.secured_measurements.push_back(plan.forward_flow(2));
+  const ScreenResult sr = lp.screen(delta);
+  EXPECT_EQ(sr.verdict, ScreenVerdict::kInfeasible);
+  EXPECT_EQ(sr.pinned, "dtheta[3]-dtheta[4]");
+}
+
+TEST(LpScreen, AnyStateGoalNeedsEveryAnglePinned) {
+  grid::Grid g(3);
+  g.add_line(0, 1, 1.0);
+  g.add_line(1, 2, 1.0);
+  grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+  AttackSpec spec;  // require_any_state_attack defaults to true
+  LpScreen lp(g, plan, spec);
+
+  ScenarioDelta delta;  // no explicit targets -> any-state goal
+  delta.secured_measurements = {plan.forward_flow(0)};
+  EXPECT_EQ(lp.screen(delta).verdict, ScreenVerdict::kFeasible);
+
+  delta.secured_measurements.push_back(plan.backward_flow(1));
+  const ScreenResult sr = lp.screen(delta);
+  EXPECT_EQ(sr.verdict, ScreenVerdict::kInfeasible);
+  EXPECT_EQ(sr.pinned, "every state");
+}
+
+// --- conservative deferrals ---
+
+TEST(LpScreen, DefersQueriesTheVerifierWouldReject) {
+  // Anything verify_delta would throw on must come back kInconclusive so
+  // the service path surfaces the identical error, never a screen answer.
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  LpScreen lp(g, plan, AttackSpec{});
+
+  ScenarioDelta refTarget;
+  refTarget.target_states = {0};  // the reference bus
+  EXPECT_EQ(lp.screen(refTarget).verdict, ScreenVerdict::kInconclusive);
+
+  ScenarioDelta outOfRange;
+  outOfRange.target_states = {g.num_buses()};
+  EXPECT_EQ(lp.screen(outOfRange).verdict, ScreenVerdict::kInconclusive);
+
+  ScenarioDelta samePair;
+  samePair.distinct_changes = {{3, 3}};
+  EXPECT_EQ(lp.screen(samePair).verdict, ScreenVerdict::kInconclusive);
+
+  ScenarioDelta badMeas;
+  badMeas.target_states = {5};
+  badMeas.secured_measurements = {plan.num_potential()};
+  EXPECT_EQ(lp.screen(badMeas).verdict, ScreenVerdict::kInconclusive);
+
+  ScenarioDelta nothing;
+  nothing.require_any_state_attack = false;
+  EXPECT_EQ(lp.screen(nothing).verdict, ScreenVerdict::kInconclusive);
+
+  EXPECT_EQ(lp.num_screens(), 5u);
+  EXPECT_EQ(lp.num_infeasible(), 0u);
+}
+
+TEST(LpScreen, FeasibleWitnessYieldsAlteredHint) {
+  // On the open paper plan the relaxation finds a witness; the hint counts
+  // its nonzero meter deltas — a lower-bound flavour signal, >= 1 here.
+  grid::Grid g = ieee14();
+  grid::MeasurementPlan plan = paper_plan14(g);
+  AttackSpec spec;
+  spec.target_states = {11};
+  spec.attack_only_targets = true;
+  LpScreen lp(g, plan, spec);
+  const ScreenResult sr = lp.screen(ScenarioDelta::of(spec));
+  ASSERT_EQ(sr.verdict, ScreenVerdict::kFeasible);
+  EXPECT_GE(sr.hint_altered, 1);
+}
+
+}  // namespace
+}  // namespace psse::screen

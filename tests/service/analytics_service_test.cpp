@@ -228,5 +228,120 @@ TEST(AnalyticsService, CancelAllOnlyAffectsPriorSubmissions) {
   EXPECT_EQ(r.verdict, SolveResult::Sat);
 }
 
+TEST(AnalyticsService, ScreenedVerdictsAreBitIdentical) {
+  // The conservativeness contract at the service boundary: the same
+  // request list, screening on vs off, memoisation disabled so every
+  // point does real work — verdicts must agree on every point, and the
+  // screen must have answered at least the blocked one.
+  auto run = [](bool screen) {
+    ServiceOptions opt = options(1);
+    opt.memo_capacity = 0;
+    opt.screen = screen;
+    AnalyticsService svc(opt);
+    std::vector<ServiceResponse> out;
+    for (const int meas : {46, 1}) {  // securing 46 blocks objective 2
+      core::Scenario sc = objective2();
+      sc.plan.set_secured(meas - 1, true);
+      ServiceRequest req;
+      req.id = "m" + std::to_string(meas);
+      req.scenario = std::move(sc);
+      req.use_memo = false;
+      out.push_back(svc.submit(std::move(req)).get());
+    }
+    EXPECT_EQ(svc.stats().screened, screen ? 1u : 0u);
+    return out;
+  };
+  const std::vector<ServiceResponse> on = run(true);
+  const std::vector<ServiceResponse> off = run(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    ASSERT_TRUE(on[i].ok() && off[i].ok());
+    EXPECT_EQ(on[i].verdict, off[i].verdict) << on[i].id;
+  }
+  EXPECT_EQ(on[0].verdict, SolveResult::Unsat);
+  EXPECT_TRUE(on[0].screened);
+  EXPECT_FALSE(off[0].screened);
+  EXPECT_FALSE(on[1].screened);  // Sat point: screen claims nothing
+
+  // A screened verdict is memoised like a solved one: a repeat on a
+  // memo-enabled service answers from the memo, not the screen.
+  ServiceOptions memoOpt = options(1);
+  AnalyticsService memoSvc(memoOpt);
+  core::Scenario sc = objective2();
+  sc.plan.set_secured(45, true);
+  ServiceRequest first;
+  first.id = "first";
+  first.scenario = sc;
+  ASSERT_TRUE(memoSvc.submit(std::move(first)).get().screened);
+  ServiceRequest again;
+  again.id = "again";
+  again.scenario = sc;
+  const ServiceResponse hit = memoSvc.submit(std::move(again)).get();
+  EXPECT_TRUE(hit.memo_hit);
+  EXPECT_EQ(hit.verdict, SolveResult::Unsat);
+}
+
+TEST(AnalyticsService, RequestCanOptOutOfScreening) {
+  ServiceOptions opt = options(1);
+  opt.memo_capacity = 0;
+  AnalyticsService svc(opt);
+  core::Scenario sc = objective2();
+  sc.plan.set_secured(45, true);
+  ServiceRequest req;
+  req.id = "opt-out";
+  req.scenario = std::move(sc);
+  req.use_memo = false;
+  req.use_screen = false;
+  const ServiceResponse r = svc.submit(std::move(req)).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.verdict, SolveResult::Unsat);  // solved, not screened
+  EXPECT_FALSE(r.screened);
+  EXPECT_EQ(svc.stats().screened, 0u);
+}
+
+TEST(AnalyticsService, SweepRangeMatchesExplicitValues) {
+  AnalyticsService svc(options(2));
+  SweepRequest byValues;
+  byValues.id = "v";
+  byValues.scenario = objective2();
+  byValues.axis = SweepAxis::kMaxMeasurements;
+  byValues.values = {3, 4, 5, 6};
+  SweepRequest byRange;
+  byRange.id = "r";
+  byRange.scenario = objective2();
+  byRange.axis = SweepAxis::kMaxMeasurements;
+  byRange.has_range = true;
+  byRange.range_from = 3;
+  byRange.range_to = 6;
+  byRange.range_step = 1;
+  std::vector<std::future<ServiceResponse>> vf = svc.submit_sweep(byValues);
+  std::vector<std::future<ServiceResponse>> rf = svc.submit_sweep(byRange);
+  ASSERT_EQ(vf.size(), rf.size());
+  for (std::size_t k = 0; k < vf.size(); ++k) {
+    const ServiceResponse a = vf[k].get();
+    const ServiceResponse b = rf[k].get();
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.verdict, b.verdict) << "point " << k;
+  }
+}
+
+TEST(AnalyticsService, DegenerateSweepRangesThrowBeforeDispatch) {
+  AnalyticsService svc(options(1));
+  SweepRequest bad;
+  bad.id = "deg";
+  bad.scenario = objective2();
+  bad.axis = SweepAxis::kMaxMeasurements;
+  bad.has_range = true;
+  bad.range_from = 1;
+  bad.range_to = 5;
+  bad.range_step = 0;  // zero step
+  EXPECT_THROW((void)svc.submit_sweep(bad), core::ScenarioError);
+  bad.range_step = -1;  // walks away from "to"
+  EXPECT_THROW((void)svc.submit_sweep(bad), core::ScenarioError);
+  bad.has_range = false;  // empty values list
+  EXPECT_THROW((void)svc.submit_sweep(bad), core::ScenarioError);
+  EXPECT_EQ(svc.stats().requests, 0u);  // nothing was dispatched
+}
+
 }  // namespace
 }  // namespace psse::service

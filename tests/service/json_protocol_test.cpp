@@ -172,6 +172,115 @@ TEST(JsonProtocol, EncodesStatsAndErrors) {
   EXPECT_NE(err.find("\"error\":\"boom\\n\""), std::string::npos);
 }
 
+TEST(JsonProtocol, RejectsNonFiniteAndOverflowingNumbers) {
+  // strtod turns 1e999 into +inf without setting a parse error; the
+  // protocol must reject the token in-band instead of admitting an
+  // infinite deadline (or, worse, feeding inf into integer casts).
+  const std::string head =
+      std::string("{\"op\":\"verify\",\"id\":\"x\",\"scenario\":\"") +
+      kScenario + "\",";
+  EXPECT_THROW((void)parse_request(head + "\"time_limit\":1e999}"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(head + "\"time_limit\":-1e999}"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(head + "\"time_limit\":-0.5}"),
+               ProtocolError);
+  // Out-of-range portfolio values used to hit an undefined double->size_t
+  // cast before the range check; now the range check comes first.
+  EXPECT_THROW((void)parse_request(head + "\"portfolio\":1e300}"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(head + "\"portfolio\":3.5}"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(head + "\"portfolio\":-1}"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(head + "\"portfolio\":4097}"),
+               ProtocolError);
+  EXPECT_NO_THROW((void)parse_request(head + "\"portfolio\":4096}"));
+  const std::string sweep =
+      std::string("{\"op\":\"sweep\",\"scenario\":\"") + kScenario +
+      "\",\"axis\":\"max-measurements\",";
+  EXPECT_THROW((void)parse_request(sweep + "\"values\":[4,1e999]}"),
+               ProtocolError);
+}
+
+TEST(JsonProtocol, ParsesSweepRangeForm) {
+  const std::string sweep =
+      std::string("{\"op\":\"sweep\",\"id\":\"r\",\"scenario\":\"") +
+      kScenario + "\",\"axis\":\"max-measurements\",";
+  ParsedRequest req =
+      parse_request(sweep + "\"from\":4,\"to\":8,\"step\":2}");
+  ASSERT_TRUE(req.sweep.has_range);
+  std::vector<ServiceRequest> points = expand_sweep(req.sweep);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].scenario.spec.max_altered_measurements, 4);
+  EXPECT_EQ(points[2].scenario.spec.max_altered_measurements, 8);
+  // Descending ranges walk with a negative step.
+  req = parse_request(sweep + "\"from\":8,\"to\":4,\"step\":-2}");
+  points = expand_sweep(req.sweep);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].scenario.spec.max_altered_measurements, 8);
+  // values XOR range, and the range needs all three fields.
+  EXPECT_THROW((void)parse_request(sweep +
+                                   "\"values\":[1],\"from\":1,\"to\":2,"
+                                   "\"step\":1}"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(sweep + "\"from\":1,\"to\":2}"),
+               ProtocolError);
+}
+
+TEST(JsonProtocol, SweepRangeDegenerateAxesErrorInBand) {
+  // Zero step, a step walking away from "to", and an empty expansion must
+  // come back as in-band errors — never an infinite loop, never a silent
+  // empty sweep, never a crash.
+  const std::string sweep =
+      std::string("{\"op\":\"sweep\",\"id\":\"d\",\"scenario\":\"") +
+      kScenario + "\",\"axis\":\"max-measurements\",";
+  EXPECT_THROW(
+      (void)expand_sweep(
+          parse_request(sweep + "\"from\":1,\"to\":5,\"step\":0}").sweep),
+      core::ScenarioError);
+  EXPECT_THROW(
+      (void)expand_sweep(
+          parse_request(sweep + "\"from\":5,\"to\":1,\"step\":1}").sweep),
+      core::ScenarioError);
+  EXPECT_THROW(
+      (void)expand_sweep(
+          parse_request(sweep + "\"from\":0,\"to\":1e9,\"step\":0.001}")
+              .sweep),
+      core::ScenarioError);
+  // Programmatic callers can still hand over an empty values list; the
+  // expansion names the sweep in its error instead of yielding nothing.
+  SweepRequest empty;
+  empty.id = "empty";
+  empty.axis = SweepAxis::kMaxMeasurements;
+  EXPECT_THROW((void)expand_sweep(empty), core::ScenarioError);
+}
+
+TEST(JsonProtocol, ScreenFlagRoundTrips) {
+  const std::string head =
+      std::string("{\"op\":\"verify\",\"id\":\"x\",\"scenario\":\"") +
+      kScenario + "\",";
+  EXPECT_TRUE(parse_request(head + "\"memo\":true}").verify.use_screen);
+  EXPECT_FALSE(
+      parse_request(head + "\"screen\":false}").verify.use_screen);
+  const std::string sweep =
+      std::string("{\"op\":\"sweep\",\"scenario\":\"") + kScenario +
+      "\",\"axis\":\"target\",\"values\":[2],\"screen\":false}";
+  const SweepRequest sr = parse_request(sweep).sweep;
+  EXPECT_FALSE(sr.use_screen);
+  EXPECT_FALSE(expand_sweep(sr)[0].use_screen);
+
+  ServiceResponse resp;
+  resp.id = "s";
+  resp.verdict = smt::SolveResult::Unsat;
+  resp.screened = true;
+  resp.screen_seconds = 0.001;
+  const std::string line = encode_response(resp);
+  EXPECT_TRUE(test_json::Validator(line).valid()) << line;
+  EXPECT_NE(line.find("\"screened\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"screen_s\":"), std::string::npos);
+}
+
 TEST(JsonProtocol, RoundTripsThroughScenarioToString) {
   // A programmatic scenario serialised with Scenario::to_string survives
   // JSON embedding (escape + parse) intact.

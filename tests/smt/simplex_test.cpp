@@ -218,5 +218,41 @@ TEST(Simplex, PropertyModelSatisfiesAllConstraints) {
   }
 }
 
+TEST(Simplex, NonFiniteFloatScoresNeverChangeTheVerdict) {
+  // A bound beyond double range (2 * 10^308) overflows the float mirror to
+  // inf, so pivot scoring sees non-finite violation amounts. The guard
+  // must count the poisoned score and fall back to the exact path — with
+  // verdicts identical across both filter modes, and no fabricated
+  // conflict from a skipped candidate.
+  const Rational huge =
+      Rational::from_string("2" + std::string(308, '0'));
+  for (const bool filter : {true, false}) {
+    Simplex s;
+    SimplexOptions opt;
+    opt.float_filter = filter;
+    s.set_options(opt);
+    TVar x = s.new_var("x");
+    TVar y = s.new_var("y");
+    LinExpr e;
+    e.add_term(x, Rational(1));
+    e.add_term(y, Rational(1));
+    TVar sum = s.slack_for(e);
+    EXPECT_TRUE(s.assert_lower(sum, DeltaRational(huge), tag(0)));
+    // Unbounded x/y: x + y >= 2e308 is exactly feasible, inf scores or not.
+    ASSERT_TRUE(s.check()) << "filter=" << filter;
+    EXPECT_GE(s.model_value(x) + s.model_value(y), huge);
+    // Capping both variables far below the bound flips it to a proof of
+    // infeasibility, which must come from the exact tableau.
+    EXPECT_TRUE(s.assert_upper(x, DeltaRational(Rational(100000)), tag(1)));
+    EXPECT_FALSE(s.assert_upper(y, DeltaRational(Rational(100000)), tag(2)) &&
+                 s.check())
+        << "filter=" << filter;
+    if (filter) {
+      EXPECT_GE(s.num_filter_disagreements(), 1u)
+          << "inf score was not counted";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace psse::smt
