@@ -62,16 +62,18 @@ inline core::VerificationResult verify_run(const grid::Grid& g,
                                            const core::AttackSpec& spec,
                                            double timeLimitSeconds = 600,
                                            const obs::Config& trace = {},
-                                           bool exactSimplex = false) {
+                                           bool exactSimplex = false,
+                                           bool etaTableau = true) {
   core::UfdiAttackModel model(g, p, spec);
   model.set_trace(trace);
   // Phase timing stays on regardless of tracing: the --json rows report the
   // encode/simplex/tprop split, so a filter regression is attributable
   // without a separate trace pass.
   model.enable_phase_timing(true);
-  if (exactSimplex) {
+  if (exactSimplex || !etaTableau) {
     smt::SimplexOptions so = model.simplex_options();
-    so.float_filter = false;
+    if (exactSimplex) so.float_filter = false;
+    so.eta_tableau = etaTableau;
     model.set_simplex_options(so);
   }
   smt::Budget budget;
@@ -85,8 +87,9 @@ inline double verify_ms(const grid::Grid& g, const grid::MeasurementPlan& p,
                         const core::AttackSpec& spec,
                         double timeLimitSeconds = 600,
                         const obs::Config& trace = {},
-                        bool exactSimplex = false) {
-  return verify_run(g, p, spec, timeLimitSeconds, trace, exactSimplex)
+                        bool exactSimplex = false, bool etaTableau = true) {
+  return verify_run(g, p, spec, timeLimitSeconds, trace, exactSimplex,
+                    etaTableau)
              .seconds * 1000.0;
 }
 
@@ -149,6 +152,28 @@ inline bool exact_simplex_enabled(int argc, char** argv) {
   return false;
 }
 
+/// True when invoked with `--no-eta`: the fig4 benches then disable the
+/// eta-factorised tableau (SimplexOptions::eta_tableau), reverting to eager
+/// row substitution — ci.sh cross-checks the two modes for verdict
+/// equality.
+inline bool no_eta_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--no-eta") return true;
+  }
+  return false;
+}
+
+/// True when invoked with `--synthetic`: fig4a additionally runs the large
+/// synthetic grids (600/1000/1500 buses) after the IEEE cases — the scaling
+/// series DESIGN/EXPERIMENTS track, kept opt-in so the default smoke stays
+/// fast.
+inline bool synthetic_enabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--synthetic") return true;
+  }
+  return false;
+}
+
 /// True when invoked with `--no-screen`: benches and tools that run the
 /// LP-relaxation screen in front of verification then skip it (the escape
 /// hatch ci.sh uses for the screened-vs-unscreened verdict cross-check).
@@ -188,6 +213,8 @@ inline void accumulate_phases(obs::PhaseTimes& into,
   into.simplex_us += run.simplex_us;
   into.tprop_us += run.tprop_us;
   into.theory_us += run.theory_us;
+  into.ftran_us += run.ftran_us;
+  into.btran_us += run.btran_us;
 }
 
 /// Appends the per-phase wall-time split of one verification run to a JSON
@@ -196,7 +223,9 @@ inline JsonLine& phase_fields(JsonLine& line, const obs::PhaseTimes& pt) {
   line.field("encode_us", static_cast<std::uint64_t>(pt.encode_us))
       .field("simplex_us", static_cast<std::uint64_t>(pt.simplex_us))
       .field("tprop_us", static_cast<std::uint64_t>(pt.tprop_us))
-      .field("theory_us", static_cast<std::uint64_t>(pt.theory_us));
+      .field("theory_us", static_cast<std::uint64_t>(pt.theory_us))
+      .field("ftran_us", static_cast<std::uint64_t>(pt.ftran_us))
+      .field("btran_us", static_cast<std::uint64_t>(pt.btran_us));
   return line;
 }
 

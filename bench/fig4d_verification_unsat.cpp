@@ -11,6 +11,7 @@ using namespace psse;
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  const bool eta = !bench::no_eta_enabled(argc, argv);
   const bool screen = !bench::no_screen_enabled(argc, argv);
   auto sink = bench::trace_sink(argc, argv);
   const obs::Config trace{sink.get()};
@@ -27,9 +28,10 @@ int main(int argc, char** argv) {
     sat.target_states = {g.num_buses() / 2};
     core::AttackSpec unsat = sat;
     unsat.max_altered_measurements = 3;  // below the 4-measurement floor
-    core::VerificationResult satR = bench::verify_run(g, plan, sat, 600, trace);
+    core::VerificationResult satR =
+        bench::verify_run(g, plan, sat, 600, trace, false, eta);
     core::VerificationResult unsatR =
-        bench::verify_run(g, plan, unsat, 600, trace);
+        bench::verify_run(g, plan, unsat, 600, trace, false, eta);
     const double satMs = satR.seconds * 1000.0;
     const double unsatMs = unsatR.seconds * 1000.0;
     std::printf("%-10s %12.1f %12.1f %8.2f\n", name, satMs, unsatMs,
@@ -41,6 +43,9 @@ int main(int argc, char** argv) {
       bench::JsonLine line(json, "fig4d",
                            std::string(name) + "/" + label);
       line.field("ms", r->seconds * 1000.0)
+          .field("eta_updates", r->stats.eta_updates)
+          .field("refactorisations", r->stats.refactorisations)
+          .field("eta_file_len_max", r->stats.eta_file_len_max)
           .field("verdict", r->feasible() ? "sat" : "unsat");
       const core::AttackSpec& spec =
           std::string_view(label) == "sat" ? sat : unsat;

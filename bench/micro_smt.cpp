@@ -110,6 +110,25 @@ void BM_BigIntSmallMulAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntSmallMulAdd);
 
+// Rational::normalize on already-canonical values: Arg(0) integral
+// operands (denominator one, the no-gcd fast path that row merges over
+// integral tableaus hit on almost every term), Arg(1) fractional operands
+// (the full gcd path, for before/after contrast).
+void BM_RationalNormalizeCanonical(benchmark::State& state) {
+  const bool fractional = state.range(0) != 0;
+  const smt::Rational b = fractional ? smt::Rational(777, 13)
+                                     : smt::Rational(777);
+  const smt::Rational c = fractional ? smt::Rational(-444, 7)
+                                     : smt::Rational(-444);
+  smt::Rational acc(12345);
+  for (auto _ : state) {
+    acc.add_mul(b, c);
+    benchmark::DoNotOptimize(acc);
+    acc = smt::Rational(12345);
+  }
+}
+BENCHMARK(BM_RationalNormalizeCanonical)->Arg(0)->Arg(1);
+
 void BM_SatRandom3Sat(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -283,6 +302,88 @@ void BM_SimplexFloatFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexFloatFilter)->Arg(0)->Arg(1);
+
+// Builds a grid-sparse feasibility instance (banded 3-4 term rows, the
+// locality pattern of transmission-system tableaus) whose slack bounds all
+// start violated, so check() pivots heavily. Shared by the eta-tableau
+// micro benches below.
+void make_banded_instance(smt::Simplex& s, const smt::SimplexOptions& opts,
+                          std::vector<smt::TVar>& slacks) {
+  s.set_options(opts);
+  const int n = 160;
+  std::vector<smt::TVar> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+  std::mt19937_64 rng(13);
+  slacks.clear();
+  for (int r = 0; r < n; ++r) {
+    smt::LinExpr e;
+    const int terms = 3 + static_cast<int>(rng() % 2);
+    for (int k = 0; k < terms; ++k) {
+      const int lo = r > 8 ? r - 8 : 0;
+      const int v = lo + static_cast<int>(rng() % 9);  // within the band
+      e.add_term(vars[static_cast<std::size_t>(v)],
+                 smt::Rational(1 + static_cast<int>(rng() % 5)));
+    }
+    if (e.is_constant()) continue;
+    slacks.push_back(s.slack_for(e));
+  }
+  int tag = 0;
+  for (smt::TVar v : vars) {
+    s.assert_lower(v, smt::DeltaRational(smt::Rational(1)),
+                   smt::Lit::pos(tag++));
+  }
+}
+
+// The eta factorisation's effect in isolation: the same banded pivot-heavy
+// instance, Arg(0) with eager row substitution (eta off), Arg(1) with the
+// default eta-factorised tableau. Verdicts and pivot sequences are
+// identical by construction; the delta is the exact row maintenance the
+// eta file defers (and, for rows no verdict reads, never pays).
+void BM_SimplexFactorUpdate(benchmark::State& state) {
+  const bool eta = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::Simplex s;
+    smt::SimplexOptions opts;
+    opts.eta_tableau = eta;
+    opts.derive_bounds = false;
+    std::vector<smt::TVar> slacks;
+    make_banded_instance(s, opts, slacks);
+    int tag = 10000;
+    state.ResumeTiming();
+    for (smt::TVar sl : slacks) {
+      s.assert_upper(sl, smt::DeltaRational(smt::Rational(40)),
+                     smt::Lit::pos(tag++));
+    }
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_SimplexFactorUpdate)->Arg(0)->Arg(1);
+
+// FTRAN replay vs refactorisation tradeoff: eta always on, Arg = the
+// eta-file length that triggers refactorisation. Small budgets refactorise
+// constantly (BTRAN-heavy), large ones replay long files wherever a verdict
+// reads a stale row (FTRAN-heavy); the default (64) sits between.
+void BM_Ftran(benchmark::State& state) {
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    smt::Simplex s;
+    smt::SimplexOptions opts;
+    opts.eta_refactor_len = budget;
+    opts.derive_bounds = false;
+    std::vector<smt::TVar> slacks;
+    make_banded_instance(s, opts, slacks);
+    int tag = 10000;
+    state.ResumeTiming();
+    for (smt::TVar sl : slacks) {
+      s.assert_upper(sl, smt::DeltaRational(smt::Rational(40)),
+                     smt::Lit::pos(tag++));
+    }
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_Ftran)->Arg(4)->Arg(64)->Arg(1024);
 
 // LP-relaxation screen (screen::LpScreen): one warm per-family screen
 // queried per delta — the analytics service's front-end hot path. Arg 0:

@@ -152,7 +152,7 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   fi
   "${micro}" --json --benchmark_min_time=0.01 \
-      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation|BM_SimplexFloatFilter|BM_LpScreen' \
+      --benchmark_filter='BM_SimplexCheckFeasibility|BM_TheoryPropagation|BM_SimplexFloatFilter|BM_LpScreen|BM_SimplexFactorUpdate|BM_Ftran|BM_RationalNormalizeCanonical' \
     2>/dev/null | python3 -c '
 import json, sys
 d = json.load(sys.stdin)  # exactly one JSON object on stdout
@@ -161,7 +161,11 @@ assert names, "micro_smt reported no benchmarks"
 for want in ("BM_SimplexCheckFeasibility/0", "BM_SimplexCheckFeasibility/1",
              "BM_TheoryPropagation/0", "BM_TheoryPropagation/1",
              "BM_SimplexFloatFilter/0", "BM_SimplexFloatFilter/1",
-             "BM_LpScreen/0", "BM_LpScreen/1"):
+             "BM_LpScreen/0", "BM_LpScreen/1",
+             "BM_SimplexFactorUpdate/0", "BM_SimplexFactorUpdate/1",
+             "BM_Ftran/4", "BM_Ftran/64", "BM_Ftran/1024",
+             "BM_RationalNormalizeCanonical/0",
+             "BM_RationalNormalizeCanonical/1"):
     assert any(n.startswith(want) for n in names), f"missing {want}"
 print(f"ci: micro_smt JSON OK ({len(names)} benchmarks)")
 '
@@ -169,17 +173,20 @@ else
   echo "== ci: micro_smt smoke skipped (no python3) =="
 fi
 
-# Float-filter + screen cross-check: the full fig4a suite once with the
-# double-precision filter (default, LP screen annotating each row), once
-# exact-only, and once with --no-screen, asserting the verdict of every
-# experiment is bit-identical across all three runs. The filter certifies
-# every visible verdict on the exact DeltaRational state and the screen is
-# a pure front-end that may only prove Unsat, so ANY divergence here is a
-# soundness bug, not a tolerance issue. The screened run additionally
-# proves the screen's Infeasible claims agree with the solver: every row
-# it marks screened=1 must carry an unsat verdict.
+# Float-filter + screen + eta cross-check: the full fig4a suite once with
+# the double-precision filter (default, LP screen annotating each row,
+# eta-factorised tableau), once exact-only, once with --no-screen, and
+# once with --no-eta (eager row substitution), asserting the verdict of
+# every experiment is bit-identical across all four runs. The filter
+# certifies every visible verdict on the exact DeltaRational state, the
+# screen is a pure front-end that may only prove Unsat, and the eta file
+# is a pure representation change whose float mirrors are composed
+# identically in both modes — so ANY divergence here is a soundness bug,
+# not a tolerance issue. The screened run additionally proves the screen's
+# Infeasible claims agree with the solver: every row it marks screened=1
+# must carry an unsat verdict.
 if command -v python3 >/dev/null 2>&1; then
-  echo "== ci: fig4a float-filter/screen cross-check =="
+  echo "== ci: fig4a float-filter/screen/eta cross-check =="
   fig4a=""
   for candidate in build/bench/fig4a_verification_scaling \
                    build/default/bench/fig4a_verification_scaling; do
@@ -190,11 +197,13 @@ if command -v python3 >/dev/null 2>&1; then
     exit 1
   fi
   { "${fig4a}" --json; echo "===SPLIT==="; "${fig4a}" --json --exact-simplex; \
-    echo "===SPLIT==="; "${fig4a}" --json --no-screen; } \
+    echo "===SPLIT==="; "${fig4a}" --json --no-screen; \
+    echo "===SPLIT==="; "${fig4a}" --json --no-eta; } \
     | python3 -c '
 import json, sys
 runs = [{}]
 screened = 0
+eager_etas = 0
 for line in sys.stdin:
     line = line.strip()
     if line == "===SPLIT===":
@@ -209,15 +218,20 @@ for line in sys.stdin:
             screened += 1
             assert row["verdict"] == "unsat", \
                 f"screen claimed infeasible on a sat case: {row}"
-filtered, exact, unscreened = runs
-assert filtered and set(filtered) == set(exact) == set(unscreened), \
+        if len(runs) == 4:
+            eager_etas += row.get("eta_updates", 0)
+filtered, exact, unscreened, eager = runs
+assert filtered and \
+    set(filtered) == set(exact) == set(unscreened) == set(eager), \
     "case sets diverged"
+assert eager_etas == 0, \
+    f"--no-eta run still recorded {eager_etas} eta updates"
 for case, verdict in sorted(filtered.items()):
-    assert verdict == exact[case] == unscreened[case], \
+    assert verdict == exact[case] == unscreened[case] == eager[case], \
         f"{case}: filtered={verdict} exact={exact[case]} " \
-        f"unscreened={unscreened[case]}"
+        f"unscreened={unscreened[case]} eager={eager[case]}"
 print(f"ci: fig4a verdicts identical across {len(filtered)} experiments "
-      f"x 3 modes ({screened} screen-proved)")
+      f"x 4 modes ({screened} screen-proved)")
 '
 else
   echo "== ci: fig4a cross-check skipped (no python3) =="

@@ -359,6 +359,9 @@ VerificationResult UfdiAttackModel::run(
         .field("exact_recomputes", out.stats.exact_recomputes)
         .field("filter_disagreements", out.stats.filter_disagreements)
         .field("filter_fallbacks", out.stats.filter_fallbacks)
+        .field("eta_updates", out.stats.eta_updates)
+        .field("refactorisations", out.stats.refactorisations)
+        .field("eta_file_len_max", out.stats.eta_file_len_max)
         .field("bigint_promotions", out.stats.bigint_promotions)
         .field("arena_gcs", out.stats.sat.arena_gcs)
         .field("arena_capacity_bytes",
@@ -373,6 +376,8 @@ VerificationResult UfdiAttackModel::run(
         .field("simplex_us", out.phase_times.simplex_us)
         .field("tprop_us", out.phase_times.tprop_us)
         .field("theory_us", out.phase_times.theory_us)
+        .field("ftran_us", out.phase_times.ftran_us)
+        .field("btran_us", out.phase_times.btran_us)
         .emit(trace_);
   }
   return out;

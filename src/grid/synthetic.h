@@ -1,0 +1,53 @@
+// Named large synthetic grid cases for the scaling experiments.
+//
+// The IEEE registry (ieee_cases.h) tops out at 300 buses; the eta-tableau
+// and screening work is sized on grids several times larger. This registry
+// names deterministic 600/1000/1500-bus cases built by cases::synthetic()
+// with the ~3 average-degree structural invariant of real transmission
+// systems, plus the measurement density a realistic SCADA deployment
+// provides (a fraction of the potential flow/injection meters, not all of
+// them — data/synthetic_cases.json records the exact parameters).
+//
+// Layering: this header stays below est/ (no observability check here).
+// Drawing an *observable* plan at the recorded density needs the est layer
+// and lives with the callers (bench::observable_fraction_plan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace psse::grid::cases {
+
+/// One named synthetic case: the generator parameters plus the measurement
+/// density its experiments run at. All values are mirrored in
+/// data/synthetic_cases.json (kept in sync by GridSynthetic.ManifestMatches).
+struct SyntheticSpec {
+  std::string name;
+  int buses = 0;
+  int lines = 0;
+  std::uint64_t seed = 0;
+  /// Fraction of potential measurements a realistic deployment takes
+  /// (benches re-seed the draw until observable).
+  double meas_fraction = 0.0;
+  /// Seed for the measurement draw (distinct from the topology seed so
+  /// density sweeps can vary one without the other).
+  std::uint64_t meas_seed = 0;
+};
+
+/// The registry, smallest first: synth600, synth1000, synth1500.
+[[nodiscard]] const std::vector<SyntheticSpec>& synthetic_specs();
+
+/// Registry names, in registry order.
+[[nodiscard]] std::vector<std::string> synthetic_names();
+
+/// Spec lookup by name; throws GridError on unknown names.
+[[nodiscard]] const SyntheticSpec& synthetic_spec(const std::string& name);
+
+/// Builds the named case (deterministic). Throws GridError on unknown
+/// names.
+[[nodiscard]] Grid synthetic_by_name(const std::string& name);
+
+}  // namespace psse::grid::cases

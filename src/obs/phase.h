@@ -35,6 +35,14 @@ struct PhaseTimes {
                                    ///< propagation back into the SAT core)
   std::uint64_t theory_us = 0;     ///< whole theory_check envelope
                                    ///< (includes simplex_us and tprop_us)
+  std::uint64_t ftran_us = 0;      ///< eta-file replay into exact rows
+                                   ///< (Simplex::ensure_fresh; nested inside
+                                   ///< simplex_us or tprop_us)
+  std::uint64_t btran_us = 0;      ///< basis refactorisation (backlog
+                                   ///< drain or Markowitz rebuild + mirror
+                                   ///< resync; nested inside simplex_us,
+                                   ///< and a drain's replay time counts in
+                                   ///< ftran_us too)
 
   void reset() { *this = PhaseTimes{}; }
 
@@ -45,6 +53,8 @@ struct PhaseTimes {
     d.simplex_us = simplex_us - earlier.simplex_us;
     d.tprop_us = tprop_us - earlier.tprop_us;
     d.theory_us = theory_us - earlier.theory_us;
+    d.ftran_us = ftran_us - earlier.ftran_us;
+    d.btran_us = btran_us - earlier.btran_us;
     return d;
   }
 };

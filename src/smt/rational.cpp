@@ -22,6 +22,9 @@ void Rational::normalize() {
     den_ = BigInt(1);
     return;
   }
+  // Integer values need no gcd: gcd(n, 1) == 1 by definition, and row
+  // merges over integral tableaus hit this on almost every term.
+  if (den_.is_one()) return;
   BigInt g = BigInt::gcd(num_, den_);
   if (!g.is_one()) {
     num_ /= g;
@@ -106,6 +109,9 @@ Rational& Rational::operator/=(const Rational& rhs) {
 }
 
 Rational& Rational::add_mul(const Rational& b, const Rational& c) {
+  // A zero operand means nothing to fuse in — and zero-coefficient factor
+  // entries are common enough in the eta-replay path to be worth the test.
+  if (b.is_zero() || c.is_zero()) return *this;
   // this + b*c == (num*bd*cd + bn*cn*den) / (den*bd*cd), normalised once.
   BigInt prodNum = b.num_ * c.num_;
   BigInt prodDen = b.den_ * c.den_;
@@ -118,6 +124,7 @@ Rational& Rational::add_mul(const Rational& b, const Rational& c) {
 }
 
 Rational& Rational::sub_mul(const Rational& b, const Rational& c) {
+  if (b.is_zero() || c.is_zero()) return *this;
   BigInt prodNum = b.num_ * c.num_;
   BigInt prodDen = b.den_ * c.den_;
   num_ *= prodDen;

@@ -22,6 +22,17 @@ void col_erase(std::vector<std::int32_t>& col, std::int32_t r) {
   if (it != col.end() && *it == r) col.erase(it);
 }
 
+// Sign of the exact coefficient a composed mirror entry shadows, when the
+// error interval can prove it: +1 / -1 when the interval clears zero, 0 when
+// the entry is exactly zero (a provably dead union-pattern entry), and 2
+// when the interval straddles zero (NaN/inf poison to 2 as well).
+int shadow_sign(const DoubleApprox& a) {
+  if (a.value > a.error) return 1;
+  if (-a.value > a.error) return -1;
+  if (a.value == 0.0 && a.error == 0.0) return 0;
+  return 2;
+}
+
 }  // namespace
 
 TVar Simplex::new_var(std::string name) {
@@ -44,6 +55,12 @@ void Simplex::set_options(const SimplexOptions& options) {
   // fully exact invariant first, so the next check starts from clean state
   // whichever mode it runs in.
   restore_all_betas();
+  if (options_.eta_tableau && !options.eta_tableau) {
+    // Leaving eta mode: the eager path assumes every exact row is current.
+    make_all_fresh();
+    etas_.clear();
+    for (Row& row : rows_) row.epoch = 0;  // pending emptied by the refresh
+  }
   check_exact_fallback_ = false;
   options_ = options;
 }
@@ -77,13 +94,15 @@ void Simplex::mark_row_dirty(std::int32_t rowIdx, bool upper) {
 }
 
 void Simplex::refresh_mirror(Row& row) {
+  mirror_nnz_ -= row.mirror.size();
   row.mirror.clear();
   row.mirror.reserve(row.expr.terms().size());
   for (const auto& [v, c] : row.expr.terms()) {
-    row.mirror.push_back(c.approx());
+    row.mirror.emplace_back(v, c.approx());
   }
+  mirror_nnz_ += row.mirror.size();
   // The terms changed, so the cached derivations no longer describe this
-  // row (their revs are aligned term-for-term with the old expr).
+  // row (their vals/revs are aligned term-for-term with the old expr).
   row.derive[0].valid = false;
   row.derive[1].valid = false;
 }
@@ -97,7 +116,12 @@ TVar Simplex::slack_for(const LinExpr& expr) {
   }
   TVar s = new_var("s" + std::to_string(rows_.size()));
   // Row: s = sum(expr), substituting any basic variables by their rows so
-  // the tableau stays in solved form.
+  // the tableau stays in solved form. Those rows may be lagging the eta
+  // file, so realise them first.
+  for (const auto& [v, c] : expr.terms()) {
+    const std::int32_t r = vars_[static_cast<std::size_t>(v)].row;
+    if (r >= 0) ensure_fresh(r);
+  }
   Row row;
   row.owner = s;
   LinExpr substituted;
@@ -110,7 +134,14 @@ TVar Simplex::slack_for(const LinExpr& expr) {
     }
   }
   row.expr = std::move(substituted);
+  // The creation-time identity s = expr-in-solved-form holds in every later
+  // tableau (pivots only re-present the same system); it is the immutable
+  // ground truth refactorisation rebuilds from.
+  row.orig_owner = s;
+  row.orig = row.expr;
+  row.epoch = static_cast<std::uint32_t>(etas_.size());
   refresh_mirror(row);
+  base_nnz_ += row.mirror.size();
   std::int32_t rowIdx = static_cast<std::int32_t>(rows_.size());
   // beta(s) := value of the expression under the current assignment. Column
   // variables are non-basic (solved form), so their betas are exact.
@@ -137,6 +168,14 @@ const Rational* Simplex::row_coeff(const Row& row, TVar v) const {
   return i < 0 ? nullptr : &row.expr.terms()[static_cast<std::size_t>(i)].second;
 }
 
+const DoubleApprox* Simplex::mirror_coeff(const Row& row, TVar v) const {
+  auto it = std::lower_bound(
+      row.mirror.begin(), row.mirror.end(), v,
+      [](const auto& e, TVar key) { return e.first < key; });
+  if (it != row.mirror.end() && it->first == v) return &it->second;
+  return nullptr;
+}
+
 std::ptrdiff_t Simplex::row_term_index(const Row& row, TVar v) const {
   const auto& terms = row.expr.terms();
   auto it = std::lower_bound(
@@ -157,6 +196,8 @@ bool Simplex::in_bounds(TVar v) const {
 void Simplex::restore_beta(TVar v) {
   VarState& st = vars_[static_cast<std::size_t>(v)];
   PSSE_ASSERT(st.row >= 0 && st.stale);
+  // Certification reads the exact terms — realise any pending etas first.
+  ensure_fresh(st.row);
   const Row& row = rows_[static_cast<std::size_t>(st.row)];
   DeltaRational acc;
   for (const auto& [x, c] : row.expr.terms()) {
@@ -209,14 +250,28 @@ bool Simplex::set_bound(TVar v, const DeltaRational& bound, Lit reason,
     fresh_bounds_.emplace_back(v, is_upper);
     // A bound on one side of v only perturbs the row side that consumes it:
     // an upper bound feeds the side that wants positive columns at their
-    // upper bound (mirrored through the coefficient sign).
+    // upper bound (mirrored through the coefficient sign). The sign is read
+    // off the float mirror so exact rows stay untouched: a provably dead
+    // union-pattern entry marks nothing, an uncertain sign marks both sides
+    // (conservative, and identical whichever eta mode runs).
     for (std::int32_t r : cols_[static_cast<std::size_t>(v)]) {
-      const Row& row = rows_[static_cast<std::size_t>(r)];
-      const std::ptrdiff_t ti = row_term_index(row, v);
-      PSSE_ASSERT(ti >= 0);
-      const bool neg =
-          row.expr.terms()[static_cast<std::size_t>(ti)].second.is_negative();
-      mark_row_dirty(r, is_upper != neg);
+      const DoubleApprox* m =
+          mirror_coeff(rows_[static_cast<std::size_t>(r)], v);
+      PSSE_ASSERT(m != nullptr);  // cols_ tracks the mirror pattern
+      switch (shadow_sign(*m)) {
+        case 0:
+          break;
+        case 1:
+          mark_row_dirty(r, is_upper);
+          break;
+        case -1:
+          mark_row_dirty(r, !is_upper);
+          break;
+        default:
+          mark_row_dirty(r, false);
+          mark_row_dirty(r, true);
+          break;
+      }
     }
   }
 
@@ -277,10 +332,10 @@ void Simplex::update(TVar v, const DeltaRational& newVal,
   const bool fm = float_mode();
   for (std::int32_t r : cols_[static_cast<std::size_t>(v)]) {
     const Row& row = rows_[static_cast<std::size_t>(r)];
-    const std::ptrdiff_t ti = row_term_index(row, v);
-    PSSE_ASSERT(ti >= 0);
+    const DoubleApprox* m = mirror_coeff(row, v);
+    PSSE_ASSERT(m != nullptr);
     VarState& ost = vars_[static_cast<std::size_t>(row.owner)];
-    ost.beta_f.add_mul(diffF, row.mirror[static_cast<std::size_t>(ti)]);
+    ost.beta_f.add_mul(diffF, *m);
     if (fm) {
       if (!ost.stale) {
         ost.stale = true;
@@ -288,7 +343,11 @@ void Simplex::update(TVar v, const DeltaRational& newVal,
       }
     } else {
       PSSE_ASSERT(!ost.stale);
-      ost.beta.add_mul(diff, row.expr.terms()[static_cast<std::size_t>(ti)].second);
+      // Exact path: the row's current terms are authoritative; a dead
+      // union-pattern entry means the exact coefficient is zero and the
+      // assignment doesn't move.
+      ensure_fresh(r);
+      if (const Rational* c = row_coeff(row, v)) ost.beta.add_mul(diff, *c);
     }
     touch(row.owner);
   }
@@ -298,8 +357,10 @@ void Simplex::update(TVar v, const DeltaRational& newVal,
 
 void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
   ++pivots_;
+  ++pivots_since_refactor_;
   mark_row_dirty(rowIdx, false);
   mark_row_dirty(rowIdx, true);
+  ensure_fresh(rowIdx);
   Row& row = rows_[static_cast<std::size_t>(rowIdx)];
   TVar leaving = row.owner;
   const Rational* aPtr = row_coeff(row, entering);
@@ -326,16 +387,53 @@ void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
   }
   row.owner = entering;
   row.expr = LinExpr::from_sorted_terms(std::move(newTerms));
+  // Snapshot the old mirror pattern, rebuild the pivot row's mirror tight
+  // (a shared resynchronisation point of both eta modes), and patch the
+  // column index by old/new pattern set difference — with composed mirrors
+  // the patterns may differ by more than -entering/+leaving.
+  col_vars_scratch_.clear();
+  col_vars_scratch_.reserve(row.mirror.size());
+  for (const auto& [v, m] : row.mirror) col_vars_scratch_.push_back(v);
   refresh_mirror(row);
-  // Column membership of this row changes only by -entering/+leaving; every
-  // other term keeps its entry, so the index is patched, not rebuilt.
-  col_erase(cols_[static_cast<std::size_t>(entering)], rowIdx);
-  col_insert(cols_[static_cast<std::size_t>(leaving)], rowIdx);
+  {
+    const auto& nm = row.mirror;
+    std::size_t i = 0, j = 0;
+    while (i < col_vars_scratch_.size() || j < nm.size()) {
+      if (j == nm.size() || (i < col_vars_scratch_.size() &&
+                             col_vars_scratch_[i] < nm[j].first)) {
+        col_erase(cols_[static_cast<std::size_t>(col_vars_scratch_[i])],
+                  rowIdx);
+        ++i;
+      } else if (i == col_vars_scratch_.size() ||
+                 nm[j].first < col_vars_scratch_[i]) {
+        col_insert(cols_[static_cast<std::size_t>(nm[j].first)], rowIdx);
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
   vars_[static_cast<std::size_t>(leaving)].row = -1;
   vars_[static_cast<std::size_t>(entering)].row = rowIdx;
 
-  // Substitute `entering` in every other row that mentions it.
-  // Copy the column set: it is mutated during substitution.
+  const bool eta = options_.eta_tableau;
+  const bool fm = float_mode();
+  if (eta) {
+    // Record the update; dependent exact rows will fold it in lazily. The
+    // pivot row itself is already past its own eta (its solved form has no
+    // entering term, so the replay would be a no-op anyway).
+    etas_.push_back({entering, row.expr});
+    ++eta_updates_;
+    eta_file_len_max_ =
+        std::max<std::uint64_t>(eta_file_len_max_, etas_.size());
+    row.epoch = static_cast<std::uint32_t>(etas_.size());
+  }
+
+  // Substitute `entering` in every dependent row's float mirror (identical
+  // in both modes); the exact terms follow eagerly (eager mode, or the
+  // exact fallback realising the fresh eta immediately) or lazily (eta
+  // mode). Copy the column set: it is mutated during substitution.
   std::vector<std::int32_t> dependents(
       cols_[static_cast<std::size_t>(entering)].begin(),
       cols_[static_cast<std::size_t>(entering)].end());
@@ -343,38 +441,306 @@ void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
     if (r == rowIdx) continue;
     mark_row_dirty(r, false);
     mark_row_dirty(r, true);
-    Row& other = rows_[static_cast<std::size_t>(r)];
-    const Rational* bPtr = row_coeff(other, entering);
-    PSSE_ASSERT(bPtr != nullptr);
-    Rational b = *bPtr;
-    // other = b*entering + rest'  =>  substitute entering by its new row:
-    // drop the entering term, then fuse-in b * row (one merge, add_mul per
-    // coincident coefficient, no intermediate expression).
-    col_vars_scratch_.clear();
-    for (const auto& [v, c] : other.expr.terms()) {
-      col_vars_scratch_.push_back(v);
+    float_substitute(r, entering, row);
+    if (eta) {
+      rows_[static_cast<std::size_t>(r)].pending.push_back(
+          static_cast<std::uint32_t>(etas_.size() - 1));
+      ++pending_total_;
     }
+    if (!eta) {
+      Row& other = rows_[static_cast<std::size_t>(r)];
+      if (const Rational* bPtr = row_coeff(other, entering)) {
+        // other = b*entering + rest'  =>  substitute entering by its new
+        // row: drop the entering term, then fuse-in b * row (one merge,
+        // add_mul per coincident coefficient, no intermediate expression).
+        Rational b = *bPtr;
+        Rational negB = b;
+        negB.negate();
+        other.expr.add_term(entering, negB);  // cancels exactly
+        other.expr.add_scaled(row.expr, b, merge_scratch_);
+        other.derive[0].valid = false;
+        other.derive[1].valid = false;
+      }
+    } else if (!fm) {
+      ensure_fresh(r);
+    }
+  }
+}
+
+void Simplex::float_substitute(std::int32_t r, TVar entering,
+                               const Row& pivotRow) {
+  Row& other = rows_[static_cast<std::size_t>(r)];
+  const DoubleApprox* bPtr = mirror_coeff(other, entering);
+  PSSE_ASSERT(bPtr != nullptr);
+  const DoubleApprox b = *bPtr;
+  const auto& pm = pivotRow.mirror;
+  // Merge other.mirror (minus the entering entry, which cancels
+  // structurally) with b * pivot mirror. Entries are never dropped on ~0
+  // values — the union pattern is what keeps cols_ and the exact pattern's
+  // superset invariant mode-independent; refactorize() purges the dead
+  // weight. The accumulated error bounds feed the refactorisation trigger.
+  mirror_scratch_.clear();
+  mirror_scratch_.reserve(other.mirror.size() + pm.size());
+  std::size_t i = 0, j = 0;
+  while (i < other.mirror.size() || j < pm.size()) {
+    if (j == pm.size() ||
+        (i < other.mirror.size() && other.mirror[i].first < pm[j].first)) {
+      if (other.mirror[i].first != entering) {
+        mirror_scratch_.push_back(other.mirror[i]);
+      }
+      ++i;
+    } else if (i == other.mirror.size() ||
+               pm[j].first < other.mirror[i].first) {
+      const DoubleApprox nv = pm[j].second * b;
+      if (nv.error > max_mirror_err_) max_mirror_err_ = nv.error;
+      mirror_scratch_.emplace_back(pm[j].first, nv);
+      col_insert(cols_[static_cast<std::size_t>(pm[j].first)], r);
+      ++j;
+    } else {
+      DoubleApprox nv = other.mirror[i].second;
+      nv.add_mul(pm[j].second, b);
+      if (nv.error > max_mirror_err_) max_mirror_err_ = nv.error;
+      mirror_scratch_.emplace_back(pm[j].first, nv);
+      ++i;
+      ++j;
+    }
+  }
+  mirror_nnz_ -= other.mirror.size();
+  mirror_nnz_ += mirror_scratch_.size();
+  other.mirror.swap(mirror_scratch_);
+  col_erase(cols_[static_cast<std::size_t>(entering)], r);
+}
+
+void Simplex::ensure_fresh(std::int32_t rowIdx) {
+  Row& row = rows_[static_cast<std::size_t>(rowIdx)];
+  const std::uint32_t len = static_cast<std::uint32_t>(etas_.size());
+  if (row.pending.empty()) {
+    row.epoch = len;
+    return;
+  }
+  obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
+                                                 : &phases_->ftran_us);
+  // Replay the pending eta entries in order; each one is exactly the
+  // substitution the eager path performed at that pivot, so the result is
+  // bit-identical to the eagerly maintained row. The pending list was
+  // recorded off the pivot-time mirror pattern — a superset of the exact
+  // pattern at that moment — so an entry can still miss the exact terms
+  // (structurally dead ~0 mirror entry), but no hitting eta is ever
+  // outside the list, and the list order is pivot order, which keeps the
+  // replay chronological.
+  bool changed = false;
+  for (std::uint32_t k : row.pending) {
+    const Eta& e = etas_[k];
+    const Rational* bPtr = row_coeff(row, e.entered);
+    if (bPtr == nullptr) continue;
+    Rational b = *bPtr;
     Rational negB = b;
     negB.negate();
-    other.expr.add_term(entering, negB);  // cancels exactly
-    other.expr.add_scaled(row.expr, b, merge_scratch_);
-    refresh_mirror(other);
-    // Patch the column index with the membership *difference* between the
-    // old and new term sets (both var-sorted): a sparse merge leaves most
-    // terms in place, so this touches O(row length of the pivot row)
-    // columns instead of every term of `other`.
-    {
-      const auto& terms = other.expr.terms();
+    row.expr.add_term(e.entered, negB);  // cancels exactly
+    row.expr.add_scaled(e.def, b, merge_scratch_);
+    changed = true;
+  }
+  pending_total_ -= row.pending.size();
+  row.pending.clear();
+  row.epoch = len;
+  if (changed) {
+    row.derive[0].valid = false;
+    row.derive[1].valid = false;
+  }
+}
+
+void Simplex::make_all_fresh() {
+  for (std::int32_t r = 0; r < static_cast<std::int32_t>(rows_.size()); ++r) {
+    ensure_fresh(r);
+  }
+}
+
+bool Simplex::should_refactor() const {
+  if (pivots_since_refactor_ == 0) return false;
+  if (pivots_since_refactor_ >= options_.eta_refactor_len) return true;
+  if (static_cast<double>(mirror_nnz_) >
+      options_.eta_refactor_fill * static_cast<double>(base_nnz_)) {
+    return true;
+  }
+  return max_mirror_err_ > options_.eta_error_budget;
+}
+
+void Simplex::refactorize() {
+  obs::ScopedPhaseTimer timer(phases_ == nullptr ? nullptr
+                                                 : &phases_->btran_us);
+  ++refactorisations_;
+  if (options_.eta_tableau) {
+    // Two equivalent ways to make every exact row current (the dictionary
+    // per basis is unique, so both land on bit-identical rows): drain the
+    // deferred backlog row by row, or re-derive the whole dictionary from
+    // the creation identities. Draining costs exactly the substitutions
+    // the eager path would have performed; the Markowitz rebuild costs a
+    // full sparse elimination regardless of backlog length, which only
+    // wins once laziness has banked several times the tableau's worth of
+    // skipped work (long eta files on large, lightly-queried tableaus).
+    if (pending_total_ > 8 * rows_.size()) {
+      rebuild_rows_from_origs();
+      for (Row& row : rows_) row.pending.clear();
+      pending_total_ = 0;
+    } else {
+      make_all_fresh();
+    }
+    PSSE_ASSERT(pending_total_ == 0);
+  }
+  etas_.clear();
+  pivots_since_refactor_ = 0;
+  max_mirror_err_ = 0.0;
+  // Both modes resynchronise the float state here: tight mirrors rebuilt
+  // from the (now current) exact rows, column index rebuilt to the tight
+  // patterns. Betas and bounds are untouched — the dictionary a row set
+  // presents is unique per basis, so nothing visible moves.
+  for (Row& row : rows_) {
+    row.epoch = 0;
+    row.pending.clear();
+    refresh_mirror(row);
+  }
+  for (auto& col : cols_) col.clear();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (const auto& [v, m] : rows_[r].mirror) {
+      cols_[static_cast<std::size_t>(v)].push_back(static_cast<std::int32_t>(r));
+    }
+  }
+  base_nnz_ = mirror_nnz_;
+}
+
+void Simplex::rebuild_rows_from_origs() {
+  // From-scratch solve of the immutable creation identities
+  // {orig_owner_i = orig_i} for the *current* basis: Markowitz-ordered
+  // sparse Gaussian elimination (pick the (equation, basic var) pivot with
+  // the emptiest column, then the shortest equation) followed by reverse
+  // back-substitution. The dictionary for a basis is unique and rationals
+  // are canonical, so the rebuilt rows equal the eagerly maintained ones
+  // bit for bit — the cost is independent of how many etas were pending.
+  const std::size_t m = rows_.size();
+  const std::size_t nv = vars_.size();
+  std::vector<LinExpr> eqs(m);
+  std::vector<std::int32_t> basicRow(nv, -1);
+  for (std::size_t r = 0; r < m; ++r) {
+    basicRow[static_cast<std::size_t>(rows_[r].owner)] =
+        static_cast<std::int32_t>(r);
+    LinExpr eq = rows_[r].orig;
+    eq *= Rational(-1);
+    eq.add_term(rows_[r].orig_owner, Rational(1));
+    eqs[r] = std::move(eq);
+  }
+  // Column index of *unsolved basis* variables over the remaining
+  // equations, plus the solved forms as they appear.
+  std::vector<std::vector<std::int32_t>> bcols(nv);
+  for (std::size_t e = 0; e < m; ++e) {
+    for (const auto& [v, c] : eqs[e].terms()) {
+      if (basicRow[static_cast<std::size_t>(v)] >= 0) {
+        bcols[static_cast<std::size_t>(v)].push_back(
+            static_cast<std::int32_t>(e));
+      }
+    }
+  }
+  std::vector<char> eqDone(m, 0);
+  std::vector<char> varSolved(nv, 0);
+  std::vector<LinExpr> solvedExpr(nv);
+  std::vector<TVar> order;
+  order.reserve(m);
+  std::vector<TVar> basisVars;
+  basisVars.reserve(m);
+  for (std::size_t r = 0; r < m; ++r) basisVars.push_back(rows_[r].owner);
+  auto coeff_of = [](const LinExpr& ex, TVar v) -> const Rational* {
+    const auto& ts = ex.terms();
+    auto it = std::lower_bound(
+        ts.begin(), ts.end(), v,
+        [](const auto& term, TVar key) { return term.first < key; });
+    if (it != ts.end() && it->first == v) return &it->second;
+    return nullptr;
+  };
+  // Collects an equation's unsolved-basis footprint (sorted, since terms
+  // are) for the column-index patch around a substitution.
+  std::vector<TVar> beforeVars;
+  std::vector<TVar> afterVars;
+  auto basis_footprint = [&](const LinExpr& ex, std::vector<TVar>& into) {
+    into.clear();
+    for (const auto& [v, c] : ex.terms()) {
+      if (basicRow[static_cast<std::size_t>(v)] >= 0 &&
+          varSolved[static_cast<std::size_t>(v)] == 0) {
+        into.push_back(v);
+      }
+    }
+  };
+
+  for (std::size_t step = 0; step < m; ++step) {
+    // Markowitz-flavoured pivot selection: emptiest unsolved column first
+    // (a column of one eliminates with zero fill), shortest equation within
+    // it. Invertibility of the basis submatrix guarantees a candidate.
+    TVar bestV = kNoTVar;
+    std::size_t bestC = std::numeric_limits<std::size_t>::max();
+    for (TVar v : basisVars) {
+      if (varSolved[static_cast<std::size_t>(v)] != 0) continue;
+      const std::size_t c = bcols[static_cast<std::size_t>(v)].size();
+      if (c < bestC || (c == bestC && v < bestV)) {
+        bestC = c;
+        bestV = v;
+        if (c == 1) break;
+      }
+    }
+    PSSE_ASSERT(bestV != kNoTVar && bestC >= 1);
+    std::int32_t bestE = -1;
+    std::size_t bestLen = std::numeric_limits<std::size_t>::max();
+    for (std::int32_t e : bcols[static_cast<std::size_t>(bestV)]) {
+      const std::size_t len = eqs[static_cast<std::size_t>(e)].terms().size();
+      if (len < bestLen) {
+        bestLen = len;
+        bestE = e;
+      }
+    }
+    PSSE_ASSERT(bestE >= 0);
+    LinExpr& eq = eqs[static_cast<std::size_t>(bestE)];
+    const Rational* aPtr = coeff_of(eq, bestV);
+    PSSE_ASSERT(aPtr != nullptr && !aPtr->is_zero());
+    // Solve eq (== 0) for bestV: S = -(1/a) * (eq - a*bestV).
+    Rational a = *aPtr;
+    LinExpr solved = eq;
+    Rational negA = a;
+    negA.negate();
+    solved.add_term(bestV, negA);
+    Rational scale = a.inverse();
+    scale.negate();
+    solved *= scale;
+    varSolved[static_cast<std::size_t>(bestV)] = 1;
+    order.push_back(bestV);
+    eqDone[static_cast<std::size_t>(bestE)] = 1;
+    // The retired equation leaves every unsolved-basis column it occupied.
+    for (const auto& [v, c] : eq.terms()) {
+      if (basicRow[static_cast<std::size_t>(v)] >= 0 &&
+          varSolved[static_cast<std::size_t>(v)] == 0) {
+        col_erase(bcols[static_cast<std::size_t>(v)], bestE);
+      }
+    }
+    solvedExpr[static_cast<std::size_t>(bestV)] = std::move(solved);
+    const LinExpr& S = solvedExpr[static_cast<std::size_t>(bestV)];
+    // Eliminate bestV from every remaining equation that mentions it.
+    std::vector<std::int32_t> users = bcols[static_cast<std::size_t>(bestV)];
+    for (std::int32_t f : users) {
+      if (eqDone[static_cast<std::size_t>(f)] != 0) continue;
+      LinExpr& eqf = eqs[static_cast<std::size_t>(f)];
+      const Rational* bPtr = coeff_of(eqf, bestV);
+      PSSE_ASSERT(bPtr != nullptr);
+      Rational b = *bPtr;
+      basis_footprint(eqf, beforeVars);
+      Rational negB = b;
+      negB.negate();
+      eqf.add_term(bestV, negB);
+      eqf.add_scaled(S, b, merge_scratch_);
+      basis_footprint(eqf, afterVars);
       std::size_t i = 0, j = 0;
-      while (i < col_vars_scratch_.size() || j < terms.size()) {
-        if (j == terms.size() ||
-            (i < col_vars_scratch_.size() &&
-             col_vars_scratch_[i] < terms[j].first)) {
-          col_erase(cols_[static_cast<std::size_t>(col_vars_scratch_[i])], r);
+      while (i < beforeVars.size() || j < afterVars.size()) {
+        if (j == afterVars.size() ||
+            (i < beforeVars.size() && beforeVars[i] < afterVars[j])) {
+          col_erase(bcols[static_cast<std::size_t>(beforeVars[i])], f);
           ++i;
-        } else if (i == col_vars_scratch_.size() ||
-                   terms[j].first < col_vars_scratch_[i]) {
-          col_insert(cols_[static_cast<std::size_t>(terms[j].first)], r);
+        } else if (i == beforeVars.size() || afterVars[j] < beforeVars[i]) {
+          col_insert(bcols[static_cast<std::size_t>(afterVars[j])], f);
           ++j;
         } else {
           ++i;
@@ -382,12 +748,41 @@ void Simplex::pivot(std::int32_t rowIdx, TVar entering) {
         }
       }
     }
+    bcols[static_cast<std::size_t>(bestV)].clear();
+  }
+  // Back-substitution in reverse pivot order: a solved form may still
+  // reference basis variables pivoted *later*; those are already final when
+  // visited here, so one pass over each solved form suffices.
+  std::vector<TVar> pending;
+  for (std::size_t k = order.size(); k-- > 0;) {
+    LinExpr& S = solvedExpr[static_cast<std::size_t>(order[k])];
+    pending.clear();
+    for (const auto& [v, c] : S.terms()) {
+      if (basicRow[static_cast<std::size_t>(v)] >= 0) pending.push_back(v);
+    }
+    for (TVar w : pending) {
+      const Rational* bPtr = coeff_of(S, w);
+      if (bPtr == nullptr) continue;  // cancelled by an earlier substitution
+      Rational b = *bPtr;
+      Rational negB = b;
+      negB.negate();
+      S.add_term(w, negB);
+      S.add_scaled(solvedExpr[static_cast<std::size_t>(w)], b,
+                   merge_scratch_);
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    rows_[r].expr =
+        std::move(solvedExpr[static_cast<std::size_t>(rows_[r].owner)]);
   }
 }
 
 void Simplex::pivot_and_update(std::int32_t rowIdx, TVar entering,
                                const DeltaRational& target,
                                const DoubleApprox& targetApprox) {
+  // check() selected off a fresh row, but keep the invariant local: the
+  // pivot element below is read from the exact terms.
+  ensure_fresh(rowIdx);
   Row& row = rows_[static_cast<std::size_t>(rowIdx)];
   TVar leaving = row.owner;
   const std::ptrdiff_t ai = row_term_index(row, entering);
@@ -422,14 +817,18 @@ void Simplex::pivot_and_update(std::int32_t rowIdx, TVar entering,
   } else {
     enterSt.beta += theta;
   }
-  // Other basic variables depending on `entering` shift too.
+  // Other basic variables depending on `entering` shift too. cols_ tracks
+  // the mirror pattern, so the shadow update always has its entry; the
+  // exact coefficient can be structurally dead (union-pattern ~0 entry) or
+  // lagging the eta file — realise the row first, then a missing exact term
+  // means the assignment truly doesn't move.
   for (std::int32_t r : cols_[static_cast<std::size_t>(entering)]) {
     if (r == rowIdx) continue;
     const Row& other = rows_[static_cast<std::size_t>(r)];
-    const std::ptrdiff_t ci = row_term_index(other, entering);
-    PSSE_ASSERT(ci >= 0);
+    const DoubleApprox* m = mirror_coeff(other, entering);
+    PSSE_ASSERT(m != nullptr);
     VarState& ost = vars_[static_cast<std::size_t>(other.owner)];
-    ost.beta_f.add_mul(thetaF, other.mirror[static_cast<std::size_t>(ci)]);
+    ost.beta_f.add_mul(thetaF, *m);
     if (fm) {
       if (!ost.stale) {
         ost.stale = true;
@@ -437,8 +836,10 @@ void Simplex::pivot_and_update(std::int32_t rowIdx, TVar entering,
       }
     } else {
       PSSE_ASSERT(!ost.stale);
-      ost.beta.add_mul(theta,
-                       other.expr.terms()[static_cast<std::size_t>(ci)].second);
+      ensure_fresh(r);
+      if (const Rational* c = row_coeff(other, entering)) {
+        ost.beta.add_mul(theta, *c);
+      }
     }
     touch(other.owner);
   }
@@ -630,19 +1031,27 @@ bool Simplex::check() {
 
     const VarState& st = vars_[static_cast<std::size_t>(violated)];
     std::int32_t rowIdx = st.row;
+    // Selection reads the exact terms (suitability must be authoritative),
+    // so the violated row is the one place per pivot the eta backlog is
+    // always realised.
+    ensure_fresh(rowIdx);
     const Row& row = rows_[static_cast<std::size_t>(rowIdx)];
     // Entering variable among the suitable columns: Bland takes the
     // smallest index, the heuristic the largest coefficient magnitude
     // (bigger steps toward the violated bound per pivot; small pivot
     // elements also blow up the rationals of every rebuilt row). Column
     // variables are non-basic, so their betas are exact and suitability is
-    // too; the magnitude score reads the row mirror.
+    // too; the magnitude score reads the row mirror — a merge-walk, since
+    // the mirror pattern is a superset of the exact pattern.
     TVar entering = kNoTVar;
     double bestMagnitude = -1.0;
     const auto& terms = row.expr.terms();
+    std::size_t mi = 0;
     for (std::size_t ti = 0; ti < terms.size(); ++ti) {
       const TVar v = terms[ti].first;
       const Rational& c = terms[ti].second;
+      while (mi < row.mirror.size() && row.mirror[mi].first < v) ++mi;
+      PSSE_ASSERT(mi < row.mirror.size() && row.mirror[mi].first == v);
       const VarState& cv = vars_[static_cast<std::size_t>(v)];
       PSSE_ASSERT(!cv.stale);
       bool suitable;
@@ -662,7 +1071,8 @@ bool Simplex::check() {
         if (entering == kNoTVar || v < entering) entering = v;
         continue;
       }
-      const double magnitude = finite_or_zero(std::fabs(row.mirror[ti].value));
+      const double magnitude =
+          finite_or_zero(std::fabs(row.mirror[mi].second.value));
       if (entering == kNoTVar || magnitude > bestMagnitude ||
           (magnitude == bestMagnitude && v < entering)) {
         entering = v;
@@ -693,6 +1103,10 @@ bool Simplex::check() {
                      lowerViolated ? st.lower.value : st.upper.value,
                      lowerViolated ? st.lower.approx : st.upper.approx);
     ++pivotsThisCheck;
+    // The trigger reads only mode-identical state (pivot count, mirror
+    // fill, mirror error), so both eta modes refactorise — and re-tighten
+    // their float mirrors — at exactly the same pivots.
+    if (should_refactor()) refactorize();
   }
 }
 
@@ -729,6 +1143,50 @@ void Simplex::propagate_implied(std::vector<ImpliedBound>& out) {
 
 void Simplex::derive_row_bound(std::int32_t rowIdx, bool upper,
                                std::vector<ImpliedBound>& out) {
+  {
+    const Row& row = rows_[static_cast<std::size_t>(rowIdx)];
+    const VarState& owner = vars_[static_cast<std::size_t>(row.owner)];
+    const Bound& own = upper ? owner.upper : owner.lower;
+    // Mirror prepass — the row's exact terms may be lagging the eta file,
+    // but the composed mirror is always current and its error intervals
+    // classify each entry: a sign-certain entry proves the exact
+    // coefficient nonzero, so an inactive bound on its consuming side kills
+    // the derivation — measured as 84% of all attempts, killed here with no
+    // exact work (and no eta replay) at all. A provably dead ~0 entry is an
+    // exact cancellation the exact row doesn't (or won't) contain; an
+    // uncertain entry can neither kill nor be summed, so it only disables
+    // the screen. When every entry is sign-certain the mirror pattern IS
+    // the exact pattern and the float sum rigorously encloses the implied
+    // value — the margin screen below then skips rows that provably cannot
+    // tighten the owner's bound, identical on both eta modes since the
+    // mirrors are. (Dropping uncertain derivations outright would also be
+    // sound — hints don't affect completeness — but it destabilizes the
+    // search: measured 6x slower on ieee300.)
+    bool screenable = options_.float_filter && own.active;
+    DoubleApprox sum;
+    for (const auto& [v, m] : row.mirror) {
+      const int sg = shadow_sign(m);
+      if (sg == 0) continue;
+      if (sg == 2) {
+        screenable = false;
+        continue;
+      }
+      const VarState& st = vars_[static_cast<std::size_t>(v)];
+      const Bound& b = (upper != (sg < 0)) ? st.upper : st.lower;
+      if (!b.active) return;  // one unbounded column kills the derivation
+      if (screenable) sum.add_mul(b.approx, m);
+    }
+    if (screenable) {
+      const bool skip = upper ? sum.definitely_greater(own.approx)
+                              : own.approx.definitely_greater(sum);
+      if (skip) return;
+    }
+  }
+
+  // Anything past the screen reads the exact terms; realise the row (this
+  // is where the eta mode pays, and only for rows that actually emit or
+  // come within a float margin of emitting).
+  ensure_fresh(rowIdx);
   Row& row = rows_[static_cast<std::size_t>(rowIdx)];
   const VarState& owner = vars_[static_cast<std::size_t>(row.owner)];
   const Bound& own = upper ? owner.upper : owner.lower;
@@ -748,16 +1206,13 @@ void Simplex::derive_row_bound(std::int32_t rowIdx, bool upper,
     out.push_back(std::move(ib));
   };
 
-  // One scan over the inputs decides everything cheap: (a) an unbounded
-  // column kills the derivation — measured as 84% of all derivation
-  // attempts, which the exact path would only discover after accumulating
-  // big-rational products up to that column; (b) against a cache aligned
-  // with the current terms, the scan notes whether any input bound value
-  // moved; (c) the float sum feeds the margin screen below.
+  // One scan over the exact inputs: (a) an unbounded column whose mirror
+  // entry was uncertain still kills here, authoritatively; (b) against a
+  // cache aligned with the current terms, the scan notes whether any input
+  // bound value moved.
   DeriveCache& dc = row.derive[upper ? 1 : 0];
   const bool aligned = dc.valid && dc.vals.size() == terms.size();
   bool changed = !aligned;
-  DoubleApprox sum;
   for (std::size_t i = 0; i < terms.size(); ++i) {
     const VarState& st = vars_[static_cast<std::size_t>(terms[i].first)];
     const Bound& b =
@@ -770,14 +1225,15 @@ void Simplex::derive_row_bound(std::int32_t rowIdx, bool upper,
         dc.revs[i] = b.revision;  // re-assertion of the cached value
       }
     }
-    sum.add_mul(b.approx, row.mirror[i]);
   }
 
   // Revision-cache replay: nothing moved since the last exact pass, so the
   // cached implied value is current — repeat the emission decision with no
   // exact arithmetic (see DeriveCache). In particular every exact tie
   // (owner bound == implied bound, undecidable by any float margin) is
-  // disposed of here.
+  // disposed of here. The cache is NOT invalidated by a screen skip above:
+  // its (rev, contribution) pairs stay consistent with `implied`, so a
+  // later derivation patches incrementally.
   if (!changed) {
     if (own.active &&
         (upper ? own.value <= dc.implied : own.value >= dc.implied)) {
@@ -785,22 +1241,6 @@ void Simplex::derive_row_bound(std::int32_t rowIdx, bool upper,
     }
     emit(dc.implied);
     return;
-  }
-
-  // Float margin screen: when the owner has an asserted bound, a strict
-  // real-part margin proves the implied bound cannot tighten it
-  // (lexicographic order: delta parts only matter at real-part equality,
-  // which never clears the margin). Anything closer falls through to the
-  // exact derivation below, so the set of emitted bounds is identical to
-  // the exact-only configuration. (Dropping uncertain derivations outright
-  // would also be sound — hints don't affect completeness — but it
-  // destabilizes the search: measured 6x slower on ieee300.) The cache is
-  // NOT invalidated by a skip: its (rev, contribution) pairs stay
-  // consistent with `implied`, so a later derivation patches incrementally.
-  if (options_.float_filter && own.active) {
-    const bool skip = upper ? sum.definitely_greater(own.approx)
-                            : own.approx.definitely_greater(sum);
-    if (skip) return;
   }
 
   if (options_.float_filter) ++exact_recomputes_;
@@ -900,7 +1340,11 @@ std::size_t Simplex::footprint_bytes() const {
     for (const auto& [v, c] : row.expr.terms()) {
       bytes += sizeof(std::pair<TVar, Rational>) + c.footprint_bytes();
     }
-    bytes += row.mirror.capacity() * sizeof(DoubleApprox);
+    for (const auto& [v, c] : row.orig.terms()) {
+      bytes += sizeof(std::pair<TVar, Rational>) + c.footprint_bytes();
+    }
+    bytes += row.mirror.capacity() * sizeof(std::pair<TVar, DoubleApprox>);
+    bytes += row.pending.capacity() * sizeof(std::uint32_t);
     for (const DeriveCache& dc : row.derive) {
       bytes += dc.revs.capacity() * sizeof(std::uint64_t);
       bytes += dc.implied.real().footprint_bytes() +
@@ -919,6 +1363,13 @@ std::size_t Simplex::footprint_bytes() const {
   bytes += fresh_bounds_.capacity() * sizeof(std::pair<TVar, bool>);
   bytes += dirty_rows_.capacity() * sizeof(std::int32_t);
   bytes += merge_scratch_.capacity() * sizeof(std::pair<TVar, Rational>);
+  bytes += mirror_scratch_.capacity() * sizeof(std::pair<TVar, DoubleApprox>);
+  for (const Eta& e : etas_) {
+    bytes += sizeof(Eta);
+    for (const auto& [v, c] : e.def.terms()) {
+      bytes += sizeof(std::pair<TVar, Rational>) + c.footprint_bytes();
+    }
+  }
   return bytes;
 }
 

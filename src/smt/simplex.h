@@ -26,9 +26,19 @@
 // per-check budget of float/exact disagreements drops the check back to the
 // fully exact path (which itself still falls back to Bland's rule).
 //
+// Eta-factorised rows (SimplexOptions::eta_tableau, DESIGN.md §6i): a
+// pivot appends the solved pivot row to an eta file instead of eagerly
+// rewriting every dependent exact row; rows are brought up to date lazily
+// where a verdict reads them, and a Markowitz-ordered refactorisation from
+// the immutable creation identities replaces long backlogs wholesale. The
+// float mirrors are composed (not rebuilt) during pivots in both modes, so
+// every float-steered decision — and therefore every verdict, conflict and
+// implied bound — is bit-identical with the factorisation on or off.
+//
 // Bound assertions are trailed; pop_to() retracts to an earlier trail mark
 // in O(retracted). The tableau itself is never rolled back — any pivoted
-// tableau is an equivalent presentation of the same linear system.
+// tableau is an equivalent presentation of the same linear system — and
+// the eta file survives pops for the same reason.
 //
 // After a feasible check(), propagate_implied() derives bounds that the
 // current bound set forces on row owners (and republishes freshly asserted
@@ -85,6 +95,29 @@ struct SimplexOptions {
   /// assignment is restored exactly and the check continues on the exact
   /// path. Counted by num_filter_fallbacks().
   std::uint32_t filter_disagreement_budget = 16;
+  /// Eta-factorised tableau (DESIGN.md §6i): a pivot appends the solved
+  /// pivot row to an eta file instead of eagerly substituting the entering
+  /// variable into every dependent row; exact rows are brought up to date
+  /// lazily (ensure_fresh) only where a verdict or an emitted bound reads
+  /// them, and a Markowitz-ordered from-scratch refactorisation replaces
+  /// the whole backlog when the file grows long. false = the PR 7 eager
+  /// substitution path, kept alive as the differential oracle — verdicts,
+  /// conflicts and implied bounds are bit-identical on/off by construction
+  /// (the float mirrors are composed identically in both modes).
+  bool eta_tableau = true;
+  /// Refactorisation triggers, evaluated after every pivot from state that
+  /// is identical whether eta_tableau is on or off (pivot count since the
+  /// last refactorisation, mirror fill, accumulated mirror error), so both
+  /// modes resynchronise their float state at the same points.
+  std::uint32_t eta_refactor_len = 64;
+  /// Refactorise when the mirror nonzero count exceeds this multiple of the
+  /// tight (post-refactorisation) count: composed mirrors keep structurally
+  /// dead ~0 entries, and fill degrades column index and screen quality.
+  double eta_refactor_fill = 4.0;
+  /// Refactorise when any composed mirror entry's rigorous error bound
+  /// exceeds this: wide shadows stop deciding comparisons and every verdict
+  /// falls back to exact certification.
+  double eta_error_budget = 1e-6;
 };
 
 class Simplex {
@@ -198,6 +231,18 @@ class Simplex {
   [[nodiscard]] std::uint64_t num_filter_fallbacks() const {
     return filter_fallbacks_;
   }
+  /// Eta-tableau accounting. eta_updates: pivots recorded as eta-file
+  /// entries instead of eager substitution (0 with eta_tableau off).
+  /// refactorisations: trigger firings (both modes — the eager mode
+  /// re-tightens its float mirrors at the same points). eta_file_len_max:
+  /// high-water mark of the eta file between refactorisations.
+  [[nodiscard]] std::uint64_t num_eta_updates() const { return eta_updates_; }
+  [[nodiscard]] std::uint64_t num_refactorisations() const {
+    return refactorisations_;
+  }
+  [[nodiscard]] std::uint64_t eta_file_len_max() const {
+    return eta_file_len_max_;
+  }
   [[nodiscard]] std::size_t footprint_bytes() const;
 
   /// Attaches (or detaches, with nullptr) wall-time accounting for the
@@ -265,15 +310,46 @@ class Simplex {
     bool valid = false;
   };
 
-  // Row: owner = expr (a zero-constant LinExpr; terms sorted by var id),
-  // plus the sparse double mirror aligned term-for-term with expr.terms()
-  // — the float tableau shares the exact tableau's sparsity pattern — and
-  // the two per-side derivation caches (invalidated when the terms change).
+  // Row: owner = expr (a zero-constant LinExpr; terms sorted by var id).
+  //
+  // `mirror` is the sparse float shadow, its own var-sorted vector rather
+  // than an array aligned with expr: during pivots it is *composed* in
+  // floating point (dependent mirror += b_f * pivot mirror) instead of
+  // being rebuilt from the exact terms, so its pattern is the structural
+  // union of every substitution since the last refactorisation — a superset
+  // of the exact pattern (exact cancellations leave ~0 entries carrying
+  // their rigorous error). Composition is identical whether eta_tableau is
+  // on or off, which is what makes the lazy exact rows invisible to every
+  // float-steered decision. cols_ tracks the mirror pattern.
+  //
+  // `epoch` counts the eta-file entries already folded into expr; the row
+  // is current iff `pending` is empty (eager mode keeps every row at the
+  // file head). `pending` lists the eta-file indices whose substitution
+  // still has to be folded into expr — recorded at pivot time off the
+  // dependents walk (the rows whose mirror then carried the entering
+  // variable, a superset of the rows whose exact terms did), so a replay
+  // touches only the etas that can actually hit this row instead of
+  // scanning the whole file. `orig` is the immutable creation-time
+  // identity (orig_owner = orig), the ground truth the Markowitz
+  // refactorisation re-derives the whole dictionary from.
   struct Row {
     TVar owner;
     LinExpr expr;
-    std::vector<DoubleApprox> mirror;
+    std::vector<std::pair<TVar, DoubleApprox>> mirror;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint32_t> pending;
     DeriveCache derive[2];  // [0] = lower, [1] = upper
+    TVar orig_owner = kNoTVar;
+    LinExpr orig;
+  };
+
+  // One eta-file entry: at pivot time the solved pivot row (entered =
+  // def, over the variables non-basic at that moment) is snapshotted.
+  // Replaying entries k..end in order onto a row at epoch k reproduces,
+  // bit for bit, the eager substitutions the PR 7 path would have done.
+  struct Eta {
+    TVar entered;
+    LinExpr def;
   };
 
   bool set_bound(TVar v, const DeltaRational& bound, Lit reason,
@@ -299,10 +375,32 @@ class Simplex {
                         const DeltaRational& target,
                         const DoubleApprox& targetApprox);
   void pivot(std::int32_t rowIdx, TVar entering);
-  // Rebuilds a row's double mirror from its exact terms.
+  // Rebuilds a row's double mirror tight from its exact terms (creation,
+  // pivot row, refactorisation — the resynchronisation points shared by
+  // both eta modes).
   void refresh_mirror(Row& row);
+  // Folds the pending eta-file entries into a row's exact terms (FTRAN
+  // analogue). No-op when the row is current — in particular always in
+  // eager mode.
+  void ensure_fresh(std::int32_t rowIdx);
+  void make_all_fresh();
+  // Composes the pivot row into a dependent row's float mirror (identical
+  // in both eta modes) and patches the column index to the new pattern.
+  void float_substitute(std::int32_t r, TVar entering, const Row& pivotRow);
+  // Refactorisation trigger (see SimplexOptions::eta_refactor_*), decided
+  // from mode-identical state after every pivot.
+  [[nodiscard]] bool should_refactor() const;
+  // Discards the eta backlog: in eta mode re-derives every row from the
+  // immutable creation identities by Markowitz-ordered elimination (BTRAN
+  // analogue; cost independent of the backlog length), then — in both
+  // modes — rebuilds tight mirrors and the column index and truncates the
+  // eta file.
+  void refactorize();
+  void rebuild_rows_from_origs();
   [[nodiscard]] const Rational* row_coeff(const Row& row, TVar v) const;
-  // Index of v's term in row.expr (and row.mirror), or -1.
+  [[nodiscard]] const DoubleApprox* mirror_coeff(const Row& row,
+                                                 TVar v) const;
+  // Index of v's term in row.expr, or -1.
   [[nodiscard]] std::ptrdiff_t row_term_index(const Row& row, TVar v) const;
   void build_conflict_from_row(const Row& row, bool lowerViolated);
   [[nodiscard]] bool in_bounds(TVar v) const;
@@ -335,6 +433,9 @@ class Simplex {
   std::uint64_t exact_recomputes_ = 0;
   std::uint64_t filter_disagreements_ = 0;
   std::uint64_t filter_fallbacks_ = 0;
+  std::uint64_t eta_updates_ = 0;
+  std::uint64_t refactorisations_ = 0;
+  std::uint64_t eta_file_len_max_ = 0;
   const Interrupt* interrupt_ = nullptr;
   obs::PhaseTimes* phases_ = nullptr;
   SimplexOptions options_;
@@ -356,6 +457,25 @@ class Simplex {
   // Scratch holding a row's pre-substitution var set so pivot can patch the
   // column index by set difference instead of erase-all/insert-all.
   std::vector<TVar> col_vars_scratch_;
+  // Scratch for float_substitute's mirror merge (recycles capacity).
+  std::vector<std::pair<TVar, DoubleApprox>> mirror_scratch_;
+  // Eta file: pending pivot updates newer than some rows' epochs. Survives
+  // pop_to (the tableau never rolls back; bounds live on the trail) and is
+  // truncated only by refactorize().
+  std::vector<Eta> etas_;
+  // Shared refactorisation-trigger state, identical across eta modes:
+  // pivots since the last refactorisation (== etas_.size() in eta mode),
+  // total mirror nonzeros vs the tight count at the last resync, and the
+  // high-water error bound of composed mirror entries.
+  std::uint64_t pivots_since_refactor_ = 0;
+  std::size_t mirror_nnz_ = 0;
+  std::size_t base_nnz_ = 0;
+  double max_mirror_err_ = 0.0;
+  // Total deferred substitutions across all rows' pending lists (eta mode
+  // only). refactorize() compares it against the tableau size to choose
+  // between draining the backlog (cheap when short) and the from-scratch
+  // Markowitz rebuild (cost independent of backlog length).
+  std::size_t pending_total_ = 0;
   // Number of stale assignments (restore_all_betas short-circuit).
   std::size_t stale_count_ = 0;
   // Bound-assignment revision counter (see Bound::revision).

@@ -290,6 +290,9 @@ SolverStats Solver::stats() const {
   st.exact_recomputes = simplex_.num_exact_recomputes();
   st.filter_disagreements = simplex_.num_filter_disagreements();
   st.filter_fallbacks = simplex_.num_filter_fallbacks();
+  st.eta_updates = simplex_.num_eta_updates();
+  st.refactorisations = simplex_.num_refactorisations();
+  st.eta_file_len_max = simplex_.eta_file_len_max();
   st.bigint_promotions = bigint_promotions();
   st.num_terms = terms_.num_nodes();
   st.num_atoms = atoms_.size();

@@ -53,6 +53,14 @@ struct SolverStats {
   std::uint64_t exact_recomputes = 0;
   std::uint64_t filter_disagreements = 0;
   std::uint64_t filter_fallbacks = 0;
+  /// Eta-tableau accounting (see Simplex): pivots recorded as eta-file
+  /// entries instead of eager row substitution, refactorisation-trigger
+  /// firings, and the eta file's high-water length. eta_file_len_max is a
+  /// monotone high-water mark, not a delta — since() keeps the current
+  /// value, like a gauge.
+  std::uint64_t eta_updates = 0;
+  std::uint64_t refactorisations = 0;
+  std::uint64_t eta_file_len_max = 0;
   std::size_t num_terms = 0;
   std::size_t num_atoms = 0;
   std::size_t num_bool_vars = 0;
@@ -78,6 +86,8 @@ struct SolverStats {
     d.filter_disagreements =
         filter_disagreements - earlier.filter_disagreements;
     d.filter_fallbacks = filter_fallbacks - earlier.filter_fallbacks;
+    d.eta_updates = eta_updates - earlier.eta_updates;
+    d.refactorisations = refactorisations - earlier.refactorisations;
     return d;
   }
 };

@@ -1,0 +1,301 @@
+// Differential fuzz for the eta-factorised tableau against the eager
+// substitution path.
+//
+// Unlike the float filter (whose twin test only demands verdict agreement),
+// the eta file's contract is *bit-identity*: the float mirrors are composed
+// the same way in both modes and every exact row is realised before any
+// verdict reads it, so two instances driven through identical
+// assert/retract/check/propagate sequences must produce identical pivot
+// sequences, identical conflict clauses (literal for literal), and
+// identical implied-bound streams (variable, side, exact bound value, and
+// premise literals) — not merely equivalent ones. The stress variant pins
+// a tiny refactorisation budget so the Markowitz rebuild runs constantly,
+// and a Solver-level twin drives the full DPLL(T) stack with assumptions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "smt/simplex.h"
+#include "smt/solver.h"
+
+namespace psse::smt {
+namespace {
+
+Lit tag(int i) { return Lit::pos(static_cast<Var>(i)); }
+
+// Grid-sparse structure: banded 2-4 term rows over nearby base variables
+// (the locality pattern of transmission-system tableaus, where eta files
+// actually pay off), plus a few long tie-line rows.
+struct BandedStructure {
+  int num_base = 0;
+  std::vector<LinExpr> rows;
+
+  BandedStructure(std::mt19937& rng, int numBase, int numRows)
+      : num_base(numBase) {
+    std::uniform_int_distribution<int> nTerms(2, 4);
+    std::uniform_int_distribution<int> coeff(-3, 3);
+    for (int r = 0; r < numRows; ++r) {
+      LinExpr e;
+      const int n = nTerms(rng);
+      const int center =
+          static_cast<int>(rng() % static_cast<unsigned>(numBase));
+      for (int t = 0; t < n; ++t) {
+        int v;
+        if (rng() % 8 == 0) {
+          v = static_cast<int>(rng() % static_cast<unsigned>(numBase));
+        } else {
+          const int lo = center > 3 ? center - 3 : 0;
+          const int hi = center + 3 < numBase - 1 ? center + 3 : numBase - 1;
+          v = lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
+        }
+        int c = coeff(rng);
+        if (c == 0) c = 1;
+        e.add_term(static_cast<TVar>(v), Rational(c));
+      }
+      if (!e.is_constant()) rows.push_back(std::move(e));
+    }
+  }
+
+  std::vector<TVar> build(Simplex& s) const {
+    std::vector<TVar> vars;
+    for (int i = 0; i < num_base; ++i) vars.push_back(s.new_var());
+    for (const LinExpr& e : rows) {
+      TVar slack = s.slack_for(e);
+      if (std::find(vars.begin(), vars.end(), slack) == vars.end()) {
+        vars.push_back(slack);
+      }
+    }
+    for (TVar v : vars) s.set_interesting(v, true);
+    return vars;
+  }
+};
+
+void expect_identical_implied(const std::vector<Simplex::ImpliedBound>& a,
+                              const std::vector<Simplex::ImpliedBound>& b) {
+  ASSERT_EQ(a.size(), b.size()) << "implied-bound streams diverged in length";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].var, b[i].var);
+    EXPECT_EQ(a[i].is_upper, b[i].is_upper);
+    EXPECT_TRUE(a[i].bound == b[i].bound)
+        << "implied bound value diverged at index " << i;
+    EXPECT_EQ(a[i].premises, b[i].premises)
+        << "implied bound premises diverged at index " << i;
+  }
+}
+
+// Drives an eta-on and an eta-off instance through the same random
+// assert/check/propagate/pop sequence and demands bit-identity everywhere.
+// `stress` pins eta_refactor_len = 2, so the Markowitz rebuild fires every
+// other pivot (the trigger state is mode-identical, so the eager twin
+// re-tightens its mirrors at exactly the same points).
+void run_differential(std::uint32_t seed, bool stress) {
+  std::mt19937 rng(seed);
+  BandedStructure st(rng, /*numBase=*/8, /*numRows=*/10);
+
+  Simplex eta;    // default options: eta_tableau on
+  Simplex eager;
+  SimplexOptions etaOpts;
+  SimplexOptions eagerOpts;
+  eagerOpts.eta_tableau = false;
+  if (stress) {
+    etaOpts.eta_refactor_len = 2;
+    eagerOpts.eta_refactor_len = 2;
+  }
+  eta.set_options(etaOpts);
+  eager.set_options(eagerOpts);
+  std::vector<TVar> vars = st.build(eta);
+  std::vector<TVar> varsEager = st.build(eager);
+  ASSERT_EQ(vars, varsEager);
+
+  std::vector<std::size_t> marks;
+  std::vector<Simplex::ImpliedBound> impliedEta;
+  std::vector<Simplex::ImpliedBound> impliedEager;
+  std::uniform_int_distribution<int> op(0, 11);
+  std::uniform_int_distribution<int> boundNum(-12, 12);
+  std::uniform_int_distribution<int> boundDen(1, 4);
+  std::uniform_int_distribution<std::size_t> pickVar(0, vars.size() - 1);
+  int nextLit = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    const int o = op(rng);
+    if (o <= 5) {
+      const TVar v = vars[pickVar(rng)];
+      const DeltaRational b(Rational(boundNum(rng)) / Rational(boundDen(rng)));
+      const bool upper = (o & 1) != 0;
+      const Lit lit = tag(nextLit++);
+      const bool okA = upper ? eta.assert_upper(v, b, lit)
+                             : eta.assert_lower(v, b, lit);
+      const bool okB = upper ? eager.assert_upper(v, b, lit)
+                             : eager.assert_lower(v, b, lit);
+      ASSERT_EQ(okA, okB) << "assert-time conflict detection diverged";
+      ASSERT_EQ(eta.trail_size(), eager.trail_size());
+      if (!okA) {
+        EXPECT_EQ(eta.conflict_clause(), eager.conflict_clause())
+            << "assert-time conflict clauses must be literal-identical";
+      }
+    } else if (o <= 7) {
+      const bool okA = eta.check();
+      const bool okB = eager.check();
+      ASSERT_EQ(okA, okB) << "feasibility diverged: eta vs eager";
+      ASSERT_EQ(eta.num_pivots(), eager.num_pivots())
+          << "pivot sequences diverged (steering is no longer identical)";
+      if (!okA) {
+        EXPECT_EQ(eta.conflict_clause(), eager.conflict_clause())
+            << "conflict clauses must be literal-identical";
+        const std::size_t mark = marks.empty() ? 0 : marks[marks.size() / 2];
+        eta.pop_to(mark);
+        eager.pop_to(mark);
+        while (!marks.empty() && marks.back() > mark) marks.pop_back();
+      }
+    } else if (o <= 9) {
+      // Run both checks unconditionally: short-circuiting would let the
+      // twins' pivot histories drift apart through later bound changes.
+      const bool okA = eta.check();
+      const bool okB = eager.check();
+      ASSERT_EQ(okA, okB) << "feasibility diverged before propagation";
+      if (!okA) continue;
+      impliedEta.clear();
+      impliedEager.clear();
+      eta.propagate_implied(impliedEta);
+      eager.propagate_implied(impliedEager);
+      expect_identical_implied(impliedEta, impliedEager);
+    } else if (o == 10) {
+      marks.push_back(eta.trail_size());
+    } else if (!marks.empty()) {
+      const std::size_t mark = marks.back();
+      marks.pop_back();
+      eta.pop_to(mark);
+      eager.pop_to(mark);
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+
+  ASSERT_EQ(eta.check(), eager.check());
+  ASSERT_EQ(eta.num_pivots(), eager.num_pivots());
+  // Refactorisation triggers read mode-identical state, so both instances
+  // must have fired them at the same pivots.
+  EXPECT_EQ(eta.num_refactorisations(), eager.num_refactorisations());
+  EXPECT_EQ(eager.num_eta_updates(), 0u)
+      << "eager instance must never append to an eta file";
+}
+
+TEST(EtaTableauFuzz, EtaAgreesWithEagerBitForBit) {
+  std::uint64_t etaWork = 0;
+  std::mt19937 seedRng(20260808);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t seed = static_cast<std::uint32_t>(seedRng());
+    run_differential(seed, /*stress=*/false);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "divergence with seed " << seed;
+      return;
+    }
+    etaWork = 1;  // at least one full round ran
+  }
+  EXPECT_GT(etaWork, 0u);
+}
+
+TEST(EtaTableauFuzz, TinyRefactorBudgetStressStaysIdentical) {
+  std::mt19937 seedRng(514229);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t seed = static_cast<std::uint32_t>(seedRng());
+    run_differential(seed, /*stress=*/true);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "divergence with seed " << seed << " (stress)";
+      return;
+    }
+  }
+}
+
+TEST(EtaTableauFuzz, EtaFileActuallyDefersWork) {
+  // Sanity that the differential above is not vacuous: on a pivot-heavy
+  // instance the eta instance must actually record eta updates (and, with
+  // the default budget, occasionally refactorise).
+  std::mt19937 rng(7341);
+  BandedStructure st(rng, 10, 14);
+  Simplex s;  // defaults: eta on
+  std::vector<TVar> vars = st.build(s);
+  int nextLit = 0;
+  // Box the base variables, then demand each slack rise well above its
+  // current assignment: the slack is basic and out of bounds, so check()
+  // must pivot it against some base variable every time.
+  for (TVar v : vars) {
+    if (static_cast<int>(v) >= st.num_base) continue;
+    s.assert_lower(v, DeltaRational(Rational(-20)), tag(nextLit++));
+    s.assert_upper(v, DeltaRational(Rational(20)), tag(nextLit++));
+  }
+  ASSERT_TRUE(s.check());
+  int bound = 5;
+  for (TVar v : vars) {
+    if (static_cast<int>(v) < st.num_base) continue;
+    s.assert_lower(v, DeltaRational(Rational(bound)), tag(nextLit++));
+    s.check();
+    bound += 3;
+  }
+  EXPECT_GT(s.num_pivots(), 0u) << "workload never pivots — too easy";
+  EXPECT_GT(s.num_eta_updates(), 0u)
+      << "no pivot ever took the eta path — the fuzz is vacuous";
+  EXPECT_EQ(s.num_eta_updates(), s.num_pivots());
+}
+
+// Full DPLL(T) twin with assumptions: guarded-interval problems solved
+// under rotating assumption sets, eta on vs off, demanding identical
+// SAT/UNSAT verdicts (the solver consumes conflict clauses and implied
+// bounds wholesale, so any tableau-level divergence surfaces here as a
+// different search).
+TEST(EtaTableauFuzz, SolverTwinWithAssumptionsAgrees) {
+  for (std::uint32_t seed : {11u, 23u, 47u}) {
+    Solver a;
+    Solver b;
+    SimplexOptions off = b.simplex_options();
+    off.eta_tableau = false;
+    b.set_simplex_options(off);
+
+    std::vector<TermRef> selA;
+    std::vector<TermRef> selB;
+    std::mt19937 rng(seed);
+    auto build = [&](Solver& s, std::vector<TermRef>& sel) {
+      auto& t = s.terms();
+      TVar x = s.mk_real("x");
+      TVar y = s.mk_real("y");
+      const LinExpr sum = LinExpr::var(x) + LinExpr::var(y);
+      std::mt19937 r(seed * 977 + 1);
+      for (int i = 0; i < 10; ++i) {
+        TermRef g = s.mk_bool();
+        sel.push_back(g);
+        const int lo = static_cast<int>(r() % 20);
+        s.assert_term(t.mk_implies(g, t.mk_ge(sum, Rational(lo))));
+        s.assert_term(t.mk_implies(
+            g, t.mk_le(LinExpr::var(x), Rational(lo + 3))));
+      }
+      s.assert_term(t.mk_le(LinExpr::var(y), Rational(12)));
+    };
+    build(a, selA);
+    build(b, selB);
+
+    for (int round = 0; round < 6; ++round) {
+      std::vector<TermRef> assumeA;
+      std::vector<TermRef> assumeB;
+      for (std::size_t i = 0; i < selA.size(); ++i) {
+        if (rng() % 3 == 0) {
+          assumeA.push_back(selA[i]);
+          assumeB.push_back(selB[i]);
+        }
+      }
+      const SolveResult ra = a.solve(assumeA);
+      const SolveResult rb = b.solve(assumeB);
+      ASSERT_EQ(ra, rb) << "solver verdicts diverged (seed " << seed
+                        << ", round " << round << ")";
+    }
+    const SolverStats sa = a.stats();
+    const SolverStats sb = b.stats();
+    EXPECT_EQ(sa.pivots, sb.pivots) << "pivot counts diverged at seed "
+                                    << seed;
+    EXPECT_EQ(sb.eta_updates, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace psse::smt

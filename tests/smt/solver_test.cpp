@@ -304,6 +304,8 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
   std::uint64_t recomputeSum = 0;
   std::uint64_t disagreeSum = 0;
   std::uint64_t fallbackSum = 0;
+  std::uint64_t etaSum = 0;
+  std::uint64_t refactorSum = 0;
   for (const SolverStats& d : deltas) {
     // Every call does real work, and none of the deltas can exceed the
     // lifetime totals (the symptom of the fixed bug was per-call reports
@@ -320,6 +322,10 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
     recomputeSum += d.exact_recomputes;
     disagreeSum += d.filter_disagreements;
     fallbackSum += d.filter_fallbacks;
+    etaSum += d.eta_updates;
+    refactorSum += d.refactorisations;
+    // eta_file_len_max is a high-water gauge: reported absolute.
+    EXPECT_LE(d.eta_file_len_max, total.eta_file_len_max);
   }
   // Counter deltas partition the lifetime exactly — including the float
   // filter's counters, which reuse the same snapshot/delta mechanics.
@@ -330,6 +336,10 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
   EXPECT_EQ(recomputeSum, total.exact_recomputes);
   EXPECT_EQ(disagreeSum, total.filter_disagreements);
   EXPECT_EQ(fallbackSum, total.filter_fallbacks);
+  EXPECT_EQ(etaSum, total.eta_updates);
+  EXPECT_EQ(refactorSum, total.refactorisations);
+  // Eta mode is the default, so every pivot lands in the eta file.
+  EXPECT_EQ(total.eta_updates, total.pivots);
   // The filter actually ran: certification work is non-zero on a workload
   // with theory conflicts and implied bounds.
   EXPECT_GT(total.exact_recomputes, 0u);
