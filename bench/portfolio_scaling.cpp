@@ -13,14 +13,27 @@
 // this member's search), not parallelism; with real cores the effects
 // combine.
 //
+// --mode cube switches to the cube-and-conquer comparison instead: for
+// all-UNSAT fig4d-style instances (full measurement plan, mid-grid target,
+// max_altered_measurements below the 4-measurement floor) on ieee57,
+// ieee300 and synth1000, it runs the serial baseline, 8-member racing
+// portfolios with sharing off/on, and the 8-thread cube-and-conquer
+// portfolio. Racing cannot beat serial on UNSAT — every member must
+// re-refute the whole space, so the race finishes with the single fastest
+// member — while cubes partition the space into disjoint subproblems whose
+// refutations run (and finish) in parallel. The verdict column must still
+// be constant down each block.
+//
 // --json adds one machine-readable line per row (BENCH_smt.json keeps the
 // before/after baseline).
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/scenario.h"
+#include "grid/synthetic.h"
 #include "runtime/portfolio.h"
 
 using namespace psse;
@@ -47,14 +60,116 @@ smt::Budget bench_budget() {
   return b;
 }
 
+/// The cube-and-conquer comparison: all-UNSAT instances where racing is
+/// structurally pointless and partitioning is the only parallel win.
+int run_cube_mode(bool json, const obs::Config& trace,
+                  const std::string& only) {
+  bench::header("Cube-and-conquer vs racing on UNSAT verification",
+                "racing repeats one refutation per member; cubes split the "
+                "space so the refutation itself parallelises");
+  std::printf("%-12s %-10s %8s %10s %8s %8s %6s %-14s\n", "system", "mode",
+              "sharing", "ms", "speedup", "verdict", "cubes", "winner");
+
+  for (const char* name : {"ieee57", "ieee300", "synth1000"}) {
+    if (!only.empty() && only != name) continue;
+    grid::Grid g = std::strncmp(name, "synth", 5) == 0
+                       ? grid::cases::synthetic_by_name(name)
+                       : grid::cases::by_name(name);
+    grid::MeasurementPlan plan(g.num_lines(), g.num_buses());
+    core::AttackSpec spec;
+    spec.target_states = {g.num_buses() / 2};
+    spec.max_altered_measurements = 3;  // below the 4-measurement floor
+    core::UfdiAttackModel model(g, plan, spec);
+
+    core::VerificationResult serial = model.verify(bench_budget());
+    const double serialMs = serial.seconds * 1000.0;
+    std::printf("%-12s %-10s %8s %10.1f %8.2f %8s %6s %-14s\n", name,
+                "serial", "-", serialMs, 1.0, verdict_name(serial.result),
+                "-", "serial");
+    std::fflush(stdout);
+    bench::JsonLine(json, "portfolio_cube", name)
+        .field("mode", "serial")
+        .field("threads", std::uint64_t{0})
+        .field("ms", serialMs)
+        .field("speedup", 1.0)
+        .field("verdict", verdict_name(serial.result))
+        .emit();
+
+    double bestRaceMs = 0;  // best (smallest) racing wall time
+    for (bool sharing : {false, true}) {
+      runtime::PortfolioOptions popt;
+      popt.num_threads = 8;
+      popt.budget = bench_budget();
+      popt.share_clauses = sharing;
+      runtime::PortfolioResult pr = runtime::verify_portfolio(model, popt);
+      const double ms = pr.seconds * 1000.0;
+      if (ms > 0 && (bestRaceMs == 0 || ms < bestRaceMs)) bestRaceMs = ms;
+      std::printf("%-12s %-10s %8s %10.1f %8.2f %8s %6s %-14s\n", name,
+                  "race", sharing ? "on" : "off", ms,
+                  ms > 0 ? serialMs / ms : 0.0, verdict_name(pr.result()),
+                  "-", "none");
+      std::fflush(stdout);
+      bench::JsonLine(json, "portfolio_cube", name)
+          .field("mode", "race")
+          .field("threads", std::uint64_t{8})
+          .field("sharing", sharing ? "on" : "off")
+          .field("ms", ms)
+          .field("speedup", ms > 0 ? serialMs / ms : 0.0)
+          .field("verdict", verdict_name(pr.result()))
+          .emit();
+    }
+
+    runtime::PortfolioOptions popt;
+    popt.num_threads = 8;
+    popt.budget = bench_budget();
+    popt.mode = runtime::PortfolioMode::kCubeAndConquer;
+    popt.trace = trace;
+    runtime::PortfolioResult pr = runtime::verify_portfolio(model, popt);
+    const double ms = pr.seconds * 1000.0;
+    char cubes[32];
+    std::snprintf(cubes, sizeof cubes, "%llu/%llu",
+                  static_cast<unsigned long long>(pr.cubes_refuted),
+                  static_cast<unsigned long long>(pr.cubes_generated));
+    std::printf("%-12s %-10s %8s %10.1f %8.2f %8s %6s vs-race %.2fx\n",
+                name, "cube", "on", ms, ms > 0 ? serialMs / ms : 0.0,
+                verdict_name(pr.result()), cubes,
+                ms > 0 ? bestRaceMs / ms : 0.0);
+    std::fflush(stdout);
+    bench::JsonLine(json, "portfolio_cube", name)
+        .field("mode", "cube")
+        .field("threads", std::uint64_t{8})
+        .field("ms", ms)
+        .field("speedup", ms > 0 ? serialMs / ms : 0.0)
+        .field("speedup_vs_race", ms > 0 ? bestRaceMs / ms : 0.0)
+        .field("cubes_generated", pr.cubes_generated)
+        .field("cubes_refuted", pr.cubes_refuted)
+        .field("verdict", verdict_name(pr.result()))
+        .emit();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool json = bench::json_enabled(argc, argv);
+  auto sink = bench::trace_sink(argc, argv);
   std::string dataDir = PSSE_DATA_DIR;
+  std::string only;
+  bool cubeMode = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) != "--json") dataDir = argv[i];
+    const std::string arg = argv[i];
+    if (arg == "--mode" && i + 1 < argc) {
+      cubeMode = std::string(argv[++i]) == "cube";
+    } else if (arg == "--only" && i + 1 < argc) {
+      only = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      ++i;  // consumed by bench::trace_sink
+    } else if (arg != "--json") {
+      dataDir = arg;
+    }
   }
+  if (cubeMode) return run_cube_mode(json, obs::Config{sink.get()}, only);
   const std::vector<std::string> scenarios = {"ieee30_verification",
                                               "ieee57_verification"};
   const std::vector<std::size_t> memberCounts = {1, 2, 4, 8};

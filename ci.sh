@@ -67,6 +67,46 @@ else
   echo "== ci: trace smoke skipped (no python3) =="
 fi
 
+# Cube-and-conquer cross-check: the whole data/ suite once through the
+# warm serial service path and once through a 4-member cube-and-conquer
+# portfolio. Cubes partition the search space, so every scenario's verdict
+# must be bit-identical — a divergence here is a completeness bug in the
+# cube tree (a cube lost, double-counted, or misattributed), never a
+# tolerance issue.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== ci: cube-and-conquer cross-check =="
+  runner=""
+  for candidate in build/examples/batch_runner build/default/examples/batch_runner; do
+    [ -x "${candidate}" ] && runner="${candidate}" && break
+  done
+  if [ -z "${runner}" ]; then
+    echo "ci: batch_runner binary not found" >&2
+    exit 1
+  fi
+  { "${runner}" --threads "${jobs}" data; echo "===SPLIT==="; \
+    "${runner}" --threads "${jobs}" --portfolio 4 --portfolio-mode cube data; } \
+    | python3 -c '
+import json, sys
+runs = [{}]
+for line in sys.stdin:
+    line = line.strip()
+    if line == "===SPLIT===":
+        runs.append({})
+        continue
+    row = json.loads(line)
+    assert "error" not in row, row
+    runs[-1][row["scenario"]] = row["verdict"]
+serial, cube = runs
+assert serial and set(serial) == set(cube), "scenario sets diverged"
+for name in sorted(serial):
+    assert serial[name] == cube[name], \
+        f"{name}: serial={serial[name]} cube={cube[name]}"
+print(f"ci: cube-and-conquer verdicts identical across {len(serial)} scenarios")
+'
+else
+  echo "== ci: cube-and-conquer cross-check skipped (no python3) =="
+fi
+
 # Service smoke: pipe a 20-request mixed workload (verify, server-side
 # sweeps, interleaved stats) through the analytics server and validate
 # every response line with an independent JSON parser. Catches protocol

@@ -2,7 +2,8 @@
 // JSON protocol on stdin/stdout (DESIGN.md §6f).
 //
 //   analytics_server [--threads N] [--max-sessions K] [--memo N]
-//                    [--time-limit S] [--trace FILE] [--stats-json]
+//                    [--time-limit S] [--portfolio-mode race|cube]
+//                    [--trace FILE] [--stats-json]
 //
 // Each input line is one request (see service/json_protocol.h):
 //
@@ -18,7 +19,11 @@
 // --stats-json a final service-stats line (p50/p95/p99 latencies, session
 // and memo hit rates) follows the last response, and with --trace FILE the
 // service journals per-request "service_request" events plus a closing
-// "service_stats" event.
+// "service_stats" event. --portfolio-mode cube switches every portfolio
+// verify request to cube-and-conquer, letting clients written against the
+// racing default be rerun under splitting without edits (a request that
+// already asked for "portfolio_mode":"cube" is unaffected; verdicts are
+// identical in either mode).
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -47,13 +52,14 @@ struct Config {
   std::string trace_path;
   bool stats_json = false;
   bool screen = true;  // LP-relaxation screen in front of each solve
+  bool portfolio_cube = false;  // force cube mode on portfolio requests
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--max-sessions K] [--memo N] "
-               "[--time-limit S] [--trace FILE] [--stats-json] "
-               "[--no-screen]\n",
+               "[--time-limit S] [--portfolio-mode race|cube] "
+               "[--trace FILE] [--stats-json] [--no-screen]\n",
                argv0);
   return 2;
 }
@@ -126,6 +132,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--time-limit") {
       if (i + 1 >= argc) return usage(argv[0]);
       cfg.time_limit_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--portfolio-mode") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string mode = argv[++i];
+      if (mode == "cube") {
+        cfg.portfolio_cube = true;
+      } else if (mode != "race") {
+        return usage(argv[0]);
+      }
     } else if (arg == "--trace") {
       if (i + 1 >= argc) return usage(argv[0]);
       cfg.trace_path = argv[++i];
@@ -173,6 +187,7 @@ int main(int argc, char** argv) {
               [&svc] { return service::encode_stats(svc.stats()); });
           break;
         case service::ParsedRequest::Op::kVerify: {
+          if (cfg.portfolio_cube) req.verify.portfolio_cube = true;
           std::shared_future<service::ServiceResponse> fut =
               svc.submit(std::move(req.verify)).share();
           printer.enqueue(

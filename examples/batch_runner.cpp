@@ -1,8 +1,8 @@
 // batch_runner: fan a directory of scenario files across the analytics
 // service.
 //
-//   batch_runner [--threads N] [--portfolio M] [--time-limit S]
-//                [--trace FILE] <dir>
+//   batch_runner [--threads N] [--portfolio M] [--portfolio-mode race|cube]
+//                [--time-limit S] [--trace FILE] <dir>
 //
 // Every `.scn` file under <dir> (sorted, non-recursive) becomes one
 // service request; each prints exactly one JSON line to stdout, in file
@@ -17,7 +17,9 @@
 // sets) reuse one warm solver session, and repeated scenarios answer from
 // the result memo. With --portfolio M each request races an M-member
 // diversified portfolio (runtime::verify_portfolio) on fresh clones
-// instead, and the line additionally reports the winning configuration.
+// instead, and the line additionally reports the winning configuration;
+// --portfolio-mode cube splits each instance with cube-and-conquer rather
+// than racing full copies (verdicts are identical either way).
 // With --trace FILE the service journals one "service_request" event per
 // scenario plus a closing "service_stats" event to FILE.
 //
@@ -58,6 +60,7 @@ const char* verdict_name(smt::SolveResult r) {
 struct Config {
   std::size_t threads = 4;
   std::size_t portfolio = 0;  // 0 = warm single-session verify per scenario
+  bool portfolio_cube = false;  // cube-and-conquer instead of racing
   double time_limit_seconds = 0;
   std::string trace_path;
   std::string dir;
@@ -66,7 +69,8 @@ struct Config {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threads N] [--portfolio M] [--time-limit S] "
+               "usage: %s [--threads N] [--portfolio M] "
+               "[--portfolio-mode race|cube] [--time-limit S] "
                "[--trace FILE] [--no-screen] <scenario-dir>\n",
                argv0);
   return 2;
@@ -94,6 +98,14 @@ int main(int argc, char** argv) {
       if (!num(cfg.threads)) return usage(argv[0]);
     } else if (arg == "--portfolio") {
       if (!num(cfg.portfolio)) return usage(argv[0]);
+    } else if (arg == "--portfolio-mode") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string mode = argv[++i];
+      if (mode == "cube") {
+        cfg.portfolio_cube = true;
+      } else if (mode != "race") {
+        return usage(argv[0]);
+      }
     } else if (arg == "--time-limit") {
       if (i + 1 >= argc) return usage(argv[0]);
       cfg.time_limit_seconds = std::strtod(argv[++i], nullptr);
@@ -166,6 +178,7 @@ int main(int argc, char** argv) {
       req.scenario = core::Scenario::load(path.string());
       req.time_limit_seconds = cfg.time_limit_seconds;
       req.portfolio = cfg.portfolio;
+      req.portfolio_cube = cfg.portfolio_cube;
       job.response = svc.submit(std::move(req));
     } catch (const std::exception& e) {
       job.parse_error = e.what();

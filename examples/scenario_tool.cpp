@@ -9,8 +9,14 @@
 // `--no-screen` disables the LP-relaxation front-end (the screen that can
 // answer UNSAT without an SMT solve in verify mode, and the graph-seeded
 // candidate order in synthesize mode); verdicts are identical either way.
+// `--engine NAME` runs verify with a named structural engine preset
+// (runtime::engine_presets: baseline, lrb, chrono-64, ...). `--portfolio N`
+// verifies through an N-thread portfolio instead of one solver;
+// `--portfolio-mode race|cube` picks racing clones or cube-and-conquer.
+// Verdicts are identical across every engine and mode.
 // Scenario files live in data/ (see data/README for the format).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -20,24 +26,57 @@
 #include "core/scenario.h"
 #include "core/synthesis.h"
 #include "obs/trace.h"
+#include "runtime/portfolio.h"
 #include "screen/lp_screen.h"
 
 using namespace psse;
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string engine_name;
+  std::size_t portfolio = 0;
+  bool portfolio_cube = false;
   bool screen = true;
   {
     std::vector<char*> args(argv, argv + argc);
+    auto take_value = [&](std::size_t i, std::string& out) {
+      if (i + 1 >= args.size()) return false;
+      out = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return true;
+    };
     for (std::size_t i = 1; i < args.size();) {
       if (std::strcmp(args[i], "--no-screen") == 0) {
         screen = false;
         args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
       } else if (std::strcmp(args[i], "--trace") == 0 &&
                  i + 1 < args.size()) {
-        trace_path = args[i + 1];
-        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        if (!take_value(i, trace_path)) ++i;
+      } else if (std::strcmp(args[i], "--engine") == 0 &&
+                 i + 1 < args.size()) {
+        if (!take_value(i, engine_name)) ++i;
+      } else if (std::strcmp(args[i], "--portfolio") == 0 &&
+                 i + 1 < args.size()) {
+        std::string v;
+        if (!take_value(i, v)) {
+          ++i;
+        } else {
+          portfolio =
+              static_cast<std::size_t>(std::strtoul(v.c_str(), nullptr, 10));
+        }
+      } else if (std::strcmp(args[i], "--portfolio-mode") == 0 &&
+                 i + 1 < args.size()) {
+        std::string v;
+        if (!take_value(i, v)) {
+          ++i;
+        } else if (v == "cube") {
+          portfolio_cube = true;
+        } else if (v != "race") {
+          std::fprintf(stderr,
+                       "error: --portfolio-mode must be race or cube\n");
+          return 2;
+        }
       } else {
         ++i;
       }
@@ -48,7 +87,8 @@ int main(int argc, char** argv) {
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s verify|synthesize|print <scenario-file> "
-                 "[--trace FILE] [--no-screen]\n",
+                 "[--trace FILE] [--no-screen] [--engine NAME] "
+                 "[--portfolio N] [--portfolio-mode race|cube]\n",
                  argv[0]);
     return 2;
   }
@@ -79,6 +119,19 @@ int main(int argc, char** argv) {
 
   core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
   model.set_trace(trace);
+  if (!engine_name.empty()) {
+    runtime::PortfolioMember preset;
+    if (!runtime::engine_preset(engine_name, preset)) {
+      std::fprintf(stderr, "error: unknown engine '%s'; presets:",
+                   engine_name.c_str());
+      for (const runtime::PortfolioMember& p : runtime::engine_presets()) {
+        std::fprintf(stderr, " %s", p.label.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    model.set_solver_options(preset.options);
+  }
   if (mode == "verify") {
     if (screen) {
       // LP-relaxation front-end: a provably infeasible relaxation means no
@@ -100,7 +153,25 @@ int main(int argc, char** argv) {
         // Not screenable -> verify normally.
       }
     }
-    core::VerificationResult r = model.verify();
+    core::VerificationResult r;
+    if (portfolio > 0) {
+      runtime::PortfolioOptions popts;
+      popts.num_threads = portfolio;
+      popts.trace = trace;
+      popts.mode = portfolio_cube ? runtime::PortfolioMode::kCubeAndConquer
+                                  : runtime::PortfolioMode::kRace;
+      if (!engine_name.empty()) {
+        // A named engine narrows the portfolio to clones of that preset.
+        runtime::PortfolioMember preset;
+        (void)runtime::engine_preset(engine_name, preset);
+        popts.members.assign(portfolio, preset);
+      }
+      runtime::PortfolioResult port = runtime::verify_portfolio(model, popts);
+      r = std::move(port.verification);
+      r.seconds = port.seconds;
+    } else {
+      r = model.verify();
+    }
     switch (r.result) {
       case smt::SolveResult::Sat:
         std::printf("SAT: an undetected attack exists (%.3fs)\n%s",

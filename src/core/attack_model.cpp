@@ -371,6 +371,8 @@ VerificationResult UfdiAttackModel::run(
         .field("clauses_exported", out.stats.sat.clauses_exported)
         .field("clauses_imported", out.stats.sat.clauses_imported)
         .field("clauses_accepted", out.stats.sat.clauses_accepted)
+        .field("chrono_backtracks", out.stats.sat.chrono_backtracks)
+        .field("lrb_selections", out.stats.sat.lrb_selections)
         .field("encode_us", out.phase_times.encode_us)
         .field("propagate_us", out.phase_times.propagate_us)
         .field("simplex_us", out.phase_times.simplex_us)
@@ -420,6 +422,26 @@ std::vector<TermRef> UfdiAttackModel::secured_assumptions(
 VerificationResult UfdiAttackModel::verify(const smt::Budget& budget) {
   // No candidate countermeasures: all sb_j / szv_m assumed off.
   return run(secured_assumptions({}, {}), budget);
+}
+
+VerificationResult UfdiAttackModel::verify_with_assumptions(
+    const std::vector<smt::TermRef>& extra, const smt::Budget& budget) {
+  // The cube rides after the secured-set baseline: assumptions are decided
+  // in order, so the secured literals pin the countermeasure state first
+  // and the cube then carves the remaining search space.
+  std::vector<TermRef> assumptions = secured_assumptions({}, {});
+  assumptions.insert(assumptions.end(), extra.begin(), extra.end());
+  return run(assumptions, budget);
+}
+
+std::vector<smt::TermRef> UfdiAttackModel::cube_candidate_terms() const {
+  std::vector<TermRef> out;
+  out.reserve(cb_.size() + topology_vars_.size());
+  for (TermRef t : cb_) {
+    if (t.valid()) out.push_back(t);
+  }
+  for (TermRef t : topology_vars_) out.push_back(t);
+  return out;
 }
 
 VerificationResult UfdiAttackModel::verify_with_secured_measurements(

@@ -155,6 +155,37 @@ class UfdiAttackModel {
   /// measurement-level synthesis.
   [[nodiscard]] std::vector<grid::MeasId> attackable_measurements() const;
 
+  /// Boolean terms worth splitting a hard instance on: the per-bus
+  /// substation-compromise indicators cb_j, then the el/il topology-attack
+  /// literals. These are the high-fanout structural decisions (a cb_j
+  /// polarity decides a whole substation's worth of cz freedom via the
+  /// residence closure), so cube-and-conquer cubes on them
+  /// (runtime::split_cubes).
+  [[nodiscard]] std::vector<smt::TermRef> cube_candidate_terms() const;
+
+  /// BCP-only lookahead on a candidate term (smt::Solver::probe_term):
+  /// forced-literal count, or -1 when asserting it conflicts at level 0.
+  /// Perturbs the solver's saved phases — call on a dedicated clone.
+  [[nodiscard]] int probe_term(smt::TermRef t) {
+    return solver_.probe_term(t);
+  }
+
+  /// Branching activity of a candidate term's SAT variable (see
+  /// smt::Solver::term_activity). After a bounded burn-in verify on a
+  /// clone, ranking candidates by activity puts the split on the
+  /// variables the refutation is actually fighting over instead of an
+  /// arbitrary construction-order prefix.
+  [[nodiscard]] double term_activity(smt::TermRef t) {
+    return solver_.term_activity(t);
+  }
+
+  /// verify() under extra assumption terms (a cube from split_cubes): the
+  /// statically-secured baseline assumptions plus `extra`, solved without
+  /// touching the assertion database, so one clone conquers many cubes
+  /// back to back while keeping its learnt clauses warm.
+  [[nodiscard]] VerificationResult verify_with_assumptions(
+      const std::vector<smt::TermRef>& extra, const smt::Budget& budget = {});
+
   [[nodiscard]] const grid::Grid& grid() const { return grid_; }
   [[nodiscard]] const grid::MeasurementPlan& plan() const { return plan_; }
   [[nodiscard]] const AttackSpec& spec() const { return spec_; }

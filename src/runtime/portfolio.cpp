@@ -1,9 +1,11 @@
 #include "runtime/portfolio.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <mutex>
+#include <thread>
 
 #include "runtime/clause_channel.h"
 #include "runtime/thread_pool.h"
@@ -11,74 +13,203 @@
 
 namespace psse::runtime {
 
+std::vector<PortfolioMember> engine_presets() {
+  using smt::BranchingHeuristic;
+  using smt::RestartSchedule;
+  using smt::SatOptions;
+  std::vector<PortfolioMember> presets;
+  presets.reserve(8);
+  // Preset 0 must stay the default engine: tools resolve --engine baseline
+  // to the serial search, and the conquer scheduler's worker 0 anchors on
+  // it.
+  presets.push_back({"baseline", {}});
+  {
+    SatOptions o;
+    o.engine.branching = BranchingHeuristic::kLrb;
+    presets.push_back({"lrb", o});
+  }
+  {
+    SatOptions o;
+    o.engine.cb_limit = 64;
+    presets.push_back({"chrono-64", o});
+  }
+  {
+    SatOptions o;
+    o.engine.restart = RestartSchedule::kGlucoseEma;
+    o.restart_base = 50;
+    presets.push_back({"ema-restarts", o});
+  }
+  {
+    SatOptions o;
+    o.engine.restart = RestartSchedule::kGeometric;
+    o.engine.geometric_factor = 1.3;
+    presets.push_back({"geometric-restarts", o});
+  }
+  {
+    SatOptions o;
+    o.engine.branching = BranchingHeuristic::kLrb;
+    o.engine.cb_limit = 64;
+    o.default_phase = true;
+    presets.push_back({"lrb-chrono-pos", o});
+  }
+  {
+    SatOptions o;
+    o.engine.cb_limit = 16;
+    o.engine.restart = RestartSchedule::kGeometric;
+    o.var_decay = 0.90;
+    presets.push_back({"chrono-geometric", o});
+  }
+  {
+    SatOptions o;
+    o.engine.branching = BranchingHeuristic::kLrb;
+    o.engine.restart = RestartSchedule::kGlucoseEma;
+    presets.push_back({"lrb-ema", o});
+  }
+  return presets;
+}
+
+bool engine_preset(const std::string& name, PortfolioMember& out) {
+  for (PortfolioMember& p : engine_presets()) {
+    if (p.label == name) {
+      out = std::move(p);
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<PortfolioMember> default_portfolio(std::size_t n) {
   using smt::SatOptions;
+  std::vector<PortfolioMember> engines = engine_presets();
   std::vector<PortfolioMember> members;
   members.reserve(n);
-  auto add = [&](const char* label, SatOptions o) {
-    if (members.size() < n) members.push_back({label, o});
+  auto add = [&](PortfolioMember m) {
+    if (members.size() < n) members.push_back(std::move(m));
   };
   // Member 0 must stay the default configuration (serial-equivalence
-  // anchor for tests and for the deterministic mode). The rest of the
-  // ladder is ordered by measured strength on the data/ verification
-  // suite, so small portfolios get the configurations most likely to
-  // complement the baseline.
-  add("baseline", {});
+  // anchor for tests and for the deterministic mode). The ladder
+  // interleaves the structural engine presets with the historical
+  // seed/phase variants so small portfolios differ in search *shape*, not
+  // just in where the RNG sends near-identical searches.
+  add(engines[0]);  // baseline
+  add(engines[1]);  // lrb
+  add(engines[2]);  // chrono-64
   {
     SatOptions o;
     o.default_phase = true;
     o.theory_check_period = 2;
     o.restart_base = 200;
-    add("pos-lazy", o);
+    add({"pos-lazy", o});
   }
+  add(engines[3]);  // ema-restarts
+  add(engines[4]);  // geometric-restarts
   {
     SatOptions o;
     o.random_branch_permil = 50;
     o.default_phase = true;
     o.seed = 0x9e3779b97f4a7c15ull;
-    add("pos-random-5pct", o);
+    add({"pos-random-5pct", o});
   }
-  {
-    SatOptions o;
-    o.restart_base = 50;
-    o.var_decay = 0.90;
-    add("agile-restarts", o);
-  }
-  {
-    SatOptions o;
-    o.theory_check_period = 4;
-    add("lazy-theory", o);
-  }
-  {
-    SatOptions o;
-    o.random_branch_permil = 20;
-    o.seed = 0x2545f4914f6cdd1dull;
-    add("random-2pct", o);
-  }
-  {
-    SatOptions o;
-    o.restart_base = 400;
-    o.var_decay = 0.99;
-    add("slow-restarts", o);
-  }
-  {
-    SatOptions o;
-    o.default_phase = true;
-    add("pos-phase", o);
-  }
-  // Beyond the ladder: random-branching variants with distinct seeds.
+  add(engines[5]);  // lrb-chrono-pos
+  // Beyond the ladder: random-branching overlays of the engine presets
+  // with distinct seeds, so even deep portfolios keep structural variety.
   for (std::size_t k = members.size(); k < n; ++k) {
-    SatOptions o;
-    o.random_branch_permil = 30 + 8 * static_cast<std::uint32_t>(k % 8);
-    o.default_phase = (k & 1) != 0;
-    o.seed = 0x100000001b3ull * (k + 1) + 0xcbf29ce484222325ull;
-    members.push_back({"random-seed-" + std::to_string(k), o});
+    PortfolioMember m = engines[k % engines.size()];
+    m.options.random_branch_permil =
+        30 + 8 * static_cast<std::uint32_t>(k % 8);
+    m.options.default_phase = (k & 1) != 0;
+    m.options.seed = 0x100000001b3ull * (k + 1) + 0xcbf29ce484222325ull;
+    m.label = "random-seed-" + std::to_string(k) + "-" + m.label;
+    members.push_back(std::move(m));
   }
   return members;
 }
 
-PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
-                                 const PortfolioOptions& options) {
+namespace {
+
+void emit_member_event(const obs::Config& trace, std::uint64_t index,
+                       const PortfolioMemberOutcome& outcome,
+                       const core::VerificationResult& v) {
+  obs::Event("portfolio_member")
+      .field("index", index)
+      .field("label", outcome.label)
+      .field("verdict", smt::to_cstring(v.result))
+      .field("cancelled", outcome.cancelled)
+      .field("seconds", v.seconds)
+      .field("decisions", v.stats.sat.decisions)
+      .field("conflicts", v.stats.sat.conflicts)
+      .field("restarts", v.stats.sat.restarts)
+      .field("pivots", v.stats.pivots)
+      .field("clauses_exported", v.stats.sat.clauses_exported)
+      .field("clauses_imported", v.stats.sat.clauses_imported)
+      .field("clauses_accepted", v.stats.sat.clauses_accepted)
+      .field("chrono_backtracks", v.stats.sat.chrono_backtracks)
+      .field("lrb_selections", v.stats.sat.lrb_selections)
+      .emit(trace);
+}
+
+void emit_done_event(const obs::Config& trace, const PortfolioResult& out,
+                     const PortfolioOptions& options, std::size_t members) {
+  obs::Event("portfolio_done")
+      .field("winner", out.winner)
+      .field("winner_label",
+             out.winner >= 0
+                 ? out.members[static_cast<std::size_t>(out.winner)].label
+                 : std::string())
+      .field("verdict", smt::to_cstring(out.verification.result))
+      .field("deterministic", options.deterministic)
+      .field("members", static_cast<std::uint64_t>(members))
+      .field("seconds", out.seconds)
+      .field("mode", options.mode == PortfolioMode::kCubeAndConquer
+                         ? "cube"
+                         : "race")
+      .field("cubes_generated", out.cubes_generated)
+      .field("cubes_refuted", out.cubes_refuted)
+      .emit(trace);
+}
+
+// Cross-cube effort aggregation for the joint UNSAT verdict: counters sum
+// (total work the cube tree cost), gauges take the max (peak footprint of
+// any conqueror).
+void accumulate_stats(smt::SolverStats& acc, const smt::SolverStats& d) {
+  acc.sat.decisions += d.sat.decisions;
+  acc.sat.propagations += d.sat.propagations;
+  acc.sat.conflicts += d.sat.conflicts;
+  acc.sat.restarts += d.sat.restarts;
+  acc.sat.learned_clauses += d.sat.learned_clauses;
+  acc.sat.deleted_clauses += d.sat.deleted_clauses;
+  acc.sat.theory_checks += d.sat.theory_checks;
+  acc.sat.theory_conflicts += d.sat.theory_conflicts;
+  acc.sat.theory_propagations += d.sat.theory_propagations;
+  acc.sat.arena_gcs += d.sat.arena_gcs;
+  acc.sat.clauses_exported += d.sat.clauses_exported;
+  acc.sat.clauses_imported += d.sat.clauses_imported;
+  acc.sat.clauses_accepted += d.sat.clauses_accepted;
+  acc.sat.chrono_backtracks += d.sat.chrono_backtracks;
+  acc.sat.lrb_selections += d.sat.lrb_selections;
+  acc.pivots += d.pivots;
+  acc.bound_flips += d.bound_flips;
+  acc.bland_fallbacks += d.bland_fallbacks;
+  acc.bigint_promotions += d.bigint_promotions;
+  acc.float_pivots += d.float_pivots;
+  acc.exact_recomputes += d.exact_recomputes;
+  acc.filter_disagreements += d.filter_disagreements;
+  acc.filter_fallbacks += d.filter_fallbacks;
+  acc.eta_updates += d.eta_updates;
+  acc.refactorisations += d.refactorisations;
+  acc.eta_file_len_max = std::max(acc.eta_file_len_max, d.eta_file_len_max);
+  acc.num_terms = std::max(acc.num_terms, d.num_terms);
+  acc.num_atoms = std::max(acc.num_atoms, d.num_atoms);
+  acc.num_bool_vars = std::max(acc.num_bool_vars, d.num_bool_vars);
+  acc.num_real_vars = std::max(acc.num_real_vars, d.num_real_vars);
+  acc.footprint_bytes = std::max(acc.footprint_bytes, d.footprint_bytes);
+  acc.arena_capacity_bytes =
+      std::max(acc.arena_capacity_bytes, d.arena_capacity_bytes);
+  acc.arena_live_bytes = std::max(acc.arena_live_bytes, d.arena_live_bytes);
+}
+
+PortfolioResult race_portfolio(const core::UfdiAttackModel& model,
+                               const PortfolioOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<PortfolioMember> members =
       options.members.empty() ? default_portfolio(options.num_threads)
@@ -131,20 +262,8 @@ PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
       outcome.cancelled =
           v.result == smt::SolveResult::Unknown && raceDecided;
       if (options.trace.enabled()) {
-        obs::Event("portfolio_member")
-            .field("index", static_cast<std::uint64_t>(i))
-            .field("label", outcome.label)
-            .field("verdict", smt::to_cstring(v.result))
-            .field("cancelled", outcome.cancelled)
-            .field("seconds", v.seconds)
-            .field("decisions", v.stats.sat.decisions)
-            .field("conflicts", v.stats.sat.conflicts)
-            .field("restarts", v.stats.sat.restarts)
-            .field("pivots", v.stats.pivots)
-            .field("clauses_exported", v.stats.sat.clauses_exported)
-            .field("clauses_imported", v.stats.sat.clauses_imported)
-            .field("clauses_accepted", v.stats.sat.clauses_accepted)
-            .emit(options.trace);
+        emit_member_event(options.trace, static_cast<std::uint64_t>(i),
+                          outcome, v);
       }
       results[i] = std::move(v);
       if (results[i].result != smt::SolveResult::Unknown &&
@@ -190,19 +309,212 @@ PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
                     std::chrono::steady_clock::now() - start)
                     .count();
   if (options.trace.enabled()) {
-    obs::Event("portfolio_done")
-        .field("winner", out.winner)
-        .field("winner_label",
-               out.winner >= 0
-                   ? out.members[static_cast<std::size_t>(out.winner)].label
-                   : std::string())
-        .field("verdict", smt::to_cstring(out.verification.result))
-        .field("deterministic", options.deterministic)
-        .field("members", static_cast<std::uint64_t>(n))
-        .field("seconds", out.seconds)
-        .emit(options.trace);
+    emit_done_event(options.trace, out, options, n);
   }
   return out;
+}
+
+// Cube-and-conquer: split the instance into sign-combination cubes on
+// topology-poisoning literals, then fan cubes across the pool.
+//
+// Scheduling: min(num_threads, cubes) workers, each cloning the model
+// ONCE and pulling cube indices from a shared counter — more cubes than
+// workers keeps everyone busy while a clone's learnt database stays warm
+// across the cubes it conquers. Worker w runs engine members[w % |members|]
+// for structural diversity across the tree.
+//
+// Clause sharing between conquerors is sound even though they solve
+// different cubes: cube literals enter the solver as *assumptions*, never
+// as clauses, and CDCL resolves conflict clauses only over reason clauses
+// from the shared database — assumption/decision literals appear in learnt
+// clauses as literals but are never resolved away. Every learnt clause is
+// therefore implied by the shared database alone, independent of which
+// cube produced it, and the existing ClauseChannel level-0 import path
+// lands it safely in any sibling (see smt/clause_exchange.h).
+//
+// Verdicts (cube-tree accounting): the cubes partition the search space,
+// so SAT from any cube is a genuine model and short-circuits the rest
+// (deterministic mode runs every cube and takes the lowest SAT index);
+// UNSAT requires *every* cube refuted; anything else — a budget-exhausted
+// or cancelled cube — leaves the tree open and the verdict Unknown.
+PortfolioResult conquer_portfolio(const core::UfdiAttackModel& model,
+                                  const PortfolioOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const CubeSet cubes = split_cubes(model, options.cube);
+  if (cubes.refuted) {
+    // Lookahead alone closed the instance: some split candidate conflicts
+    // in both phases at level 0.
+    PortfolioResult out;
+    out.verification.result = smt::SolveResult::Unsat;
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    out.verification.seconds = out.seconds;
+    if (options.trace.enabled()) {
+      emit_done_event(options.trace, out, options, 0);
+    }
+    return out;
+  }
+  if (cubes.cubes.size() < 2) {
+    // No usable split: racing is the better use of the threads.
+    return race_portfolio(model, options);
+  }
+
+  const std::size_t numCubes = cubes.cubes.size();
+  // Conquer workers are CPU-bound from the first instant (no member ever
+  // idles waiting for a verdict the way a losing racer does), so running
+  // more of them than hardware threads only adds clone cost and context
+  // switching. num_threads stays the parallelism *budget*; the host core
+  // count caps how much of it is spent.
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t numWorkers = std::min(
+      {options.num_threads > 0 ? options.num_threads : 1, numCubes, hw});
+  // Default worker engines: robust presets only. A racing portfolio can
+  // afford aggressive members (a slow racer just loses), but in conquer
+  // every cube gates the UNSAT verdict, so a member that is pathological
+  // on one cube stalls the whole tree. Phase-forcing and random-branching
+  // variants are exactly the ones observed to do that; callers who want
+  // them can still pass explicit members.
+  std::vector<PortfolioMember> members;
+  if (options.members.empty()) {
+    const std::vector<PortfolioMember> presets = engine_presets();
+    // baseline, lrb, chrono-64, ema-restarts, geometric-restarts.
+    for (std::size_t k = 0; k < numWorkers; ++k) {
+      members.push_back(presets[k % 5]);
+    }
+  } else {
+    members = options.members;
+  }
+
+  ClauseChannel channel;
+  std::vector<smt::ClauseExchange*> endpoints(numWorkers, nullptr);
+  if (options.share_clauses && numWorkers > 1) {
+    for (std::size_t w = 0; w < numWorkers; ++w) {
+      endpoints[w] = channel.make_endpoint();
+    }
+  }
+
+  PortfolioResult out;
+  out.cubes_generated = numCubes;
+  out.members.resize(numCubes);
+  for (std::size_t k = 0; k < numCubes; ++k) {
+    out.members[k].label = "cube-" + std::to_string(k);
+  }
+
+  std::atomic<bool> raceStop{false};
+  std::atomic<std::size_t> nextCube{0};
+  std::mutex mu;
+  std::vector<core::VerificationResult> results(numCubes);
+  std::uint64_t refuted = 0;  // guarded by mu
+  int satCube = -1;           // first SAT observed, guarded by mu
+
+  ThreadPool pool(numWorkers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(numWorkers);
+  for (std::size_t w = 0; w < numWorkers; ++w) {
+    futures.push_back(pool.submit([&, w] {
+      const PortfolioMember& member = members[w % members.size()];
+      auto clone = model.clone();
+      smt::SatOptions sopts = member.options;
+      sopts.exchange = endpoints[w];
+      clone->set_solver_options(sopts);
+      for (;;) {
+        const std::size_t k =
+            nextCube.fetch_add(1, std::memory_order_relaxed);
+        if (k >= numCubes) break;
+        if (!options.deterministic &&
+            raceStop.load(std::memory_order_relaxed)) {
+          // The tree is already decided (SAT short-circuit or external
+          // stop): mark the unstarted cube cancelled and keep draining so
+          // every cube gets an outcome.
+          std::lock_guard<std::mutex> lock(mu);
+          out.members[k].label += "/" + member.label;
+          out.members[k].cancelled = true;
+          continue;
+        }
+        smt::Budget budget = options.budget;
+        budget.stop = &raceStop;
+        core::VerificationResult v =
+            clone->verify_with_assumptions(cubes.cubes[k], budget);
+        const bool raceDecided = raceStop.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        PortfolioMemberOutcome& outcome = out.members[k];
+        outcome.label += "/" + member.label;
+        outcome.result = v.result;
+        outcome.seconds = v.seconds;
+        outcome.stats = v.stats;
+        outcome.cancelled =
+            v.result == smt::SolveResult::Unknown && raceDecided;
+        if (options.trace.enabled()) {
+          emit_member_event(options.trace, static_cast<std::uint64_t>(k),
+                            outcome, v);
+        }
+        if (v.result == smt::SolveResult::Unsat) ++refuted;
+        if (v.result == smt::SolveResult::Sat && satCube < 0) {
+          satCube = static_cast<int>(k);
+          if (!options.deterministic) {
+            raceStop.store(true, std::memory_order_relaxed);
+          }
+        }
+        results[k] = std::move(v);
+      }
+    }));
+  }
+
+  for (std::future<void>& f : futures) {
+    if (options.budget.stop == nullptr) {
+      f.wait();
+      continue;
+    }
+    while (f.wait_for(std::chrono::milliseconds(5)) !=
+           std::future_status::ready) {
+      if (options.budget.stop->load(std::memory_order_relaxed)) {
+        raceStop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  out.cubes_refuted = refuted;
+  int winner = satCube;
+  if (options.deterministic) {
+    winner = -1;
+    for (std::size_t k = 0; k < numCubes; ++k) {
+      if (results[k].result == smt::SolveResult::Sat) {
+        winner = static_cast<int>(k);
+        break;
+      }
+    }
+  }
+  if (winner >= 0) {
+    out.winner = winner;
+    out.verification = std::move(results[static_cast<std::size_t>(winner)]);
+  } else if (refuted == numCubes) {
+    // Every branch of the cube tree is closed: joint UNSAT. The winner
+    // stays -1 — no single cube owns the proof — and the reported stats
+    // are the whole tree's effort.
+    out.verification.result = smt::SolveResult::Unsat;
+    for (std::size_t k = 0; k < numCubes; ++k) {
+      accumulate_stats(out.verification.stats, results[k].stats);
+    }
+  }  // else: some cube Unknown/cancelled — verdict stays Unknown.
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  if (winner < 0) out.verification.seconds = out.seconds;
+  if (options.trace.enabled()) {
+    emit_done_event(options.trace, out, options, numCubes);
+  }
+  return out;
+}
+
+}  // namespace
+
+PortfolioResult verify_portfolio(const core::UfdiAttackModel& model,
+                                 const PortfolioOptions& options) {
+  return options.mode == PortfolioMode::kCubeAndConquer
+             ? conquer_portfolio(model, options)
+             : race_portfolio(model, options);
 }
 
 }  // namespace psse::runtime

@@ -23,6 +23,7 @@
 
 #include "core/attack_model.h"
 #include "obs/trace.h"
+#include "runtime/cube.h"
 #include "smt/budget.h"
 #include "smt/sat_solver.h"
 
@@ -36,9 +37,35 @@ struct PortfolioMember {
 
 /// The standard diversification ladder. Member 0 is always the solver's
 /// default configuration, so a 1-member portfolio reproduces the serial
-/// verify() search exactly; members beyond the built-in ladder cycle
-/// through random-branching variants with distinct seeds.
+/// verify() search exactly; the ladder interleaves the structural
+/// engine_presets() with the historical seed/phase variants, and members
+/// beyond it cycle through random-branching overlays of the presets with
+/// distinct seeds.
 [[nodiscard]] std::vector<PortfolioMember> default_portfolio(std::size_t n);
+
+/// The named structural engine presets: configurations that differ in
+/// *search shape* (branching heuristic, backtracking style, restart
+/// schedule — smt::EngineConfig), not just in seed or polarity. Preset 0
+/// is always "baseline", the default engine. These seed the default
+/// portfolio mix and the conquer workers' diversification, and tools
+/// expose them by name via --engine.
+[[nodiscard]] std::vector<PortfolioMember> engine_presets();
+
+/// Looks up an engine preset by label; returns false (and leaves `out`
+/// untouched) when no preset has that name.
+[[nodiscard]] bool engine_preset(const std::string& name,
+                                 PortfolioMember& out);
+
+/// How verify_portfolio spends its threads.
+enum class PortfolioMode {
+  /// Race full copies of the instance; first definitive answer wins.
+  kRace,
+  /// Cube-and-conquer: split the instance into sign-combination cubes on
+  /// topology-poisoning literals (split_cubes), then fan the cubes across
+  /// the pool. UNSAT requires every cube refuted; SAT short-circuits.
+  /// Falls back to racing when no usable split exists.
+  kCubeAndConquer,
+};
 
 struct PortfolioOptions {
   /// Number of racing members (ignored when `members` is non-empty).
@@ -62,6 +89,10 @@ struct PortfolioOptions {
   /// completes (including cancelled losers) and a closing "portfolio_done"
   /// event with winner attribution. The sink must outlive the call.
   obs::Config trace;
+  /// Racing (the default) or cube-and-conquer (see PortfolioMode).
+  PortfolioMode mode = PortfolioMode::kRace;
+  /// Splitting knobs for kCubeAndConquer; ignored under kRace.
+  CubeOptions cube;
 };
 
 /// Every member's outcome — winners *and* losers. A cancelled loser still
@@ -86,7 +117,15 @@ struct PortfolioResult {
   int winner = -1;
   /// Wall-clock of the whole portfolio call.
   double seconds = 0.0;
+  /// Under kRace: one entry per racing member. Under kCubeAndConquer: one
+  /// entry per *cube* (labelled "cube-K/engine"), including cubes
+  /// cancelled by a sibling's SAT short-circuit.
   std::vector<PortfolioMemberOutcome> members;
+  /// Cube-and-conquer accounting (zero under kRace). An UNSAT verdict
+  /// implies cubes_refuted == cubes_generated — the cube tree is only
+  /// closed when every branch is; the completeness test enforces this.
+  std::uint64_t cubes_generated = 0;
+  std::uint64_t cubes_refuted = 0;
 
   [[nodiscard]] smt::SolveResult result() const {
     return verification.result;

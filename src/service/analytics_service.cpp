@@ -198,12 +198,19 @@ ServiceResponse AnalyticsService::process(
         popts.num_threads = request.portfolio;
         popts.budget = budget;
         popts.trace = options_.trace;
+        popts.mode = request.portfolio_cube
+                         ? runtime::PortfolioMode::kCubeAndConquer
+                         : runtime::PortfolioMode::kRace;
         runtime::PortfolioResult port =
             runtime::verify_portfolio(model, popts);
         resp.verdict = port.result();
         if (port.winner >= 0) {
           resp.winner =
               port.members[static_cast<std::size_t>(port.winner)].label;
+        } else if (request.portfolio_cube &&
+                   port.result() == smt::SolveResult::Unsat) {
+          // Joint cube-tree refutation: no single member owns the proof.
+          resp.winner = "cube-tree";
         }
         if (port.verification.attack) {
           resp.altered_measurements =
@@ -271,6 +278,7 @@ ServiceResponse AnalyticsService::process(
         .field("screen_us",
                static_cast<std::uint64_t>(resp.screen_seconds * 1e6))
         .field("portfolio", static_cast<std::uint64_t>(request.portfolio))
+        .field("portfolio_mode", request.portfolio_cube ? "cube" : "race")
         .field("family", fp_hex(resp.family))
         .field("fp", fp_hex(resp.fingerprint));
     if (resp.sweep_index >= 0) ev.field("sweep_index", resp.sweep_index);

@@ -397,6 +397,13 @@ ParsedRequest parse_request(const std::string& line) {
           "field \"portfolio\" must be an integer in 0..4096");
     }
     out.verify.portfolio = static_cast<std::size_t>(portfolio);
+    const std::string mode = optional_string(root, "portfolio_mode");
+    if (mode == "cube") {
+      out.verify.portfolio_cube = true;
+    } else if (!mode.empty() && mode != "race") {
+      throw ProtocolError(
+          "field \"portfolio_mode\" must be \"race\" or \"cube\"");
+    }
     out.verify.use_memo = optional_bool(root, "memo", true);
     out.verify.use_screen = optional_bool(root, "screen", true);
     return out;

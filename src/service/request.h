@@ -31,6 +31,12 @@ struct ServiceRequest {
   /// instead of reusing a warm session (trades delta reuse for race
   /// parallelism on hard single queries).
   std::size_t portfolio = 0;
+  /// Portfolio strategy when portfolio > 0: false races full copies,
+  /// true splits the instance with cube-and-conquer
+  /// (runtime::PortfolioMode::kCubeAndConquer) — the right choice for
+  /// hard all-UNSAT queries, where racing just repeats one proof N times.
+  /// Protocol field "portfolio_mode": "race" | "cube".
+  bool portfolio_cube = false;
   /// Consult/populate the result memo for this request.
   bool use_memo = true;
   /// Run the LP-relaxation screen (screen::LpScreen) before dispatching to

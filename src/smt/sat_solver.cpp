@@ -37,7 +37,13 @@ void SatSolver::set_options(const SatOptions& options) {
   PSSE_CHECK(options.theory_check_period > 0,
              "set_options: theory_check_period == 0");
   PSSE_CHECK(options.reduce_db_base > 0, "set_options: reduce_db_base == 0");
+  PSSE_CHECK(options.engine.geometric_factor > 1.0,
+             "set_options: geometric_factor <= 1");
+  PSSE_CHECK(options.engine.ema_margin > 1.0, "set_options: ema_margin <= 1");
+  PSSE_CHECK(options.engine.lrb_alpha_decay >= 0.0,
+             "set_options: lrb_alpha_decay < 0");
   options_ = options;
+  lrb_alpha_ = 0.4;
   rng_state_ = options.seed == 0 ? 0x9e3779b97f4a7c15ull : options.seed;
   // Saved phases are a pure heuristic; re-seeding them with the configured
   // polarity only affects variables not yet (re)assigned.
@@ -65,6 +71,8 @@ Var SatSolver::new_var() {
   watches_.emplace_back();
   card_occs_.emplace_back();
   card_occs_.emplace_back();
+  lrb_assigned_.push_back(0);
+  lrb_participated_.push_back(0);
   heap_index_.push_back(-1);
   heap_insert(v);
   return v;
@@ -209,6 +217,11 @@ bool SatSolver::enqueue(Lit l, Reason reason) {
   var_info_[static_cast<std::size_t>(x)] = {
       reason, decision_level(), static_cast<std::int32_t>(trail_.size())};
   phase_[static_cast<std::size_t>(x)] = !l.negated();
+  if (options_.engine.branching == BranchingHeuristic::kLrb) {
+    // Open this variable's LRB assignment interval.
+    lrb_assigned_[static_cast<std::size_t>(x)] = stats_.conflicts;
+    lrb_participated_[static_cast<std::size_t>(x)] = 0;
+  }
   trail_.push_back(l);
   return true;
 }
@@ -376,6 +389,8 @@ bool SatSolver::theory_check(bool final, std::vector<Lit>& confl) {
 
 void SatSolver::cancel_until(int level) {
   if (decision_level() <= level) return;
+  const bool lrbOn =
+      options_.engine.branching == BranchingHeuristic::kLrb;
   std::int32_t bound = trail_lim_[static_cast<std::size_t>(level)];
   std::int32_t minTheoryReason = -1;
   for (std::int32_t c = static_cast<std::int32_t>(trail_.size()) - 1;
@@ -401,7 +416,29 @@ void SatSolver::cancel_until(int level) {
     }
     assigns_[static_cast<std::size_t>(x)] = LBool::Undef;
     phase_[static_cast<std::size_t>(x)] = !p.negated();
-    if (heap_index_[static_cast<std::size_t>(x)] < 0) heap_insert(x);
+    if (lrbOn) {
+      // LRB scoring point: fold the learning rate (conflicts this variable
+      // helped analyze per conflict it sat assigned through) into its
+      // activity as an EMA, then restore heap order for the moved key.
+      const std::uint64_t interval =
+          stats_.conflicts - lrb_assigned_[static_cast<std::size_t>(x)];
+      if (interval > 0) {
+        const double rate =
+            static_cast<double>(lrb_participated_[static_cast<std::size_t>(x)]) /
+            static_cast<double>(interval);
+        double& act = activity_[static_cast<std::size_t>(x)];
+        act = (1.0 - lrb_alpha_) * act + lrb_alpha_ * rate;
+      }
+      const std::int32_t idx = heap_index_[static_cast<std::size_t>(x)];
+      if (idx >= 0) {
+        heap_up(static_cast<int>(idx));
+        heap_down(heap_index_[static_cast<std::size_t>(x)]);
+      } else {
+        heap_insert(x);
+      }
+    } else if (heap_index_[static_cast<std::size_t>(x)] < 0) {
+      heap_insert(x);
+    }
   }
   trail_.resize(static_cast<std::size_t>(bound));
   trail_lim_.resize(static_cast<std::size_t>(level));
@@ -587,6 +624,13 @@ void SatSolver::analyze(ClauseRef confl_clause,
 }
 
 void SatSolver::var_bump(Var v) {
+  if (options_.engine.branching == BranchingHeuristic::kLrb) {
+    // Under LRB a conflict-analysis appearance is *participation*, not an
+    // immediate activity bump: the rate is folded into the score when the
+    // variable is unassigned (cancel_until).
+    ++lrb_participated_[static_cast<std::size_t>(v)];
+    return;
+  }
   activity_[static_cast<std::size_t>(v)] += var_inc_;
   if (activity_[static_cast<std::size_t>(v)] > 1e100) {
     for (double& a : activity_) a *= 1e-100;
@@ -596,7 +640,16 @@ void SatSolver::var_bump(Var v) {
   if (idx >= 0) heap_up(idx);
 }
 
-void SatSolver::var_decay() { var_inc_ /= options_.var_decay; }
+void SatSolver::var_decay() {
+  if (options_.engine.branching == BranchingHeuristic::kLrb) {
+    // LRB's per-conflict step: anneal the EMA weight towards its floor so
+    // early noisy rates stop dominating mature scores.
+    lrb_alpha_ =
+        std::max(0.06, lrb_alpha_ - options_.engine.lrb_alpha_decay);
+    return;
+  }
+  var_inc_ /= options_.var_decay;
+}
 
 void SatSolver::clause_bump(ClauseRef r) {
   // Clause activities are packed floats; the increment stays a double and
@@ -627,6 +680,9 @@ Lit SatSolver::pick_branch() {
   while (!heap_empty()) {
     Var v = heap_pop();
     if (value(v) == LBool::Undef) {
+      if (options_.engine.branching == BranchingHeuristic::kLrb) {
+        ++stats_.lrb_selections;
+      }
       return Lit(v, !phase_[static_cast<std::size_t>(v)]);
     }
   }
@@ -824,18 +880,25 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
   auto interrupted = [&]() { return interrupt.triggered(); };
 
   rebuild_order_heap();
+  const EngineConfig& engine = options_.engine;
   std::uint64_t restartCount = 0;
   std::uint64_t conflictsUntilRestart =
       options_.restart_base * luby(restartCount);
   std::uint64_t conflictsSinceRestart = 0;
+  // kGeometric interval (grows by geometric_factor per restart) and the
+  // kGlucoseEma learnt-LBD averages. Dead state under kLuby.
+  double geomInterval = static_cast<double>(options_.restart_base);
+  double emaFast = 0.0;
+  double emaSlow = 0.0;
   std::uint32_t fixpointsSinceTheory = 0;
   std::vector<Lit> learnt;
   std::vector<Lit> theoryConfl;
 
   // Install a freshly learnt clause (from either conflict-analysis site) and
   // assert its first literal, which analyze() made asserting at the current
-  // (post-backjump) level.
-  auto learn_clause = [&](const std::vector<Lit>& lits) {
+  // (post-backtrack) level. Returns the clause's LBD (1 for units) so the
+  // glucose-style restart schedule can track learnt quality.
+  auto learn_clause = [&](const std::vector<Lit>& lits) -> std::uint32_t {
     if (lits.size() == 1) {
       bool okEnq = enqueue(lits[0], Reason::none());
       PSSE_ASSERT(okEnq);
@@ -843,16 +906,37 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
       // can replay it if its derivation survives.
       learnt_units_.push_back({lits[0], push_depth()});
       record_learnt(lits, 1);
-    } else {
-      const std::uint32_t lbd = compute_lbd(lits);
-      ClauseRef r = alloc_clause(lits, /*learned=*/true, lbd, push_depth());
-      attach_clause(r);
-      learned_refs_.push_back(r);
-      ++stats_.learned_clauses;
-      bool okEnq = enqueue(lits[0], Reason::clause(r));
-      PSSE_ASSERT(okEnq);
-      record_learnt(lits, lbd);
+      return 1;
     }
+    const std::uint32_t lbd = compute_lbd(lits);
+    ClauseRef r = alloc_clause(lits, /*learned=*/true, lbd, push_depth());
+    attach_clause(r);
+    learned_refs_.push_back(r);
+    ++stats_.learned_clauses;
+    bool okEnq = enqueue(lits[0], Reason::clause(r));
+    PSSE_ASSERT(okEnq);
+    record_learnt(lits, lbd);
+    return lbd;
+  };
+  auto note_learnt_lbd = [&](std::uint32_t lbd) {
+    if (engine.restart != RestartSchedule::kGlucoseEma) return;
+    emaFast += (static_cast<double>(lbd) - emaFast) / 32.0;
+    emaSlow += (static_cast<double>(lbd) - emaSlow) / 4096.0;
+  };
+  // Chronological backtracking: when the full backjump would discard more
+  // than cb_limit levels, retreat a single level instead. The learnt
+  // clause is still asserting there — analyze() leaves every non-first
+  // literal at or below btlevel, so only the asserting literal's variable
+  // is unassigned by the shallower backtrack. Unit learnts always take the
+  // full jump: they are level-0 facts and learnt_units_ records them as
+  // such. Only used when cb_limit > 0 (default: pure backjumping).
+  auto backtrack_level = [&](int btlevel, std::size_t learntSize) {
+    if (engine.cb_limit > 0 && learntSize > 1 &&
+        decision_level() - btlevel > static_cast<int>(engine.cb_limit)) {
+      ++stats_.chrono_backtracks;
+      return decision_level() - 1;
+    }
+    return btlevel;
   };
 
   for (;;) {
@@ -905,8 +989,8 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
       }
       int btlevel = 0;
       analyze(confl, conflLits, learnt, btlevel);
-      cancel_until(btlevel);
-      learn_clause(learnt);
+      cancel_until(backtrack_level(btlevel, learnt.size()));
+      note_learnt_lbd(learn_clause(learnt));
       var_decay();
       clause_inc_ /= 0.999;
 
@@ -918,11 +1002,39 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
           options_.reduce_db_base + 2 * num_problem_clauses_ / 3) {
         reduce_db();
       }
-      if (conflictsSinceRestart >= conflictsUntilRestart) {
+      bool restartNow = false;
+      switch (engine.restart) {
+        case RestartSchedule::kLuby:
+          restartNow = conflictsSinceRestart >= conflictsUntilRestart;
+          break;
+        case RestartSchedule::kGeometric:
+          restartNow = static_cast<double>(conflictsSinceRestart) >=
+                       geomInterval;
+          break;
+        case RestartSchedule::kGlucoseEma:
+          // Recent learnt clauses are markedly worse than the long-run
+          // average: restart. restart_base is the minimum conflict gap so
+          // the EMAs have data before the first comparison.
+          restartNow = conflictsSinceRestart >= options_.restart_base &&
+                       emaFast > engine.ema_margin * emaSlow;
+          break;
+      }
+      if (restartNow) {
         ++stats_.restarts;
         ++restartCount;
         conflictsSinceRestart = 0;
-        conflictsUntilRestart = options_.restart_base * luby(restartCount);
+        switch (engine.restart) {
+          case RestartSchedule::kLuby:
+            conflictsUntilRestart = options_.restart_base * luby(restartCount);
+            break;
+          case RestartSchedule::kGeometric:
+            geomInterval *= engine.geometric_factor;
+            break;
+          case RestartSchedule::kGlucoseEma:
+            // Re-arm: only a fresh quality degradation triggers again.
+            emaFast = emaSlow;
+            break;
+        }
         int restartLevel =
             static_cast<int>(assumptions.size()) <= decision_level()
                 ? static_cast<int>(assumptions.size())
@@ -995,8 +1107,8 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
         ++stats_.conflicts;
         int btlevel = 0;
         analyze(kExplicitConflictRef, theoryConfl, learnt, btlevel);
-        cancel_until(btlevel);
-        learn_clause(learnt);
+        cancel_until(backtrack_level(btlevel, learnt.size()));
+        note_learnt_lbd(learn_clause(learnt));
         continue;
       }
       // An interrupted theory check may report "consistent" without having
@@ -1018,6 +1130,33 @@ SolveResult SatSolver::solve(const std::vector<Lit>& assumptions,
     bool okEnq = enqueue(next, Reason::none());
     PSSE_ASSERT(okEnq);
   }
+}
+
+int SatSolver::probe_literal(Lit l) {
+  PSSE_CHECK(decision_level() == 0, "probe_literal: not at decision level 0");
+  PSSE_CHECK(l.valid() && l.var() < num_vars(),
+             "probe_literal: unknown variable");
+  if (!ok_) return -1;
+  // Drain any pending level-0 propagation first so the probe measures only
+  // the literal's own consequences. A conflict here closes the instance.
+  if (propagate() != kNoConflictRef) {
+    ok_ = false;
+    return -1;
+  }
+  const LBool v = value(l);
+  if (v == LBool::True) return 0;
+  if (v == LBool::False) return -1;
+  // One throwaway decision level; boolean propagation only. The theory is
+  // never consulted and theory_qhead_ stays at the level-0 prefix, so
+  // cancel_until(0) undoes exactly the card counters and assignments.
+  trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+  const std::size_t before = trail_.size();
+  const bool okEnq = enqueue(l, Reason::none());
+  PSSE_ASSERT(okEnq);
+  const ClauseRef confl = propagate();
+  const int forced = static_cast<int>(trail_.size() - before) - 1;
+  cancel_until(0);
+  return confl == kNoConflictRef ? forced : -1;
 }
 
 bool SatSolver::model_value(Var v) const {
@@ -1092,6 +1231,8 @@ void SatSolver::pop() {
   var_info_.assign(static_cast<std::size_t>(sp.num_vars), {});
   phase_.resize(static_cast<std::size_t>(sp.num_vars));
   activity_.resize(static_cast<std::size_t>(sp.num_vars));
+  lrb_assigned_.assign(static_cast<std::size_t>(sp.num_vars), 0);
+  lrb_participated_.assign(static_cast<std::size_t>(sp.num_vars), 0);
   seen_.assign(static_cast<std::size_t>(sp.num_vars), false);
   watches_.assign(static_cast<std::size_t>(2 * sp.num_vars), {});
   card_occs_.assign(static_cast<std::size_t>(2 * sp.num_vars), {});

@@ -147,6 +147,16 @@ Lit Solver::encode(TermRef t) {
   return t.negated() ? ~l : l;
 }
 
+int Solver::probe_term(TermRef t) {
+  PSSE_CHECK(t.valid(), "probe_term: invalid term");
+  return sat_.probe_literal(encode(t));
+}
+
+double Solver::term_activity(TermRef t) {
+  PSSE_CHECK(t.valid(), "term_activity: invalid term");
+  return sat_.var_activity(encode(t).var());
+}
+
 void Solver::assert_term(TermRef t) {
   PSSE_CHECK(t.valid(), "assert_term: invalid term");
   if (t == terms_.mk_true()) return;

@@ -141,6 +141,19 @@ class Solver final : private TheoryClient {
   SolveResult solve(const std::vector<TermRef>& assumptions = {},
                     const Budget& budget = {});
 
+  /// Bounded BCP-only lookahead on a boolean term, for cube splitting:
+  /// returns the number of literals boolean propagation forces when `t` is
+  /// asserted on top of the level-0 state, or -1 when it conflicts (then
+  /// ~t is implied at level 0 by the clause database alone). The theory is
+  /// never consulted. See SatSolver::probe_literal for the caveats —
+  /// probing perturbs saved phases, so probe on a dedicated clone.
+  [[nodiscard]] int probe_term(TermRef t);
+
+  /// Branching activity of the SAT literal a boolean term encodes to (see
+  /// SatSolver::var_activity): after a bounded burn-in solve, the ranking
+  /// over candidate terms identifies where the search effort concentrates.
+  [[nodiscard]] double term_activity(TermRef t);
+
   /// Model access after solve() returned Sat.
   [[nodiscard]] bool bool_value(TermRef t) const;
   [[nodiscard]] Rational real_value(TVar v) const;

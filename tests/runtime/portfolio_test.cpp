@@ -204,6 +204,126 @@ TEST(Portfolio, ExternalStopTokenCancelsTheRace) {
   EXPECT_EQ(pr.result(), smt::SolveResult::Unknown);
 }
 
+TEST(EnginePresets, LookupAndBaselineAnchor) {
+  const auto presets = runtime::engine_presets();
+  ASSERT_GE(presets.size(), 5u);
+  // Preset 0 anchors the default engine: tools resolve --engine baseline
+  // to exactly the serial search configuration.
+  EXPECT_EQ(presets[0].label, "baseline");
+  EXPECT_EQ(presets[0].options.engine.branching,
+            smt::SatOptions{}.engine.branching);
+  EXPECT_EQ(presets[0].options.engine.cb_limit,
+            smt::SatOptions{}.engine.cb_limit);
+  // Labels are unique and resolvable by name.
+  for (const auto& p : presets) {
+    runtime::PortfolioMember m;
+    ASSERT_TRUE(runtime::engine_preset(p.label, m)) << p.label;
+    EXPECT_EQ(m.label, p.label);
+  }
+  runtime::PortfolioMember m;
+  EXPECT_FALSE(runtime::engine_preset("no-such-engine", m));
+}
+
+TEST(CubeAndConquer, VerdictMatchesSerialOnAllScenarios) {
+  for (const std::string& file : all_scenarios()) {
+    core::Scenario sc = core::Scenario::load(file);
+    core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+    core::VerificationResult serial = model.verify();
+    runtime::PortfolioOptions opt;
+    opt.num_threads = 4;
+    opt.mode = runtime::PortfolioMode::kCubeAndConquer;
+    // A tiny burn-in keeps the suite fast; correctness cannot depend on
+    // how warm the activity ranking is.
+    opt.cube.burnin_conflicts = 40;
+    runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+    EXPECT_EQ(pr.result(), serial.result) << file;
+    if (pr.result() == smt::SolveResult::Sat) {
+      ASSERT_TRUE(pr.verification.attack.has_value()) << file;
+      // A SAT cube's model is a genuine attack on the original instance:
+      // it replays undetected through the full estimation pipeline.
+      const core::AttackReplay replay =
+          core::replay_attack(sc.grid, sc.plan, *pr.verification.attack);
+      EXPECT_FALSE(replay.detected) << file;
+      EXPECT_LT(replay.stealth_gap, 1e-6) << file;
+    }
+  }
+}
+
+TEST(CubeAndConquer, UnsatRequiresEveryCubeRefuted) {
+  // fig4d-style UNSAT: a resource cap below the 4-measurement floor.
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::AttackSpec spec = sc.spec;
+  spec.max_altered_measurements = 3;
+  core::UfdiAttackModel model(sc.grid, sc.plan, spec);
+  runtime::PortfolioOptions opt;
+  opt.num_threads = 4;
+  opt.mode = runtime::PortfolioMode::kCubeAndConquer;
+  opt.cube.burnin_conflicts = 40;
+  runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+  EXPECT_EQ(pr.result(), smt::SolveResult::Unsat);
+  // Cube-tree completeness: UNSAT is only reported once every generated
+  // cube is individually refuted, and every cube has a recorded outcome.
+  EXPECT_GT(pr.cubes_generated, 1u);
+  EXPECT_EQ(pr.cubes_refuted, pr.cubes_generated);
+  ASSERT_EQ(pr.members.size(), pr.cubes_generated);
+  for (const auto& m : pr.members) {
+    EXPECT_EQ(m.result, smt::SolveResult::Unsat) << m.label;
+    EXPECT_FALSE(m.cancelled) << m.label;
+  }
+  // No cube owns the joint proof.
+  EXPECT_EQ(pr.winner, -1);
+}
+
+TEST(CubeAndConquer, SatShortCircuitLeavesTheModelReusable) {
+  core::Scenario sc = load_scenario("ieee57_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  runtime::PortfolioOptions opt;
+  opt.num_threads = 4;
+  opt.mode = runtime::PortfolioMode::kCubeAndConquer;
+  opt.cube.burnin_conflicts = 40;
+  runtime::PortfolioResult first = runtime::verify_portfolio(model, opt);
+  EXPECT_EQ(first.result(), smt::SolveResult::Sat);
+  if (first.cubes_generated > 0) {
+    // SAT short-circuits: the tree is decided by one cube, so not every
+    // cube needs refuting (cancelled cubes are marked, not lost).
+    EXPECT_LT(first.cubes_refuted, first.cubes_generated);
+    ASSERT_GE(first.winner, 0);
+    EXPECT_FALSE(
+        first.members[static_cast<std::size_t>(first.winner)].cancelled);
+  }
+  // Cancellation must not poison the shared model: the same model object
+  // serves a serial verify, another cube run, and a racing portfolio.
+  EXPECT_EQ(model.verify().result, smt::SolveResult::Sat);
+  runtime::PortfolioResult again = runtime::verify_portfolio(model, opt);
+  EXPECT_EQ(again.result(), smt::SolveResult::Sat);
+  opt.mode = runtime::PortfolioMode::kRace;
+  runtime::PortfolioResult raced = runtime::verify_portfolio(model, opt);
+  EXPECT_EQ(raced.result(), smt::SolveResult::Sat);
+}
+
+TEST(CubeAndConquer, DeterministicModeReportsLowestSatCube) {
+  core::Scenario sc = load_scenario("ieee30_verification.scn");
+  core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);
+  int winners[2] = {-2, -2};
+  for (int rep = 0; rep < 2; ++rep) {
+    runtime::PortfolioOptions opt;
+    opt.num_threads = 4;
+    opt.mode = runtime::PortfolioMode::kCubeAndConquer;
+    opt.cube.burnin_conflicts = 40;
+    opt.deterministic = true;
+    runtime::PortfolioResult pr = runtime::verify_portfolio(model, opt);
+    EXPECT_EQ(pr.result(), smt::SolveResult::Sat);
+    winners[rep] = pr.winner;
+    // Deterministic mode runs every cube to completion: each outcome is
+    // definitive, so the reported winner is the lowest SAT cube index.
+    for (const auto& m : pr.members) {
+      EXPECT_NE(m.result, smt::SolveResult::Unknown) << m.label;
+      EXPECT_FALSE(m.cancelled) << m.label;
+    }
+  }
+  EXPECT_EQ(winners[0], winners[1]);
+}
+
 TEST(ParallelSynthesis, AgreesWithSerialOnIeee57) {
   core::Scenario sc = load_scenario("ieee57_synthesis.scn");
   core::UfdiAttackModel model(sc.grid, sc.plan, sc.spec);

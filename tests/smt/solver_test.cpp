@@ -306,6 +306,8 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
   std::uint64_t fallbackSum = 0;
   std::uint64_t etaSum = 0;
   std::uint64_t refactorSum = 0;
+  std::uint64_t chronoSum = 0;
+  std::uint64_t lrbSum = 0;
   for (const SolverStats& d : deltas) {
     // Every call does real work, and none of the deltas can exceed the
     // lifetime totals (the symptom of the fixed bug was per-call reports
@@ -324,6 +326,8 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
     fallbackSum += d.filter_fallbacks;
     etaSum += d.eta_updates;
     refactorSum += d.refactorisations;
+    chronoSum += d.sat.chrono_backtracks;
+    lrbSum += d.sat.lrb_selections;
     // eta_file_len_max is a high-water gauge: reported absolute.
     EXPECT_LE(d.eta_file_len_max, total.eta_file_len_max);
   }
@@ -338,6 +342,12 @@ TEST(SmtSolver, StatsSinceIsolatesEachSolve) {
   EXPECT_EQ(fallbackSum, total.filter_fallbacks);
   EXPECT_EQ(etaSum, total.eta_updates);
   EXPECT_EQ(refactorSum, total.refactorisations);
+  // The engine counters ride the same snapshot/delta mechanics; under the
+  // default engine (EVSIDS, full backjumps) both stay zero throughout.
+  EXPECT_EQ(chronoSum, total.sat.chrono_backtracks);
+  EXPECT_EQ(lrbSum, total.sat.lrb_selections);
+  EXPECT_EQ(total.sat.chrono_backtracks, 0u);
+  EXPECT_EQ(total.sat.lrb_selections, 0u);
   // Eta mode is the default, so every pivot lands in the eta file.
   EXPECT_EQ(total.eta_updates, total.pivots);
   // The filter actually ran: certification work is non-zero on a workload
